@@ -1,0 +1,89 @@
+(* Section 5 area accounting: well-separation overhead of the clustered
+   solutions stays below 5 % and the contact-cell utilization increase
+   below 6 % across the whole Table-1 suite. *)
+
+module T = Fbb_util.Texttab
+
+let run () =
+  Exp_common.header
+    "Section 5 - area overhead of clustering (well separation + contacts)";
+  let tab =
+    T.create
+      ~headers:
+        [ "Benchmark"; "B%"; "C"; "boundaries"; "well sep %"; "util incr %"; "pairs" ]
+  in
+  let worst_sep = ref 0.0 and worst_util = ref 0.0 in
+  List.iter
+    (fun (spec : Fbb_netlist.Benchmarks.spec) ->
+      let prep = Exp_common.prepare spec.Fbb_netlist.Benchmarks.name in
+      let pl = prep.Fbb_core.Flow.placement in
+      List.iter
+        (fun beta ->
+          let p = Fbb_core.Flow.problem prep ~beta in
+          List.iter
+            (fun cmax ->
+              match Fbb_core.Refine.heuristic ~max_clusters:cmax p with
+              | None -> ()
+              | Some o ->
+                let levels = o.Fbb_core.Refine.levels in
+                let area = Fbb_layout.Area.of_assignment pl ~levels in
+                let rails = Fbb_layout.Bias_rails.insert pl ~levels in
+                let util_incr =
+                  100.0 *. rails.Fbb_layout.Bias_rails.max_utilization_increase
+                in
+                worst_sep := Float.max !worst_sep area.Fbb_layout.Area.overhead_pct;
+                worst_util := Float.max !worst_util util_incr;
+                T.add_row tab
+                  [
+                    spec.Fbb_netlist.Benchmarks.name;
+                    T.cell_i (int_of_float (beta *. 100.0));
+                    T.cell_i cmax;
+                    T.cell_i area.Fbb_layout.Area.boundaries;
+                    T.cell_f area.Fbb_layout.Area.overhead_pct;
+                    T.cell_f util_incr;
+                    T.cell_i rails.Fbb_layout.Bias_rails.bias_pairs;
+                  ])
+            [ 2; 3 ])
+        [ 0.05; 0.10 ])
+    Fbb_netlist.Benchmarks.all;
+  T.print tab;
+  Printf.printf
+    "worst well-separation overhead: %.2f%% (paper bound %.0f%%); worst \
+     utilization increase: %.2f%% (paper bound %.0f%%)\n"
+    !worst_sep Paper_ref.well_separation_bound_pct !worst_util
+    Paper_ref.utilization_increase_bound_pct;
+  (* Ablation: cluster-aware re-stacking of rows removes nearly all
+     well-separation boundaries at a small vertical-wirelength cost. *)
+  Exp_common.header "Ablation - cluster-aware row re-stacking (C=3, beta=5%)";
+  let tab2 =
+    T.create
+      ~headers:
+        [ "Design"; "bnd before"; "bnd after"; "ovh before %"; "ovh after %";
+          "HPWL delta %" ]
+  in
+  List.iter
+    (fun name ->
+      let prep = Exp_common.prepare name in
+      let pl = prep.Fbb_core.Flow.placement in
+      let p = Fbb_core.Flow.problem prep ~beta:0.05 in
+      match Fbb_core.Refine.heuristic ~max_clusters:3 p with
+      | None -> ()
+      | Some o ->
+        let report, _ =
+          Fbb_layout.Row_order.apply pl ~levels:o.Fbb_core.Refine.levels
+        in
+        let open Fbb_layout.Row_order in
+        T.add_row tab2
+          [
+            name;
+            T.cell_i report.boundaries_before;
+            T.cell_i report.boundaries_after;
+            T.cell_f report.overhead_before_pct;
+            T.cell_f report.overhead_after_pct;
+            T.cell_f
+              (100.0
+              *. (report.hpwl_after_um -. report.hpwl_before_um)
+              /. report.hpwl_before_um);
+          ])
+    [ "c1355"; "c5315"; "c6288" ];
+  T.print tab2

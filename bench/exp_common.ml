@@ -1,0 +1,57 @@
+(* Shared plumbing for the experiment harness. *)
+
+let out_dir = "bench_out"
+
+let ensure_out_dir () =
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755
+
+let out_path name =
+  ensure_out_dir ();
+  Filename.concat out_dir name
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> default)
+  | None -> default
+
+let env_flag name = Sys.getenv_opt name <> None
+
+let ilp_seconds () = env_float "FBB_ILP_SECONDS" 90.0
+
+let ilp_limits () =
+  {
+    Fbb_ilp.Branch_bound.max_nodes = 2_000_000;
+    max_seconds = ilp_seconds ();
+  }
+
+(* Shorter budget used only to demonstrate the paper's "-" (no
+   convergence) on Industrial2/3 without stalling the whole run. *)
+let ilp_limits_intractable () =
+  {
+    Fbb_ilp.Branch_bound.max_nodes = 2_000_000;
+    max_seconds = Float.min 20.0 (ilp_seconds ());
+  }
+
+let header title =
+  let line = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let opt_pct = function
+  | Some v -> Printf.sprintf "%.2f" v
+  | None -> "-"
+
+let prepared_cache : (string, Fbb_core.Flow.prepared) Hashtbl.t =
+  Hashtbl.create 16
+
+let prepare name =
+  match Hashtbl.find_opt prepared_cache name with
+  | Some p -> p
+  | None ->
+    let p = Fbb_core.Flow.prepare (Fbb_netlist.Benchmarks.find name) in
+    Hashtbl.add prepared_cache name p;
+    p
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,50 @@
+(* Figure 3: row-level FBB implementation detail - contact cells every
+   50 um, one rail pair per bias voltage, well separation only between
+   rows of different clusters. Quantifies the section 3.3 claims:
+   <= 6 % row-utilization increase with two contact cells per window, and
+   at most two rail pairs before rows run out of slack. *)
+
+module BR = Fbb_layout.Bias_rails
+module T = Fbb_util.Texttab
+
+let run () =
+  Exp_common.header "Figure 3 - bias contact insertion and row utilization";
+  let prep = Exp_common.prepare "c1355" in
+  let pl = prep.Fbb_core.Flow.placement in
+  let p = Fbb_core.Flow.problem prep ~beta:0.05 in
+  let levels =
+    match Fbb_core.Refine.heuristic ~max_clusters:3 p with
+    | Some o -> o.Fbb_core.Refine.levels
+    | None -> Array.make (Fbb_place.Placement.num_rows pl) 0
+  in
+  let t = BR.insert pl ~levels in
+  let tab =
+    T.create
+      ~headers:[ "Row"; "vbs (V)"; "windows"; "added sites"; "util before"; "util after" ]
+  in
+  Array.iter
+    (fun rc ->
+      T.add_row tab
+        [
+          T.cell_i rc.BR.row;
+          T.cell_f (Fbb_tech.Bias.voltage rc.BR.level);
+          T.cell_i rc.BR.windows;
+          T.cell_i rc.BR.added_sites;
+          T.cell_f ~digits:1 (100.0 *. rc.BR.utilization_before);
+          T.cell_f ~digits:1 (100.0 *. rc.BR.utilization_after);
+        ])
+    t.BR.rows;
+  T.print tab;
+  Printf.printf
+    "rail pairs routed: %d; worst utilization increase: %.2f%% (paper bound \
+     %.0f%%); all rows fit: %b\n"
+    t.BR.bias_pairs
+    (100.0 *. t.BR.max_utilization_increase)
+    Paper_ref.utilization_increase_bound_pct t.BR.feasible;
+  Printf.printf
+    "rail pairs supportable within 85%%%% routable row utilization: %d -> the \
+     paper's C <= 3 (two bias pairs plus NBB) restriction\n"
+    (BR.max_supported_pairs pl ~utilization_cap:0.85);
+  (* The before/after abstract view of the paper's figure. *)
+  print_endline "\nabstract row view (digit = bias level, '.' = free site):";
+  print_string (Fbb_layout.Render.ascii pl ~levels)

@@ -1,0 +1,24 @@
+(* Figure 6: the placed-and-routed c5315 with one rail set (two bias
+   voltages) through the core. We place c5315 on the paper's 23 rows, run
+   the C = 3 heuristic (NBB + two voltages = two rail pairs) and draw the
+   result as SVG plus an ASCII preview. *)
+
+let run () =
+  Exp_common.header "Figure 6 - c5315 layout with 2 vbs rails";
+  let prep = Exp_common.prepare "c5315" in
+  let pl = prep.Fbb_core.Flow.placement in
+  let p = Fbb_core.Flow.problem prep ~beta:0.05 in
+  match Fbb_core.Refine.heuristic ~max_clusters:3 p with
+  | None -> print_endline "compensation infeasible (unexpected)"
+  | Some o ->
+    let levels = o.Fbb_core.Refine.levels in
+    let used = Fbb_core.Solution.clusters_used levels in
+    Printf.printf "clusters: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun l -> Printf.sprintf "%.2fV" (Fbb_tech.Bias.voltage l))
+            used));
+    let path = Exp_common.out_path "c5315_layout.svg" in
+    Fbb_layout.Render.save_svg ~path pl ~levels;
+    Printf.printf "layout drawing written to %s\n\n" path;
+    print_string (Fbb_layout.Render.ascii pl ~levels)

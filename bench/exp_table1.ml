@@ -1,0 +1,160 @@
+(* Table 1: leakage power savings of clustered FBB vs block-level FBB on
+   the nine-design suite, for beta in {5, 10} % and cluster budgets C in
+   {2, 3}, with the exact ILP and the two-pass heuristic. Paper values are
+   printed alongside ours. *)
+
+module Flow = Fbb_core.Flow
+module T = Fbb_util.Texttab
+
+type measured = {
+  name : string;
+  beta_pct : int;
+  gates : int;
+  rows : int;
+  single_uw : float option;
+  ilp_c2 : float option;
+  ilp_c3 : float option;
+  heur_c2 : float option;
+  heur_c3 : float option;
+  constraints : int;
+  heur_s : float;
+  ilp_s : float;
+}
+
+let evaluate_design (spec : Fbb_netlist.Benchmarks.spec) beta =
+  let prep = Exp_common.prepare spec.Fbb_netlist.Benchmarks.name in
+  let limits =
+    if spec.Fbb_netlist.Benchmarks.ilp_tractable then Exp_common.ilp_limits ()
+    else Exp_common.ilp_limits_intractable ()
+  in
+  let ev_heur, heur_s =
+    Exp_common.time (fun () -> Flow.evaluate ~run_ilp:false prep ~beta)
+  in
+  let ev, ilp_s =
+    Exp_common.time (fun () -> Flow.evaluate prep ~beta ~ilp_limits:limits)
+  in
+  ignore ev_heur;
+  {
+    name = spec.Fbb_netlist.Benchmarks.name;
+    beta_pct = int_of_float (beta *. 100.0);
+    gates = spec.Fbb_netlist.Benchmarks.gates;
+    rows = spec.Fbb_netlist.Benchmarks.rows;
+    single_uw = Option.map (fun nw -> nw /. 1000.0) ev.Flow.single_bb_nw;
+    ilp_c2 = Flow.ilp_savings_pct ev ~c:2;
+    ilp_c3 = Flow.ilp_savings_pct ev ~c:3;
+    heur_c2 = Flow.heuristic_savings_pct ev ~c:2;
+    heur_c3 = Flow.heuristic_savings_pct ev ~c:3;
+    constraints = ev.Flow.constraints;
+    heur_s;
+    ilp_s;
+  }
+
+let collect () =
+  List.concat_map
+    (fun spec ->
+      List.map
+        (fun beta ->
+          let m = evaluate_design spec beta in
+          Printf.printf "  %-14s beta=%2d%% done (heur %.2fs, ilp %.1fs)\n%!"
+            m.name m.beta_pct m.heur_s m.ilp_s;
+          m)
+        [ 0.05; 0.10 ])
+    Fbb_netlist.Benchmarks.all
+
+let print_table measured =
+  let tab =
+    T.create
+      ~headers:
+        [
+          "Benchmark"; "Gates"; "Rows"; "B%"; "SglBB uW (paper)";
+          "ILP C2 (paper)"; "ILP C3 (paper)"; "Heu C2 (paper)";
+          "Heu C3 (paper)"; "Constr (paper)";
+        ]
+  in
+  List.iter
+    (fun m ->
+      let p = Paper_ref.find m.name m.beta_pct in
+      let vs v pv =
+        Printf.sprintf "%s (%s)" (Exp_common.opt_pct v) (Exp_common.opt_pct pv)
+      in
+      T.add_row tab
+        [
+          m.name;
+          T.cell_i m.gates;
+          T.cell_i m.rows;
+          T.cell_i m.beta_pct;
+          Printf.sprintf "%s (%.2f)"
+            (match m.single_uw with Some v -> T.cell_f v | None -> "-")
+            p.Paper_ref.single_bb_uw;
+          vs m.ilp_c2 p.Paper_ref.ilp_c2;
+          vs m.ilp_c3 p.Paper_ref.ilp_c3;
+          vs m.heur_c2 (Some p.Paper_ref.heur_c2);
+          vs m.heur_c3 (Some p.Paper_ref.heur_c3);
+          Printf.sprintf "%d (%d)" m.constraints p.Paper_ref.constraints;
+        ])
+    measured;
+  T.print tab
+
+let print_speed measured =
+  Exp_common.header "Section 5 - run times: heuristic vs ILP";
+  let tab =
+    T.create ~headers:[ "Benchmark"; "B%"; "heuristic s"; "ILP s"; "ILP/heur x" ]
+  in
+  List.iter
+    (fun m ->
+      T.add_row tab
+        [
+          m.name;
+          T.cell_i m.beta_pct;
+          T.cell_f ~digits:3 m.heur_s;
+          T.cell_f ~digits:2 m.ilp_s;
+          (if m.heur_s > 0.0 then T.cell_f ~digits:0 (m.ilp_s /. m.heur_s)
+           else "-");
+        ])
+    measured;
+  T.print tab;
+  print_endline
+    "paper: ILP run times comparable on small designs, >1000x slower on the\n\
+     larger benchmarks; ILP does not converge on Industrial2/3."
+
+let save_csv measured =
+  let csv =
+    Fbb_util.Csv.create
+      ~headers:
+        [
+          "benchmark"; "beta_pct"; "gates"; "rows"; "single_bb_uw"; "ilp_c2";
+          "ilp_c3"; "heur_c2"; "heur_c3"; "constraints"; "heur_s"; "ilp_s";
+        ]
+  in
+  let cell = function Some v -> Printf.sprintf "%.4f" v | None -> "" in
+  List.iter
+    (fun m ->
+      Fbb_util.Csv.add_row csv
+        [
+          m.name; string_of_int m.beta_pct; string_of_int m.gates;
+          string_of_int m.rows; cell m.single_uw; cell m.ilp_c2;
+          cell m.ilp_c3; cell m.heur_c2; cell m.heur_c3;
+          string_of_int m.constraints;
+          Printf.sprintf "%.4f" m.heur_s; Printf.sprintf "%.3f" m.ilp_s;
+        ])
+    measured;
+  let path = Exp_common.out_path "table1.csv" in
+  Fbb_util.Csv.save csv ~path;
+  Printf.printf "rows written to %s\n" path
+
+let run () =
+  Exp_common.header
+    "Table 1 - leakage savings of row-clustered FBB vs block-level FBB";
+  Printf.printf "ILP budget: %.0fs per (design, beta, C); override with \
+                 FBB_ILP_SECONDS\n%!"
+    (Exp_common.ilp_seconds ());
+  let measured = collect () in
+  print_table measured;
+  print_endline
+    "cells: ours (paper). '-' = ILP hit its budget without proving the\n\
+     optimum, the paper's non-convergence case. All of our savings are\n\
+     signoff-clean: every solution was re-timed with full STA under the\n\
+     applied bias (see Fbb_core.Refine), which the paper's path\n\
+     abstraction does not guarantee.";
+  print_speed measured;
+  save_csv measured

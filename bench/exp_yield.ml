@@ -1,0 +1,49 @@
+(* Extension experiment (beyond the paper's tables): parametric-yield
+   recovery. The paper motivates FBB by yield; this experiment samples
+   fabricated dies with die-to-die and spatially correlated within-die
+   variation and compares shipping as-is, block-level FBB, and clustered
+   FBB - yield and the leakage cost of the shipped dies. *)
+
+module T = Fbb_util.Texttab
+
+let run () =
+  Exp_common.header
+    "Extension - Monte-Carlo timing yield and leakage (50 dies/design)";
+  let tab =
+    T.create
+      ~headers:
+        [
+          "Design"; "mean slowdown %"; "ship-as-is yield %";
+          "SingleBB yield %"; "SingleBB mean uW"; "Clustered yield %";
+          "Clustered mean uW"; "leak saved %";
+        ]
+  in
+  List.iter
+    (fun name ->
+      let prep = Exp_common.prepare name in
+      let mc =
+        Fbb_variation.Montecarlo.run ~samples:50 ~sigma:0.05
+          prep.Fbb_core.Flow.placement
+      in
+      let open Fbb_variation.Montecarlo in
+      T.add_row tab
+        [
+          name;
+          T.cell_f ~digits:1 mc.mean_measured_slowdown_pct;
+          T.cell_f ~digits:0 mc.no_tuning.yield_pct;
+          T.cell_f ~digits:0 mc.single_bb.yield_pct;
+          T.cell_f ~digits:3 (mc.single_bb.mean_leakage_nw /. 1000.0);
+          T.cell_f ~digits:0 mc.clustered.yield_pct;
+          T.cell_f ~digits:3 (mc.clustered.mean_leakage_nw /. 1000.0);
+          (if mc.single_bb.mean_leakage_nw > 0.0 then
+             T.cell_f ~digits:1
+               (Fbb_util.Stats.ratio_pct mc.single_bb.mean_leakage_nw
+                  mc.clustered.mean_leakage_nw)
+           else "-");
+        ])
+    [ "c1355"; "c3540"; "c5315" ];
+  T.print tab;
+  print_endline
+    "reading: both FBB strategies recover essentially all parametric yield;\n\
+     clustering ships the same dies at a lower leakage bill - the paper's\n\
+     Table-1 savings expressed in yield terms."

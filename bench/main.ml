@@ -1,0 +1,42 @@
+(* Experiment harness: regenerates every table and figure of the paper.
+   Run all experiments with [dune exec bench/main.exe], or one of them
+   with [dune exec bench/main.exe -- <name>]. Environment:
+   FBB_ILP_SECONDS  per-(design, beta, C) ILP budget (default 90). *)
+
+let experiments =
+  [
+    ("fig1", "inverter delay/leakage vs vbs sweep", Exp_fig1.run);
+    ("fig2", "closed-loop tuning methodology on 4 blocks", Exp_fig2.run);
+    ("fig3", "contact-cell insertion and row utilization", Exp_fig3.run);
+    ("table1", "leakage savings on the 9-design suite", Exp_table1.run);
+    ("sweep-c", "c5315 cluster-count sweep C=2..11", Exp_sweep.run);
+    ("area", "well-separation and utilization overheads", Exp_area.run);
+    ("fig6", "placed c5315 layout with 2 vbs rails", Exp_fig6.run);
+    ("yield", "extension: Monte-Carlo yield recovery", Exp_yield.run);
+    ("recovery", "extension: RBB active leakage recovery", Exp_recovery.run);
+    ("speed", "bechamel micro-benchmarks", Exp_speed.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment ...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (name, doc, _) -> Printf.printf "  %-8s %s\n" name doc)
+    experiments;
+  print_endline "(no argument runs everything in paper order)"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage ()
+  | [] -> List.iter (fun (_, _, run) -> run ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (_, _, run) -> run ()
+        | None ->
+          Printf.printf "unknown experiment %s\n" name;
+          usage ();
+          exit 1)
+      names

@@ -1,0 +1,48 @@
+(* The paper's Table 1, transcribed for side-by-side reporting.
+   Savings are percentages relative to the Single BB baseline; [None]
+   marks the paper's "-" entries (ILP did not converge). *)
+
+type row = {
+  name : string;
+  beta_pct : int;
+  single_bb_uw : float;
+  ilp_c2 : float option;
+  ilp_c3 : float option;
+  heur_c2 : float;
+  heur_c3 : float;
+  constraints : int;
+}
+
+let table1 =
+  [
+    { name = "c1355"; beta_pct = 5; single_bb_uw = 0.17; ilp_c2 = Some 11.76; ilp_c3 = Some 17.65; heur_c2 = 11.76; heur_c3 = 11.76; constraints = 32 };
+    { name = "c1355"; beta_pct = 10; single_bb_uw = 0.33; ilp_c2 = Some 30.30; ilp_c3 = Some 33.33; heur_c2 = 27.27; heur_c3 = 30.30; constraints = 72 };
+    { name = "c3540"; beta_pct = 5; single_bb_uw = 0.42; ilp_c2 = Some 23.08; ilp_c3 = Some 23.08; heur_c2 = 11.54; heur_c3 = 19.23; constraints = 31 };
+    { name = "c3540"; beta_pct = 10; single_bb_uw = 0.82; ilp_c2 = Some 40.82; ilp_c3 = Some 44.90; heur_c2 = 30.61; heur_c3 = 34.69; constraints = 70 };
+    { name = "c5315"; beta_pct = 5; single_bb_uw = 0.26; ilp_c2 = Some 21.43; ilp_c3 = Some 21.43; heur_c2 = 16.67; heur_c3 = 16.67; constraints = 11 };
+    { name = "c5315"; beta_pct = 10; single_bb_uw = 0.49; ilp_c2 = Some 46.34; ilp_c3 = Some 47.56; heur_c2 = 31.71; heur_c3 = 36.59; constraints = 33 };
+    { name = "c7552"; beta_pct = 5; single_bb_uw = 0.63; ilp_c2 = Some 19.05; ilp_c3 = Some 20.63; heur_c2 = 17.46; heur_c3 = 17.46; constraints = 5 };
+    { name = "c7552"; beta_pct = 10; single_bb_uw = 1.23; ilp_c2 = Some 44.72; ilp_c3 = Some 47.15; heur_c2 = 30.89; heur_c3 = 36.59; constraints = 11 };
+    { name = "adder_128bits"; beta_pct = 5; single_bb_uw = 1.43; ilp_c2 = Some 26.57; ilp_c3 = Some 30.07; heur_c2 = 23.08; heur_c3 = 25.17; constraints = 26 };
+    { name = "adder_128bits"; beta_pct = 10; single_bb_uw = 2.26; ilp_c2 = Some 28.76; ilp_c3 = Some 33.63; heur_c2 = 20.80; heur_c3 = 25.22; constraints = 55 };
+    { name = "c6288"; beta_pct = 5; single_bb_uw = 1.74; ilp_c2 = Some 4.60; ilp_c3 = Some 5.17; heur_c2 = 3.45; heur_c3 = 3.45; constraints = 773 };
+    { name = "c6288"; beta_pct = 10; single_bb_uw = 3.38; ilp_c2 = Some 22.78; ilp_c3 = Some 23.96; heur_c2 = 18.64; heur_c3 = 18.64; constraints = 810 };
+    { name = "Industrial1"; beta_pct = 5; single_bb_uw = 3.07; ilp_c2 = Some 20.85; ilp_c3 = Some 24.76; heur_c2 = 16.94; heur_c3 = 18.57; constraints = 136 };
+    { name = "Industrial1"; beta_pct = 10; single_bb_uw = 6.13; ilp_c2 = Some 33.77; ilp_c3 = Some 36.22; heur_c2 = 22.51; heur_c3 = 24.63; constraints = 237 };
+    { name = "Industrial2"; beta_pct = 5; single_bb_uw = 5.83; ilp_c2 = None; ilp_c3 = None; heur_c2 = 8.58; heur_c3 = 8.58; constraints = 489 };
+    { name = "Industrial2"; beta_pct = 10; single_bb_uw = 11.36; ilp_c2 = None; ilp_c3 = None; heur_c2 = 24.74; heur_c3 = 24.74; constraints = 1502 };
+    { name = "Industrial3"; beta_pct = 5; single_bb_uw = 12.25; ilp_c2 = None; ilp_c3 = None; heur_c2 = 15.67; heur_c3 = 16.41; constraints = 1012 };
+    { name = "Industrial3"; beta_pct = 10; single_bb_uw = 23.88; ilp_c2 = None; ilp_c3 = None; heur_c2 = 25.21; heur_c3 = 25.21; constraints = 2867 };
+  ]
+
+let find name beta_pct =
+  List.find (fun r -> r.name = name && r.beta_pct = beta_pct) table1
+
+(* Section 5 text claims reproduced by the other experiments. *)
+let c5315_sweep_c2_to_c11_gain_pct = 2.56
+let max_savings_beta5_pct = 30.0
+let max_savings_beta10_pct = 47.6
+let well_separation_bound_pct = 5.0
+let utilization_increase_bound_pct = 6.0
+let fig1_speedup_pct = 21.0
+let fig1_leak_increase = 12.74

@@ -1,0 +1,372 @@
+(* fbbopt: command-line driver for the physically clustered FBB flow.
+
+   Subcommands:
+     list          - the built-in benchmark suite
+     characterize  - device/bias sweep (Figure 1 data)
+     optimize      - run the clustering optimizer on a benchmark or a
+                     .bench netlist and report leakage savings
+     tune          - closed-loop post-silicon tuning simulation *)
+
+open Cmdliner
+
+let ( let* ) r f = Result.bind r f
+
+(* ----- shared arguments ----------------------------------------------- *)
+
+let design_arg =
+  let doc = "Built-in benchmark name (see $(b,fbbopt list))." in
+  Arg.(value & opt (some string) None & info [ "d"; "design" ] ~docv:"NAME" ~doc)
+
+let bench_file_arg =
+  let doc =
+    "Read the circuit from an ISCAS-style .bench file, or structural \
+     Verilog when the name ends in .v."
+  in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let beta_arg =
+  let doc = "Slowdown coefficient in percent (the paper's beta)." in
+  Arg.(value & opt float 5.0 & info [ "b"; "beta" ] ~docv:"PCT" ~doc)
+
+let clusters_arg =
+  let doc = "Cluster budget C (distinct bias levels incl. NBB)." in
+  Arg.(value & opt int 2 & info [ "C"; "clusters" ] ~docv:"N" ~doc)
+
+let rows_arg =
+  let doc = "Target standard-cell row count (default: benchmark's or square)." in
+  Arg.(value & opt (some int) None & info [ "rows" ] ~docv:"N" ~doc)
+
+let ilp_arg =
+  let doc = "Also run the exact ILP (warm-started from the heuristic)." in
+  Arg.(value & flag & info [ "ilp" ] ~doc)
+
+let ilp_seconds_arg =
+  let doc = "ILP time budget in seconds." in
+  Arg.(value & opt float 60.0 & info [ "ilp-seconds" ] ~docv:"S" ~doc)
+
+let svg_arg =
+  let doc = "Write the biased layout as SVG to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+let ascii_arg =
+  let doc = "Print the row/cluster map as ASCII art." in
+  Arg.(value & flag & info [ "ascii" ] ~doc)
+
+let load_placement ~design ~file ~rows =
+  match (design, file) with
+  | Some _, Some _ -> Error "pass either --design or --file, not both"
+  | None, None -> Error "pass --design NAME or --file FILE"
+  | Some name, None -> begin
+    match Fbb_netlist.Benchmarks.find name with
+    | spec ->
+      let nl = spec.Fbb_netlist.Benchmarks.generate () in
+      let target_rows =
+        Some (Option.value rows ~default:spec.Fbb_netlist.Benchmarks.rows)
+      in
+      Ok (Fbb_place.Placement.place ?target_rows nl)
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown benchmark %s (try: %s)" name
+           (String.concat ", " Fbb_netlist.Benchmarks.names))
+  end
+  | None, Some path -> begin
+    let parse =
+      if Filename.check_suffix path ".v" then Fbb_netlist.Verilog_io.parse_file
+      else Fbb_netlist.Bench_io.parse_file
+    in
+    match parse path with
+    | nl -> Ok (Fbb_place.Placement.place ?target_rows:rows nl)
+    | exception Fbb_netlist.Bench_io.Parse_error (line, msg)
+    | exception Fbb_netlist.Verilog_io.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" path line msg)
+  end
+
+let report_placement pl =
+  Format.printf "placed: %a@." Fbb_place.Placement.pp_summary pl
+
+(* ----- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    let tab =
+      Fbb_util.Texttab.create ~headers:[ "name"; "gates"; "rows"; "ILP in paper" ]
+    in
+    List.iter
+      (fun (s : Fbb_netlist.Benchmarks.spec) ->
+        Fbb_util.Texttab.add_row tab
+          [
+            s.Fbb_netlist.Benchmarks.name;
+            string_of_int s.Fbb_netlist.Benchmarks.gates;
+            string_of_int s.Fbb_netlist.Benchmarks.rows;
+            (if s.Fbb_netlist.Benchmarks.ilp_tractable then "yes" else "no");
+          ])
+      Fbb_netlist.Benchmarks.all;
+    Fbb_util.Texttab.print tab
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark suite")
+    Term.(const run $ const ())
+
+(* ----- characterize ----------------------------------------------------- *)
+
+let characterize_cmd =
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Write the sweep as CSV.")
+  in
+  let liberty_arg =
+    Arg.(value & opt (some string) None & info [ "liberty" ] ~docv:"FILE"
+           ~doc:"Dump the characterized cell library in Liberty-flavoured \
+                 text.")
+  in
+  let run csv liberty =
+    let points = Fbb_tech.Characterize.figure1 () in
+    let tab =
+      Fbb_util.Texttab.create
+        ~headers:[ "vbs (V)"; "speedup %"; "leakage x" ]
+    in
+    Array.iter
+      (fun p ->
+        Fbb_util.Texttab.add_row tab
+          [
+            Printf.sprintf "%.2f" p.Fbb_tech.Characterize.vbs;
+            Printf.sprintf "%.2f" p.Fbb_tech.Characterize.speedup_pct;
+            Printf.sprintf "%.2f" p.Fbb_tech.Characterize.leak_factor;
+          ])
+      points;
+    Fbb_util.Texttab.print tab;
+    Option.iter
+      (fun path ->
+        Fbb_util.Csv.save (Fbb_tech.Characterize.to_csv points) ~path;
+        Printf.printf "written %s\n" path)
+      csv;
+    Option.iter
+      (fun path ->
+        Fbb_tech.Liberty.save Fbb_tech.Cell_library.default ~path;
+        Printf.printf "written %s\n" path)
+      liberty
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Delay/leakage vs body-bias sweep (Figure 1 data)")
+    Term.(const run $ csv_arg $ liberty_arg)
+
+(* ----- optimize --------------------------------------------------------- *)
+
+let optimize design file beta_pct clusters rows run_ilp ilp_seconds svg ascii =
+  let* pl = load_placement ~design ~file ~rows in
+  report_placement pl;
+  let beta = beta_pct /. 100.0 in
+  let p = Fbb_core.Problem.build ~beta pl in
+  Format.printf "problem: %a@." Fbb_core.Problem.pp_summary p;
+  match Fbb_core.Refine.heuristic ~max_clusters:clusters p with
+  | None ->
+    Error
+      (Printf.sprintf
+         "a %.1f%% slowdown cannot be compensated: max speed-up at 0.5V is \
+          %.1f%%"
+         beta_pct
+         (Fbb_tech.Device.speedup_pct Fbb_tech.Device.default ~vbs:0.5))
+  | Some o ->
+    let p = o.Fbb_core.Refine.problem in
+    let jopt = Option.get (Fbb_core.Heuristic.pass_one p) in
+    let single_bb_nw =
+      Fbb_core.Solution.leakage_nw p (Fbb_core.Solution.uniform p jopt)
+    in
+    let heur_levels = o.Fbb_core.Refine.levels in
+    let heur_nw = Fbb_core.Solution.leakage_nw p heur_levels in
+    Printf.printf "Single BB baseline: vbs=%.2fV leakage %.3f uW\n"
+      (Fbb_tech.Bias.voltage jopt)
+      (single_bb_nw /. 1000.0);
+    Printf.printf
+      "heuristic (C=%d): leakage %.3f uW, savings %.2f%%, clusters %s \
+       (signoff %s, %d refinement iteration(s))\n"
+      clusters (heur_nw /. 1000.0)
+      (Fbb_util.Stats.ratio_pct single_bb_nw heur_nw)
+      (String.concat "/"
+         (List.map
+            (fun l -> Printf.sprintf "%.2fV" (Fbb_tech.Bias.voltage l))
+            (Fbb_core.Solution.clusters_used heur_levels)))
+      (if o.Fbb_core.Refine.signoff_clean then "clean" else "NOT CLEAN")
+      o.Fbb_core.Refine.iterations;
+    let final_levels = ref heur_levels in
+    if run_ilp then begin
+      let config =
+        {
+          Fbb_core.Ilp_opt.default_config with
+          max_clusters = clusters;
+          limits =
+            { Fbb_ilp.Branch_bound.max_nodes = 2_000_000;
+              max_seconds = ilp_seconds };
+        }
+      in
+      let r =
+        Fbb_core.Ilp_opt.optimize ~config ~warm_start:heur_levels p
+      in
+      match (r.Fbb_core.Ilp_opt.levels, r.Fbb_core.Ilp_opt.leakage_nw) with
+      | Some levels, Some leak ->
+        Printf.printf
+          "ILP (C=%d): leakage %.3f uW, savings %.2f%%%s (%d nodes, %.1fs)\n"
+          clusters (leak /. 1000.0)
+          (Fbb_util.Stats.ratio_pct single_bb_nw leak)
+          (if r.Fbb_core.Ilp_opt.proved_optimal then " [optimal]"
+           else " [budget hit - best incumbent]")
+          r.Fbb_core.Ilp_opt.nodes r.Fbb_core.Ilp_opt.elapsed_s;
+        if r.Fbb_core.Ilp_opt.proved_optimal then final_levels := levels
+      | _, _ -> Printf.printf "ILP: no solution within budget\n"
+    end;
+    let levels = !final_levels in
+    let area = Fbb_layout.Area.of_assignment pl ~levels in
+    let rails = Fbb_layout.Bias_rails.insert pl ~levels in
+    Printf.printf
+      "layout: %d rail pair(s), well-separation overhead %.2f%%, max row \
+       utilization increase %.2f%%\n"
+      rails.Fbb_layout.Bias_rails.bias_pairs area.Fbb_layout.Area.overhead_pct
+      (100.0 *. rails.Fbb_layout.Bias_rails.max_utilization_increase);
+    if ascii then print_string (Fbb_layout.Render.ascii pl ~levels);
+    Option.iter
+      (fun path ->
+        Fbb_layout.Render.save_svg ~path pl ~levels;
+        Printf.printf "svg written to %s\n" path)
+      svg;
+    Ok ()
+
+let optimize_cmd =
+  let run d f b c r i s svg ascii =
+    match optimize d f b c r i s svg ascii with
+    | Ok () -> `Ok ()
+    | Error m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Row-clustered FBB allocation for a given slowdown coefficient")
+    Term.(
+      ret
+        (const run $ design_arg $ bench_file_arg $ beta_arg $ clusters_arg
+        $ rows_arg $ ilp_arg $ ilp_seconds_arg $ svg_arg $ ascii_arg))
+
+(* ----- tune ------------------------------------------------------------- *)
+
+let tune design file rows condition magnitude seed guardband =
+  let* pl = load_placement ~design ~file ~rows in
+  report_placement pl;
+  let rng = Fbb_util.Rng.create ~seed in
+  let* derate =
+    match condition with
+    | "slowdown" -> Ok (Fbb_variation.Models.uniform (magnitude /. 100.0))
+    | "temperature" ->
+      Ok (fun g -> Fbb_variation.Models.temperature_derate magnitude *. Fbb_variation.Models.uniform 0.0 g)
+    | "aging" -> Ok (fun _ -> Fbb_variation.Models.nbti_aging_derate magnitude)
+    | "process" ->
+      Ok
+        (Fbb_variation.Models.combine
+           [
+             Fbb_variation.Models.spatially_correlated rng
+               ~sigma:(magnitude /. 100.0) pl;
+             Fbb_variation.Models.uniform (magnitude /. 200.0);
+           ])
+    | c ->
+      Error
+        (Printf.sprintf
+           "unknown condition %s (slowdown|temperature|aging|process)" c)
+  in
+  let o = Fbb_variation.Tuning.compensate ~guardband pl ~derate in
+  Printf.printf "sensor: %d alarm(s), measured slowdown %.2f%% (raw %.2f%%)\n"
+    o.Fbb_variation.Tuning.alarms_before
+    (o.Fbb_variation.Tuning.measured_beta *. 100.0)
+    (o.Fbb_variation.Tuning.raw_beta *. 100.0);
+  Printf.printf "timing: nominal %.1f ps, degraded %.1f ps, compensated %.1f ps\n"
+    o.Fbb_variation.Tuning.dcrit_nominal o.Fbb_variation.Tuning.dcrit_degraded
+    o.Fbb_variation.Tuning.dcrit_compensated;
+  Printf.printf "leakage: %.3f uW (nominal %.3f uW)\n"
+    (o.Fbb_variation.Tuning.leakage_nw /. 1000.0)
+    (o.Fbb_variation.Tuning.nominal_leakage_nw /. 1000.0);
+  Printf.printf "timing closed: %b\n" o.Fbb_variation.Tuning.timing_closed;
+  if o.Fbb_variation.Tuning.timing_closed then Ok ()
+  else Error "compensation failed to close timing"
+
+let tune_cmd =
+  let condition_arg =
+    Arg.(value & opt string "slowdown"
+           & info [ "condition" ] ~docv:"KIND"
+               ~doc:"slowdown | temperature | aging | process")
+  in
+  let magnitude_arg =
+    Arg.(value & opt float 8.0
+           & info [ "magnitude" ] ~docv:"X"
+               ~doc:"percent slowdown, deg C, years, or sigma%% depending on \
+                     condition")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed")
+  in
+  let guardband_arg =
+    Arg.(value & opt float 0.15
+           & info [ "guardband" ] ~docv:"F" ~doc:"sensor guardband fraction")
+  in
+  let run d f r c m s g =
+    match tune d f r c m s g with
+    | Ok () -> `Ok ()
+    | Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Closed-loop post-silicon tuning simulation")
+    Term.(
+      ret
+        (const run $ design_arg $ bench_file_arg $ rows_arg $ condition_arg
+        $ magnitude_arg $ seed_arg $ guardband_arg))
+
+(* ----- recover ----------------------------------------------------------- *)
+
+let recover design file rows margin clusters =
+  let* pl = load_placement ~design ~file ~rows in
+  report_placement pl;
+  let t = Fbb_core.Recovery.build ~margin:(margin /. 100.0) pl in
+  let r = Fbb_core.Recovery.optimize ~max_clusters:clusters t in
+  Printf.printf
+    "timing budget: %.1f ps (margin %.1f%%)\n" t.Fbb_core.Recovery.budget_ps
+    margin;
+  Printf.printf
+    "leakage: %.3f uW nominal -> %.3f uW with RBB (%.1f%% recovered)\n"
+    (r.Fbb_core.Recovery.nominal_leakage_nw /. 1000.0)
+    (r.Fbb_core.Recovery.recovered_leakage_nw /. 1000.0)
+    r.Fbb_core.Recovery.savings_pct;
+  Printf.printf "clusters: %s (signoff %s)\n"
+    (String.concat "/"
+       (List.map
+          (fun l ->
+            Printf.sprintf "%.2fV" t.Fbb_core.Recovery.levels.(l))
+          (Fbb_core.Solution.clusters_used r.Fbb_core.Recovery.levels)))
+    (if r.Fbb_core.Recovery.signoff_clean then "clean" else "NOT CLEAN");
+  Ok ()
+
+let recover_cmd =
+  let margin_arg =
+    Arg.(value & opt float 5.0
+           & info [ "margin" ] ~docv:"PCT"
+               ~doc:"Timing margin over the critical delay to spend on RBB.")
+  in
+  let run d f r m c =
+    match recover d f r m c with
+    | Ok () -> `Ok ()
+    | Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Active leakage recovery with row-level reverse body bias")
+    Term.(
+      ret
+        (const run $ design_arg $ bench_file_arg $ rows_arg $ margin_arg
+        $ clusters_arg))
+
+(* ----- main ------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "fbbopt" ~version:"1.0.0"
+      ~doc:"Physically clustered forward body biasing (DATE'09 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; characterize_cmd; optimize_cmd; tune_cmd; recover_cmd ]))

@@ -1,0 +1,46 @@
+(** The paper's two-pass linear-time clustering heuristic (section 4.3).
+
+    PassOne sweeps the bias levels upward and returns the smallest single
+    voltage [jopt] that meets timing everywhere — this is also the
+    block-level "Single BB" baseline of Table 1.
+
+    PassTwo ranks rows by timing criticality
+    [ct_i = sum_k Q_ik / slack_k] (cells of row i on path k, weighted by
+    the path's nominal slack) and cascades: starting with every row at
+    [jopt], rows are dropped one level at a time in increasing-criticality
+    order; the first row whose drop breaks timing is reverted and locked
+    together with all more-critical unlocked rows as a cluster at the
+    current level, and the remaining rows keep sinking level by level.
+
+    The paper's pseudocode is ambiguous about how a mid-round failure
+    interacts with the cluster budget C, and taken literally the cascade
+    converges to the uniform [jopt] assignment whenever the feasibility
+    margin at [jopt] is thinner than one generator step. We therefore run
+    the descent from every feasible uniform start, and additionally from
+    every "covering" start (the dual greedy: all rows at NBB, the most
+    critical raised to one level until timing is met - the shape the exact
+    optimum takes). Each candidate is brought within the cluster budget by
+    a merge phase - while more than C levels are in use, the adjacent
+    cluster pair whose merge (raising the lower cluster, which can only
+    help timing) costs the least leakage is merged - and the cheapest
+    candidate wins. Every ingredient is linear-time per level, preserving
+    the paper's O(P*N) spirit; see DESIGN.md for the fidelity note. *)
+
+type result = {
+  jopt : int;  (** PassOne level — the Single BB baseline *)
+  levels : int array;  (** final assignment *)
+  clusters : int;
+  leakage_nw : float;
+  single_bb_leakage_nw : float;  (** leakage with every row at [jopt] *)
+  savings_pct : float;  (** of [levels] vs the Single BB baseline *)
+}
+
+val pass_one : Problem.t -> int option
+(** [None] when even the highest bias level cannot meet timing. *)
+
+val criticality : Problem.t -> float array
+(** Per-row ranking coefficient [ct_i]; higher is more critical. *)
+
+val optimize : ?max_clusters:int -> Problem.t -> result option
+(** Full two-pass run; [max_clusters] is the paper's C (default 2).
+    [None] exactly when {!pass_one} fails. *)

@@ -1,0 +1,367 @@
+module S = Fbb_lp.Simplex
+module BB = Fbb_ilp.Branch_bound
+
+type strategy = Monolithic | Enumerate
+
+type config = {
+  max_clusters : int;
+  limits : BB.limits;
+  reduce : bool;
+  strategy : strategy;
+}
+
+let default_config =
+  {
+    max_clusters = 2;
+    limits = BB.default_limits;
+    reduce = true;
+    strategy = Enumerate;
+  }
+
+type result = {
+  levels : int array option;
+  leakage_nw : float option;
+  proved_optimal : bool;
+  timed_out : bool;
+  nodes : int;
+  elapsed_s : float;
+  constraints_total : int;
+  constraints_solved : int;
+}
+
+(* Timing constraint k is implied by k' when k' requires at least as much
+   reduction while every row offers it at most as much raw delay: any x
+   satisfying k' then satisfies k. Dropping implied constraints is
+   lossless. *)
+let reduce_paths p =
+  let m = Problem.num_paths p in
+  let delay_in k =
+    let tbl = Hashtbl.create 8 in
+    Array.iter (fun (r, d) -> Hashtbl.replace tbl r d) p.Problem.path_rows.(k);
+    tbl
+  in
+  let tables = Array.init m delay_in in
+  let order = Array.init m (fun k -> k) in
+  Array.sort
+    (fun a b -> compare p.Problem.required.(b) p.Problem.required.(a))
+    order;
+  let kept = ref [] in
+  Array.iter
+    (fun k ->
+      let tk = tables.(k) in
+      let implied =
+        (* k' implies k when req(k') >= req(k) — guaranteed by the sort
+           order — and k offers at least k's raw delay in every row of
+           k''s support. *)
+        List.exists
+          (fun k' ->
+            Array.for_all
+              (fun (r, d') ->
+                match Hashtbl.find_opt tk r with
+                | Some d -> d >= d' -. 1e-9
+                | None -> false)
+              p.Problem.path_rows.(k'))
+          !kept
+      in
+      if not implied then kept := k :: !kept)
+    order;
+  List.rev !kept
+
+let formulate ?(reduce = true) ~max_clusters p =
+  let nrows = Problem.num_rows p in
+  let nlev = Problem.num_levels p in
+  let x i j = (i * nlev) + j in
+  let y j = (nrows * nlev) + j in
+  let num_vars = (nrows * nlev) + nlev in
+  let minimize = Array.make num_vars 0.0 in
+  for i = 0 to nrows - 1 do
+    for j = 0 to nlev - 1 do
+      minimize.(x i j) <- p.Problem.row_leak.(i).(j)
+    done
+  done;
+  let kept =
+    if reduce then reduce_paths p
+    else List.init (Problem.num_paths p) (fun k -> k)
+  in
+  let timing =
+    List.map
+      (fun k ->
+        let terms =
+          Array.to_list p.Problem.path_rows.(k)
+          |> List.concat_map (fun (r, d) ->
+                 List.filter_map
+                   (fun j ->
+                     let a = d *. p.Problem.reduction.(j) in
+                     if a > 0.0 then Some (x r j, a) else None)
+                   (List.init nlev (fun j -> j)))
+        in
+        { S.terms; relation = S.Ge; rhs = p.Problem.required.(k) })
+      kept
+  in
+  let assignment =
+    List.init nrows (fun i ->
+        {
+          S.terms = List.init nlev (fun j -> (x i j, 1.0));
+          relation = S.Eq;
+          rhs = 1.0;
+        })
+  in
+  let big_f = float_of_int nrows in
+  let linking =
+    List.init nlev (fun j ->
+        {
+          S.terms = (y j, -.big_f) :: List.init nrows (fun i -> (x i j, 1.0));
+          relation = S.Le;
+          rhs = 0.0;
+        })
+  in
+  let budget =
+    [
+      {
+        S.terms = List.init nlev (fun j -> (y j, 1.0));
+        relation = S.Le;
+        rhs = float_of_int max_clusters;
+      };
+    ]
+  in
+  let y_bounds =
+    List.init nlev (fun j ->
+        { S.terms = [ (y j, 1.0) ]; relation = S.Le; rhs = 1.0 })
+  in
+  {
+    BB.num_vars;
+    minimize;
+    constraints = timing @ assignment @ linking @ budget @ y_bounds;
+  }
+
+let warm_vector p ~max_clusters levels =
+  if
+    Solution.cluster_count levels <= max_clusters
+    && Solution.meets_timing p levels
+  then begin
+    let nrows = Problem.num_rows p in
+    let nlev = Problem.num_levels p in
+    let v = Array.make ((nrows * nlev) + nlev) 0.0 in
+    Array.iteri (fun i j -> v.((i * nlev) + j) <- 1.0) levels;
+    List.iter
+      (fun j -> v.((nrows * nlev) + j) <- 1.0)
+      (Solution.clusters_used levels);
+    Some v
+  end
+  else None
+
+let optimize_monolithic config ?warm_start p ~kept =
+  let problem =
+    formulate ~reduce:config.reduce ~max_clusters:config.max_clusters p
+  in
+  let incumbent =
+    Option.bind warm_start (warm_vector p ~max_clusters:config.max_clusters)
+  in
+  let r = BB.solve ~limits:config.limits ?incumbent problem in
+  let nrows = Problem.num_rows p in
+  let nlev = Problem.num_levels p in
+  let decode (x, _) =
+    Array.init nrows (fun i ->
+        let best = ref 0 in
+        for j = 1 to nlev - 1 do
+          if x.((i * nlev) + j) > x.((i * nlev) + !best) then best := j
+        done;
+        !best)
+  in
+  let levels = Option.map decode r.BB.best in
+  {
+    levels;
+    leakage_nw = Option.map (fun l -> Solution.leakage_nw p l) levels;
+    proved_optimal = r.BB.status = BB.Proved_optimal;
+    timed_out =
+      (match r.BB.status with
+      | BB.Feasible | BB.Limit_reached -> true
+      | BB.Proved_optimal | BB.Proved_infeasible -> false);
+    nodes = r.BB.nodes;
+    elapsed_s = r.BB.elapsed_s;
+    constraints_total = Problem.num_paths p;
+    constraints_solved = kept;
+  }
+
+(* All ascending level subsets of the given size. *)
+let subsets_of_size levels_n size =
+  let rec go start size =
+    if size = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun first ->
+          List.map (fun rest -> first :: rest) (go (first + 1) (size - 1)))
+        (List.init (levels_n - start) (fun k -> start + k))
+  in
+  go 0 size
+
+(* Restricted problem: every row picks a level from [subset] (an ascending
+   int list). Variables are row-major over the subset's positions. *)
+let formulate_subset p ~kept ~subset =
+  let nrows = Problem.num_rows p in
+  let s = Array.of_list subset in
+  let ns = Array.length s in
+  let x i q = (i * ns) + q in
+  let minimize = Array.make (nrows * ns) 0.0 in
+  for i = 0 to nrows - 1 do
+    for q = 0 to ns - 1 do
+      minimize.(x i q) <- p.Problem.row_leak.(i).(s.(q))
+    done
+  done;
+  let timing =
+    List.map
+      (fun k ->
+        let terms =
+          Array.to_list p.Problem.path_rows.(k)
+          |> List.concat_map (fun (r, d) ->
+                 List.filter_map
+                   (fun q ->
+                     let a = d *. p.Problem.reduction.(s.(q)) in
+                     if a > 0.0 then Some (x r q, a) else None)
+                   (List.init ns (fun q -> q)))
+        in
+        { S.terms; relation = S.Ge; rhs = p.Problem.required.(k) })
+      kept
+  in
+  let assignment =
+    List.init nrows (fun i ->
+        {
+          S.terms = List.init ns (fun q -> (x i q, 1.0));
+          relation = S.Eq;
+          rhs = 1.0;
+        })
+  in
+  ({ BB.num_vars = nrows * ns; minimize; constraints = timing @ assignment }, s)
+
+(* Project a full assignment into the subset: each row rounds its level up
+   to the next subset member (preserving feasibility since higher levels
+   reduce at least as much), or the subset maximum. *)
+let project_levels subset levels =
+  let s = Array.of_list subset in
+  Array.map
+    (fun l ->
+      let q = ref (Array.length s - 1) in
+      for k = Array.length s - 1 downto 0 do
+        if s.(k) >= l then q := k
+      done;
+      !q)
+    levels
+
+let optimize_enumerate config ?warm_start p ~kept =
+  let start = Unix.gettimeofday () in
+  let nrows = Problem.num_rows p in
+  let best = ref None in
+  (match warm_start with
+  | Some levels
+    when Solution.cluster_count levels <= config.max_clusters
+         && Solution.meets_timing p levels ->
+    best := Some (Array.copy levels, Solution.leakage_nw p levels)
+  | Some _ | None -> ());
+  let jopt = Problem.max_single_level p in
+  let nodes = ref 0 in
+  (* jopt = None proves infeasibility outright: the uniform-maximum
+     assignment dominates every other one constraint-wise. *)
+  let all_proved = ref true in
+  (match jopt with
+  | None -> ()
+  | Some jopt ->
+    let floor_cost_of subset =
+      let lo = List.fold_left min max_int subset in
+      let acc = ref 0.0 in
+      for i = 0 to nrows - 1 do
+        acc := !acc +. p.Problem.row_leak.(i).(lo)
+      done;
+      !acc
+    in
+    (* Cheapest-floor subsets first: a tight incumbent found early prunes
+       most of the remaining enumeration at the floor-cost check. *)
+    let subsets =
+      subsets_of_size (Problem.num_levels p) config.max_clusters
+      |> List.filter (fun s -> List.exists (fun j -> j >= jopt) s)
+      |> List.map (fun s -> (floor_cost_of s, s))
+      |> List.sort compare
+      |> List.map snd
+    in
+    List.iter
+      (fun subset ->
+        let elapsed = Unix.gettimeofday () -. start in
+        let remaining = config.limits.BB.max_seconds -. elapsed in
+        if remaining <= 0.0 then all_proved := false
+        else begin
+          (* Cheap bound: even with every row at its cheapest subset level
+             the incumbent must be beatable. *)
+          let floor_cost = floor_cost_of subset in
+          let beatable =
+            match !best with
+            | Some (_, b) -> floor_cost < b -. 1e-9
+            | None -> true
+          in
+          if beatable then begin
+            let problem, s = formulate_subset p ~kept ~subset in
+            let incumbent =
+              match warm_start with
+              | Some levels when Solution.meets_timing p levels ->
+                let proj = project_levels subset levels in
+                let v = Array.make problem.BB.num_vars 0.0 in
+                Array.iteri
+                  (fun i q -> v.((i * Array.length s) + q) <- 1.0)
+                  proj;
+                let ok =
+                  let lv = Array.map (fun q -> s.(q)) proj in
+                  Solution.meets_timing p lv
+                in
+                if ok then Some v else None
+              | Some _ | None -> None
+            in
+            let cutoff = Option.map snd !best in
+            let limits =
+              {
+                BB.max_nodes = config.limits.BB.max_nodes;
+                max_seconds = remaining;
+              }
+            in
+            let r = BB.solve ~limits ?incumbent ?cutoff problem in
+            nodes := !nodes + r.BB.nodes;
+            (match r.BB.status with
+            | BB.Proved_optimal | BB.Proved_infeasible -> ()
+            | BB.Feasible | BB.Limit_reached -> all_proved := false);
+            match r.BB.best with
+            | Some (x, obj) -> begin
+              let levels =
+                Array.init nrows (fun i ->
+                    let bestq = ref 0 in
+                    for q = 1 to Array.length s - 1 do
+                      if x.((i * Array.length s) + q)
+                         > x.((i * Array.length s) + !bestq)
+                      then bestq := q
+                    done;
+                    s.(!bestq))
+              in
+              match !best with
+              | Some (_, b) when obj >= b -. 1e-9 -> ()
+              | Some _ | None -> best := Some (levels, obj)
+            end
+            | None -> ()
+          end
+        end)
+      subsets);
+  let levels = Option.map fst !best in
+  {
+    levels;
+    leakage_nw = Option.map snd !best;
+    proved_optimal = !all_proved;
+    timed_out = not !all_proved;
+    nodes = !nodes;
+    elapsed_s = Unix.gettimeofday () -. start;
+    constraints_total = Problem.num_paths p;
+    constraints_solved = List.length kept;
+  }
+
+let optimize ?(config = default_config) ?warm_start p =
+  let kept =
+    if config.reduce then reduce_paths p
+    else List.init (Problem.num_paths p) (fun k -> k)
+  in
+  match config.strategy with
+  | Monolithic -> optimize_monolithic config ?warm_start p ~kept:(List.length kept)
+  | Enumerate -> optimize_enumerate config ?warm_start p ~kept

@@ -1,0 +1,175 @@
+module Placement = Fbb_place.Placement
+module Timing = Fbb_sta.Timing
+module Paths = Fbb_sta.Paths
+module Device = Fbb_tech.Device
+module CL = Fbb_tech.Cell_library
+
+type t = {
+  placement : Placement.t;
+  analysis : Timing.t;
+  beta : float;
+  dcrit : float;
+  levels : float array;
+  reduction : float array;
+  row_leak : float array array;
+  paths : Paths.path array;
+  required : float array;
+  path_rows : (int * float) array array;
+  row_paths : (int * float) array array;
+  nominal_slack : float array;
+}
+
+let num_rows t = Placement.num_rows t.placement
+let num_levels t = Array.length t.levels
+let num_paths t = Array.length t.paths
+
+(* All per-path tables are derived from the nominal analysis: a path's
+   degraded delay is its nominal delay times (1 + beta), and forward bias
+   scales every gate delay by the same level-dependent factor. *)
+let assemble ~placement ~analysis ~beta ~levels paths =
+  let nl = Placement.netlist placement in
+  let lib = Fbb_netlist.Netlist.library nl in
+  let device = CL.device lib in
+  let dcrit = Timing.dcrit analysis in
+  let nrows = Placement.num_rows placement in
+  let reduction =
+    Array.map (fun vbs -> 1.0 -. Device.delay_factor device ~vbs) levels
+  in
+  let row_leak =
+    Array.init nrows (fun r ->
+        let gates = Placement.row_gates placement r in
+        Array.map
+          (fun vbs ->
+            Array.fold_left
+              (fun acc g ->
+                acc +. CL.leakage_nw lib (Fbb_netlist.Netlist.cell nl g) ~vbs)
+              0.0 gates)
+          levels)
+  in
+  let required =
+    Array.map (fun p -> (p.Paths.delay *. (1.0 +. beta)) -. dcrit) paths
+  in
+  let nominal_slack = Array.map (fun p -> dcrit -. p.Paths.delay) paths in
+  let path_rows =
+    Array.map
+      (fun p ->
+        let per_row = Hashtbl.create 16 in
+        Array.iter
+          (fun g ->
+            let r = Placement.row_of placement g in
+            if r >= 0 then begin
+              let d = Timing.gate_delay analysis g *. (1.0 +. beta) in
+              Hashtbl.replace per_row r
+                (d +. Option.value ~default:0.0 (Hashtbl.find_opt per_row r))
+            end)
+          p.Paths.gates;
+        Hashtbl.fold (fun r d acc -> (r, d) :: acc) per_row []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> Array.of_list)
+      paths
+  in
+  let row_paths =
+    let acc = Array.make nrows [] in
+    Array.iteri
+      (fun k rows ->
+        Array.iter (fun (r, d) -> acc.(r) <- (k, d) :: acc.(r)) rows)
+      path_rows;
+    Array.map (fun l -> Array.of_list (List.rev l)) acc
+  in
+  {
+    placement;
+    analysis;
+    beta;
+    dcrit;
+    levels;
+    reduction;
+    row_leak;
+    paths;
+    required;
+    path_rows;
+    row_paths;
+    nominal_slack;
+  }
+
+let build ?levels ~beta placement =
+  let levels =
+    match levels with Some l -> l | None -> Fbb_tech.Bias.levels ()
+  in
+  if Array.length levels = 0 || levels.(0) <> 0.0 then
+    invalid_arg "Problem.build: levels must start at 0 (no body bias)";
+  let analysis = Timing.analyze (Placement.netlist placement) in
+  let paths = Paths.violating analysis ~beta in
+  assemble ~placement ~analysis ~beta ~levels paths
+
+let extend t extra =
+  let seen = Hashtbl.create (Array.length t.paths * 2) in
+  Array.iter (fun p -> Hashtbl.replace seen p.Paths.gates ()) t.paths;
+  let fresh =
+    Array.to_list extra
+    |> List.filter_map (fun p ->
+           if Hashtbl.mem seen p.Paths.gates then None
+           else begin
+             Hashtbl.replace seen p.Paths.gates ();
+             (* Recompute the delay under the nominal analysis: callers may
+                hand us paths measured under bias. *)
+             let delay = Paths.delay_of t.analysis p.Paths.gates in
+             if delay *. (1.0 +. t.beta) > t.dcrit +. 1e-9 then
+               Some { Paths.gates = p.Paths.gates; delay }
+             else None
+           end)
+  in
+  if fresh = [] then t
+  else
+    assemble ~placement:t.placement ~analysis:t.analysis ~beta:t.beta
+      ~levels:t.levels
+      (Array.append t.paths (Array.of_list fresh))
+
+let coefficient t ~path ~row ~level =
+  let rows = t.path_rows.(path) in
+  let rec find lo hi =
+    if lo > hi then 0.0
+    else
+      let mid = (lo + hi) / 2 in
+      let r, d = rows.(mid) in
+      if r = row then d *. t.reduction.(level)
+      else if r < row then find (mid + 1) hi
+      else find lo (mid - 1)
+  in
+  find 0 (Array.length rows - 1)
+
+let achieved t ~levels ~path =
+  Array.fold_left
+    (fun acc (r, d) -> acc +. (d *. t.reduction.(levels.(r))))
+    0.0 t.path_rows.(path)
+
+let timing_eps = 1e-9
+
+let max_single_level t =
+  let nrows = num_rows t in
+  let feasible j =
+    let levels = Array.make nrows j in
+    let ok = ref true in
+    Array.iteri
+      (fun k req ->
+        if achieved t ~levels ~path:k < req -. timing_eps then ok := false)
+      t.required;
+    !ok
+  in
+  let rec search j =
+    if j >= num_levels t then None
+    else if feasible j then Some j
+    else search (j + 1)
+  in
+  search 0
+
+let row_leakage t ~row ~level = t.row_leak.(row).(level)
+
+let total_leakage t ~levels =
+  let acc = ref 0.0 in
+  Array.iteri (fun r j -> acc := !acc +. t.row_leak.(r).(j)) levels;
+  !acc
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "beta=%.0f%% dcrit=%.1fps rows=%d levels=%d constraints=%d"
+    (t.beta *. 100.0) t.dcrit (num_rows t) (num_levels t) (num_paths t)

@@ -1,0 +1,67 @@
+(** The row-clustering FBB allocation problem (paper section 4.1).
+
+    Pre-processing a placed design against a slowdown coefficient [beta]
+    produces everything both optimizers consume:
+
+    - the critical path set Pi — the pruned per-cell longest paths whose
+      degraded delay [pd * (1 + beta)] exceeds [Dcrit];
+    - per path the required delay reduction [b_k = pd*(1+beta) - Dcrit];
+    - per (row, path) the total degraded delay of the path's cells in that
+      row, from which the paper's coefficients follow as
+      [a(i,j,k) = path_row_delay(k,i) * reduction(j)] — forward body bias
+      scales every gate delay by the same level-dependent factor;
+    - per (row, level) the row leakage [L(i,j)].
+
+    Levels index the bias generator's voltages ({!Fbb_tech.Bias}), level 0
+    being no body bias. *)
+
+type t = {
+  placement : Fbb_place.Placement.t;
+  analysis : Fbb_sta.Timing.t;  (** the nominal STA the tables came from *)
+  beta : float;
+  dcrit : float;  (** timing spec: nominal critical delay, ps *)
+  levels : float array;  (** generator voltages, ascending, [levels.(0) = 0] *)
+  reduction : float array;
+      (** per level: fractional delay reduction [1 - delay_factor] *)
+  row_leak : float array array;  (** [row_leak.(i).(j)]: leakage in nW *)
+  paths : Fbb_sta.Paths.path array;  (** the violating set Pi *)
+  required : float array;  (** [b_k] in ps, positive *)
+  path_rows : (int * float) array array;
+      (** per path: (row, degraded delay of the path's cells there) *)
+  row_paths : (int * float) array array;  (** transpose of [path_rows] *)
+  nominal_slack : float array;  (** per path: [dcrit - pd], ps *)
+}
+
+val build : ?levels:float array -> beta:float -> Fbb_place.Placement.t -> t
+(** Runs nominal STA, extracts and prunes the path set, and assembles all
+    coefficient tables. [levels] defaults to the 11 generator voltages. *)
+
+val num_rows : t -> int
+val num_levels : t -> int
+val num_paths : t -> int
+(** [num_paths] is the paper's "No.Constr" — the timing constraints in the
+    optimization. *)
+
+val coefficient : t -> path:int -> row:int -> level:int -> float
+(** [a(i,j,k)]: delay reduction (ps) of path [k] when row [i] is biased at
+    [level]. Zero when the path has no cells in the row. *)
+
+val achieved : t -> levels:int array -> path:int -> float
+(** Total reduction of a path under a full row assignment. *)
+
+val max_single_level : t -> int option
+(** Smallest level that, applied to every row, meets all constraints;
+    [None] when even the highest level cannot compensate the slowdown. *)
+
+val extend : t -> Fbb_sta.Paths.path array -> t
+(** Add timing constraints for further paths (gate sequences); their
+    delays and coefficient tables are recomputed from the problem's own
+    nominal analysis, and paths already present (or not violating under
+    [beta]) are dropped. Used by the {!Refine} loop when signoff finds a
+    violating path outside the original per-cell longest set. *)
+
+val row_leakage : t -> row:int -> level:int -> float
+val total_leakage : t -> levels:int array -> float
+(** Design leakage (nW) under a row assignment. *)
+
+val pp_summary : Format.formatter -> t -> unit

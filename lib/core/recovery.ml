@@ -1,0 +1,302 @@
+module Placement = Fbb_place.Placement
+module Timing = Fbb_sta.Timing
+module Paths = Fbb_sta.Paths
+module Device = Fbb_tech.Device
+module CL = Fbb_tech.Cell_library
+
+type t = {
+  placement : Placement.t;
+  budget_ps : float;
+  levels : float array;
+  slack : float array;
+  path_rows : (int * float) array array;
+  row_paths : (int * float) array array;
+  row_leak : float array array;
+  stretch : float array;
+}
+
+let assemble ~placement ~analysis ~budget_ps ~levels paths =
+  let nl = Placement.netlist placement in
+  let lib = Fbb_netlist.Netlist.library nl in
+  let device = CL.device lib in
+  let nrows = Placement.num_rows placement in
+  let stretch =
+    Array.map (fun vbs -> Device.delay_factor device ~vbs -. 1.0) levels
+  in
+  let slack = Array.map (fun p -> budget_ps -. p.Paths.delay) paths in
+  let path_rows =
+    Array.map
+      (fun p ->
+        let per_row = Hashtbl.create 16 in
+        Array.iter
+          (fun g ->
+            let r = Placement.row_of placement g in
+            if r >= 0 then
+              Hashtbl.replace per_row r
+                (Timing.gate_delay analysis g
+                +. Option.value ~default:0.0 (Hashtbl.find_opt per_row r)))
+          p.Paths.gates;
+        Hashtbl.fold (fun r d acc -> (r, d) :: acc) per_row []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> Array.of_list)
+      paths
+  in
+  let row_paths =
+    let acc = Array.make nrows [] in
+    Array.iteri
+      (fun k rows ->
+        Array.iter (fun (r, d) -> acc.(r) <- (k, d) :: acc.(r)) rows)
+      path_rows;
+    Array.map (fun l -> Array.of_list (List.rev l)) acc
+  in
+  let row_leak =
+    Array.init nrows (fun r ->
+        let gates = Placement.row_gates placement r in
+        Array.map
+          (fun vbs ->
+            Array.fold_left
+              (fun acc g ->
+                acc +. CL.leakage_nw lib (Fbb_netlist.Netlist.cell nl g) ~vbs)
+              0.0 gates)
+          levels)
+  in
+  { placement; budget_ps; levels; slack; path_rows; row_paths; row_leak; stretch }
+
+let build ?(margin = 0.0) placement =
+  if margin < 0.0 then invalid_arg "Recovery.build: negative margin";
+  let analysis = Timing.analyze (Placement.netlist placement) in
+  let budget_ps = Timing.dcrit analysis *. (1.0 +. margin) in
+  let levels = Fbb_tech.Bias.rbb_levels () in
+  assemble ~placement ~analysis ~budget_ps ~levels
+    (Paths.through_cell analysis)
+
+let eps = 1e-9
+
+let stretched_over t ~levels ~path =
+  Array.fold_left
+    (fun acc (r, d) -> acc +. (d *. t.stretch.(levels.(r))))
+    0.0 t.path_rows.(path)
+
+let meets_budget t levels =
+  let ok = ref true in
+  Array.iteri
+    (fun k s -> if stretched_over t ~levels ~path:k > s +. eps then ok := false)
+    t.slack;
+  !ok
+
+let leakage_nw t levels =
+  let acc = ref 0.0 in
+  Array.iteri (fun r j -> acc := !acc +. t.row_leak.(r).(j)) levels;
+  !acc
+
+(* Incremental budget checker: sigma[k] tracks each path's added delay. *)
+module Checker = struct
+  type c = {
+    t : t;
+    levels : int array;
+    sigma : float array;
+    mutable violations : int;
+  }
+
+  let create t levels0 =
+    let levels = Array.copy levels0 in
+    let sigma =
+      Array.init
+        (Array.length t.slack)
+        (fun k -> stretched_over t ~levels ~path:k)
+    in
+    let violations = ref 0 in
+    Array.iteri
+      (fun k s -> if sigma.(k) > s +. eps then incr violations)
+      t.slack;
+    { t; levels; sigma; violations = !violations }
+
+  let set c ~row ~level =
+    let old_level = c.levels.(row) in
+    if old_level <> level then begin
+      let delta = c.t.stretch.(level) -. c.t.stretch.(old_level) in
+      Array.iter
+        (fun (k, d) ->
+          let s = c.t.slack.(k) in
+          let before = c.sigma.(k) in
+          let after = before +. (d *. delta) in
+          c.sigma.(k) <- after;
+          let was_bad = before > s +. eps in
+          let is_bad = after > s +. eps in
+          if was_bad && not is_bad then c.violations <- c.violations - 1
+          else if is_bad && not was_bad then c.violations <- c.violations + 1)
+        c.t.row_paths.(row);
+      c.levels.(row) <- level
+    end
+
+  let feasible c = c.violations = 0
+  let levels c = Array.copy c.levels
+end
+
+type result = {
+  levels : int array;
+  clusters : int;
+  nominal_leakage_nw : float;
+  recovered_leakage_nw : float;
+  savings_pct : float;
+  signoff_clean : bool;
+  iterations : int;
+}
+
+(* Criticality mirror: rows whose cells sit on tight-slack paths must stay
+   near NBB; rank by the same 1/slack weighting as the FBB heuristic. *)
+let criticality t =
+  let nrows = Placement.num_rows t.placement in
+  let ct = Array.make nrows 0.0 in
+  let epsilon = Float.max 1e-6 (t.budget_ps *. 1e-3) in
+  Array.iteri
+    (fun k rows ->
+      let weight = 1.0 /. (Float.max 0.0 t.slack.(k) +. epsilon) in
+      Array.iter (fun (r, _) -> ct.(r) <- ct.(r) +. weight) rows)
+    t.path_rows;
+  ct
+
+let greedy t ~max_clusters =
+  let nrows = Placement.num_rows t.placement in
+  let nlev = Array.length t.levels in
+  let ct = criticality t in
+  let ranked = Array.init nrows (fun i -> i) in
+  Array.sort
+    (fun a b -> match compare ct.(a) ct.(b) with 0 -> compare a b | c -> c)
+    ranked;
+  (* Deepen reverse bias on the least-critical rows, one level per round,
+     locking a row at its current depth once a further step breaks the
+     budget. *)
+  let checker = Checker.create t (Array.make nrows 0) in
+  let locked = Array.make nrows false in
+  let running = ref true in
+  while !running do
+    let moved = ref false in
+    Array.iter
+      (fun r ->
+        if not locked.(r) then begin
+          let cur = checker.Checker.levels.(r) in
+          if cur >= nlev - 1 then locked.(r) <- true
+          else begin
+            Checker.set checker ~row:r ~level:(cur + 1);
+            if Checker.feasible checker then moved := true
+            else begin
+              Checker.set checker ~row:r ~level:cur;
+              locked.(r) <- true
+            end
+          end
+        end)
+      ranked;
+    if not !moved then running := false
+  done;
+  let levels = Checker.levels checker in
+  (* Merge down to the cluster budget: lowering a row's RBB depth (towards
+     NBB) can only relax timing, so merge the adjacent used-level pair
+     whose merge-to-the-shallower-level wastes the least recovery. *)
+  let rec shrink levels =
+    let used = Solution.clusters_used levels in
+    if List.length used <= max_clusters then levels
+    else begin
+      let rec adj = function
+        | a :: (b :: _ as rest) -> (a, b) :: adj rest
+        | [ _ ] | [] -> []
+      in
+      (* used is ascending; merging (shallow, deep) moves deep rows to the
+         shallow level. *)
+      let cost lo hi =
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun r l ->
+            if l = hi then
+              acc := !acc +. t.row_leak.(r).(lo) -. t.row_leak.(r).(hi))
+          levels;
+        !acc
+      in
+      let best =
+        List.fold_left
+          (fun acc (lo, hi) ->
+            let c = cost lo hi in
+            match acc with
+            | Some (_, _, c') when c' <= c -> acc
+            | Some _ | None -> Some (lo, hi, c))
+          None (adj used)
+      in
+      match best with
+      | None -> levels
+      | Some (lo, hi, _) ->
+        shrink (Array.map (fun l -> if l = hi then lo else l) levels)
+    end
+  in
+  shrink levels
+
+let signoff t levels =
+  let placement = t.placement in
+  let nl = Placement.netlist placement in
+  let bias g =
+    let r = Placement.row_of placement g in
+    if r < 0 then 0.0 else t.levels.(levels.(r))
+  in
+  let biased = Timing.analyze ~bias nl in
+  let offenders =
+    Paths.through_cell biased
+    |> Array.to_list
+    |> List.filter (fun p -> p.Paths.delay > t.budget_ps +. 1e-6)
+    |> Array.of_list
+  in
+  (Array.length offenders = 0, offenders)
+
+let optimize ?(max_clusters = 2) ?(max_iterations = 8) t0 =
+  let nrows = Placement.num_rows t0.placement in
+  let nominal = leakage_nw t0 (Array.make nrows 0) in
+  let analysis = Timing.analyze (Placement.netlist t0.placement) in
+  let base = Paths.through_cell analysis in
+  (* Refinement: the constraint set holds per-cell longest paths of the
+     NBB netlist; under non-uniform stretching another path can become the
+     budget-breaker. Fold signoff offenders back in (accumulating across
+     iterations) and retry. *)
+  let extras : (Fbb_netlist.Netlist.id array, Paths.path) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iter (fun p -> Hashtbl.replace extras p.Paths.gates p) base;
+  let rec loop t iterations =
+    let levels = greedy t ~max_clusters in
+    let clean, offenders = signoff t levels in
+    if clean || iterations + 1 >= max_iterations then
+      (levels, clean, iterations + 1)
+    else begin
+      let added = ref false in
+      Array.iter
+        (fun p ->
+          if not (Hashtbl.mem extras p.Paths.gates) then begin
+            added := true;
+            Hashtbl.replace extras p.Paths.gates
+              {
+                Paths.gates = p.Paths.gates;
+                delay = Paths.delay_of analysis p.Paths.gates;
+              }
+          end)
+        offenders;
+      if not !added then (levels, clean, iterations + 1)
+      else begin
+        let union =
+          Hashtbl.fold (fun _ p acc -> p :: acc) extras [] |> Array.of_list
+        in
+        let t' =
+          assemble ~placement:t.placement ~analysis ~budget_ps:t.budget_ps
+            ~levels:t.levels union
+        in
+        loop t' (iterations + 1)
+      end
+    end
+  in
+  let levels, clean, iterations = loop t0 0 in
+  let recovered = leakage_nw t0 levels in
+  {
+    levels;
+    clusters = Solution.cluster_count levels;
+    nominal_leakage_nw = nominal;
+    recovered_leakage_nw = recovered;
+    savings_pct = Fbb_util.Stats.ratio_pct nominal recovered;
+    signoff_clean = clean;
+    iterations;
+  }

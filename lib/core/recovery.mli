@@ -1,0 +1,54 @@
+(** Active leakage recovery with row-level *reverse* body bias — the
+    fine-grained body-biasing use case of Khandelwal & Srivastava [7] that
+    the paper contrasts itself with, implemented on the same row
+    machinery.
+
+    Where the FBB optimizer spends leakage to buy back timing, this one
+    spends slack to buy back leakage: rows whose cells all have timing
+    slack receive reverse bias (raising Vth, cutting subthreshold leakage)
+    as deep as the slack — and the BTBT floor — allows. The same cluster
+    budget, contact-cell layout and signoff refinement apply; levels here
+    index {!Fbb_tech.Bias.rbb_levels} (level 0 = NBB, level j = -j*50 mV).
+
+    Constraints come from the full per-cell longest-path set (every path
+    must stay within the timing budget as its gates slow down), checked
+    incrementally and re-verified by full STA with the bias applied. *)
+
+type t = {
+  placement : Fbb_place.Placement.t;
+  budget_ps : float;  (** timing budget T; paths must stay below it *)
+  levels : float array;  (** RBB voltages, [levels.(0) = 0] *)
+  slack : float array;  (** per path: T - pd, >= 0 *)
+  path_rows : (int * float) array array;  (** per path: (row, delay there) *)
+  row_paths : (int * float) array array;
+  row_leak : float array array;  (** leakage (nW) per row and level *)
+  stretch : float array;  (** per level: delay_factor - 1, >= 0 *)
+}
+
+val build : ?margin:float -> Fbb_place.Placement.t -> t
+(** Pre-process. [margin] (default 0) relaxes the budget to
+    [dcrit * (1 + margin)] — a block clocked slower than its critical
+    delay can recover more. *)
+
+type result = {
+  levels : int array;  (** RBB level per row *)
+  clusters : int;
+  nominal_leakage_nw : float;  (** all rows at NBB *)
+  recovered_leakage_nw : float;
+  savings_pct : float;
+  signoff_clean : bool;
+  iterations : int;
+}
+
+val optimize : ?max_clusters:int -> ?max_iterations:int -> t -> result
+(** Greedy deepening in increasing criticality order with a cluster-budget
+    merge phase (mirror image of the FBB heuristic), wrapped in the
+    signoff refinement loop. [max_clusters] defaults to 2 (NBB plus one
+    reverse rail pair). Never fails: the all-NBB assignment is always
+    feasible. *)
+
+val meets_budget : t -> int array -> bool
+(** The recovery CheckTiming: every path's stretched delay stays within
+    the budget. *)
+
+val leakage_nw : t -> int array -> float

@@ -1,0 +1,89 @@
+module Placement = Fbb_place.Placement
+module Timing = Fbb_sta.Timing
+module Paths = Fbb_sta.Paths
+
+type outcome = {
+  problem : Problem.t;
+  levels : int array;
+  iterations : int;
+  added_constraints : int;
+  signoff_clean : bool;
+}
+
+let signoff p ~levels =
+  let placement = p.Problem.placement in
+  let nl = Placement.netlist placement in
+  let beta = p.Problem.beta in
+  let bias g =
+    let r = Placement.row_of placement g in
+    if r < 0 then 0.0 else p.Problem.levels.(levels.(r))
+  in
+  let biased = Timing.analyze ~derate:(fun _ -> 1.0 +. beta) ~bias nl in
+  let budget = p.Problem.dcrit +. 1e-6 in
+  let offenders =
+    Paths.through_cell biased
+    |> Array.to_list
+    |> List.filter (fun path -> path.Paths.delay > budget)
+    |> Array.of_list
+  in
+  (Array.length offenders = 0, offenders)
+
+let solve ?(max_iterations = 10) ~solver p0 =
+  let rec loop p iterations added last =
+    match solver p with
+    | None -> begin
+      match last with
+      | None -> None
+      | Some levels ->
+        (* A previous iteration succeeded but the extension made the
+           problem unsolvable for this solver; report that last solution,
+           honestly marked as failing signoff. *)
+        Some
+          {
+            problem = p;
+            levels;
+            iterations;
+            added_constraints = added;
+            signoff_clean = false;
+          }
+    end
+    | Some levels ->
+      let clean, offenders = signoff p ~levels in
+      if clean || iterations + 1 >= max_iterations then
+        Some
+          {
+            problem = p;
+            levels;
+            iterations = iterations + 1;
+            added_constraints = added;
+            signoff_clean = clean;
+          }
+      else begin
+        let p' = Problem.extend p offenders in
+        if Problem.num_paths p' = Problem.num_paths p then
+          (* Nothing new to add: the violation is below the extension
+             threshold; stop honestly. *)
+          Some
+            {
+              problem = p;
+              levels;
+              iterations = iterations + 1;
+              added_constraints = added;
+              signoff_clean = false;
+            }
+        else
+          loop p'
+            (iterations + 1)
+            (added + Problem.num_paths p' - Problem.num_paths p)
+            (Some levels)
+      end
+  in
+  loop p0 0 0 None
+
+let heuristic ?max_clusters ?max_iterations p =
+  solve ?max_iterations
+    ~solver:(fun p ->
+      Option.map
+        (fun (r : Heuristic.result) -> r.Heuristic.levels)
+        (Heuristic.optimize ?max_clusters p))
+    p

@@ -1,0 +1,78 @@
+let timing_eps = 1e-9
+
+let uniform p j = Array.make (Problem.num_rows p) j
+
+let meets_timing p levels =
+  let ok = ref true in
+  Array.iteri
+    (fun k req ->
+      if Problem.achieved p ~levels ~path:k < req -. timing_eps then
+        ok := false)
+    p.Problem.required;
+  !ok
+
+let leakage_nw p levels = Problem.total_leakage p ~levels
+
+let clusters_used levels =
+  List.sort_uniq compare (Array.to_list levels)
+
+let cluster_count levels = List.length (clusters_used levels)
+
+let savings_pct p ~baseline levels =
+  Fbb_util.Stats.ratio_pct (leakage_nw p baseline) (leakage_nw p levels)
+
+let worst_margin p levels =
+  let worst = ref Float.infinity in
+  Array.iteri
+    (fun k req ->
+      let m = Problem.achieved p ~levels ~path:k -. req in
+      if m < !worst then worst := m)
+    p.Problem.required;
+  !worst
+
+module Checker = struct
+  type t = {
+    problem : Problem.t;
+    levels : int array;
+    sigma : float array;  (* achieved reduction per path *)
+    mutable violations : int;
+  }
+
+  let create problem levels0 =
+    let levels = Array.copy levels0 in
+    let sigma =
+      Array.init (Problem.num_paths problem) (fun k ->
+          Problem.achieved problem ~levels ~path:k)
+    in
+    let violations = ref 0 in
+    Array.iteri
+      (fun k req -> if sigma.(k) < req -. timing_eps then incr violations)
+      problem.Problem.required;
+    { problem; levels; sigma; violations = !violations }
+
+  let set t ~row ~level =
+    let old_level = t.levels.(row) in
+    if old_level <> level then begin
+      let p = t.problem in
+      let delta =
+        p.Problem.reduction.(level) -. p.Problem.reduction.(old_level)
+      in
+      Array.iter
+        (fun (k, d) ->
+          let req = p.Problem.required.(k) in
+          let before = t.sigma.(k) in
+          let after = before +. (d *. delta) in
+          t.sigma.(k) <- after;
+          let was_bad = before < req -. timing_eps in
+          let is_bad = after < req -. timing_eps in
+          if was_bad && not is_bad then t.violations <- t.violations - 1
+          else if is_bad && not was_bad then t.violations <- t.violations + 1)
+        p.Problem.row_paths.(row);
+      t.levels.(row) <- level
+    end
+
+  let level t ~row = t.levels.(row)
+  let levels t = Array.copy t.levels
+  let feasible t = t.violations = 0
+  let violation_count t = t.violations
+end

@@ -1,0 +1,46 @@
+(** Row-to-level assignments and the CheckTiming routine.
+
+    A solution is an int array giving every row its bias level. The
+    {!Checker} maintains per-path achieved reductions incrementally so
+    that the heuristic's inner loop costs O(paths touching the moved row)
+    per move instead of a full O(N x M) re-evaluation. *)
+
+val uniform : Problem.t -> int -> int array
+(** Every row at the same level. *)
+
+val meets_timing : Problem.t -> int array -> bool
+(** The paper's CheckTiming: every path's achieved reduction covers its
+    required reduction. *)
+
+val leakage_nw : Problem.t -> int array -> float
+
+val clusters_used : int array -> int list
+(** Distinct levels present, ascending. *)
+
+val cluster_count : int array -> int
+
+val savings_pct : Problem.t -> baseline:int array -> int array -> float
+(** Leakage saving of a solution relative to a baseline assignment, in
+    percent. *)
+
+val worst_margin : Problem.t -> int array -> float
+(** Smallest [achieved - required] over all paths (ps); non-negative iff
+    timing is met. [infinity] when there are no constraints. *)
+
+(** Incremental timing checker. *)
+module Checker : sig
+  type t
+
+  val create : Problem.t -> int array -> t
+  (** Snapshot of an assignment; the array is copied. *)
+
+  val set : t -> row:int -> level:int -> unit
+  val level : t -> row:int -> int
+  val levels : t -> int array
+  (** Current assignment (copy). *)
+
+  val feasible : t -> bool
+  (** O(1). *)
+
+  val violation_count : t -> int
+end

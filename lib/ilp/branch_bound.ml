@@ -1,0 +1,167 @@
+module S = Fbb_lp.Simplex
+
+type problem = {
+  num_vars : int;
+  minimize : float array;
+  constraints : S.constr list;
+}
+
+type limits = { max_nodes : int; max_seconds : float }
+
+let default_limits = { max_nodes = 200_000; max_seconds = 60.0 }
+
+type status = Proved_optimal | Feasible | Proved_infeasible | Limit_reached
+
+type result = {
+  status : status;
+  best : (float array * float) option;
+  nodes : int;
+  elapsed_s : float;
+}
+
+let objective_of p x =
+  let acc = ref 0.0 in
+  Array.iteri (fun i c -> acc := !acc +. (c *. x.(i))) p.minimize;
+  !acc
+
+let int_eps = 1e-6
+
+(* Build the LP over free variables only; fixed variables are substituted
+   into the right-hand sides. [fixed.(i)] is -1 (free), 0 or 1. *)
+let reduced_lp p fixed =
+  let map = Array.make p.num_vars (-1) in
+  let free = ref [] in
+  let nfree = ref 0 in
+  for i = 0 to p.num_vars - 1 do
+    if fixed.(i) < 0 then begin
+      map.(i) <- !nfree;
+      free := i :: !free;
+      incr nfree
+    end
+  done;
+  let free = Array.of_list (List.rev !free) in
+  let constraints =
+    List.filter_map
+      (fun (c : S.constr) ->
+        let rhs = ref c.S.rhs in
+        let terms =
+          List.filter_map
+            (fun (v, a) ->
+              if fixed.(v) >= 0 then begin
+                rhs := !rhs -. (a *. float_of_int fixed.(v));
+                None
+              end
+              else Some (map.(v), a))
+            c.S.terms
+        in
+        match terms with
+        | [] ->
+          (* Fully substituted: keep an infeasibility marker if violated. *)
+          let violated =
+            match c.S.relation with
+            | S.Le -> 0.0 > !rhs +. 1e-9
+            | S.Ge -> 0.0 < !rhs -. 1e-9
+            | S.Eq -> Float.abs !rhs > 1e-9
+          in
+          if violated then
+            Some { S.terms = [ (0, 0.0) ]; relation = c.S.relation; rhs = !rhs }
+          else None
+        | _ -> Some { S.terms; relation = c.S.relation; rhs = !rhs })
+      p.constraints
+  in
+  let minimize = Array.map (fun i -> p.minimize.(i)) free in
+  let fixed_cost = ref 0.0 in
+  for i = 0 to p.num_vars - 1 do
+    if fixed.(i) = 1 then fixed_cost := !fixed_cost +. p.minimize.(i)
+  done;
+  ( {
+      S.num_vars = Array.length free;
+      minimize;
+      constraints;
+      upper = Some (Array.make (Array.length free) 1.0);
+    },
+    free,
+    !fixed_cost )
+
+let feasible p x =
+  S.check
+    { S.num_vars = p.num_vars; minimize = p.minimize; constraints = p.constraints; upper = Some (Array.make p.num_vars 1.0) }
+    x ~eps:1e-6
+
+let solve ?(limits = default_limits) ?incumbent ?cutoff p =
+  let start = Unix.gettimeofday () in
+  let best = ref None in
+  (match incumbent with
+  | Some x ->
+    if not (feasible p x) then
+      invalid_arg "Branch_bound.solve: infeasible incumbent";
+    best := Some (Array.copy x, objective_of p x)
+  | None -> ());
+  let nodes = ref 0 in
+  let hit_limit = ref false in
+  let fixed = Array.make p.num_vars (-1) in
+  let rec branch () =
+    if
+      !nodes >= limits.max_nodes
+      || Unix.gettimeofday () -. start > limits.max_seconds
+    then hit_limit := true
+    else begin
+      incr nodes;
+      let lp, free, fixed_cost = reduced_lp p fixed in
+      match S.solve lp with
+      | S.Infeasible | S.Unbounded -> ()
+      | S.Optimal { objective; solution } ->
+        let total = objective +. fixed_cost in
+        let pruned =
+          (match !best with Some (_, b) -> total >= b -. 1e-9 | None -> false)
+          || match cutoff with Some c -> total >= c -. 1e-9 | None -> false
+        in
+        if not pruned then begin
+          (* Most fractional free variable. *)
+          let frac = ref (-1) in
+          let dist = ref 0.0 in
+          Array.iteri
+            (fun k _ ->
+              let v = solution.(k) in
+              let d = Float.min (Float.abs v) (Float.abs (1.0 -. v)) in
+              if d > int_eps && d > !dist then begin
+                dist := d;
+                frac := k
+              end)
+            free;
+          if !frac < 0 then begin
+            (* Integral: new incumbent. *)
+            let x = Array.make p.num_vars 0.0 in
+            for i = 0 to p.num_vars - 1 do
+              if fixed.(i) >= 0 then x.(i) <- float_of_int fixed.(i)
+            done;
+            Array.iteri
+              (fun k i -> x.(i) <- Float.round solution.(k))
+              free;
+            let obj = objective_of p x in
+            match !best with
+            | Some (_, b) when obj >= b -. 1e-12 -> ()
+            | Some _ | None -> best := Some (x, obj)
+          end
+          else begin
+            let var = free.(!frac) in
+            let first = if solution.(!frac) >= 0.5 then 1 else 0 in
+            fixed.(var) <- first;
+            branch ();
+            fixed.(var) <- 1 - first;
+            branch ();
+            fixed.(var) <- -1
+          end
+        end
+    end
+  in
+  branch ();
+  let elapsed_s = Unix.gettimeofday () -. start in
+  let status =
+    match (!best, !hit_limit) with
+    | Some _, false -> Proved_optimal
+    | Some _, true -> Feasible
+    | None, false -> Proved_infeasible
+    | None, true -> Limit_reached
+  in
+  { status; best = !best; nodes = !nodes; elapsed_s }

@@ -1,0 +1,46 @@
+(** 0-1 integer linear programming by branch and bound.
+
+    LP-relaxation bounds come from {!Fbb_lp.Simplex}; branching is on the
+    most fractional variable, depth-first, exploring the nearest rounding
+    first. A warm-start incumbent (e.g. from the paper's heuristic) makes
+    pruning effective immediately. Node and wall-clock limits reproduce
+    the paper's "ILP did not converge" behaviour on the largest designs. *)
+
+type problem = {
+  num_vars : int;  (** all variables are binary *)
+  minimize : float array;
+  constraints : Fbb_lp.Simplex.constr list;
+}
+
+type limits = {
+  max_nodes : int;
+  max_seconds : float;
+}
+
+val default_limits : limits
+(** 200_000 nodes, 60 s. *)
+
+type status =
+  | Proved_optimal  (** search exhausted; [best] is the optimum *)
+  | Feasible  (** limits hit; [best] is the best incumbent found *)
+  | Proved_infeasible
+  | Limit_reached  (** limits hit before any feasible point was found *)
+
+type result = {
+  status : status;
+  best : (float array * float) option;  (** (solution, objective) *)
+  nodes : int;
+  elapsed_s : float;
+}
+
+val solve :
+  ?limits:limits -> ?incumbent:float array -> ?cutoff:float -> problem ->
+  result
+(** [incumbent], when given, must be a feasible 0/1 vector; it seeds the
+    upper bound. Raises [Invalid_argument] if it is infeasible.
+
+    [cutoff] prunes any subtree whose LP bound is not strictly below it —
+    useful when an external search already holds a solution of that
+    objective; solutions at or above the cutoff are not reported. *)
+
+val objective_of : problem -> float array -> float

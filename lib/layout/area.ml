@@ -1,0 +1,27 @@
+module P = Fbb_place.Placement
+
+let well_separation_um = P.row_height_um /. 12.0
+
+type t = {
+  base_area_um2 : float;
+  boundaries : int;
+  separation_area_um2 : float;
+  overhead_pct : float;
+}
+
+let of_assignment placement ~levels =
+  if Array.length levels <> P.num_rows placement then
+    invalid_arg "Area.of_assignment: levels length mismatch";
+  let width = P.die_width_um placement in
+  let base = width *. P.die_height_um placement in
+  let boundaries = ref 0 in
+  for r = 0 to Array.length levels - 2 do
+    if levels.(r) <> levels.(r + 1) then incr boundaries
+  done;
+  let sep = float_of_int !boundaries *. well_separation_um *. width in
+  {
+    base_area_um2 = base;
+    boundaries = !boundaries;
+    separation_area_um2 = sep;
+    overhead_pct = 100.0 *. sep /. base;
+  }

@@ -1,0 +1,23 @@
+(** Area accounting for a clustered-FBB layout.
+
+    Two overheads exist on top of the unbiased floorplan:
+    - well separation between vertically adjacent rows assigned different
+      bias levels (their wells sit at different potentials and the design
+      rules require a spacing strip);
+    - the bias contact cells counted by {!Bias_rails} (these consume row
+      slack, not die area, unless a row overflows).
+
+    The paper reports the well-separation overhead always below 5 %. *)
+
+val well_separation_um : float
+(** Height of one separation strip (0.117 um, a twelfth of the row
+    height). *)
+
+type t = {
+  base_area_um2 : float;
+  boundaries : int;  (** adjacent row pairs with differing levels *)
+  separation_area_um2 : float;
+  overhead_pct : float;
+}
+
+val of_assignment : Fbb_place.Placement.t -> levels:int array -> t

@@ -1,0 +1,81 @@
+module P = Fbb_place.Placement
+
+type row_cost = {
+  row : int;
+  level : int;
+  windows : int;
+  added_sites : int;
+  utilization_before : float;
+  utilization_after : float;
+}
+
+type t = {
+  rows : row_cost array;
+  bias_pairs : int;
+  max_utilization_increase : float;
+  feasible : bool;
+}
+
+let contact_pitch_um = 50.0
+let tap_width_sites = 1
+let contact_width_sites = 3
+
+let windows_of placement =
+  let width = P.die_width_um placement in
+  max 1 (int_of_float (Float.ceil (width /. contact_pitch_um)))
+
+let insert placement ~levels =
+  if Array.length levels <> P.num_rows placement then
+    invalid_arg "Bias_rails.insert: levels length mismatch";
+  let capacity = float_of_int (P.row_capacity_sites placement) in
+  let windows = windows_of placement in
+  let rows =
+    Array.mapi
+      (fun r level ->
+        let used = P.row_used_sites placement r in
+        (* Baseline taps are in every row; a biased row swaps each tap for
+           two bias contact cells. *)
+        let base = windows * tap_width_sites in
+        let with_bias =
+          if level = 0 then base else windows * 2 * contact_width_sites
+        in
+        let added = with_bias - base in
+        {
+          row = r;
+          level;
+          windows;
+          added_sites = added;
+          utilization_before = (float_of_int used +. float_of_int base) /. capacity;
+          utilization_after =
+            (float_of_int used +. float_of_int with_bias) /. capacity;
+        })
+      levels
+  in
+  let bias_pairs =
+    List.length
+      (List.filter (fun l -> l > 0) (List.sort_uniq compare (Array.to_list levels)))
+  in
+  let max_increase =
+    Array.fold_left
+      (fun acc rc ->
+        Float.max acc (rc.utilization_after -. rc.utilization_before))
+      0.0 rows
+  in
+  let feasible = Array.for_all (fun rc -> rc.utilization_after <= 1.0) rows in
+  { rows; bias_pairs; max_utilization_increase = max_increase; feasible }
+
+let max_supported_pairs placement ~utilization_cap =
+  let capacity = float_of_int (P.row_capacity_sites placement) in
+  let windows = float_of_int (windows_of placement) in
+  let worst_used =
+    let m = ref 0 in
+    for r = 0 to P.num_rows placement - 1 do
+      m := max !m (P.row_used_sites placement r)
+    done;
+    float_of_int !m
+  in
+  (* Each extra pair adds two contact cells per window to the rows that tap
+     it; count how many pairs fit in the worst row. *)
+  let per_pair = windows *. float_of_int (2 * contact_width_sites) in
+  let slack = (utilization_cap *. capacity) -. worst_used in
+  max 0 (int_of_float (slack /. per_pair))

@@ -1,0 +1,51 @@
+(** Physical implementation of row-level body biasing (paper section 3.3).
+
+    Each distinct non-zero bias voltage is distributed as a pair of
+    top-metal rails (one for the NMOS bodies, one for the PMOS bodies).
+    A biased row places a pair of body-bias contact cells under its rails
+    in every contact window (the design rules require body contacts every
+    {!contact_pitch_um}); an unbiased row keeps the standard single tap
+    cell per window, tied to the supply lines.
+
+    The key claims this module quantifies:
+    - at most two bias-voltage pairs fit without blowing up row
+      utilization, which is why the paper restricts C <= 3 (NBB plus two
+      voltages);
+    - the per-row utilization increase stays within ~6 %. *)
+
+type row_cost = {
+  row : int;
+  level : int;
+  windows : int;  (** contact windows in the row *)
+  added_sites : int;  (** extra sites the bias contacts occupy *)
+  utilization_before : float;
+  utilization_after : float;
+}
+
+type t = {
+  rows : row_cost array;
+  bias_pairs : int;  (** distinct non-zero levels = rail pairs routed *)
+  max_utilization_increase : float;  (** worst-case fractional increase *)
+  feasible : bool;  (** no row exceeds 100 % utilization *)
+}
+
+val contact_pitch_um : float
+(** 50 um. *)
+
+val tap_width_sites : int
+(** Standard well-tap width (1 site), present in every window regardless
+    of biasing. *)
+
+val contact_width_sites : int
+(** One body-bias contact cell (3 sites); a biased row needs two per
+    window (NMOS and PMOS). *)
+
+val insert : Fbb_place.Placement.t -> levels:int array -> t
+(** Compute the contact-insertion cost of a row-level assignment.
+    [levels] gives each row's bias level (0 = NBB).
+    Raises [Invalid_argument] on a length mismatch. *)
+
+val max_supported_pairs : Fbb_place.Placement.t -> utilization_cap:float -> int
+(** How many simultaneous bias pairs rows could afford before some row's
+    utilization crosses [utilization_cap] — the paper's argument for
+    C <= 3. *)

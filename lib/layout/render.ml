@@ -1,0 +1,179 @@
+module P = Fbb_place.Placement
+module N = Fbb_netlist.Netlist
+
+let ascii placement ~levels =
+  if Array.length levels <> P.num_rows placement then
+    invalid_arg "Render.ascii: levels length mismatch";
+  let buf = Buffer.create 4096 in
+  let capacity = P.row_capacity_sites placement in
+  let columns = 64 in
+  let sites_per_col = max 1 ((capacity + columns - 1) / columns) in
+  let nl = P.netlist placement in
+  for r = 0 to P.num_rows placement - 1 do
+    let occupancy = Array.make columns false in
+    Array.iter
+      (fun g ->
+        let lo = P.site_of placement g / sites_per_col in
+        let w = (N.cell nl g).Fbb_tech.Cell_library.width_sites in
+        let hi = (P.site_of placement g + w - 1) / sites_per_col in
+        for c = lo to min (columns - 1) hi do
+          occupancy.(c) <- true
+        done)
+      (P.row_gates placement r);
+    Buffer.add_string buf (Printf.sprintf "row %3d |" r);
+    Array.iter
+      (fun occ ->
+        Buffer.add_char buf
+          (if occ then Char.chr (Char.code '0' + min 9 levels.(r)) else '.'))
+      occupancy;
+    Buffer.add_string buf
+      (Printf.sprintf "| vbs=%.2fV util=%4.1f%%\n"
+         (Fbb_tech.Bias.voltage levels.(r))
+         (100.0 *. P.row_utilization placement r))
+  done;
+  Buffer.contents buf
+
+(* Color per level: NBB gray, then a warm ramp. *)
+let color level =
+  match level with
+  | 0 -> "#b8c0c8"
+  | 1 -> "#ffe08a"
+  | 2 -> "#ffd166"
+  | 3 -> "#ffb347"
+  | 4 -> "#ff9f1c"
+  | 5 -> "#fb8b24"
+  | 6 -> "#f3722c"
+  | 7 -> "#f15b3c"
+  | 8 -> "#ef4043"
+  | 9 -> "#d7263d"
+  | _ -> "#a4133c"
+
+let svg ?(cell_outline = true) placement ~levels =
+  if Array.length levels <> P.num_rows placement then
+    invalid_arg "Render.svg: levels length mismatch";
+  let scale = 8.0 in
+  let margin = 24.0 in
+  let w_um = P.die_width_um placement in
+  let sep = Area.well_separation_um in
+  let nrows = P.num_rows placement in
+  (* Row y-offsets including separation strips. *)
+  let y_of = Array.make (nrows + 1) 0.0 in
+  for r = 1 to nrows do
+    let extra =
+      if r < nrows && levels.(r) <> levels.(r - 1) then sep else 0.0
+    in
+    y_of.(r) <- y_of.(r - 1) +. P.row_height_um +. extra
+  done;
+  let total_h = y_of.(nrows) in
+  let buf = Buffer.create (1 lsl 16) in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let px x = margin +. (x *. scale) in
+  let py y = margin +. (y *. scale) in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     viewBox=\"0 0 %.0f %.0f\">\n"
+    ((w_um *. scale) +. (2.0 *. margin))
+    ((total_h *. scale) +. (2.0 *. margin) +. 40.0)
+    ((w_um *. scale) +. (2.0 *. margin))
+    ((total_h *. scale) +. (2.0 *. margin) +. 40.0);
+  out "<rect width=\"100%%\" height=\"100%%\" fill=\"#ffffff\"/>\n";
+  let nl = P.netlist placement in
+  for r = 0 to nrows - 1 do
+    let y = y_of.(r) in
+    (* Row background with supply rails. *)
+    out
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+       fill=\"#f3f4f6\" stroke=\"#d0d4d8\" stroke-width=\"0.5\"/>\n"
+      (px 0.0) (py y) (w_um *. scale)
+      (P.row_height_um *. scale);
+    Array.iter
+      (fun g ->
+        let cell = N.cell nl g in
+        let x = float_of_int (P.site_of placement g) *. P.site_width_um in
+        let cw =
+          float_of_int cell.Fbb_tech.Cell_library.width_sites
+          *. P.site_width_um
+        in
+        out
+          "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+           fill=\"%s\"%s/>\n"
+          (px x)
+          (py (y +. 0.1))
+          (cw *. scale)
+          ((P.row_height_um -. 0.2) *. scale)
+          (color levels.(r))
+          (if cell_outline then
+             " stroke=\"#00000022\" stroke-width=\"0.4\""
+           else ""))
+      (P.row_gates placement r);
+    (* Well-separation strip. *)
+    if r < nrows - 1 && levels.(r) <> levels.(r + 1) then
+      out
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+         fill=\"#7c3aed33\"/>\n"
+        (px 0.0)
+        (py (y +. P.row_height_um))
+        (w_um *. scale) (sep *. scale)
+  done;
+  (* Bias rails: one vertical pair per distinct non-zero level, spread
+     around the die centre; contact marks on rows using that level. *)
+  let used_levels =
+    List.filter (fun l -> l > 0)
+      (List.sort_uniq compare (Array.to_list levels))
+  in
+  List.iteri
+    (fun idx level ->
+      let x0 =
+        w_um *. (0.5 +. (float_of_int idx -. (float_of_int (List.length used_levels - 1) /. 2.0)) *. 0.08)
+      in
+      let pair_gap = 0.6 in
+      List.iteri
+        (fun pin dx ->
+          out
+            "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+             stroke=\"%s\" stroke-width=\"2\"/>\n"
+            (px (x0 +. dx))
+            (py (-1.0))
+            (px (x0 +. dx))
+            (py (total_h +. 1.0))
+            (if pin = 0 then "#1d4ed8" else "#dc2626"))
+        [ 0.0; pair_gap ];
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" fill=\"#111\" \
+         font-family=\"monospace\">vbs%d=%.2fV</text>\n"
+        (px x0)
+        (py (-1.4))
+        idx
+        (Fbb_tech.Bias.voltage level);
+      for r = 0 to nrows - 1 do
+        if levels.(r) = level then
+          out
+            "<rect x=\"%.1f\" y=\"%.1f\" width=\"4\" height=\"4\" \
+             fill=\"#111\"/>\n"
+            (px (x0 +. (pair_gap /. 2.0)))
+            (py (y_of.(r) +. (P.row_height_um /. 2.0)))
+      done)
+    used_levels;
+  (* Legend. *)
+  let legend_y = total_h +. 2.5 in
+  List.iteri
+    (fun idx level ->
+      out
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"12\" height=\"12\" fill=\"%s\"/>\n"
+        (px (float_of_int idx *. 14.0))
+        (py legend_y) (color level);
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" \
+         font-family=\"monospace\">%.2fV</text>\n"
+        (px (float_of_int idx *. 14.0) +. 14.0)
+        (py legend_y +. 10.0)
+        (Fbb_tech.Bias.voltage level))
+    (List.sort_uniq compare (Array.to_list levels));
+  out "</svg>\n";
+  Buffer.contents buf
+
+let save_svg ?cell_outline ~path placement ~levels =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (svg ?cell_outline placement ~levels))

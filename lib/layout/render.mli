@@ -1,0 +1,20 @@
+(** Layout rendering: ASCII summaries and SVG drawings of a placed design
+    with its bias clusters and rails (the paper's Figures 3 and 6). *)
+
+val ascii : Fbb_place.Placement.t -> levels:int array -> string
+(** One line per row: row index, bias level digit per occupied site-chunk,
+    utilization. Compact enough for terminals and EXPERIMENTS.md. *)
+
+val svg : ?cell_outline:bool -> Fbb_place.Placement.t -> levels:int array -> string
+(** Full drawing: rows as horizontal slabs, cells colored by bias level,
+    well-separation strips between differently-biased rows, one vertical
+    rail pair per distinct non-zero level through the core (as in the
+    paper's c5315 layout), and contact-cell marks every 50 um on biased
+    rows. [cell_outline] (default true) strokes individual cells. *)
+
+val save_svg :
+  ?cell_outline:bool ->
+  path:string ->
+  Fbb_place.Placement.t ->
+  levels:int array ->
+  unit

@@ -1,0 +1,40 @@
+module P = Fbb_place.Placement
+
+type t = {
+  permutation : int array;
+  boundaries_before : int;
+  boundaries_after : int;
+  overhead_before_pct : float;
+  overhead_after_pct : float;
+  hpwl_before_um : float;
+  hpwl_after_um : float;
+}
+
+let order_by_level placement ~levels =
+  if Array.length levels <> P.num_rows placement then
+    invalid_arg "Row_order.order_by_level: levels length mismatch";
+  let idx = Array.init (Array.length levels) (fun i -> i) in
+  (* Stable by construction: sort on (level, original index). *)
+  Array.sort
+    (fun a b ->
+      match compare levels.(a) levels.(b) with 0 -> compare a b | c -> c)
+    idx;
+  idx
+
+let apply placement ~levels =
+  let before = Area.of_assignment placement ~levels in
+  let hpwl_before = P.half_perimeter_wirelength placement in
+  let perm = order_by_level placement ~levels in
+  let placement' = P.permute_rows placement perm in
+  let levels' = Array.map (fun r -> levels.(r)) perm in
+  let after = Area.of_assignment placement' ~levels:levels' in
+  ( {
+      permutation = perm;
+      boundaries_before = before.Area.boundaries;
+      boundaries_after = after.Area.boundaries;
+      overhead_before_pct = before.Area.overhead_pct;
+      overhead_after_pct = after.Area.overhead_pct;
+      hpwl_before_um = hpwl_before;
+      hpwl_after_um = P.half_perimeter_wirelength placement';
+    },
+    placement' )

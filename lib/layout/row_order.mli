@@ -1,0 +1,33 @@
+(** Cluster-aware vertical row ordering.
+
+    The well-separation overhead (see {!Area}) is proportional to the
+    number of adjacent row pairs assigned different bias levels. Which
+    logical row sits at which vertical position is the placer's choice,
+    so once the optimizer has assigned levels, rows can be re-stacked to
+    make clusters vertically contiguous — at most [C - 1] boundaries
+    remain, the minimum possible.
+
+    Re-stacking moves whole rows and therefore stretches vertical wires;
+    {!apply} reports the wirelength change alongside the area win so the
+    trade can be judged per design (the ablation lives in
+    [bench/main.exe area]). *)
+
+type t = {
+  permutation : int array;
+      (** [permutation.(pos)] = original row index now at position [pos] *)
+  boundaries_before : int;
+  boundaries_after : int;
+  overhead_before_pct : float;
+  overhead_after_pct : float;
+  hpwl_before_um : float;
+  hpwl_after_um : float;
+}
+
+val order_by_level : Fbb_place.Placement.t -> levels:int array -> int array
+(** A permutation grouping equal-level rows contiguously, preserving the
+    original relative order within each group (stable). *)
+
+val apply : Fbb_place.Placement.t -> levels:int array -> t * Fbb_place.Placement.t
+(** Evaluate and perform the re-stacking: returns the report and a new
+    placement with rows permuted (gate row assignments and geometry
+    updated; the netlist is shared). *)

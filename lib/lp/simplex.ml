@@ -1,0 +1,262 @@
+type relation = Le | Ge | Eq
+
+type constr = {
+  terms : (int * float) list;
+  relation : relation;
+  rhs : float;
+}
+
+type problem = {
+  num_vars : int;
+  minimize : float array;
+  constraints : constr list;
+  upper : float array option;
+}
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-8
+
+let check problem x ~eps =
+  let ok = ref true in
+  List.iter
+    (fun c ->
+      let lhs =
+        List.fold_left (fun acc (v, a) -> acc +. (a *. x.(v))) 0.0 c.terms
+      in
+      let sat =
+        match c.relation with
+        | Le -> lhs <= c.rhs +. eps
+        | Ge -> lhs >= c.rhs -. eps
+        | Eq -> Float.abs (lhs -. c.rhs) <= eps
+      in
+      if not sat then ok := false)
+    problem.constraints;
+  Array.iteri (fun i xi -> if xi < -.eps then ok := false else
+    match problem.upper with
+    | Some u when xi > u.(i) +. eps -> ok := false
+    | Some _ | None -> ()) x;
+  !ok
+
+(* The tableau holds one row per constraint (upper bounds included as Le
+   rows) plus the objective in row 0. Columns: structural variables, then
+   slack/surplus, then artificials, then the RHS. *)
+let solve ?max_pivots problem =
+  let n = problem.num_vars in
+  let bound_rows =
+    match problem.upper with
+    | None -> []
+    | Some u ->
+      List.filteri
+        (fun _ c -> c.rhs < Float.infinity)
+        (List.init n (fun i ->
+             { terms = [ (i, 1.0) ]; relation = Le; rhs = u.(i) }))
+  in
+  let constraints = Array.of_list (problem.constraints @ bound_rows) in
+  let m = Array.length constraints in
+  (* Normalize all RHS to be non-negative. *)
+  let norm =
+    Array.map
+      (fun c ->
+        if c.rhs < 0.0 then
+          {
+            terms = List.map (fun (v, a) -> (v, -.a)) c.terms;
+            rhs = -.c.rhs;
+            relation =
+              (match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+          }
+        else c)
+      constraints
+  in
+  let n_slack =
+    Array.fold_left
+      (fun acc c -> match c.relation with Le | Ge -> acc + 1 | Eq -> acc)
+      0 norm
+  in
+  let n_art =
+    Array.fold_left
+      (fun acc c -> match c.relation with Ge | Eq -> acc + 1 | Le -> acc)
+      0 norm
+  in
+  let ncols = n + n_slack + n_art in
+  let tab = Array.make_matrix (m + 1) (ncols + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let art_start = n + n_slack in
+  let slack = ref n in
+  let art = ref art_start in
+  Array.iteri
+    (fun r c ->
+      let row = tab.(r + 1) in
+      List.iter (fun (v, a) -> row.(v) <- row.(v) +. a) c.terms;
+      row.(ncols) <- c.rhs;
+      (match c.relation with
+      | Le ->
+        row.(!slack) <- 1.0;
+        basis.(r) <- !slack;
+        incr slack
+      | Ge ->
+        row.(!slack) <- -1.0;
+        incr slack;
+        row.(!art) <- 1.0;
+        basis.(r) <- !art;
+        incr art
+      | Eq ->
+        row.(!art) <- 1.0;
+        basis.(r) <- !art;
+        incr art))
+    norm;
+  let max_pivots =
+    match max_pivots with
+    | Some p -> p
+    | None -> 200 * (m + ncols + 10)
+  in
+  let pivots = ref 0 in
+  let pivot ~row ~col =
+    incr pivots;
+    if !pivots > max_pivots then failwith "Simplex.solve: pivot limit";
+    let prow = tab.(row) in
+    let d = prow.(col) in
+    for j = 0 to ncols do
+      prow.(j) <- prow.(j) /. d
+    done;
+    for i = 0 to m do
+      if i <> row then begin
+        let f = tab.(i).(col) in
+        if Float.abs f > 0.0 then begin
+          let irow = tab.(i) in
+          for j = 0 to ncols do
+            irow.(j) <- irow.(j) -. (f *. prow.(j))
+          done;
+          irow.(col) <- 0.0
+        end
+      end
+    done;
+    prow.(col) <- 1.0;
+    basis.(row - 1) <- col
+  in
+  (* Price out the current basis from the objective row. *)
+  let price_out () =
+    for r = 1 to m do
+      let c = tab.(0).(basis.(r - 1)) in
+      if Float.abs c > eps then begin
+        let row = tab.(r) in
+        let orow = tab.(0) in
+        for j = 0 to ncols do
+          orow.(j) <- orow.(j) -. (c *. row.(j))
+        done
+      end
+    done
+  in
+  (* One simplex phase over allowed columns. Dantzig rule with a Bland
+     fallback after [stall_after] degenerate pivots. *)
+  let run_phase allowed =
+    let bland = ref false in
+    let degenerate = ref 0 in
+    let stall_after = 4 * (m + 1) in
+    let rec iterate () =
+      let enter = ref (-1) in
+      if !bland then begin
+        let j = ref 0 in
+        while !enter < 0 && !j < ncols do
+          if allowed !j && tab.(0).(!j) < -.eps then enter := !j;
+          incr j
+        done
+      end
+      else begin
+        let best = ref (-.eps) in
+        for j = 0 to ncols - 1 do
+          if allowed j && tab.(0).(j) < !best then begin
+            best := tab.(0).(j);
+            enter := j
+          end
+        done
+      end;
+      if !enter < 0 then `Optimal
+      else begin
+        let col = !enter in
+        let leave = ref (-1) in
+        let best_ratio = ref Float.infinity in
+        for i = 1 to m do
+          let a = tab.(i).(col) in
+          if a > eps then begin
+            let ratio = tab.(i).(ncols) /. a in
+            if
+              ratio < !best_ratio -. eps
+              || (ratio < !best_ratio +. eps
+                 && !leave >= 0
+                 && basis.(i - 1) < basis.(!leave - 1))
+            then begin
+              best_ratio := ratio;
+              leave := i
+            end
+          end
+        done;
+        if !leave < 0 then `Unbounded
+        else begin
+          if !best_ratio < eps then begin
+            incr degenerate;
+            if !degenerate > stall_after then bland := true
+          end
+          else degenerate := 0;
+          pivot ~row:!leave ~col;
+          iterate ()
+        end
+      end
+    in
+    iterate ()
+  in
+  (* Phase 1: minimize the sum of artificials. *)
+  let phase1 =
+    if n_art = 0 then `Feasible
+    else begin
+      for j = art_start to ncols - 1 do
+        tab.(0).(j) <- 1.0
+      done;
+      price_out ();
+      match run_phase (fun _ -> true) with
+      | `Unbounded -> `Infeasible (* cannot happen: phase 1 is bounded *)
+      | `Optimal ->
+        if tab.(0).(ncols) < -.eps *. 100.0 then `Infeasible
+        else begin
+          (* Drive remaining artificials out of the basis. *)
+          for r = 1 to m do
+            if basis.(r - 1) >= art_start then begin
+              let found = ref (-1) in
+              for j = 0 to art_start - 1 do
+                if !found < 0 && Float.abs tab.(r).(j) > 1e-6 then found := j
+              done;
+              if !found >= 0 then pivot ~row:r ~col:!found
+              (* else: redundant row; the artificial stays basic at 0 and
+                 is barred from re-entering below. *)
+            end
+          done;
+          `Feasible
+        end
+    end
+  in
+  match phase1 with
+  | `Infeasible -> Infeasible
+  | `Feasible ->
+    (* Phase 2: restore the real objective. *)
+    let orow = tab.(0) in
+    Array.fill orow 0 (ncols + 1) 0.0;
+    for j = 0 to n - 1 do
+      orow.(j) <- problem.minimize.(j)
+    done;
+    price_out ();
+    let allowed j = j < art_start in
+    (match run_phase allowed with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let solution = Array.make n 0.0 in
+      for r = 1 to m do
+        if basis.(r - 1) < n then solution.(basis.(r - 1)) <- tab.(r).(ncols)
+      done;
+      let objective =
+        Array.fold_left ( +. ) 0.0
+          (Array.mapi (fun i c -> c *. solution.(i)) problem.minimize)
+      in
+      Optimal { objective; solution })

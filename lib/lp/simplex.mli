@@ -1,0 +1,39 @@
+(** Dense two-phase primal simplex for linear programs
+
+    {v minimize c.x  subject to  A x (<= | >= | =) b,  0 <= x <= u v}
+
+    Replaces the paper's [lp_solve] dependency. Constraints are given
+    sparsely (index/coefficient pairs); the solver densifies internally.
+    Bland's anti-cycling rule is engaged after a stall, so termination is
+    guaranteed. Suitable for the problem sizes this repository produces
+    (hundreds of rows and columns). *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  terms : (int * float) list;  (** (variable, coefficient) pairs *)
+  relation : relation;
+  rhs : float;
+}
+
+type problem = {
+  num_vars : int;
+  minimize : float array;  (** objective coefficients, length [num_vars] *)
+  constraints : constr list;
+  upper : float array option;
+      (** optional per-variable upper bounds (infinite when absent) *)
+}
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_pivots:int -> problem -> outcome
+(** [max_pivots] defaults to a generous function of the problem size;
+    exceeding it raises [Failure] (indicates a numerically hostile
+    instance, never observed in tests). *)
+
+val check : problem -> float array -> eps:float -> bool
+(** Feasibility check of a candidate solution (used in tests and by the
+    ILP layer to validate incumbents). *)

@@ -1,0 +1,270 @@
+module B = Netlist.Builder
+module CL = Fbb_tech.Cell_library
+
+exception Parse_error of int * string
+
+type stmt =
+  | S_input of string
+  | S_output of string
+  | S_gate of string * string * string list * CL.drive
+      (* target, uppercase op, args, drive *)
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let drive_of_string line = function
+  | "X1" -> CL.X1
+  | "X2" -> CL.X2
+  | "X4" -> CL.X4
+  | s -> fail line "unknown drive annotation %s" s
+
+(* One statement per line: INPUT(x) / OUTPUT(x) / y = OP(a, b) [# X2]. *)
+let parse_line lineno raw =
+  let text, drive =
+    match String.index_opt raw '#' with
+    | None -> (raw, CL.X1)
+    | Some i ->
+      let comment = String.trim (String.sub raw (i + 1) (String.length raw - i - 1)) in
+      let drive =
+        if String.length comment > 0 && comment.[0] = 'X' then
+          drive_of_string lineno comment
+        else CL.X1
+      in
+      (String.sub raw 0 i, drive)
+  in
+  let text = String.trim text in
+  if String.length text = 0 then None
+  else
+    let call s =
+      match (String.index_opt s '(', String.index_opt s ')') with
+      | Some l, Some r when r > l ->
+        let head = String.trim (String.sub s 0 l) in
+        let inside = String.sub s (l + 1) (r - l - 1) in
+        let args =
+          String.split_on_char ',' inside
+          |> List.map String.trim
+          |> List.filter (fun a -> a <> "")
+        in
+        (String.uppercase_ascii head, args)
+      | _, _ -> fail lineno "malformed statement: %s" s
+    in
+    match String.index_opt text '=' with
+    | None -> begin
+      match call text with
+      | "INPUT", [ x ] -> Some (S_input x)
+      | "OUTPUT", [ x ] -> Some (S_output x)
+      | op, _ -> fail lineno "unexpected declaration %s" op
+    end
+    | Some eq ->
+      let target = String.trim (String.sub text 0 eq) in
+      let rhs = String.sub text (eq + 1) (String.length text - eq - 1) in
+      let op, args = call rhs in
+      if target = "" then fail lineno "missing assignment target";
+      if args = [] then fail lineno "%s: empty argument list" op;
+      Some (S_gate (target, op, args, drive))
+
+(* Reduce a wide associative gate to library arities. AND/OR/NAND/NOR above
+   the widest cell become balanced trees; the inverting ops invert once at
+   the root of an AND/OR tree. *)
+let rec emit_tree b kind2 kind3 args =
+  match args with
+  | [] -> invalid_arg "emit_tree: empty"
+  | [ x ] -> x
+  | [ x; y ] -> B.gate b kind2 [ x; y ]
+  | [ x; y; z ] -> B.gate b kind3 [ x; y; z ]
+  | xs ->
+    let rec split_pairs = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | x :: y :: rest -> B.gate b kind2 [ x; y ] :: split_pairs rest
+    in
+    emit_tree b kind2 kind3 (split_pairs xs)
+
+let emit_gate b ~name op args drive =
+  let xor2 x y =
+    B.gate b CL.And2
+      [ B.gate b CL.Or2 [ x; y ]; B.gate b CL.Nand2 [ x; y ] ]
+  in
+  let named kind fanin = B.gate b ~drive ~name kind fanin in
+  match (op, args) with
+  | "NOT", [ x ] | "INV", [ x ] -> named CL.Inv [ x ]
+  | "BUF", [ x ] | "BUFF", [ x ] -> named CL.Buf [ x ]
+  | "DFF", [ x ] -> named CL.Dff [ x ]
+  (* Degenerate single-input forms occasionally found in benchmark files. *)
+  | ("AND" | "OR" | "XOR"), [ x ] -> named CL.Buf [ x ]
+  | ("NAND" | "NOR" | "XNOR"), [ x ] -> named CL.Inv [ x ]
+  | "AND", [ x; y ] -> named CL.And2 [ x; y ]
+  | "AND", [ x; y; z ] -> named CL.And3 [ x; y; z ]
+  | "AND", args -> named CL.And2 [ emit_tree b CL.And2 CL.And3 (List.filteri (fun i _ -> i < List.length args - 1) args); List.nth args (List.length args - 1) ]
+  | "OR", [ x; y ] -> named CL.Or2 [ x; y ]
+  | "OR", [ x; y; z ] -> named CL.Or3 [ x; y; z ]
+  | "OR", args -> named CL.Or2 [ emit_tree b CL.Or2 CL.Or3 (List.filteri (fun i _ -> i < List.length args - 1) args); List.nth args (List.length args - 1) ]
+  | "NAND", [ x; y ] -> named CL.Nand2 [ x; y ]
+  | "NAND", [ x; y; z ] -> named CL.Nand3 [ x; y; z ]
+  | "NAND", [ x; y; z; w ] -> named CL.Nand4 [ x; y; z; w ]
+  | "NAND", args ->
+    let partial = emit_tree b CL.And2 CL.And3 (List.filteri (fun i _ -> i < List.length args - 1) args) in
+    named CL.Nand2 [ partial; List.nth args (List.length args - 1) ]
+  | "NOR", [ x; y ] -> named CL.Nor2 [ x; y ]
+  | "NOR", [ x; y; z ] -> named CL.Nor3 [ x; y; z ]
+  | "NOR", args ->
+    let partial = emit_tree b CL.Or2 CL.Or3 (List.filteri (fun i _ -> i < List.length args - 1) args) in
+    named CL.Nor2 [ partial; List.nth args (List.length args - 1) ]
+  | "XOR", [ x; y ] ->
+    named CL.And2 [ B.gate b CL.Or2 [ x; y ]; B.gate b CL.Nand2 [ x; y ] ]
+  | "XOR", (x :: rest) ->
+    let acc = List.fold_left xor2 x (List.rev (List.tl (List.rev rest))) in
+    let last = List.nth rest (List.length rest - 1) in
+    named CL.And2 [ B.gate b CL.Or2 [ acc; last ]; B.gate b CL.Nand2 [ acc; last ] ]
+  | "XNOR", [ x; y ] -> named CL.Inv [ xor2 x y ]
+  | "XNOR", (x :: rest) ->
+    named CL.Inv [ List.fold_left xor2 x rest ]
+  | op, args -> invalid_arg (Printf.sprintf "%s/%d unsupported" op (List.length args))
+
+let parse ?(lib = CL.default) text =
+  let lines = String.split_on_char '\n' text in
+  let stmts =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           match parse_line (i + 1) line with Some s -> [ s ] | None -> [])
+         lines)
+  in
+  let b = B.create ~name_prefix:"w$" lib in
+  let defined = Hashtbl.create 256 in
+  (* Pass 1: primary inputs and flip-flops exist up front (flip-flop outputs
+     break combinational dependency cycles); D pins are patched in pass 3. *)
+  List.iter
+    (function
+      | S_input x ->
+        if Hashtbl.mem defined x then
+          invalid_arg ("bench: duplicate signal " ^ x);
+        Hashtbl.add defined x (B.input b x)
+      | S_gate (target, "DFF", [ _ ], drive) ->
+        if Hashtbl.mem defined target then
+          invalid_arg ("bench: duplicate signal " ^ target);
+        Hashtbl.add defined target
+          (B.gate b ~drive ~name:target CL.Dff [ B.unconnected ])
+      | S_output _ | S_gate _ -> ())
+    stmts;
+  (* Pass 2: combinational gates, iterated until a fixpoint (statement order
+     in .bench is arbitrary). *)
+  let pending =
+    ref
+      (List.filter
+         (function
+           | S_gate (_, "DFF", [ _ ], _) -> false
+           | S_gate _ -> true
+           | S_input _ | S_output _ -> false)
+         stmts)
+  in
+  let progress = ref true in
+  while !pending <> [] && !progress do
+    progress := false;
+    pending :=
+      List.filter
+        (function
+          | S_gate (target, op, args, drive) ->
+            if List.for_all (Hashtbl.mem defined) args then begin
+              if Hashtbl.mem defined target then
+                invalid_arg ("bench: duplicate signal " ^ target);
+              let fanin = List.map (Hashtbl.find defined) args in
+              Hashtbl.add defined target (emit_gate b ~name:target op fanin drive);
+              progress := true;
+              false
+            end
+            else true
+          | S_input _ | S_output _ -> false)
+        !pending
+  done;
+  (match !pending with
+  | [] -> ()
+  | S_gate (target, _, args, _) :: _ ->
+    let missing = List.filter (fun a -> not (Hashtbl.mem defined a)) args in
+    raise
+      (Parse_error
+         ( 0,
+           Printf.sprintf "%s depends on undefined or cyclic signal(s): %s"
+             target (String.concat ", " missing) ))
+  | (S_input _ | S_output _) :: _ -> assert false);
+  (* Pass 3: patch flip-flop D pins. *)
+  List.iter
+    (function
+      | S_gate (target, "DFF", [ d ], _) ->
+        let q = Hashtbl.find defined target in
+        let driver =
+          match Hashtbl.find_opt defined d with
+          | Some i -> i
+          | None -> raise (Parse_error (0, "DFF input undefined: " ^ d))
+        in
+        B.connect_pin b q ~pin:0 driver
+      | S_input _ | S_output _ | S_gate _ -> ())
+    stmts;
+  (* Pass 4: output ports. *)
+  let po_seen = Hashtbl.create 16 in
+  List.iter
+    (function
+      | S_output x ->
+        let driver =
+          match Hashtbl.find_opt defined x with
+          | Some i -> i
+          | None -> raise (Parse_error (0, "OUTPUT of undefined signal " ^ x))
+        in
+        let n = Option.value ~default:0 (Hashtbl.find_opt po_seen x) in
+        Hashtbl.replace po_seen x (n + 1);
+        let port =
+          if n = 0 then x ^ "$po" else Printf.sprintf "%s$po%d" x n
+        in
+        ignore (B.output b port driver)
+      | S_input _ | S_gate _ -> ())
+    stmts;
+  B.freeze b
+
+let parse_file ?lib path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse ?lib text
+
+let op_of_kind = function
+  | CL.Inv -> "NOT"
+  | CL.Buf -> "BUFF"
+  | CL.Nand2 | CL.Nand3 | CL.Nand4 -> "NAND"
+  | CL.Nor2 | CL.Nor3 -> "NOR"
+  | CL.And2 | CL.And3 -> "AND"
+  | CL.Or2 | CL.Or3 -> "OR"
+  | CL.Dff -> "DFF"
+
+let to_string nl =
+  let buf = Buffer.create 4096 in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  emit "# %d gates, %d inputs, %d outputs\n" (Netlist.gate_count nl)
+    (Array.length (Netlist.inputs nl))
+    (Array.length (Netlist.outputs nl));
+  Array.iter (fun i -> emit "INPUT(%s)\n" (Netlist.name nl i)) (Netlist.inputs nl);
+  Array.iter
+    (fun o -> emit "OUTPUT(%s)\n" (Netlist.name nl (Netlist.fanins nl o).(0)))
+    (Netlist.outputs nl);
+  Array.iter
+    (fun g ->
+      let c = Netlist.cell nl g in
+      let args =
+        Netlist.fanins nl g |> Array.to_list
+        |> List.map (Netlist.name nl)
+        |> String.concat ", "
+      in
+      let drive_note =
+        match c.CL.drive with
+        | CL.X1 -> ""
+        | d -> " # " ^ CL.drive_name d
+      in
+      emit "%s = %s(%s)%s\n" (Netlist.name nl g) (op_of_kind c.CL.kind) args
+        drive_note)
+    (Netlist.gates nl);
+  Buffer.contents buf
+
+let save nl ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string nl))

@@ -1,0 +1,25 @@
+(** ISCAS-style [.bench] netlist reader and writer.
+
+    Supported statements: [INPUT(x)], [OUTPUT(x)], and
+    [y = OP(a, b, ...)] with OP in NOT/BUFF/AND/OR/NAND/NOR/XOR/XNOR/DFF
+    (case-insensitive); [#] starts a comment.
+
+    The library has no XOR cell and fixed gate arities, so the reader
+    synthesizes: XOR/XNOR become OR/NAND/AND compositions, and wide
+    AND/OR/NAND/NOR gates become trees of 2-3 input cells. The writer
+    emits our exact cells one statement per gate, so write-then-read is
+    structure-preserving. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse : ?lib:Fbb_tech.Cell_library.t -> string -> Netlist.t
+(** Parse [.bench] text. Raises {!Parse_error}. *)
+
+val parse_file : ?lib:Fbb_tech.Cell_library.t -> string -> Netlist.t
+
+val to_string : Netlist.t -> string
+(** Serialize. Composite drive strengths are encoded as a [# drive] comment
+    suffix understood by {!parse}. *)
+
+val save : Netlist.t -> path:string -> unit

@@ -1,0 +1,101 @@
+type spec = {
+  name : string;
+  gates : int;
+  rows : int;
+  ilp_tractable : bool;
+  generate : ?lib:Fbb_tech.Cell_library.t -> unit -> Netlist.t;
+}
+
+let all =
+  [
+    {
+      name = "c1355";
+      gates = 439;
+      rows = 13;
+      ilp_tractable = true;
+      generate =
+        (fun ?lib () ->
+          Generators.ecc_checker ?lib ~target_gates:439 ~data_bits:32
+            ~check_bits:8 ~coverage:5 ~stride:2 ());
+    };
+    {
+      name = "c3540";
+      gates = 842;
+      rows = 15;
+      ilp_tractable = true;
+      generate =
+        (fun ?lib () ->
+          Generators.alu ?lib ~target_gates:842 ~bits:8 ~stages:2 ());
+    };
+    {
+      name = "c5315";
+      gates = 1308;
+      rows = 23;
+      ilp_tractable = true;
+      generate =
+        (fun ?lib () ->
+          Generators.alu ?lib ~target_gates:1308 ~bits:9 ~stages:3 ());
+    };
+    {
+      name = "c7552";
+      gates = 1666;
+      rows = 26;
+      ilp_tractable = true;
+      generate =
+        (fun ?lib () ->
+          Generators.adder_comparator ?lib ~target_gates:1666 ~bits:34 ());
+    };
+    {
+      name = "adder_128bits";
+      gates = 2026;
+      rows = 28;
+      ilp_tractable = true;
+      generate =
+        (fun ?lib () ->
+          Generators.prefix_adder ?lib ~registered_inputs:true ~target_gates:2026
+            ~bits:128 ());
+    };
+    {
+      name = "c6288";
+      gates = 2740;
+      rows = 33;
+      ilp_tractable = true;
+      generate =
+        (fun ?lib () ->
+          Generators.array_multiplier ?lib ~target_gates:2740 ~bits:16 ());
+    };
+    {
+      name = "Industrial1";
+      gates = 4219;
+      rows = 41;
+      ilp_tractable = true;
+      generate =
+        (fun ?lib () -> Generators.random_module ?lib ~seed:11 ~gates:4219 ());
+    };
+    {
+      name = "Industrial2";
+      gates = 10464;
+      rows = 63;
+      ilp_tractable = false;
+      generate =
+        (fun ?lib () -> Generators.random_module ?lib ~seed:12 ~gates:10464 ());
+    };
+    {
+      name = "Industrial3";
+      gates = 23898;
+      rows = 94;
+      ilp_tractable = false;
+      generate =
+        (fun ?lib () -> Generators.random_module ?lib ~seed:13 ~gates:23898 ());
+    };
+  ]
+
+let names = List.map (fun s -> s.name) all
+
+let find name =
+  let lowered = String.lowercase_ascii name in
+  match
+    List.find_opt (fun s -> String.lowercase_ascii s.name = lowered) all
+  with
+  | Some s -> s
+  | None -> raise Not_found

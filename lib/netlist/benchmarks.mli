@@ -1,0 +1,22 @@
+(** The paper's nine-design benchmark suite (Table 1).
+
+    Each spec carries the paper's gate and row counts — the generators are
+    padded to the exact gate count, and the placer targets the exact row
+    count — plus whether the paper reports ILP results for the design
+    (Industrial2/3 timed out in the paper's setup and ours). *)
+
+type spec = {
+  name : string;
+  gates : int;  (** Table 1 "Gates" column *)
+  rows : int;  (** Table 1 "Rows" column *)
+  ilp_tractable : bool;
+  generate : ?lib:Fbb_tech.Cell_library.t -> unit -> Netlist.t;
+}
+
+val all : spec list
+(** The nine designs, in Table 1 order. *)
+
+val find : string -> spec
+(** Case-insensitive lookup. Raises [Not_found]. *)
+
+val names : string list

@@ -1,0 +1,403 @@
+module B = Netlist.Builder
+module CL = Fbb_tech.Cell_library
+module L = Logic
+module Rng = Fbb_util.Rng
+
+(* Top the functional core up to an exact gate count with depth-1
+   observability glue: each glue gate combines two existing signals and
+   feeds its own output port, so it never creates new critical paths. *)
+let pad_to b rng target =
+  let have = B.gate_count b in
+  if have > target then
+    invalid_arg
+      (Printf.sprintf "Generators: core has %d gates, target %d" have target);
+  (* Observability taps read primary inputs (ports contribute no gate
+     delay, so their load is timing-free) and dangling register outputs;
+     the glue therefore never disturbs the core's critical region. *)
+  let signals = Array.of_list (B.signals b) in
+  let candidates =
+    Array.of_list
+      (List.filter
+         (fun s ->
+           match B.node_kind b s with
+           | Netlist.Input -> true
+           | Netlist.Gate c ->
+             CL.is_sequential c.CL.kind && B.fanout_count b s = 0
+           | Netlist.Output -> false)
+         (Array.to_list signals))
+  in
+  let candidates =
+    if Array.length candidates >= 2 then candidates else signals
+  in
+  let pick () = candidates.(Rng.int rng (Array.length candidates)) in
+  let glue = ref [] in
+  for _ = 1 to target - have do
+    let x = pick () in
+    let y = pick () in
+    let kind =
+      match Rng.int rng 4 with
+      | 0 -> CL.Nand2
+      | 1 -> CL.Nor2
+      | 2 -> CL.And2
+      | _ -> CL.Or2
+    in
+    let g =
+      if x = y then B.gate b CL.Inv [ x ] else B.gate b kind [ x; y ]
+    in
+    glue := g :: !glue
+  done;
+  List.iteri
+    (fun i g -> ignore (B.output b (Printf.sprintf "obs%d$po" i) g))
+    !glue
+
+let finish ?target_gates ~seed b =
+  (match target_gates with
+  | Some t -> pad_to b (Rng.create ~seed) t
+  | None -> ());
+  Logic.size_for_fanout (B.freeze b)
+
+let bus b prefix n = List.init n (fun i -> B.input b (Printf.sprintf "%s%d" prefix i))
+
+let outputs b prefix ids =
+  List.iteri
+    (fun i x -> ignore (B.output b (Printf.sprintf "%s%d$po" prefix i) x))
+    ids
+
+(* --- Ripple-carry adder (adder_128bits profile) ----------------------- *)
+
+let ripple_adder ?(lib = CL.default) ?(registered = true) ?target_gates
+    ?(seed = 1) ~bits () =
+  let b = B.create ~name_prefix:"add$" lib in
+  let a = bus b "a" bits in
+  let bb = bus b "b" bits in
+  let cin = B.input b "cin" in
+  let a = if registered then L.register b ~prefix:"ra" a else a in
+  let bb = if registered then L.register b ~prefix:"rb" bb else bb in
+  let cin = if registered then L.dff b ~name:"rcin" cin else cin in
+  let sums, carry =
+    List.fold_left2
+      (fun (sums, carry) x y ->
+        let s, c = L.full_adder_maj b x y carry in
+        (s :: sums, c))
+      ([], cin) a bb
+  in
+  let sums = List.rev sums in
+  let sums = if registered then L.register b ~prefix:"rs" sums else sums in
+  let carry = if registered then L.dff b ~name:"rcout" carry else carry in
+  outputs b "sum" sums;
+  ignore (B.output b "cout$po" carry);
+  finish ?target_gates ~seed b
+
+(* --- Brent-Kung parallel-prefix adder (adder_128bits profile) ---------- *)
+
+let prefix_adder ?(lib = CL.default) ?(registered_inputs = false)
+    ?(registered_outputs = true) ?target_gates ?(seed = 6) ~bits () =
+  let b = B.create ~name_prefix:"bk$" lib in
+  let a = bus b "a" bits in
+  let bb = bus b "b" bits in
+  let cin = B.input b "cin" in
+  let a = if registered_inputs then L.register b ~prefix:"ra" a else a in
+  let bb = if registered_inputs then L.register b ~prefix:"rb" bb else bb in
+  let cin = if registered_inputs then L.dff b ~name:"rcin" cin else cin in
+  let sums, cout = L.prefix_add b a bb ~cin in
+  let sums =
+    if registered_outputs then L.register b ~prefix:"rs" sums else sums
+  in
+  let cout = if registered_outputs then L.dff b ~name:"rcout" cout else cout in
+  outputs b "sum" sums;
+  ignore (B.output b "cout$po" cout);
+  finish ?target_gates ~seed b
+
+(* --- Carry-save array multiplier (c6288 profile) ----------------------- *)
+
+let array_multiplier ?(lib = CL.default) ?target_gates ?(seed = 2) ~bits () =
+  let b = B.create ~name_prefix:"mul$" lib in
+  let a = Array.of_list (bus b "a" bits) in
+  let bb = Array.of_list (bus b "b" bits) in
+  let pp i j = L.and2 b a.(i) bb.(j) in
+  (* Row-by-row carry-save reduction: running sum/carry vectors, one adder
+     row per multiplier bit, then a final ripple carry-propagate row. *)
+  let sum = Array.init bits (fun i -> pp i 0) in
+  let carry = Array.make bits None in
+  let product = ref [ sum.(0) ] in
+  for j = 1 to bits - 1 do
+    let incoming = Array.init bits (fun i -> if i < bits - 1 then Some sum.(i + 1) else None) in
+    for i = 0 to bits - 1 do
+      let p = pp i j in
+      let s_in = incoming.(i) in
+      let c_in = carry.(i) in
+      match (s_in, c_in) with
+      | None, None -> sum.(i) <- p
+      | Some s, None ->
+        let s', c' = L.half_adder b p s in
+        sum.(i) <- s';
+        carry.(i) <- Some c'
+      | None, Some c ->
+        let s', c' = L.half_adder b p c in
+        sum.(i) <- s';
+        carry.(i) <- Some c'
+      | Some s, Some c ->
+        (* The three least-significant columns close their carry-save rows and use
+           the leaner ripple-style adder. *)
+        let fa = if i <= 2 then L.full_adder else L.full_adder_maj in
+        let s', c' = fa b p s c in
+        sum.(i) <- s';
+        carry.(i) <- Some c'
+    done;
+    product := sum.(0) :: !product
+  done;
+  (* Final carry-propagate addition over sum[1..] and the pending carries.
+     Timing-driven mapping uses a log-depth prefix adder here; a ripple
+     chain would add a slow tail that dominates the critical region. *)
+  let xs = List.init (bits - 1) (fun i -> sum.(i + 1)) in
+  let ys =
+    List.init (bits - 1) (fun i ->
+        match carry.(i) with
+        | Some c -> c
+        | None -> L.const_zero b ~any:sum.(0))
+  in
+  let zero = L.const_zero b ~any:sum.(0) in
+  let high, cpa_cout = L.prefix_add b xs ys ~cin:zero in
+  let top =
+    match carry.(bits - 1) with
+    | Some c ->
+      let s', c' = L.half_adder b c cpa_cout in
+      [ s'; c' ]
+    | None -> [ cpa_cout ]
+  in
+  let product = List.rev_append !product (high @ top) in
+  outputs b "p" product;
+  finish ?target_gates ~seed b
+
+(* --- Multi-function ALU (c3540 / c5315 profile) ------------------------ *)
+
+let alu_slice b ~bits ~tag ~flags a bb cin op0 op1 op2 =
+  let nb = List.map (L.inv b) bb in
+  let b_sel = List.map2 (fun y ny -> L.mux2 b ~sel:op0 y ny) bb nb in
+  let sums, carry =
+    List.fold_left2
+      (fun (sums, carry) x y ->
+        let s, c = L.full_adder b x y carry in
+        (s :: sums, c))
+      ([], cin) a b_sel
+  in
+  let sums = List.rev sums in
+  let ands = List.map2 (L.and2 b) a bb in
+  let ors = List.map2 (L.or2 b) a bb in
+  let xors = List.map2 (L.xor2 b) a bb in
+  (* The NOR mux input reuses the AND unit's complement-free slot: the
+     reduced cell library makes a dedicated NOR unit more expensive than
+     routing AND there, as a mapper would. *)
+  let nors = ands in
+  let arr = Array.of_list a in
+  let shl = Array.to_list (Array.init bits (fun i -> if i = 0 then cin else arr.(i - 1))) in
+  let shr = Array.to_list (Array.init bits (fun i -> if i = bits - 1 then cin else arr.(i + 1))) in
+  let pick4 w x y z =
+    L.mux2 b ~sel:op1 (L.mux2 b ~sel:op0 w x) (L.mux2 b ~sel:op0 y z)
+  in
+  let result =
+    List.map
+      (fun i ->
+        let arith = pick4 (List.nth sums i) (List.nth sums i) (List.nth shl i) (List.nth shr i) in
+        let logic = pick4 (List.nth ands i) (List.nth ors i) (List.nth xors i) (List.nth nors i) in
+        L.mux2 b ~sel:op2 arith logic)
+      (List.init bits (fun i -> i))
+  in
+  if flags then begin
+    let zero = L.inv b (L.or_tree b result) in
+    let parity = L.xor_tree b result in
+    ignore (B.output b (Printf.sprintf "%s_zero$po" tag) zero);
+    ignore (B.output b (Printf.sprintf "%s_parity$po" tag) parity)
+  end;
+  ignore (B.output b (Printf.sprintf "%s_cout$po" tag) carry);
+  result
+
+let alu ?(lib = CL.default) ?(stages = 1) ?target_gates ?(seed = 3) ~bits () =
+  let b = B.create ~name_prefix:"alu$" lib in
+  let a = bus b "a" bits in
+  let data = bus b "b" bits in
+  let cin = B.input b "cin" in
+  let op0 = B.input b "op0" in
+  let op1 = B.input b "op1" in
+  let op2 = B.input b "op2" in
+  let rec run stage acc =
+    if stage > stages then acc
+    else
+      let result =
+        alu_slice b ~bits ~tag:(Printf.sprintf "s%d" stage)
+          ~flags:(stage = stages) acc data cin op0 op1 op2
+      in
+      run (stage + 1) result
+  in
+  let final = run 1 a in
+  outputs b "r" final;
+  finish ?target_gates ~seed b
+
+(* --- Adder + comparator + parity (c7552 profile) ----------------------- *)
+
+let adder_comparator ?(lib = CL.default) ?target_gates ?(seed = 4) ~bits () =
+  let b = B.create ~name_prefix:"ac$" lib in
+  let a = bus b "a" bits in
+  let bb = bus b "b" bits in
+  let cin = B.input b "cin" in
+  let ripple carry0 =
+    List.fold_left2
+      (fun (sums, c) x y ->
+        let s, c' = L.full_adder_maj b x y c in
+        (s :: sums, c'))
+      ([], carry0) a bb
+  in
+  let sums, carry = ripple cin in
+  outputs b "sum" (List.rev sums);
+  ignore (B.output b "cout$po" carry);
+  (* Rounding path: the same operands summed with the carry-in forced high
+     (incremented result), as in add/round datapaths. *)
+  let sums1, carry1 = ripple (L.const_one b ~any:cin) in
+  outputs b "rsum" (List.rev sums1);
+  ignore (B.output b "cout1$po" carry1);
+  (* Magnitude comparison via a borrow chain a - b. *)
+  let borrow =
+    List.fold_left2
+      (fun borrow x y ->
+        let nx = L.inv b x in
+        let diff = L.xor2 b nx y in
+        L.or2 b (L.and2 b nx y) (L.and2 b diff borrow))
+      (L.const_zero b ~any:cin) a bb
+  in
+  ignore (B.output b "a_lt_b$po" borrow);
+  ignore (B.output b "a_eq_b$po" (L.equal_n b a bb));
+  ignore (B.output b "par_a$po" (L.xor_tree b a));
+  ignore (B.output b "par_b$po" (L.xor_tree b bb));
+  ignore (B.output b "par_s$po" (L.xor_tree b (List.rev sums)));
+  finish ?target_gates ~seed b
+
+(* --- ECC syndrome checker (c1355 profile) ------------------------------ *)
+
+let ecc_checker ?(lib = CL.default) ?target_gates ?(seed = 5) ?coverage
+    ?(stride = 0) ~data_bits ~check_bits () =
+  let coverage = Option.value coverage ~default:(check_bits / 2) in
+  let b = B.create ~name_prefix:"ecc$" lib in
+  let data = Array.of_list (bus b "d" data_bits) in
+  let check = Array.of_list (bus b "c" check_bits) in
+  (* Syndrome s_j: parity of a rotating cover of [coverage + stride*j]
+     data bits, XORed with the stored check bit. Real Hamming covers have
+     unequal sizes, which is what gives the checker its slack diversity. *)
+  let syndrome =
+    Array.init check_bits (fun j ->
+        let width = coverage + (stride * j) in
+        let members =
+          Array.to_list data
+          |> List.filteri (fun i _ -> (i + (5 * j)) mod data_bits < width)
+        in
+        let tree = L.xor_tree b members in
+        L.xor2 b tree check.(j))
+  in
+  let any_error = L.or_tree b (Array.to_list syndrome) in
+  (* Corrected data: flip bit i when the syndrome pattern matches i. *)
+  let corrected =
+    Array.to_list
+      (Array.mapi
+         (fun i d ->
+           let flips = L.and2 b any_error syndrome.(i mod check_bits) in
+           L.xor2 b d flips)
+         data)
+  in
+  outputs b "q" corrected;
+  ignore (B.output b "err$po" any_error);
+  finish ?target_gates ~seed b
+
+(* --- Random SoC module (Industrial1-3 profile) ------------------------- *)
+
+let random_module ?(lib = CL.default) ?(dff_fraction = 0.06) ?inputs ~seed
+    ~gates () =
+  let rng = Rng.create ~seed in
+  let b = B.create ~name_prefix:"g$" lib in
+  let n_inputs =
+    match inputs with Some n -> n | None -> max 8 (gates / 40)
+  in
+  let ins = Array.of_list (bus b "pi" n_inputs) in
+  (* Signals are kept in creation order; fanins are drawn from a sliding
+     window over recent signals, which gives the spatial/logical locality a
+     placed SoC module exhibits. Flip-flops may close feedback loops by
+     sampling a yet-unknown future signal (patched afterwards). *)
+  let signals = Array.make (n_inputs + gates) 0 in
+  Array.blit ins 0 signals 0 n_inputs;
+  let count = ref n_inputs in
+  let window = max 48 (gates / 12) in
+  let pick () =
+    let lo = max 0 (!count - window) in
+    signals.(Rng.int_in rng lo (!count - 1))
+  in
+  let pick2 () =
+    let x = pick () in
+    let rec other tries =
+      let y = pick () in
+      if y <> x || tries > 4 then y else other (tries + 1)
+    in
+    (x, other 0)
+  in
+  let deferred = ref [] in
+  for _ = 1 to gates do
+    let id =
+      if Rng.uniform rng < dff_fraction then begin
+        let g = B.gate b CL.Dff [ B.unconnected ] in
+        deferred := g :: !deferred;
+        g
+      end
+      else
+        match Rng.int rng 100 with
+        | n when n < 26 -> let x, y = pick2 () in L.nand2 b x y
+        | n when n < 44 -> let x, y = pick2 () in L.nor2 b x y
+        | n when n < 58 -> let x, y = pick2 () in L.and2 b x y
+        | n when n < 72 -> let x, y = pick2 () in L.or2 b x y
+        | n when n < 86 -> L.inv b (pick ())
+        | n when n < 93 ->
+          let x, y = pick2 () in
+          B.gate b CL.Nand3 [ x; y; pick () ]
+        | _ ->
+          let x, y = pick2 () in
+          B.gate b CL.Nor3 [ x; y; pick () ]
+    in
+    signals.(!count) <- id;
+    incr count
+  done;
+  (* Flip-flop D inputs sample signals created after them (feedback). *)
+  List.iter
+    (fun g ->
+      let d = signals.(Rng.int rng !count) in
+      let d = if d = g then signals.(0) else d in
+      B.connect_pin b g ~pin:0 d)
+    !deferred;
+  let nl = B.freeze b in
+  (* Rebuild with output ports on fanout-free gates. *)
+  let b2 = B.create ~name_prefix:"g$" lib in
+  let remap = Array.make (Netlist.size nl) (-1) in
+  Array.iter (fun i -> remap.(i) <- B.input b2 (Netlist.name nl i)) (Netlist.inputs nl);
+  Array.iter
+    (fun g ->
+      let c = Netlist.cell nl g in
+      let fanin =
+        Array.to_list (Netlist.fanins nl g)
+        |> List.map (fun f -> if remap.(f) = -1 then B.unconnected else remap.(f))
+      in
+      remap.(g) <-
+        B.gate b2 ~drive:c.CL.drive ~name:(Netlist.name nl g) c.CL.kind fanin)
+    (Netlist.gates nl);
+  (* Patch pins that referenced later nodes (flip-flop feedback). *)
+  Array.iter
+    (fun g ->
+      Array.iteri
+        (fun pin f ->
+          if remap.(f) <> -1 && f > g then
+            B.connect_pin b2 remap.(g) ~pin remap.(f))
+        (Netlist.fanins nl g))
+    (Netlist.gates nl);
+  let k = ref 0 in
+  Array.iter
+    (fun g ->
+      if Array.length (Netlist.fanouts nl g) = 0 then begin
+        ignore (B.output b2 (Printf.sprintf "po%d$po" !k) remap.(g));
+        incr k
+      end)
+    (Netlist.gates nl);
+  Logic.size_for_fanout (B.freeze b2)

@@ -1,0 +1,100 @@
+(** Circuit generators.
+
+    The paper evaluates on five ISCAS-85 benchmarks, a 128-bit adder and
+    three industrial SoC modules, none of which can ship with this
+    repository. Each generator below builds a circuit of the same function
+    class and size (see DESIGN.md, substitutions): real arithmetic and
+    checking structures — not random graphs — for the ISCAS-class designs,
+    and a seeded random module generator for the industrial blocks.
+
+    All generators return sized netlists ({!Logic.size_for_fanout} applied)
+    that pass {!Netlist.validate}. When [target_gates] is given, the
+    functional core is topped up to exactly that many gate instances with
+    shallow observability glue (2-input gates over existing signals feeding
+    dedicated output ports), so Table 1 gate counts can be matched
+    exactly. Raises [Invalid_argument] if the core alone already exceeds
+    [target_gates]. *)
+
+val ripple_adder :
+  ?lib:Fbb_tech.Cell_library.t ->
+  ?registered:bool ->
+  ?target_gates:int ->
+  ?seed:int ->
+  bits:int ->
+  unit ->
+  Netlist.t
+(** Ripple-carry adder; [registered] (default true) adds input and output
+    flip-flops (the paper's [adder_128bits] profile). *)
+
+val prefix_adder :
+  ?lib:Fbb_tech.Cell_library.t ->
+  ?registered_inputs:bool ->
+  ?registered_outputs:bool ->
+  ?target_gates:int ->
+  ?seed:int ->
+  bits:int ->
+  unit ->
+  Netlist.t
+(** Brent-Kung parallel-prefix adder — the structure timing-driven
+    synthesis produces for a wide [+] operator, and our profile for the
+    paper's [adder_128bits]: a shallow log-depth carry tree whose critical
+    region is a small fraction of the cells. Outputs are registered by
+    default; inputs are not. *)
+
+val array_multiplier :
+  ?lib:Fbb_tech.Cell_library.t ->
+  ?target_gates:int ->
+  ?seed:int ->
+  bits:int ->
+  unit ->
+  Netlist.t
+(** Combinational carry-save array multiplier (the c6288 profile): a grid
+    of full/half adders gives the characteristic large population of
+    near-critical paths. *)
+
+val alu :
+  ?lib:Fbb_tech.Cell_library.t ->
+  ?stages:int ->
+  ?target_gates:int ->
+  ?seed:int ->
+  bits:int ->
+  unit ->
+  Netlist.t
+(** Multi-function ALU slice (add, subtract, AND, OR, XOR, NOR, shifts,
+    flags) with an output mux; [stages] chains several slices (c3540 and
+    c5315 profiles). *)
+
+val adder_comparator :
+  ?lib:Fbb_tech.Cell_library.t ->
+  ?target_gates:int ->
+  ?seed:int ->
+  bits:int ->
+  unit ->
+  Netlist.t
+(** Adder plus magnitude/equality comparator plus parity checker (the c7552
+    profile). *)
+
+val ecc_checker :
+  ?lib:Fbb_tech.Cell_library.t ->
+  ?target_gates:int ->
+  ?seed:int ->
+  ?coverage:int ->
+  ?stride:int ->
+  data_bits:int ->
+  check_bits:int ->
+  unit ->
+  Netlist.t
+(** Error-detecting checker: syndrome XOR trees over overlapping data
+    subsets plus output correction (the c1355 profile). *)
+
+val random_module :
+  ?lib:Fbb_tech.Cell_library.t ->
+  ?dff_fraction:float ->
+  ?inputs:int ->
+  seed:int ->
+  gates:int ->
+  unit ->
+  Netlist.t
+(** Seeded random SoC-module logic: a locally connected DAG with the given
+    gate count, a [dff_fraction] (default 0.06) of flip-flops, and output
+    ports on dangling nets (the Industrial1-3 profile). *)

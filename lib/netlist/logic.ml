@@ -1,0 +1,109 @@
+module B = Netlist.Builder
+module CL = Fbb_tech.Cell_library
+
+let inv b a = B.gate b CL.Inv [ a ]
+let and2 b x y = B.gate b CL.And2 [ x; y ]
+let or2 b x y = B.gate b CL.Or2 [ x; y ]
+let nand2 b x y = B.gate b CL.Nand2 [ x; y ]
+let nor2 b x y = B.gate b CL.Nor2 [ x; y ]
+
+let xor2 b x y = and2 b (or2 b x y) (nand2 b x y)
+
+let const_zero b ~any = and2 b any (inv b any)
+let const_one b ~any = or2 b any (inv b any)
+
+let xnor2 b x y = inv b (xor2 b x y)
+
+let mux2 b ~sel x y =
+  (* sel=0 -> x, sel=1 -> y, in four NANDs. *)
+  let nsel = inv b sel in
+  nand2 b (nand2 b x nsel) (nand2 b y sel)
+
+let rec tree op b = function
+  | [] -> invalid_arg "Logic: empty tree"
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | x :: y :: rest -> op b x y :: pair rest
+    in
+    tree op b (pair xs)
+
+let xor_tree b xs = tree xor2 b xs
+let and_tree b xs = tree and2 b xs
+let or_tree b xs = tree or2 b xs
+
+let half_adder b x y = (xor2 b x y, and2 b x y)
+
+let full_adder b x y cin =
+  let p = xor2 b x y in
+  let sum = xor2 b p cin in
+  let carry = or2 b (and2 b x y) (and2 b p cin) in
+  (sum, carry)
+
+let full_adder_maj b x y cin =
+  let p = xor2 b x y in
+  let sum = xor2 b p cin in
+  let carry = or_tree b [ and2 b x y; and2 b x cin; and2 b y cin ] in
+  (sum, carry)
+
+let prefix_add b xs ys ~cin =
+  let bits = List.length xs in
+  if bits = 0 || List.length ys <> bits then
+    invalid_arg "Logic.prefix_add: operand length mismatch";
+  let p0 = Array.of_list (List.map2 (xor2 b) xs ys) in
+  let g = Array.of_list (List.map2 (and2 b) xs ys) in
+  g.(0) <- or2 b g.(0) (and2 b p0.(0) cin);
+  let p = Array.copy p0 in
+  (* Up-sweep: prefix (g, p) pairs at power-of-two strides. *)
+  let d = ref 1 in
+  while 2 * !d <= bits do
+    let i = ref ((2 * !d) - 1) in
+    while !i < bits do
+      g.(!i) <- or2 b g.(!i) (and2 b p.(!i) g.(!i - !d));
+      p.(!i) <- and2 b p.(!i) p.(!i - !d);
+      i := !i + (2 * !d)
+    done;
+    d := 2 * !d
+  done;
+  (* Down-sweep: remaining prefixes need their generate term only. *)
+  let d = ref (!d / 2) in
+  while !d >= 1 do
+    let i = ref ((3 * !d) - 1) in
+    while !i < bits do
+      g.(!i) <- or2 b g.(!i) (and2 b p.(!i) g.(!i - !d));
+      i := !i + (2 * !d)
+    done;
+    d := !d / 2
+  done;
+  let sums =
+    List.init bits (fun i ->
+        if i = 0 then xor2 b p0.(0) cin else xor2 b p0.(i) g.(i - 1))
+  in
+  (sums, g.(bits - 1))
+
+let equal_n b xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Logic.equal_n: length mismatch";
+  and_tree b (List.map2 (xnor2 b) xs ys)
+
+let dff b ?name d =
+  match name with
+  | Some name -> B.gate b ~name CL.Dff [ d ]
+  | None -> B.gate b CL.Dff [ d ]
+
+let register b ?prefix ds =
+  List.mapi
+    (fun i d ->
+      match prefix with
+      | Some p -> dff b ~name:(Printf.sprintf "%s%d" p i) d
+      | None -> dff b d)
+    ds
+
+let drive_of_fanout fo = if fo <= 3 then CL.X1 else if fo <= 7 then CL.X2 else CL.X4
+
+let size_for_fanout nl =
+  Netlist.resize nl (fun g ->
+      let fo = Array.length (Netlist.fanouts nl g) in
+      Some (drive_of_fanout fo))

@@ -1,0 +1,69 @@
+(** Composite logic gadgets over {!Netlist.Builder}.
+
+    The experimental library deliberately contains no XOR cell (the paper
+    maps designs on inverters, AND, OR, NAND, NOR and flip-flops only), so
+    arithmetic structures compose XOR and friends from those primitives. *)
+
+open Fbb_tech
+
+type b := Netlist.Builder.b
+type id := Netlist.id
+
+val inv : b -> id -> id
+val and2 : b -> id -> id -> id
+val or2 : b -> id -> id -> id
+val nand2 : b -> id -> id -> id
+val nor2 : b -> id -> id -> id
+
+val xor2 : b -> id -> id -> id
+(** [(a | b) & ~(a & b)]: 3 gates. *)
+
+val const_zero : b -> any:id -> id
+(** Logic 0 synthesized from any available signal ([x & ~x]); the library
+    has no tie cells. *)
+
+val const_one : b -> any:id -> id
+
+val xnor2 : b -> id -> id -> id
+
+val mux2 : b -> sel:id -> id -> id -> id
+(** [sel ? b : a], built from NAND gates. *)
+
+val half_adder : b -> id -> id -> id * id
+(** [(sum, carry)]. *)
+
+val full_adder : b -> id -> id -> id -> id * id
+(** [(sum, carry_out)] with the carry factored through the propagate signal
+    (9 gates) — the style of ripple-chain cells. *)
+
+val full_adder_maj : b -> id -> id -> id -> id * id
+(** [(sum, carry_out)] with a 3-term majority carry (11 gates) — the style
+    of carry-save array cells. *)
+
+val xor_tree : b -> id list -> id
+(** Balanced parity tree. Raises [Invalid_argument] on an empty list. *)
+
+val and_tree : b -> id list -> id
+val or_tree : b -> id list -> id
+
+val prefix_add : b -> id list -> id list -> cin:id -> id list * id
+(** Brent-Kung parallel-prefix addition: [(sums, carry_out)]. Both operand
+    lists must have equal non-zero length. The log-depth carry tree is the
+    structure timing-driven mapping produces for wide additions. *)
+
+val equal_n : b -> id list -> id list -> id
+(** Bitwise equality comparator; both lists must have the same length. *)
+
+val dff : b -> ?name:string -> id -> id
+(** Register a signal. *)
+
+val register : b -> ?prefix:string -> id list -> id list
+(** Register a bus; names are derived from [prefix] when given. *)
+
+val drive_of_fanout : int -> Cell_library.drive
+(** The sizing rule used by {!size_for_fanout}: X1 up to 3 fanouts, X2 up
+    to 7, X4 beyond. *)
+
+val size_for_fanout : Netlist.t -> Netlist.t
+(** Post-mapping sizing pass: re-drive every gate according to its fanout
+    (the role of the paper's "mapped for optimal timing" step). *)

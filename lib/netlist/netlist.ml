@@ -1,0 +1,336 @@
+module CL = Fbb_tech.Cell_library
+
+type kind = Input | Output | Gate of CL.cell
+
+type id = int
+
+type t = {
+  lib : CL.t;
+  names : string array;
+  kinds : kind array;
+  fanins : id array array;
+  fanouts : id array array;
+  by_name : (string, id) Hashtbl.t;
+  inputs : id array;
+  outputs : id array;
+  gates : id array;
+}
+
+exception Combinational_cycle of string
+
+let library t = t.lib
+let size t = Array.length t.names
+let name t i = t.names.(i)
+let kind t i = t.kinds.(i)
+let fanins t i = t.fanins.(i)
+let fanouts t i = t.fanouts.(i)
+
+let is_gate t i = match t.kinds.(i) with Gate _ -> true | Input | Output -> false
+
+let is_sequential t i =
+  match t.kinds.(i) with
+  | Gate c -> CL.is_sequential c.CL.kind
+  | Input | Output -> false
+
+let inputs t = t.inputs
+let outputs t = t.outputs
+let gates t = t.gates
+let gate_count t = Array.length t.gates
+
+let find t n =
+  match Hashtbl.find_opt t.by_name n with
+  | Some i -> i
+  | None -> raise Not_found
+
+let cell t i =
+  match t.kinds.(i) with
+  | Gate c -> c
+  | Input | Output -> invalid_arg "Netlist.cell: not a gate"
+
+let total_width_sites t =
+  Array.fold_left (fun acc g -> acc + (cell t g).CL.width_sites) 0 t.gates
+
+let stats t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun g ->
+      let n = (cell t g).CL.name in
+      Hashtbl.replace tbl n
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl n)))
+    t.gates;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Combinational topological order: edges into a flip-flop's D pin are cut,
+   so flip-flops act as sources. Kahn's algorithm; leftover nodes indicate a
+   combinational cycle. *)
+let topo_order t =
+  let n = size t in
+  let indeg = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if not (is_sequential t i) then indeg.(i) <- Array.length t.fanins.(i)
+  done;
+  let order = Array.make n 0 in
+  let filled = ref 0 in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order.(!filled) <- i;
+    incr filled;
+    Array.iter
+      (fun succ ->
+        if not (is_sequential t succ) then begin
+          indeg.(succ) <- indeg.(succ) - 1;
+          if indeg.(succ) = 0 then Queue.add succ queue
+        end)
+      t.fanouts.(i)
+  done;
+  if !filled <> n then begin
+    let offender = ref "" in
+    for i = n - 1 downto 0 do
+      if indeg.(i) > 0 then offender := t.names.(i)
+    done;
+    raise (Combinational_cycle !offender)
+  end;
+  order
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  Array.iteri
+    (fun i k ->
+      let nin = Array.length t.fanins.(i) in
+      match k with
+      | Input -> if nin <> 0 then err "input %s has %d drivers" t.names.(i) nin
+      | Output -> if nin <> 1 then err "output %s has %d drivers" t.names.(i) nin
+      | Gate c ->
+        if nin <> c.CL.fanin then
+          err "gate %s (%s) has %d of %d pins connected" t.names.(i) c.CL.name
+            nin c.CL.fanin)
+    t.kinds;
+  (match topo_order t with
+  | (_ : id array) -> ()
+  | exception Combinational_cycle n -> err "combinational cycle through %s" n);
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+module Builder = struct
+  type b = {
+    lib : CL.t;
+    prefix : string;
+    mutable names : string array;
+    mutable kinds : kind array;
+    mutable fanin_arrays : id array array;
+    mutable out_deg : int array;
+    tbl : (string, id) Hashtbl.t;
+    mutable count : int;
+    mutable fresh : int;
+    mutable sealed : bool;
+  }
+
+  let create ?(name_prefix = "n") lib =
+    {
+      lib;
+      prefix = name_prefix;
+      names = Array.make 64 "";
+      kinds = Array.make 64 Input;
+      fanin_arrays = Array.make 64 [||];
+      out_deg = Array.make 64 0;
+      tbl = Hashtbl.create 256;
+      count = 0;
+      fresh = 0;
+      sealed = false;
+    }
+
+  let check_open b = if b.sealed then invalid_arg "Netlist.Builder: sealed"
+
+  let grow b =
+    let cap = Array.length b.names in
+    if b.count >= cap then begin
+      let cap' = cap * 2 in
+      let extend init a =
+        let a' = Array.make cap' init in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      b.names <- extend "" b.names;
+      b.kinds <- extend Input b.kinds;
+      b.fanin_arrays <- extend [||] b.fanin_arrays;
+      b.out_deg <- extend 0 b.out_deg
+    end
+
+  let add b name kind fanin =
+    check_open b;
+    if Hashtbl.mem b.tbl name then
+      invalid_arg (Printf.sprintf "Netlist.Builder: duplicate name %s" name);
+    grow b;
+    let id = b.count in
+    b.names.(id) <- name;
+    b.kinds.(id) <- kind;
+    b.fanin_arrays.(id) <- Array.of_list fanin;
+    List.iter (fun f -> if f >= 0 then b.out_deg.(f) <- b.out_deg.(f) + 1) fanin;
+    Hashtbl.add b.tbl name id;
+    b.count <- id + 1;
+    id
+
+  let fresh_name b =
+    let rec pick () =
+      let n = Printf.sprintf "%s%d" b.prefix b.fresh in
+      b.fresh <- b.fresh + 1;
+      if Hashtbl.mem b.tbl n then pick () else n
+    in
+    pick ()
+
+  let input b name = add b name Input []
+
+  let output b name driver = add b name Output [ driver ]
+
+  let unconnected = -1
+
+  let gate b ?(drive = CL.X1) ?name kind fanin =
+    check_open b;
+    let cell = CL.find b.lib kind drive in
+    if List.length fanin <> cell.CL.fanin then
+      invalid_arg
+        (Printf.sprintf "Netlist.Builder.gate: %s expects %d pins, got %d"
+           cell.CL.name cell.CL.fanin (List.length fanin));
+    List.iter
+      (fun f ->
+        if f <> unconnected && (f < 0 || f >= b.count) then
+          invalid_arg "Netlist.Builder.gate: dangling fanin id")
+      fanin;
+    let name = match name with Some n -> n | None -> fresh_name b in
+    add b name (Gate cell) fanin
+
+  let connect_pin b g ~pin driver =
+    check_open b;
+    if g < 0 || g >= b.count then
+      invalid_arg "Netlist.Builder.connect_pin: bad gate id";
+    if driver < 0 || driver >= b.count then
+      invalid_arg "Netlist.Builder.connect_pin: bad driver id";
+    let pins = b.fanin_arrays.(g) in
+    if pin < 0 || pin >= Array.length pins then
+      invalid_arg "Netlist.Builder.connect_pin: bad pin index";
+    if pins.(pin) <> unconnected then
+      invalid_arg "Netlist.Builder.connect_pin: pin already connected";
+    pins.(pin) <- driver;
+    b.out_deg.(driver) <- b.out_deg.(driver) + 1
+
+  let set_drive b id drive =
+    check_open b;
+    if id < 0 || id >= b.count then
+      invalid_arg "Netlist.Builder.set_drive: bad id";
+    match b.kinds.(id) with
+    | Gate c -> b.kinds.(id) <- Gate (CL.find b.lib c.CL.kind drive)
+    | Input | Output -> invalid_arg "Netlist.Builder.set_drive: not a gate"
+
+  let size b = b.count
+
+  let gate_count b =
+    let n = ref 0 in
+    for i = 0 to b.count - 1 do
+      match b.kinds.(i) with Gate _ -> incr n | Input | Output -> ()
+    done;
+    !n
+
+  let node_kind b id =
+    if id < 0 || id >= b.count then
+      invalid_arg "Netlist.Builder.node_kind: bad id";
+    b.kinds.(id)
+
+  let fanout_count b id =
+    if id < 0 || id >= b.count then
+      invalid_arg "Netlist.Builder.fanout_count: bad id";
+    b.out_deg.(id)
+
+  let signals b =
+    let acc = ref [] in
+    for i = 0 to b.count - 1 do
+      match b.kinds.(i) with
+      | Gate _ | Input -> acc := i :: !acc
+      | Output -> ()
+    done;
+    !acc
+
+  let freeze b =
+    check_open b;
+    for i = 0 to b.count - 1 do
+      Array.iteri
+        (fun pin f ->
+          if f = unconnected then
+            invalid_arg
+              (Printf.sprintf "Netlist.Builder.freeze: %s pin %d unconnected"
+                 b.names.(i) pin))
+        b.fanin_arrays.(i)
+    done;
+    b.sealed <- true;
+    let n = b.count in
+    let names = Array.sub b.names 0 n in
+    let kinds = Array.sub b.kinds 0 n in
+    let fanins = Array.sub b.fanin_arrays 0 n in
+    let out_deg = Array.make n 0 in
+    Array.iter (Array.iter (fun f -> out_deg.(f) <- out_deg.(f) + 1)) fanins;
+    let fanouts = Array.map (fun d -> Array.make d 0) out_deg in
+    let fill = Array.make n 0 in
+    Array.iteri
+      (fun i fi ->
+        Array.iter
+          (fun f ->
+            fanouts.(f).(fill.(f)) <- i;
+            fill.(f) <- fill.(f) + 1)
+          fi)
+      fanins;
+    let select pred =
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        if pred kinds.(i) then acc := i :: !acc
+      done;
+      Array.of_list !acc
+    in
+    {
+      lib = b.lib;
+      names;
+      kinds;
+      fanins;
+      fanouts;
+      by_name = b.tbl;
+      inputs = select (function Input -> true | Output | Gate _ -> false);
+      outputs = select (function Output -> true | Input | Gate _ -> false);
+      gates = select (function Gate _ -> true | Input | Output -> false);
+    }
+end
+
+let resize t f =
+  let b = Builder.create t.lib in
+  (* Ids are preserved because nodes are re-added in id order; fanins that
+     point forward (flip-flop feedback) are patched in a second pass. *)
+  Array.iteri
+    (fun i k ->
+      let id =
+        match k with
+        | Input -> Builder.input b t.names.(i)
+        | Output -> Builder.output b t.names.(i) t.fanins.(i).(0)
+        | Gate c ->
+          let drive = match f i with Some d -> d | None -> c.CL.drive in
+          let pins =
+            Array.to_list
+              (Array.map
+                 (fun p -> if p >= i then Builder.unconnected else p)
+                 t.fanins.(i))
+          in
+          Builder.gate b ~drive ~name:t.names.(i) c.CL.kind pins
+      in
+      assert (id = i))
+    t.kinds;
+  Array.iteri
+    (fun i k ->
+      match k with
+      | Gate _ ->
+        Array.iteri
+          (fun pin p -> if p >= i then Builder.connect_pin b i ~pin p)
+          t.fanins.(i)
+      | Input | Output -> ())
+    t.kinds;
+  Builder.freeze b

@@ -1,0 +1,126 @@
+(** Gate-level netlist.
+
+    A netlist is a directed graph of nodes. Nodes are primary inputs,
+    primary outputs, or gate instances of a {!Fbb_tech.Cell_library} cell
+    (combinational gates and D flip-flops). Nets are implicit: a node's
+    output net is identified with the node itself, and [fanins n] lists the
+    driver of each input pin in pin order.
+
+    Instances are immutable once built; construct with {!Builder}. *)
+
+type t
+
+type id = int
+(** Dense node index in [0, size t - 1]. *)
+
+type kind = Input | Output | Gate of Fbb_tech.Cell_library.cell
+
+exception Combinational_cycle of string
+(** Raised by {!topo_order} and {!validate} when the combinational part of
+    the graph (everything except flip-flop D inputs) contains a cycle; the
+    payload names a node on the cycle. *)
+
+val library : t -> Fbb_tech.Cell_library.t
+val size : t -> int
+
+val name : t -> id -> string
+val kind : t -> id -> kind
+
+val fanins : t -> id -> id array
+(** Driver of each input pin, in pin order. Do not mutate. *)
+
+val fanouts : t -> id -> id array
+(** All nodes reading this node's output. Do not mutate. *)
+
+val is_gate : t -> id -> bool
+val is_sequential : t -> id -> bool
+(** True for flip-flop instances. *)
+
+val inputs : t -> id array
+val outputs : t -> id array
+val gates : t -> id array
+(** All gate instances (combinational and sequential), ascending ids. *)
+
+val gate_count : t -> int
+
+val find : t -> string -> id
+(** Node lookup by name. Raises [Not_found]. *)
+
+val cell : t -> id -> Fbb_tech.Cell_library.cell
+(** The library cell of a gate node. Raises [Invalid_argument] on ports. *)
+
+val total_width_sites : t -> int
+(** Sum of gate footprints, in placement sites. *)
+
+val stats : t -> (string * int) list
+(** Instance count per cell name, sorted by name. *)
+
+val topo_order : t -> id array
+(** All nodes in a topological order of the combinational graph (flip-flop
+    outputs and primary inputs first among their dependents; D-input edges
+    of flip-flops are cut). Raises {!Combinational_cycle}. *)
+
+val validate : t -> (unit, string list) result
+(** Structural checks: pin counts match the cell's fanin, primary outputs
+    have exactly one driver, no dangling gate inputs, no combinational
+    cycles. Returns all violation messages. *)
+
+(** Mutable netlist construction. *)
+module Builder : sig
+  type netlist := t
+  type b
+
+  val create : ?name_prefix:string -> Fbb_tech.Cell_library.t -> b
+
+  val input : b -> string -> id
+  (** Declare a primary input. *)
+
+  val output : b -> string -> id -> id
+  (** [output b name driver] declares a primary output fed by [driver]. *)
+
+  val gate :
+    b ->
+    ?drive:Fbb_tech.Cell_library.drive ->
+    ?name:string ->
+    Fbb_tech.Cell_library.kind ->
+    id list ->
+    id
+  (** Instantiate a gate. The fanin list length must equal the cell's pin
+      count ([Dff] takes exactly its D input). Default drive is [X1];
+      a fresh unique name is generated when [name] is omitted. *)
+
+  val set_drive : b -> id -> Fbb_tech.Cell_library.drive -> unit
+  (** Re-size an existing gate (used by the sizing pass). *)
+
+  val unconnected : id
+  (** Placeholder fanin for {!gate} pins to be wired later with
+      {!connect_pin} — needed for feedback through flip-flops. {!freeze}
+      rejects netlists with remaining unconnected pins. *)
+
+  val connect_pin : b -> id -> pin:int -> id -> unit
+  (** [connect_pin b g ~pin driver] wires input pin [pin] (0-based) of gate
+      [g] to [driver]. The pin must currently be {!unconnected}. *)
+
+  val size : b -> int
+
+  val gate_count : b -> int
+  (** Gate instances added so far (ports excluded). *)
+
+  val signals : b -> id list
+  (** Ids of all nodes that carry a logic value (inputs and gates), most
+      recent first. *)
+
+  val fanout_count : b -> id -> int
+  (** Number of sinks currently reading the node's output. *)
+
+  val node_kind : b -> id -> kind
+  (** Kind of an already-added node. *)
+
+  val freeze : b -> netlist
+  (** Seal the builder into an immutable netlist and compute fanouts.
+      The builder must not be used afterwards. *)
+end
+
+val resize : t -> (id -> Fbb_tech.Cell_library.drive option) -> t
+(** Functional drive-strength update: returns a netlist where every gate
+    [g] with [f g = Some d] is re-mapped to drive [d]. *)

@@ -1,0 +1,85 @@
+module CL = Fbb_tech.Cell_library
+
+type state = {
+  nl : Netlist.t;
+  values : bool array;
+  inputs : (string * bool) list;
+}
+
+let gate_function kind (ins : bool array) =
+  let all = Array.for_all (fun b -> b) ins in
+  let any = Array.exists (fun b -> b) ins in
+  match kind with
+  | CL.Inv -> not ins.(0)
+  | CL.Buf -> ins.(0)
+  | CL.Nand2 | CL.Nand3 | CL.Nand4 -> not all
+  | CL.Nor2 | CL.Nor3 -> not any
+  | CL.And2 | CL.And3 -> all
+  | CL.Or2 | CL.Or3 -> any
+  | CL.Dff -> ins.(0) (* resolved separately *)
+
+let propagate nl values =
+  Array.iter
+    (fun i ->
+      match Netlist.kind nl i with
+      | Netlist.Input -> ()
+      | Netlist.Output -> values.(i) <- values.((Netlist.fanins nl i).(0))
+      | Netlist.Gate c ->
+        if not (CL.is_sequential c.CL.kind) then begin
+          let ins =
+            Array.map (fun f -> values.(f)) (Netlist.fanins nl i)
+          in
+          values.(i) <- gate_function c.CL.kind ins
+        end)
+    (Netlist.topo_order nl)
+
+let eval ?(registers = []) nl ~inputs =
+  let n = Netlist.size nl in
+  let values = Array.make n false in
+  Array.iter
+    (fun i ->
+      let name = Netlist.name nl i in
+      match List.assoc_opt name inputs with
+      | Some v -> values.(i) <- v
+      | None ->
+        invalid_arg (Printf.sprintf "Simulate.eval: input %s unassigned" name))
+    (Netlist.inputs nl);
+  List.iter (fun (id, v) -> values.(id) <- v) registers;
+  propagate nl values;
+  { nl; values; inputs }
+
+let step nl state =
+  let values = Array.copy state.values in
+  (* Capture all D values simultaneously, then propagate. *)
+  let captured =
+    Array.to_list (Netlist.gates nl)
+    |> List.filter (Netlist.is_sequential nl)
+    |> List.map (fun g -> (g, state.values.((Netlist.fanins nl g).(0))))
+  in
+  List.iter (fun (g, v) -> values.(g) <- v) captured;
+  propagate nl values;
+  { state with values }
+
+let value state id = state.values.(id)
+
+let output nl state name =
+  let id =
+    match Netlist.find nl name with
+    | id -> id
+    | exception Not_found -> Netlist.find nl (name ^ "$po")
+  in
+  state.values.(id)
+
+let bus_value nl state ~prefix =
+  let rec go i acc =
+    match Netlist.find nl (Printf.sprintf "%s%d$po" prefix i) with
+    | id ->
+      let acc = if state.values.(id) then acc lor (1 lsl i) else acc in
+      go (i + 1) acc
+    | exception Not_found -> acc
+  in
+  go 0 0
+
+let input_bus ~prefix ~width v =
+  List.init width (fun i ->
+      (Printf.sprintf "%s%d" prefix i, v land (1 lsl i) <> 0))

@@ -1,0 +1,35 @@
+(** Two-valued functional simulation.
+
+    Evaluates the combinational logic for a primary-input assignment and a
+    flip-flop state; [step] additionally advances every flip-flop by one
+    clock. Used by the test suite to prove the arithmetic generators
+    actually compute (adders add, multipliers multiply) and by the ECC
+    example. *)
+
+type state
+(** Node values after an evaluation. *)
+
+val eval :
+  ?registers:(Netlist.id * bool) list ->
+  Netlist.t ->
+  inputs:(string * bool) list ->
+  state
+(** Combinational evaluation. Every primary input must be assigned
+    (raises [Invalid_argument] otherwise); unspecified flip-flops read 0. *)
+
+val step : Netlist.t -> state -> state
+(** Clock edge: flip-flops capture their D values; combinational logic is
+    re-evaluated with the same primary inputs. *)
+
+val value : state -> Netlist.id -> bool
+val output : Netlist.t -> state -> string -> bool
+(** Value of a primary output by name (the generators' ["$po"] suffix may
+    be omitted). Raises [Not_found]. *)
+
+val bus_value : Netlist.t -> state -> prefix:string -> int
+(** Read an output bus written by the generators ([prefix ^ i ^ "$po"]),
+    little-endian, as a non-negative integer. Width is discovered by
+    probing indices from 0. *)
+
+val input_bus : prefix:string -> width:int -> int -> (string * bool) list
+(** Encode an integer onto a generator input bus ([prefix ^ i]). *)

@@ -1,0 +1,23 @@
+(** Structural Verilog (gate-level subset) writer and reader.
+
+    The emitted netlists use the library's own cell names with positional
+    pin conventions ([.A/.B/.C/.D] inputs in pin order, [.Y] output,
+    [.D/.Q] for flip-flops) — the flavour commercial P&R tools exchange.
+
+    Supported on input: a single [module] with [input]/[output]/[wire]
+    declarations (scalar, comma-separated), instances of our cell names
+    with named port connections, and [//] comments. A [.CK] connection on
+    flip-flops is accepted and ignored (the timing model is clockless).
+    Escaped identifiers, buses, [assign], and behavioural constructs are
+    out of scope. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val to_string : ?module_name:string -> Netlist.t -> string
+val save : ?module_name:string -> Netlist.t -> path:string -> unit
+
+val parse : ?lib:Fbb_tech.Cell_library.t -> string -> Netlist.t
+(** Raises {!Parse_error}. *)
+
+val parse_file : ?lib:Fbb_tech.Cell_library.t -> string -> Netlist.t

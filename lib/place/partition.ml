@@ -1,0 +1,222 @@
+type hypergraph = {
+  nv : int;
+  weights : int array;
+  nets : int array array;
+}
+
+let cut_size h side =
+  let cut = ref 0 in
+  Array.iter
+    (fun net ->
+      if Array.length net > 1 then begin
+        let s0 = side.(net.(0)) in
+        if Array.exists (fun v -> side.(v) <> s0) net then incr cut
+      end)
+    h.nets;
+  !cut
+
+(* Gain-bucket structure: doubly-linked lists per gain value, offset so
+   gains in [-maxg, maxg] map to [0, 2*maxg]. *)
+type buckets = {
+  maxg : int;
+  heads : int array; (* bucket -> first vertex or -1 *)
+  nxt : int array; (* vertex -> next in bucket *)
+  prv : int array; (* vertex -> prev in bucket, or -(bucket+2) at head *)
+  gain : int array;
+  inb : bool array; (* vertex currently in a bucket *)
+  mutable top : int; (* highest non-empty bucket (hint) *)
+}
+
+let bk_create nv maxg =
+  {
+    maxg;
+    heads = Array.make ((2 * maxg) + 1) (-1);
+    nxt = Array.make nv (-1);
+    prv = Array.make nv (-1);
+    gain = Array.make nv 0;
+    inb = Array.make nv false;
+    top = -1;
+  }
+
+let bk_insert b v g =
+  let idx = g + b.maxg in
+  b.gain.(v) <- g;
+  b.nxt.(v) <- b.heads.(idx);
+  if b.heads.(idx) >= 0 then b.prv.(b.heads.(idx)) <- v;
+  b.prv.(v) <- -(idx + 2);
+  b.heads.(idx) <- v;
+  b.inb.(v) <- true;
+  if idx > b.top then b.top <- idx
+
+let bk_remove b v =
+  if b.inb.(v) then begin
+    let n = b.nxt.(v) in
+    let p = b.prv.(v) in
+    if p < -1 then begin
+      let idx = -p - 2 in
+      b.heads.(idx) <- n;
+      if n >= 0 then b.prv.(n) <- p
+    end
+    else begin
+      b.nxt.(p) <- n;
+      if n >= 0 then b.prv.(n) <- p
+    end;
+    b.inb.(v) <- false
+  end
+
+let bk_update b v g = if b.inb.(v) then begin bk_remove b v; bk_insert b v g end
+
+(* Highest-gain vertex satisfying [ok]; scans down from the top hint. *)
+let bk_best b ok =
+  let rec scan idx =
+    if idx < 0 then None
+    else begin
+      let rec walk v =
+        if v < 0 then None else if ok v then Some v else walk b.nxt.(v)
+      in
+      match walk b.heads.(idx) with
+      | Some v -> Some v
+      | None ->
+        if b.heads.(idx) < 0 && idx = b.top then b.top <- idx - 1;
+        scan (idx - 1)
+    end
+  in
+  scan b.top
+
+let bisect ?(passes = 8) ?(balance = 0.1) ?(seed = 7) h =
+  let nv = h.nv in
+  let side = Array.make nv false in
+  if nv = 0 then side
+  else begin
+    let rng = Fbb_util.Rng.create ~seed in
+    let total_weight = Array.fold_left ( + ) 0 h.weights in
+    (* Interleaved start in a shuffled order: halves start balanced. *)
+    let order = Array.init nv (fun i -> i) in
+    Fbb_util.Rng.shuffle rng order;
+    let w1 = ref 0 in
+    Array.iter
+      (fun v ->
+        if 2 * !w1 < total_weight then begin
+          side.(v) <- true;
+          w1 := !w1 + h.weights.(v)
+        end)
+      order;
+    let lo = int_of_float ((0.5 -. balance) *. float_of_int total_weight) in
+    let hi = int_of_float ((0.5 +. balance) *. float_of_int total_weight) in
+    (* Per-vertex net membership. *)
+    let deg = Array.make nv 0 in
+    Array.iter (Array.iter (fun v -> deg.(v) <- deg.(v) + 1)) h.nets;
+    let vnets = Array.map (fun d -> Array.make d 0) deg in
+    let fill = Array.make nv 0 in
+    Array.iteri
+      (fun ni net ->
+        Array.iter
+          (fun v ->
+            vnets.(v).(fill.(v)) <- ni;
+            fill.(v) <- fill.(v) + 1)
+          net)
+      h.nets;
+    let maxg = Array.fold_left max 1 deg in
+    let n_true = Array.make (Array.length h.nets) 0 in
+    let recount () =
+      Array.iteri
+        (fun ni net ->
+          n_true.(ni) <-
+            Array.fold_left (fun a v -> if side.(v) then a + 1 else a) 0 net)
+        h.nets
+    in
+    let vertex_gain v =
+      let g = ref 0 in
+      Array.iter
+        (fun ni ->
+          let sz = Array.length h.nets.(ni) in
+          let on_my_side = if side.(v) then n_true.(ni) else sz - n_true.(ni) in
+          let on_other = sz - on_my_side in
+          if on_my_side = 1 then incr g;
+          if on_other = 0 then decr g)
+        vnets.(v);
+      !g
+    in
+    let run_pass () =
+      recount ();
+      let b = bk_create nv maxg in
+      for v = 0 to nv - 1 do
+        bk_insert b v (vertex_gain v)
+      done;
+      let wt = ref 0 in
+      for v = 0 to nv - 1 do
+        if side.(v) then wt := !wt + h.weights.(v)
+      done;
+      let moves = Array.make nv (-1) in
+      let nmoves = ref 0 in
+      let cur_gain = ref 0 in
+      let best_gain = ref 0 in
+      let best_prefix = ref 0 in
+      let balance_ok v =
+        let wt' = if side.(v) then !wt - h.weights.(v) else !wt + h.weights.(v) in
+        wt' >= lo && wt' <= hi
+      in
+      let continue = ref true in
+      while !continue do
+        match bk_best b balance_ok with
+        | None -> continue := false
+        | Some v ->
+          bk_remove b v;
+          let from_true = side.(v) in
+          (* FM incremental gain update around the move of v. *)
+          Array.iter
+            (fun ni ->
+              let net = h.nets.(ni) in
+              let sz = Array.length net in
+              let tn = if from_true then sz - n_true.(ni) else n_true.(ni) in
+              (* tn = count on destination side before the move *)
+              if tn = 0 then
+                Array.iter
+                  (fun u -> if b.inb.(u) then bk_update b u (b.gain.(u) + 1))
+                  net
+              else if tn = 1 then
+                Array.iter
+                  (fun u ->
+                    if b.inb.(u) && side.(u) <> from_true then
+                      bk_update b u (b.gain.(u) - 1))
+                  net;
+              (* perform the move on this net's counter *)
+              n_true.(ni) <- (if from_true then n_true.(ni) - 1 else n_true.(ni) + 1);
+              let fn = if from_true then n_true.(ni) else sz - n_true.(ni) in
+              (* fn = count on source side after the move *)
+              if fn = 0 then
+                Array.iter
+                  (fun u -> if b.inb.(u) then bk_update b u (b.gain.(u) - 1))
+                  net
+              else if fn = 1 then
+                Array.iter
+                  (fun u ->
+                    if b.inb.(u) && side.(u) = from_true && u <> v then
+                      bk_update b u (b.gain.(u) + 1))
+                  net)
+            vnets.(v);
+          cur_gain := !cur_gain + b.gain.(v);
+          side.(v) <- not from_true;
+          wt := (if from_true then !wt - h.weights.(v) else !wt + h.weights.(v));
+          moves.(!nmoves) <- v;
+          incr nmoves;
+          if !cur_gain > !best_gain then begin
+            best_gain := !cur_gain;
+            best_prefix := !nmoves
+          end
+      done;
+      (* Roll back moves beyond the best prefix. *)
+      for k = !nmoves - 1 downto !best_prefix do
+        let v = moves.(k) in
+        side.(v) <- not side.(v)
+      done;
+      !best_gain
+    in
+    let rec improve p =
+      if p < passes then
+        let g = run_pass () in
+        if g > 0 then improve (p + 1)
+    in
+    improve 0;
+    side
+  end

@@ -1,0 +1,25 @@
+(** Fiduccia-Mattheyses min-cut bisection on a hypergraph.
+
+    The generic kernel under the recursive-bisection placer. Vertices are
+    dense ints with integer weights; nets are vertex lists. *)
+
+type hypergraph = {
+  nv : int;
+  weights : int array;  (** per-vertex weight, length [nv] *)
+  nets : int array array;  (** each net lists its vertices (indexes < nv) *)
+}
+
+val bisect :
+  ?passes:int ->
+  ?balance:float ->
+  ?seed:int ->
+  hypergraph ->
+  bool array
+(** Partition into sides [false]/[true], minimizing the number of cut nets
+    subject to each side holding within [0.5 +- balance] (default 0.1) of
+    the total weight. Runs up to [passes] (default 8) FM improvement
+    passes from a seeded interleaved start; deterministic for fixed
+    arguments. *)
+
+val cut_size : hypergraph -> bool array -> int
+(** Number of nets with vertices on both sides. *)

@@ -1,0 +1,66 @@
+(** Row-based standard-cell placement.
+
+    Stands in for the paper's Synopsys Physical Compiler run. A recursive
+    min-cut bisection ({!Partition}) produces a cell order with strong
+    connectivity locality; rows are then filled serpentine-fashion to a
+    target utilization. What the downstream FBB optimization needs from
+    placement is exactly this locality: logically related cells — and
+    hence critical paths — concentrate in a few adjacent rows.
+
+    Geometry: sites of {!site_width_um} within rows of {!row_height_um};
+    a row's capacity in sites is identical across the design. *)
+
+open Fbb_netlist
+
+type t
+
+val site_width_um : float
+(** 0.2 um. *)
+
+val row_height_um : float
+(** 1.4 um. *)
+
+val place :
+  ?utilization:float ->
+  ?target_rows:int ->
+  ?seed:int ->
+  Netlist.t ->
+  t
+(** Place all gates. [utilization] (default 0.7) sets the spatial slack
+    per row; [target_rows] forces the paper's row counts (default: the
+    squarest floorplan). Deterministic for fixed arguments.
+
+    Raises [Invalid_argument] if [utilization] is not within (0, 1] or the
+    design cannot fit the requested rows at 100 % utilization. *)
+
+val netlist : t -> Netlist.t
+val num_rows : t -> int
+
+val row_gates : t -> int -> Netlist.id array
+(** Gates of a row in x order. Do not mutate. *)
+
+val row_of : t -> Netlist.id -> int
+(** Row index of a gate; -1 for ports. *)
+
+val site_of : t -> Netlist.id -> int
+(** Leftmost occupied site of a gate within its row. *)
+
+val row_capacity_sites : t -> int
+
+val row_used_sites : t -> int -> int
+
+val row_utilization : t -> int -> float
+
+val die_width_um : t -> float
+val die_height_um : t -> float
+
+val permute_rows : t -> int array -> t
+(** [permute_rows t perm] re-stacks rows vertically: the row at position
+    [pos] of the result is the original row [perm.(pos)]. [perm] must be
+    a permutation of [0 .. num_rows - 1]; raises [Invalid_argument]
+    otherwise. In-row geometry is untouched; the netlist is shared. *)
+
+val half_perimeter_wirelength : t -> float
+(** Total HPWL over all nets, in um — the placement quality metric. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+open Fbb_netlist
+module CL = Fbb_tech.Cell_library
+
+type t = {
+  nl : Netlist.t;
+  delays : float array;  (* per node; 0 for ports *)
+  arrivals : float array;  (* at node output; at D pin for outputs *)
+  endpoint_arrivals : float array;  (* at D pin for flip-flops, else nan *)
+  requireds : float array;
+  dcrit : float;
+}
+
+let netlist t = t.nl
+let gate_delay t i = t.delays.(i)
+let arrival t i = t.arrivals.(i)
+let dcrit t = t.dcrit
+let required t i = t.requireds.(i)
+let slack t i = t.requireds.(i) -. t.arrivals.(i)
+
+let is_endpoint t i =
+  match Netlist.kind t.nl i with
+  | Netlist.Output -> true
+  | Netlist.Gate c -> CL.is_sequential c.CL.kind
+  | Netlist.Input -> false
+
+let node_delay nl ~derate ~bias i =
+  match Netlist.kind nl i with
+  | Netlist.Input | Netlist.Output -> 0.0
+  | Netlist.Gate c ->
+    let load = Array.length (Netlist.fanouts nl i) in
+    CL.delay_ps (Netlist.library nl) c ~load ~vbs:(bias i) *. derate i
+
+let analyze ?(derate = fun _ -> 1.0) ?(bias = fun _ -> 0.0) nl =
+  let n = Netlist.size nl in
+  let order = Netlist.topo_order nl in
+  let delays = Array.init n (node_delay nl ~derate ~bias) in
+  let arrivals = Array.make n 0.0 in
+  let endpoint_arrivals = Array.make n Float.nan in
+  (* Forward pass: launch at 0 from inputs, at clock-to-q from flip-flops. *)
+  Array.iter
+    (fun i ->
+      let fanin_arrival () =
+        Array.fold_left
+          (fun acc f -> Float.max acc arrivals.(f))
+          0.0 (Netlist.fanins nl i)
+      in
+      match Netlist.kind nl i with
+      | Netlist.Input -> arrivals.(i) <- 0.0
+      | Netlist.Output -> arrivals.(i) <- fanin_arrival ()
+      | Netlist.Gate c ->
+        if CL.is_sequential c.CL.kind then arrivals.(i) <- delays.(i)
+        else arrivals.(i) <- fanin_arrival () +. delays.(i))
+    order;
+  (* Flip-flop capture times need the full forward pass (feedback). *)
+  Array.iter
+    (fun i ->
+      if Netlist.is_sequential nl i then
+        endpoint_arrivals.(i) <- arrivals.((Netlist.fanins nl i).(0)))
+    (Netlist.gates nl);
+  let dcrit = ref 0.0 in
+  Array.iter
+    (fun o -> dcrit := Float.max !dcrit arrivals.(o))
+    (Netlist.outputs nl);
+  Array.iter
+    (fun g ->
+      if Netlist.is_sequential nl g then
+        dcrit := Float.max !dcrit endpoint_arrivals.(g))
+    (Netlist.gates nl);
+  (* Fallback for netlists without endpoints. *)
+  if !dcrit = 0.0 then Array.iter (fun a -> dcrit := Float.max !dcrit a) arrivals;
+  let dcrit = !dcrit in
+  (* Backward pass: required times against dcrit; a fanout into an endpoint
+     (port or flip-flop D pin) requires arrival by dcrit. *)
+  let requireds = Array.make n dcrit in
+  let len = Array.length order in
+  let reverse = Array.init len (fun k -> order.(len - 1 - k)) in
+  Array.iter
+    (fun i ->
+      let fanouts = Netlist.fanouts nl i in
+      if Array.length fanouts > 0 then begin
+        let req = ref Float.infinity in
+        Array.iter
+          (fun fo ->
+            let r =
+              match Netlist.kind nl fo with
+              | Netlist.Output -> dcrit
+              | Netlist.Gate c ->
+                if CL.is_sequential c.CL.kind then dcrit
+                else requireds.(fo) -. delays.(fo)
+              | Netlist.Input -> dcrit
+            in
+            req := Float.min !req r)
+          fanouts;
+        requireds.(i) <- !req
+      end)
+    reverse;
+  { nl; delays; arrivals; endpoint_arrivals; requireds; dcrit }
+
+let worst_endpoint t =
+  let best = ref (-1) in
+  let best_a = ref neg_infinity in
+  Array.iter
+    (fun o ->
+      if t.arrivals.(o) > !best_a then begin
+        best := o;
+        best_a := t.arrivals.(o)
+      end)
+    (Netlist.outputs t.nl);
+  Array.iter
+    (fun g ->
+      if Netlist.is_sequential t.nl g && t.endpoint_arrivals.(g) > !best_a
+      then begin
+        best := g;
+        best_a := t.endpoint_arrivals.(g)
+      end)
+    (Netlist.gates t.nl);
+  if !best < 0 then invalid_arg "Timing.worst_endpoint: no endpoints";
+  !best
+
+let critical_path t =
+  let nl = t.nl in
+  let ep = worst_endpoint t in
+  let start =
+    (* Step from the endpoint to the last combinational node feeding it. *)
+    (Netlist.fanins nl ep).(0)
+  in
+  let rec back i acc =
+    match Netlist.kind nl i with
+    | Netlist.Input -> acc
+    | Netlist.Output -> back (Netlist.fanins nl i).(0) acc
+    | Netlist.Gate c ->
+      if CL.is_sequential c.CL.kind then i :: acc
+      else
+        let fanins = Netlist.fanins nl i in
+        let best = ref fanins.(0) in
+        Array.iter
+          (fun f -> if t.arrivals.(f) > t.arrivals.(!best) then best := f)
+          fanins;
+        back !best (i :: acc)
+  in
+  back start []

@@ -1,0 +1,54 @@
+(** Static timing analysis.
+
+    Plays the role of the paper's PrimeTime runs: topological arrival /
+    required / slack propagation over the combinational graph.
+
+    Timing model: a gate's delay is its library delay at its fanout load
+    and body-bias voltage, times a per-gate derate (used for slowdown
+    coefficients and variation injection). Primary inputs arrive at t = 0;
+    flip-flop outputs launch at their clock-to-q delay. Endpoints are
+    primary outputs and flip-flop D inputs; the critical delay [dcrit] is
+    the latest endpoint arrival, and slack is computed against it (the
+    design is assumed to be timed exactly at its critical path, as in the
+    paper). *)
+
+open Fbb_netlist
+
+type t
+
+val analyze :
+  ?derate:(Netlist.id -> float) ->
+  ?bias:(Netlist.id -> float) ->
+  Netlist.t ->
+  t
+(** Run STA. [bias] gives each gate's body-bias voltage (default: NBB
+    everywhere); [derate] multiplies each gate's delay (default 1.0,
+    e.g. [fun _ -> 1.05] for a 5 % uniform slowdown). *)
+
+val netlist : t -> Netlist.t
+
+val gate_delay : t -> Netlist.id -> float
+(** The delay of a gate under this analysis' bias and derate; 0 for
+    ports. *)
+
+val arrival : t -> Netlist.id -> float
+(** Latest arrival time at the node's output (at the D pin for primary
+    outputs). *)
+
+val dcrit : t -> float
+(** Critical (latest endpoint) arrival. *)
+
+val required : t -> Netlist.id -> float
+(** Latest time the node's output may switch without violating [dcrit]. *)
+
+val slack : t -> Netlist.id -> float
+(** [required - arrival]; 0 on at least one node of the critical path. *)
+
+val is_endpoint : t -> Netlist.id -> bool
+(** Primary output or flip-flop (capturing at its D pin). *)
+
+val critical_path : t -> Netlist.id list
+(** Gate sequence of one critical path, source to sink. *)
+
+val worst_endpoint : t -> Netlist.id
+(** Endpoint with the latest arrival. *)

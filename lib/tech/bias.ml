@@ -1,0 +1,25 @@
+let resolution = 0.05
+let vmax = 0.5
+let count = 11
+
+let voltage j =
+  if j < 0 || j >= count then invalid_arg "Bias.voltage: level out of range";
+  float_of_int j *. resolution
+
+let levels () = Array.init count voltage
+
+let nearest_level v =
+  let clamped = Float.max 0.0 (Float.min vmax v) in
+  let j = int_of_float (Float.round (clamped /. resolution)) in
+  max 0 (min (count - 1) j)
+
+let pmos_bias ~vdd j = vdd -. voltage j
+
+let rbb_count = 8
+
+let rbb_voltage j =
+  if j < 0 || j >= rbb_count then
+    invalid_arg "Bias.rbb_voltage: level out of range";
+  if j = 0 then 0.0 else -.resolution *. float_of_int j
+
+let rbb_levels () = Array.init rbb_count rbb_voltage

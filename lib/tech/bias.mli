@@ -1,0 +1,40 @@
+(** The body-bias voltage generator abstraction.
+
+    The paper assumes a central generator with 50 mV resolution and a usable
+    forward-bias range of 0 to 0.5 V, giving [P = 11] selectable levels
+    (level 0 = no body bias). All optimizer code indexes bias voltages by
+    level. *)
+
+val resolution : float
+(** Generator step, 0.05 V. *)
+
+val vmax : float
+(** Largest usable forward bias, 0.5 V. *)
+
+val count : int
+(** Number of levels [P] (11, including NBB at level 0). *)
+
+val voltage : int -> float
+(** [voltage j] is the bias voltage of level [j], [0 <= j < count].
+    Raises [Invalid_argument] outside that range. *)
+
+val levels : unit -> float array
+(** All [count] voltages, ascending. A fresh copy on each call. *)
+
+val nearest_level : float -> int
+(** Level whose voltage is closest to the given value, clamped to the
+    usable range. *)
+
+val pmos_bias : vdd:float -> int -> float
+(** Voltage applied to the PMOS body for a level: [vdd - voltage j]. *)
+
+val rbb_count : int
+(** Reverse-bias levels the generator can also produce (8, i.e. 0 to
+    -0.35 V in 50 mV steps — deeper RBB is counter-productive, see
+    {!Device.optimal_rbb}). Level 0 is shared with the forward range. *)
+
+val rbb_voltage : int -> float
+(** [rbb_voltage j] is [-j * resolution], for [0 <= j < rbb_count]. *)
+
+val rbb_levels : unit -> float array
+(** All reverse levels, descending from 0. *)

@@ -1,0 +1,136 @@
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nand3
+  | Nand4
+  | Nor2
+  | Nor3
+  | And2
+  | And3
+  | Or2
+  | Or3
+  | Dff
+
+type drive = X1 | X2 | X4
+
+type cell = {
+  kind : kind;
+  drive : drive;
+  name : string;
+  fanin : int;
+  intrinsic_ps : float;
+  load_ps : float;
+  leak_nw : float;
+  width_sites : int;
+}
+
+type t = { device : Device.params; cells : cell array }
+
+let all_kinds =
+  [ Inv; Buf; Nand2; Nand3; Nand4; Nor2; Nor3; And2; And3; Or2; Or3; Dff ]
+
+let all_drives = [ X1; X2; X4 ]
+
+let kind_name = function
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nand3 -> "NAND3"
+  | Nand4 -> "NAND4"
+  | Nor2 -> "NOR2"
+  | Nor3 -> "NOR3"
+  | And2 -> "AND2"
+  | And3 -> "AND3"
+  | Or2 -> "OR2"
+  | Or3 -> "OR3"
+  | Dff -> "DFF"
+
+let drive_name = function X1 -> "X1" | X2 -> "X2" | X4 -> "X4"
+
+let kind_fanin = function
+  | Inv | Buf | Dff -> 1
+  | Nand2 | Nor2 | And2 | Or2 -> 2
+  | Nand3 | Nor3 | And3 | Or3 -> 3
+  | Nand4 -> 4
+
+let is_sequential = function
+  | Dff -> true
+  | Inv | Buf | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | And2 | And3 | Or2 | Or3
+    -> false
+
+(* X1 base characterization: (intrinsic ps, ps/fanout, leak nW, sites). *)
+let base = function
+  | Inv -> (8.0, 6.0, 0.10, 2)
+  | Buf -> (14.0, 5.0, 0.15, 3)
+  | Nand2 -> (12.0, 7.0, 0.16, 3)
+  | Nand3 -> (16.0, 8.0, 0.22, 4)
+  | Nand4 -> (20.0, 9.0, 0.28, 5)
+  | Nor2 -> (14.0, 8.0, 0.16, 3)
+  | Nor3 -> (19.0, 10.0, 0.22, 4)
+  | And2 -> (16.0, 6.0, 0.20, 4)
+  | And3 -> (20.0, 7.0, 0.26, 5)
+  | Or2 -> (18.0, 7.0, 0.20, 4)
+  | Or3 -> (22.0, 8.0, 0.26, 5)
+  | Dff -> (45.0, 6.0, 0.50, 8)
+
+(* Larger drives push the same load faster at the cost of wider, leakier
+   transistors; intrinsic delay is mildly reduced. *)
+let drive_scaling = function
+  | X1 -> (1.0, 1.0, 1.0, 1.0)
+  | X2 -> (0.92, 0.5, 2.0, 1.5)
+  | X4 -> (0.86, 0.25, 4.0, 2.4)
+
+let make_cell kind drive =
+  let intrinsic, load, leak, sites = base kind in
+  let si, sl, slk, sw = drive_scaling drive in
+  {
+    kind;
+    drive;
+    name = kind_name kind ^ "_" ^ drive_name drive;
+    fanin = kind_fanin kind;
+    intrinsic_ps = intrinsic *. si;
+    load_ps = load *. sl;
+    leak_nw = leak *. slk;
+    width_sites =
+      int_of_float (Float.round (float_of_int sites *. sw)) |> max 2;
+  }
+
+let create ~device =
+  let cells =
+    List.concat_map
+      (fun kind -> List.map (make_cell kind) all_drives)
+      all_kinds
+    |> Array.of_list
+  in
+  { device; cells }
+
+let default = create ~device:Device.default
+
+let device t = t.device
+let cells t = t.cells
+
+let find t kind drive =
+  let n = Array.length t.cells in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if t.cells.(i).kind = kind && t.cells.(i).drive = drive then
+      t.cells.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let find_name t name =
+  let n = Array.length t.cells in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal t.cells.(i).name name then t.cells.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let delay_ps t cell ~load ~vbs =
+  let nominal = cell.intrinsic_ps +. (cell.load_ps *. float_of_int load) in
+  nominal *. Device.delay_factor t.device ~vbs
+
+let leakage_nw t cell ~vbs = cell.leak_nw *. Device.leakage_factor t.device ~vbs

@@ -1,0 +1,75 @@
+(** Reduced standard-cell library.
+
+    Mirrors the paper's experimental setup: designs are mapped on a reduced
+    library of inverters, AND, OR, NAND, NOR gates and D flip-flops, each in
+    several drive strengths. Delay and leakage of every cell are
+    characterized against the body-bias voltage through {!Device}.
+
+    Units: delays in picoseconds, leakage in nanowatts, widths in placement
+    sites. The delay model is linear in fanout load:
+    [delay = (intrinsic + load_per_fanout * fanout) * Device.delay_factor]. *)
+
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nand3
+  | Nand4
+  | Nor2
+  | Nor3
+  | And2
+  | And3
+  | Or2
+  | Or3
+  | Dff
+
+type drive = X1 | X2 | X4
+
+type cell = {
+  kind : kind;
+  drive : drive;
+  name : string;  (** e.g. ["NAND2_X2"] *)
+  fanin : int;  (** number of logic inputs (1 for [Inv], [Buf], [Dff]) *)
+  intrinsic_ps : float;  (** unloaded delay at NBB *)
+  load_ps : float;  (** delay increment per fanout at NBB *)
+  leak_nw : float;  (** off-state leakage power at NBB *)
+  width_sites : int;  (** footprint in placement sites *)
+}
+
+type t
+(** A characterized library: a device model plus its cells. *)
+
+val default : t
+(** The calibrated 45 nm-class library used in all experiments. *)
+
+val create : device:Device.params -> t
+(** Same cell set characterized under a different device model. *)
+
+val device : t -> Device.params
+
+val cells : t -> cell array
+(** All cells; do not mutate. *)
+
+val find : t -> kind -> drive -> cell
+(** Raises [Not_found] if the (kind, drive) combination is absent. *)
+
+val find_name : t -> string -> cell
+(** Lookup by cell name, e.g. ["INV_X1"]. Raises [Not_found]. *)
+
+val kind_fanin : kind -> int
+(** Logic inputs of a gate kind. *)
+
+val kind_name : kind -> string
+val drive_name : drive -> string
+
+val is_sequential : kind -> bool
+(** True only for [Dff]. *)
+
+val delay_ps : t -> cell -> load:int -> vbs:float -> float
+(** Propagation delay of [cell] driving [load] fanouts at bias [vbs]. *)
+
+val leakage_nw : t -> cell -> vbs:float -> float
+(** Leakage power of [cell] at bias [vbs]. *)
+
+val all_kinds : kind list
+val all_drives : drive list

@@ -1,0 +1,64 @@
+type point = {
+  vbs : float;
+  delay_factor : float;
+  speedup_pct : float;
+  subthreshold_factor : float;
+  junction_factor : float;
+  leak_factor : float;
+}
+
+let point device vbs =
+  {
+    vbs;
+    delay_factor = Device.delay_factor device ~vbs;
+    speedup_pct = Device.speedup_pct device ~vbs;
+    subthreshold_factor = Device.subthreshold_factor device ~vbs;
+    junction_factor = Device.junction_factor device ~vbs;
+    leak_factor = Device.leakage_factor device ~vbs;
+  }
+
+let sweep ?(device = Device.default) ~lo ~hi ~steps () =
+  if steps < 1 then invalid_arg "Characterize.sweep: steps must be >= 1";
+  Array.init (steps + 1) (fun i ->
+      let vbs = lo +. ((hi -. lo) *. float_of_int i /. float_of_int steps) in
+      point device vbs)
+
+let figure1 ?(device = Device.default) () =
+  sweep ~device ~lo:0.0 ~hi:0.95 ~steps:19 ()
+
+let generator_levels ?(device = Device.default) () =
+  Array.map (fun vbs -> point device vbs) (Bias.levels ())
+
+let cell_table lib cell ~load =
+  Array.map
+    (fun vbs ->
+      ( Cell_library.delay_ps lib cell ~load ~vbs,
+        Cell_library.leakage_nw lib cell ~vbs ))
+    (Bias.levels ())
+
+let to_csv points =
+  let csv =
+    Fbb_util.Csv.create
+      ~headers:
+        [
+          "vbs_v";
+          "delay_factor";
+          "speedup_pct";
+          "subthreshold_factor";
+          "junction_factor";
+          "leak_factor";
+        ]
+  in
+  Array.iter
+    (fun p ->
+      Fbb_util.Csv.add_row csv
+        [
+          Printf.sprintf "%.3f" p.vbs;
+          Printf.sprintf "%.5f" p.delay_factor;
+          Printf.sprintf "%.3f" p.speedup_pct;
+          Printf.sprintf "%.4f" p.subthreshold_factor;
+          Printf.sprintf "%.4f" p.junction_factor;
+          Printf.sprintf "%.4f" p.leak_factor;
+        ])
+    points;
+  csv

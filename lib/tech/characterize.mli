@@ -1,0 +1,29 @@
+(** Library characterization sweeps (reproduces the data behind Figure 1). *)
+
+type point = {
+  vbs : float;
+  delay_factor : float;  (** delay relative to NBB *)
+  speedup_pct : float;
+  subthreshold_factor : float;
+  junction_factor : float;
+  leak_factor : float;  (** total leakage relative to NBB *)
+}
+
+val sweep :
+  ?device:Device.params -> lo:float -> hi:float -> steps:int -> unit ->
+  point array
+(** [steps + 1] evenly spaced points from [lo] to [hi] inclusive. *)
+
+val figure1 : ?device:Device.params -> unit -> point array
+(** The Figure 1 sweep: vbs from 0 to 0.95 V in 50 mV steps. *)
+
+val generator_levels : ?device:Device.params -> unit -> point array
+(** One point per usable generator level (0 to 0.5 V, 50 mV steps). *)
+
+val cell_table :
+  Cell_library.t -> Cell_library.cell -> load:int -> (float * float) array
+(** Per-level [(delay_ps, leak_nw)] characterization of one cell, indexed by
+    bias level, i.e. the rows of the paper's pre-characterized library. *)
+
+val to_csv : point array -> Fbb_util.Csv.t
+(** Export a sweep as CSV (for plotting Figure 1). *)

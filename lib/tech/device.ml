@@ -1,0 +1,78 @@
+type params = {
+  vdd : float;
+  vth0 : float;
+  gamma_bs : float;
+  alpha : float;
+  n_vt : float;
+  junction_onset : float;
+  junction_vt : float;
+  junction_scale : float;
+}
+
+(* alpha solves ((vdd-vth0)/(vdd-vth0+gamma*0.5))^alpha = 0.79 (21% speed-up
+   at 0.5 V); n_vt solves exp(gamma*0.5/n_vt) = 12.74 (Figure 1 anchors). *)
+let default =
+  {
+    vdd = 1.0;
+    vth0 = 0.45;
+    gamma_bs = 0.20;
+    alpha = log 0.79 /. log (0.55 /. 0.65);
+    n_vt = 0.1 /. log 12.74;
+    junction_onset = 0.55;
+    junction_vt = 0.04;
+    junction_scale = 2.0;
+  }
+
+let vth p ~vbs = p.vth0 -. (p.gamma_bs *. vbs)
+
+let delay_factor p ~vbs =
+  let overdrive0 = p.vdd -. p.vth0 in
+  let overdrive = p.vdd -. vth p ~vbs in
+  (overdrive0 /. overdrive) ** p.alpha
+
+let speedup_pct p ~vbs = (1.0 -. delay_factor p ~vbs) *. 100.0
+
+let subthreshold_factor p ~vbs = exp (p.gamma_bs *. vbs /. p.n_vt)
+
+let junction_factor p ~vbs =
+  Float.max 0.0
+    (p.junction_scale
+    *. (exp ((vbs -. p.junction_onset) /. p.junction_vt)
+       -. exp (-.p.junction_onset /. p.junction_vt)))
+
+(* Band-to-band tunnelling grows with *reverse* bias and is what makes deep
+   RBB counter-productive in scaled nodes (the paper's section 3.2
+   argument, after Narendra et al.). Zero at and above NBB. *)
+let btbt_factor p ~vbs =
+  ignore p;
+  if vbs >= 0.0 then 0.0 else 0.02 *. (exp (-.vbs /. 0.15) -. 1.0)
+
+let leakage_factor p ~vbs =
+  subthreshold_factor p ~vbs +. junction_factor p ~vbs +. btbt_factor p ~vbs
+
+(* The BTBT term gives leakage-vs-RBB a minimum; deeper reverse bias hurts. *)
+let optimal_rbb p =
+  let rec search lo hi =
+    if hi -. lo < 1e-4 then (lo +. hi) /. 2.0
+    else
+      let m1 = lo +. ((hi -. lo) /. 3.0) in
+      let m2 = hi -. ((hi -. lo) /. 3.0) in
+      if leakage_factor p ~vbs:m1 < leakage_factor p ~vbs:m2 then search lo m2
+      else search m1 hi
+  in
+  search (-0.6) 0.0
+
+(* The junction component is negligible at low bias and explosive at high
+   bias; once it reaches a tenth of the subthreshold component, additional
+   forward bias buys speed at a disproportionate current cost. *)
+let usable_vbs_limit p =
+  let acceptable vbs =
+    junction_factor p ~vbs <= 0.1 *. subthreshold_factor p ~vbs
+  in
+  let rec search lo hi =
+    if hi -. lo < 1e-4 then lo
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if acceptable mid then search mid hi else search lo mid
+  in
+  search 0.0 p.vdd

@@ -1,0 +1,66 @@
+(** Analytic 45 nm-class MOSFET model with forward body bias (FBB).
+
+    Replaces the paper's SPICE simulations on the STMicroelectronics 45 nm
+    kit. The model is calibrated to the two anchors the paper reports for an
+    inverter (Figure 1): 21 % speed-up and 12.74x leakage increase at
+    vbs = 0.5 V, with forward source-body junction current making bias
+    voltages beyond ~0.5 V useless.
+
+    Conventions: [vbs] is the forward body bias voltage applied to the NMOS
+    body (the PMOS body simultaneously receives [Vdd - vbs]); [vbs = 0] is
+    the no-body-bias (NBB) operating point. All factors are relative to
+    NBB. *)
+
+type params = {
+  vdd : float;  (** supply voltage, V *)
+  vth0 : float;  (** nominal threshold voltage at NBB, V *)
+  gamma_bs : float;  (** body-effect coefficient dVth/dvbs, V/V *)
+  alpha : float;  (** alpha-power-law velocity saturation index *)
+  n_vt : float;  (** subthreshold swing factor n*vT, V *)
+  junction_onset : float;  (** forward junction turn-on voltage, V *)
+  junction_vt : float;  (** junction exponential slope, V *)
+  junction_scale : float;
+      (** junction current at onset, normalized to nominal subthreshold
+          leakage *)
+}
+
+val default : params
+(** Calibrated parameter set (see DESIGN.md section 4). *)
+
+val vth : params -> vbs:float -> float
+(** Threshold voltage under forward body bias: [vth0 - gamma_bs * vbs]. *)
+
+val delay_factor : params -> vbs:float -> float
+(** Gate delay relative to NBB; decreases with [vbs]. Alpha-power law:
+    [((vdd - vth0) / (vdd - vth vbs)) ^ alpha]. *)
+
+val speedup_pct : params -> vbs:float -> float
+(** Speed-up in percent relative to NBB: [(1 - delay_factor) * 100]. *)
+
+val subthreshold_factor : params -> vbs:float -> float
+(** Subthreshold leakage relative to NBB: [exp (gamma_bs * vbs / n_vt)]. *)
+
+val junction_factor : params -> vbs:float -> float
+(** Forward source-body junction current, normalized to nominal
+    subthreshold leakage. Negligible below ~0.5 V, explosive above; zero
+    under reverse bias. *)
+
+val btbt_factor : params -> vbs:float -> float
+(** Band-to-band tunnelling component, significant only under reverse
+    bias ([vbs < 0]); it is what limits RBB's usefulness in scaled nodes
+    (section 3.2 of the paper). *)
+
+val leakage_factor : params -> vbs:float -> float
+(** Total off-state current relative to NBB: subthreshold plus junction
+    plus BTBT. Negative [vbs] (reverse bias) reduces it down to the BTBT
+    floor; see {!optimal_rbb}. *)
+
+val optimal_rbb : params -> float
+(** The reverse-bias voltage minimizing total leakage (around -0.35 V in
+    the calibrated model): beyond it BTBT dominates and leakage grows
+    again. *)
+
+val usable_vbs_limit : params -> float
+(** Largest bias voltage at which forward junction current stays below a
+    tenth of the subthreshold component — the paper's rationale for capping
+    vbs at 0.5 V. *)

@@ -1,0 +1,12 @@
+(** Liberty-style text dump of the characterized cell library.
+
+    Produces a human-readable [.lib]-flavoured description of every cell —
+    footprint, pin directions, per-fanout delay coefficients and leakage —
+    plus one [operating_conditions] group per body-bias level carrying the
+    delay and leakage scale factors. It is an export format for inspection
+    and interchange, not a full Liberty implementation (no lookup tables,
+    no power arcs). *)
+
+val to_string : ?name:string -> Cell_library.t -> string
+
+val save : ?name:string -> Cell_library.t -> path:string -> unit

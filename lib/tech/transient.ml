@@ -1,0 +1,39 @@
+(* Units: capacitance in fF, current in mA, voltage in V => time in ps. *)
+
+let k_drive = 1.0 (* mA / V^alpha *)
+
+let saturation_current device ~vbs =
+  let vth = Device.vth device ~vbs in
+  k_drive *. ((device.Device.vdd -. vth) ** device.Device.alpha)
+
+let pulldown_current device ~vbs ~vout =
+  let vth = Device.vth device ~vbs in
+  let vdsat = (device.Device.vdd -. vth) /. 2.0 in
+  let ion = saturation_current device ~vbs in
+  if vout >= vdsat then ion else ion *. vout /. vdsat
+
+let simulate device ~cap_ff ~steps ~vbs =
+  let vdd = device.Device.vdd in
+  let dt = cap_ff *. vdd /. saturation_current device ~vbs /. float_of_int steps in
+  let rec run t v trace =
+    let trace = (t, v) :: trace in
+    if v <= vdd /. 2.0 then (t, List.rev trace)
+    else
+      let i = pulldown_current device ~vbs ~vout:v in
+      let v' = v -. (i *. dt /. cap_ff) in
+      run (t +. dt) v' trace
+  in
+  run 0.0 vdd []
+
+let propagation_delay ?(device = Device.default) ?(cap_ff = 1.0)
+    ?(steps = 4000) ~vbs () =
+  fst (simulate device ~cap_ff ~steps ~vbs)
+
+let delay_factor ?(device = Device.default) ~vbs () =
+  let d = propagation_delay ~device ~vbs () in
+  let d0 = propagation_delay ~device ~vbs:0.0 () in
+  d /. d0
+
+let waveform ?(device = Device.default) ?(cap_ff = 1.0) ?(steps = 4000) ~vbs
+    () =
+  Array.of_list (snd (simulate device ~cap_ff ~steps ~vbs))

@@ -1,0 +1,24 @@
+(** Tiny transient simulator for a CMOS inverter discharging a load
+    capacitance, used to cross-validate the analytic {!Device} delay model
+    (the role SPICE plays in the paper).
+
+    The pull-down network is modelled as an alpha-power-law current source:
+    saturation current [Ion = k * (vdd - vth)^alpha], linear-region current
+    scaled by [v / vdsat]. The output waveform is integrated with explicit
+    Euler steps and the 50 % crossing gives the propagation delay. *)
+
+val propagation_delay :
+  ?device:Device.params -> ?cap_ff:float -> ?steps:int -> vbs:float -> unit ->
+  float
+(** Fall propagation delay in picoseconds for the given body bias.
+    [cap_ff] is the load capacitance in femtofarads (default 1.0),
+    [steps] the integration resolution (default 4000). *)
+
+val delay_factor : ?device:Device.params -> vbs:float -> unit -> float
+(** Simulated delay at [vbs] divided by simulated delay at NBB; should track
+    {!Device.delay_factor} within a few percent. *)
+
+val waveform :
+  ?device:Device.params -> ?cap_ff:float -> ?steps:int -> vbs:float -> unit ->
+  (float * float) array
+(** Sampled [(time_ps, v_out)] trace of the discharge, for inspection. *)

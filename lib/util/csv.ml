@@ -1,0 +1,36 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let needs_quote s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if not (needs_quote s) then s
+  else
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let emit row =
+    Buffer.add_string buf (String.concat "," (List.map escape row));
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t))

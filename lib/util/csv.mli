@@ -1,0 +1,14 @@
+(** Minimal CSV writer for exporting experiment series (figure data). *)
+
+type t
+
+val create : headers:string list -> t
+
+val add_row : t -> string list -> unit
+(** Append a data row; cells containing commas, quotes or newlines are
+    quoted per RFC 4180. *)
+
+val render : t -> string
+
+val save : t -> path:string -> unit
+(** Write the CSV to [path], creating or truncating the file. *)

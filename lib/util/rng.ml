@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: advance state by the golden ratio and mix. *)
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = next t in
+  { state = Int64.mul s 0x2545F4914F6CDD1DL }
+
+let int t n =
+  assert (n > 0);
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (next t) mask) in
+  v mod n
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let uniform t =
+  (* 53 high bits give a uniform double in [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let float t x = uniform t *. x
+
+let gaussian t ~mu ~sigma =
+  let rec draw () =
+    let u1 = uniform t in
+    if u1 <= 0.0 then draw ()
+    else
+      let u2 = uniform t in
+      mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+  in
+  draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choice t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

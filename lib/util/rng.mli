@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library (circuit generators, process
+    variation sampling, Monte-Carlo loops) takes an explicit [Rng.t] so that
+    experiments are reproducible from a single integer seed. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent clone with the same current state. *)
+
+val split : t -> t
+(** Derive a new generator whose stream is decorrelated from [t]'s
+    continuation; also advances [t]. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n-1]. [n] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [0, x). *)
+
+val uniform : t -> float
+(** Uniform draw in [0, 1). *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal draw via Box-Muller. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

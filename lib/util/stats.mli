@@ -1,0 +1,20 @@
+(** Small descriptive-statistics helpers used by experiments and tests. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val stdev : float array -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. Raises [Invalid_argument] on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation between
+    order statistics. Raises [Invalid_argument] on empty input. *)
+
+val sum : float array -> float
+
+val ratio_pct : float -> float -> float
+(** [ratio_pct base v] is the percentage change of [v] relative to [base]:
+    [(base - v) / base * 100]. Returns 0 when [base] is 0. *)

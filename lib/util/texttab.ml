@@ -1,0 +1,74 @@
+type align = Left | Right
+
+type row = Cells of string array | Rule
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers =
+  let headers = Array.of_list headers in
+  let aligns = Array.mapi (fun i _ -> if i = 0 then Left else Right) headers in
+  { headers; aligns; rows = [] }
+
+let set_align t i a = t.aligns.(i) <- a
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  let cells = Array.of_list cells in
+  if Array.length cells > n then invalid_arg "Texttab.add_row: too many cells";
+  let padded = Array.make n "" in
+  Array.blit cells 0 padded 0 (Array.length cells);
+  t.rows <- Cells padded :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let n = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  let note = function
+    | Rule -> ()
+    | Cells cs ->
+      Array.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cs
+  in
+  List.iter note t.rows;
+  let buf = Buffer.create 1024 in
+  let pad i s =
+    let w = widths.(i) in
+    let gap = w - String.length s in
+    match t.aligns.(i) with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let emit_cells cs =
+    Buffer.add_string buf "| ";
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (pad i cs.(i));
+      Buffer.add_string buf (if i = n - 1 then " |" else " | ")
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let emit_rule () =
+    Buffer.add_string buf "|";
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (String.make (widths.(i) + 2) '-');
+      Buffer.add_char buf (if i = n - 1 then '|' else '+')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_rule ();
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter
+    (function Cells cs -> emit_cells cs | Rule -> emit_rule ())
+    (List.rev t.rows);
+  emit_rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+let cell_pct ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+let cell_i v = string_of_int v

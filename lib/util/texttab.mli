@@ -1,0 +1,36 @@
+(** Plain-text table rendering for experiment reports.
+
+    Produces aligned, pipe-separated tables similar to the ones in the paper,
+    suitable for both terminal output and EXPERIMENTS.md code blocks. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** New table with the given column headers. Columns default to
+    right-alignment except the first, which is left-aligned. *)
+
+val set_align : t -> int -> align -> unit
+(** Override the alignment of column [i]. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Rows shorter than the header are padded with empty cells;
+    longer rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule. *)
+
+val render : t -> string
+(** Render the table to a string (with trailing newline). *)
+
+val print : t -> unit
+(** [render] followed by [print_string]. *)
+
+val cell_f : ?digits:int -> float -> string
+(** Format a float cell with [digits] decimals (default 2). *)
+
+val cell_pct : ?digits:int -> float -> string
+(** Format a percentage cell, e.g. [23.08]. Default 2 decimals. *)
+
+val cell_i : int -> string

@@ -1,0 +1,62 @@
+module Rng = Fbb_util.Rng
+module Device = Fbb_tech.Device
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let die_to_die rng ~sigma =
+  clamp 0.7 1.5 (Rng.gaussian rng ~mu:1.0 ~sigma)
+
+let within_die rng ~sigma nl =
+  let n = Fbb_netlist.Netlist.size nl in
+  let derates =
+    Array.init n (fun _ -> clamp 0.7 1.5 (Rng.gaussian rng ~mu:1.0 ~sigma))
+  in
+  fun g -> derates.(g)
+
+let spatially_correlated rng ~sigma ?(correlation_rows = 4) placement =
+  let nrows = Fbb_place.Placement.num_rows placement in
+  (* Random walk over rows, then a box low-pass of the correlation width;
+     two thirds of the variance is regional, one third independent. *)
+  let walk = Array.make nrows 0.0 in
+  let step = sigma /. sqrt (float_of_int (max 1 correlation_rows)) in
+  for r = 1 to nrows - 1 do
+    walk.(r) <- walk.(r - 1) +. Rng.gaussian rng ~mu:0.0 ~sigma:step
+  done;
+  let smooth = Array.make nrows 0.0 in
+  for r = 0 to nrows - 1 do
+    let lo = max 0 (r - correlation_rows) in
+    let hi = min (nrows - 1) (r + correlation_rows) in
+    let acc = ref 0.0 in
+    for k = lo to hi do
+      acc := !acc +. walk.(k)
+    done;
+    smooth.(r) <- !acc /. float_of_int (hi - lo + 1)
+  done;
+  (* Re-center so the mean regional derate is 1.0. *)
+  let mean = Array.fold_left ( +. ) 0.0 smooth /. float_of_int nrows in
+  let regional = Array.map (fun v -> (v -. mean) *. 0.8) smooth in
+  let nl = Fbb_place.Placement.netlist placement in
+  let independent =
+    within_die rng ~sigma:(sigma /. 3.0) nl
+  in
+  fun g ->
+    let r = Fbb_place.Placement.row_of placement g in
+    let base = if r >= 0 then 1.0 +. regional.(r) else 1.0 in
+    clamp 0.7 1.6 (base *. independent g)
+
+let temperature_derate ?(ref_celsius = 25.0) celsius =
+  1.0 +. (0.0012 *. (celsius -. ref_celsius))
+
+let nbti_aging_derate ?(device = Device.default) years =
+  if years <= 0.0 then 1.0
+  else begin
+    (* dVth = 30 mV * (t/1y)^0.16: ~30 mV after a year, ~43 mV after 10. *)
+    let dvth = 0.030 *. (years ** 0.16) in
+    let overdrive0 = device.Device.vdd -. device.Device.vth0 in
+    let overdrive = overdrive0 -. dvth in
+    (overdrive0 /. overdrive) ** device.Device.alpha
+  end
+
+let combine fs g = List.fold_left (fun acc f -> acc *. f g) 1.0 fs
+
+let uniform beta _ = 1.0 +. beta

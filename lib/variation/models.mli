@@ -1,0 +1,44 @@
+(** Sources of post-fabrication slowdown (paper section 1 and 3.1).
+
+    All models produce per-gate multiplicative delay derates (1.0 =
+    nominal), composable with {!combine}. Stochastic models take an
+    explicit RNG; results are reproducible from the seed. *)
+
+open Fbb_netlist
+
+val die_to_die : Fbb_util.Rng.t -> sigma:float -> float
+(** One global process corner for the die: a factor drawn from a normal
+    around 1.0 with the given relative sigma, clamped to [0.7, 1.5]. *)
+
+val within_die :
+  Fbb_util.Rng.t -> sigma:float -> Netlist.t -> Netlist.id -> float
+(** Independent per-gate random variation (the uncorrelated component). *)
+
+val spatially_correlated :
+  Fbb_util.Rng.t ->
+  sigma:float ->
+  ?correlation_rows:int ->
+  Fbb_place.Placement.t ->
+  Netlist.id ->
+  float
+(** Within-die variation with spatial correlation: a smooth random profile
+    over rows (random walk low-pass filtered over [correlation_rows],
+    default 4) plus a small independent term. This is the component that
+    makes *physically clustered* compensation effective: slow gates sit in
+    slow regions. *)
+
+val temperature_derate : ?ref_celsius:float -> float -> float
+(** [temperature_derate c]: delay derate at die temperature [c] (ref default
+    25C); about +0.12 %/K, the usual positive temperature coefficient at
+    low supply. *)
+
+val nbti_aging_derate : ?device:Fbb_tech.Device.params -> float -> float
+(** [nbti_aging_derate years]: NBTI-induced slowdown: threshold shift [dVth = A * t^n] with
+    [A = 30 mV/decade-year-ish, n = 0.16], translated to a delay factor
+    through the alpha-power model. Zero years = 1.0. *)
+
+val combine : (Netlist.id -> float) list -> Netlist.id -> float
+(** Product of derates. *)
+
+val uniform : float -> Netlist.id -> float
+(** The paper's slowdown coefficient: [fun _ -> 1 + beta]. *)

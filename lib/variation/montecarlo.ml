@@ -1,0 +1,92 @@
+module Timing = Fbb_sta.Timing
+module P = Fbb_place.Placement
+module N = Fbb_netlist.Netlist
+
+type strategy_stats = {
+  yield_pct : float;
+  mean_leakage_nw : float;
+  p95_leakage_nw : float;
+}
+
+type t = {
+  samples : int;
+  no_tuning : strategy_stats;
+  single_bb : strategy_stats;
+  clustered : strategy_stats;
+  mean_measured_slowdown_pct : float;
+}
+
+let stats_of shipped total =
+  match shipped with
+  | [] -> { yield_pct = 0.0; mean_leakage_nw = 0.0; p95_leakage_nw = 0.0 }
+  | leaks ->
+    let a = Array.of_list leaks in
+    {
+      yield_pct = 100.0 *. float_of_int (Array.length a) /. float_of_int total;
+      mean_leakage_nw = Fbb_util.Stats.mean a;
+      p95_leakage_nw = Fbb_util.Stats.percentile a 95.0;
+    }
+
+let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
+    ?(guardband = 0.15) placement =
+  let nl = P.netlist placement in
+  let rng = Fbb_util.Rng.create ~seed in
+  let nominal = Timing.analyze nl in
+  let budget = Timing.dcrit nominal +. 1e-6 in
+  let leakage ~bias = Tuning.design_leakage nl ~bias in
+  let no_tuning = ref [] in
+  let single_bb = ref [] in
+  let clustered = ref [] in
+  let slowdowns = ref [] in
+  for _ = 1 to samples do
+    let die_rng = Fbb_util.Rng.split rng in
+    let corner = Models.die_to_die die_rng ~sigma:(sigma /. 2.0) in
+    let within = Models.spatially_correlated die_rng ~sigma placement in
+    let derate g = corner *. within g in
+    let degraded = Timing.analyze ~derate nl in
+    let reading = Sensor.in_situ_monitors ~nominal ~degraded in
+    slowdowns := reading.Sensor.slowdown :: !slowdowns;
+    (* Strategy 1: ship as fabricated. *)
+    if Timing.dcrit degraded <= budget then
+      no_tuning := leakage ~bias:(fun _ -> 0.0) :: !no_tuning;
+    (* Strategy 2: one die-wide voltage. Uses the same sensing, guardband
+       and PassOne selection the clustered loop gets (an exact
+       signoff-search baseline would smuggle in information no real tuning
+       controller has); the level is bumped until signoff closes. *)
+    let measured =
+      Float.max 0.0 (reading.Sensor.slowdown *. (1.0 +. guardband))
+    in
+    let jopt =
+      if measured <= 0.0 then Some 0
+      else
+        Fbb_core.Problem.max_single_level
+          (Fbb_core.Problem.build ~beta:measured placement)
+    in
+    (match jopt with
+    | None -> ()
+    | Some j0 ->
+      let rec close j =
+        if j >= Fbb_tech.Bias.count then None
+        else begin
+          let bias _ = Fbb_tech.Bias.voltage j in
+          if Timing.dcrit (Timing.analyze ~derate ~bias nl) <= budget then
+            Some (leakage ~bias)
+          else close (j + 1)
+        end
+      in
+      match close j0 with
+      | Some leak -> single_bb := leak :: !single_bb
+      | None -> ());
+    (* Strategy 3: the clustering optimizer in its closed loop. *)
+    let o = Tuning.compensate ~max_clusters ~guardband placement ~derate in
+    if o.Tuning.timing_closed then
+      clustered := o.Tuning.leakage_nw :: !clustered
+  done;
+  {
+    samples;
+    no_tuning = stats_of !no_tuning samples;
+    single_bb = stats_of !single_bb samples;
+    clustered = stats_of !clustered samples;
+    mean_measured_slowdown_pct =
+      100.0 *. Fbb_util.Stats.mean (Array.of_list !slowdowns);
+  }

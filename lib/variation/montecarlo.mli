@@ -1,0 +1,40 @@
+(** Monte-Carlo yield analysis — the paper's motivation made measurable.
+
+    Samples fabricated dies (die-to-die corner plus spatially correlated
+    within-die variation), and for each die compares three strategies:
+
+    - no tuning: ship only if the die meets timing as fabricated;
+    - block-level FBB (Single BB): one voltage for the whole die, picked
+      by the same sensing/guardband loop the clustered strategy uses;
+    - clustered FBB: the row-clustering optimizer with a cluster budget.
+
+    Yield is the fraction of dies that close timing (signoff STA under the
+    die's true per-gate derates); leakage statistics are over the shipped
+    dies of each strategy. This experiment extends the paper (which
+    reports per-beta leakage, not sampled yield) and is documented as such
+    in EXPERIMENTS.md. *)
+
+type strategy_stats = {
+  yield_pct : float;
+  mean_leakage_nw : float;  (** over dies the strategy ships *)
+  p95_leakage_nw : float;
+}
+
+type t = {
+  samples : int;
+  no_tuning : strategy_stats;
+  single_bb : strategy_stats;
+  clustered : strategy_stats;
+  mean_measured_slowdown_pct : float;
+}
+
+val run :
+  ?seed:int ->
+  ?samples:int ->
+  ?sigma:float ->
+  ?max_clusters:int ->
+  ?guardband:float ->
+  Fbb_place.Placement.t ->
+  t
+(** Defaults: 50 samples, sigma = 0.05 (relative delay variation),
+    C = 2, guardband 0.15. *)

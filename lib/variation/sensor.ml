@@ -1,0 +1,59 @@
+module Timing = Fbb_sta.Timing
+module N = Fbb_netlist.Netlist
+
+type reading = { slowdown : float; alarms : int }
+
+let endpoint_arrivals t =
+  let nl = Timing.netlist t in
+  let acc = ref [] in
+  Array.iter
+    (fun o -> acc := (o, Timing.arrival t o) :: !acc)
+    (N.outputs nl);
+  Array.iter
+    (fun g ->
+      if N.is_sequential nl g then
+        acc := (g, Timing.arrival t (N.fanins nl g).(0)) :: !acc)
+    (N.gates nl);
+  !acc
+
+let alarms_against ~dcrit readings =
+  List.length (List.filter (fun (_, a) -> a > dcrit +. 1e-9) readings)
+
+let critical_path_replica ~nominal ~degraded =
+  (* The replica copies the nominal critical path; its degradation is the
+     ratio of that path's delay under the two analyses. *)
+  let path = Array.of_list (Timing.critical_path nominal) in
+  let d0 = Fbb_sta.Paths.delay_of nominal path in
+  let d1 = Fbb_sta.Paths.delay_of degraded path in
+  let slowdown = Float.max 0.0 ((d1 /. d0) -. 1.0) in
+  let alarms =
+    alarms_against ~dcrit:(Timing.dcrit nominal) (endpoint_arrivals degraded)
+  in
+  { slowdown; alarms }
+
+let in_situ_monitors ~nominal ~degraded =
+  let dcrit0 = Timing.dcrit nominal in
+  let readings = endpoint_arrivals degraded in
+  (* Each monitored endpoint compares its degraded arrival to the same
+     nominal budget; the worst ratio is the die's measured slowdown. *)
+  let nominal_arrival =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (e, a) -> Hashtbl.replace tbl e a) (endpoint_arrivals nominal);
+    fun e -> Option.value ~default:dcrit0 (Hashtbl.find_opt tbl e)
+  in
+  let worst =
+    List.fold_left
+      (fun acc (e, a) ->
+        let a0 = nominal_arrival e in
+        if a0 > 1e-9 then Float.max acc ((a /. a0) -. 1.0) else acc)
+      0.0 readings
+  in
+  { slowdown = worst; alarms = alarms_against ~dcrit:dcrit0 readings }
+
+let quantize ~resolution r =
+  if resolution <= 0.0 then r
+  else
+    {
+      r with
+      slowdown = resolution *. Float.ceil (r.slowdown /. resolution);
+    }

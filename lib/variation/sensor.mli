@@ -1,0 +1,25 @@
+(** Post-silicon timing sensing (paper section 3.1).
+
+    Two sensing styles from the literature the paper cites:
+    - critical-path replica [5]: a copy of the nominal critical path is
+      timed; it sees only the slowdown of that one path, so spatially
+      non-uniform degradation can escape it;
+    - in-situ flip-flop monitors [3]: every endpoint flags a "timing
+      alarm" when data arrives later than the nominal critical delay; the
+      measured slowdown is the worst over all monitored paths. *)
+
+type reading = {
+  slowdown : float;
+      (** measured beta: fractional delay increase vs nominal, >= 0 *)
+  alarms : int;  (** endpoints arriving after the nominal critical delay *)
+}
+
+val critical_path_replica :
+  nominal:Fbb_sta.Timing.t -> degraded:Fbb_sta.Timing.t -> reading
+
+val in_situ_monitors :
+  nominal:Fbb_sta.Timing.t -> degraded:Fbb_sta.Timing.t -> reading
+
+val quantize : resolution:float -> reading -> reading
+(** Round the measured slowdown up to a control-loop resolution (sensors
+    report discrete alarm thresholds, not exact delays). *)

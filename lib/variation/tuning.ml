@@ -1,0 +1,87 @@
+module Timing = Fbb_sta.Timing
+module P = Fbb_place.Placement
+module N = Fbb_netlist.Netlist
+
+type sensor_kind = Replica | In_situ
+
+type outcome = {
+  measured_beta : float;
+  raw_beta : float;
+  alarms_before : int;
+  levels : int array option;
+  clusters : int;
+  leakage_nw : float;
+  nominal_leakage_nw : float;
+  dcrit_nominal : float;
+  dcrit_degraded : float;
+  dcrit_compensated : float;
+  timing_closed : bool;
+}
+
+let design_leakage nl ~bias =
+  let lib = N.library nl in
+  Array.fold_left
+    (fun acc g ->
+      acc +. Fbb_tech.Cell_library.leakage_nw lib (N.cell nl g) ~vbs:(bias g))
+    0.0 (N.gates nl)
+
+let compensate ?(max_clusters = 2) ?(sensor = In_situ) ?(guardband = 0.1)
+    ?(resolution = 0.01) placement ~derate =
+  let nl = P.netlist placement in
+  let nominal = Timing.analyze nl in
+  let degraded = Timing.analyze ~derate nl in
+  let reading =
+    match sensor with
+    | Replica -> Sensor.critical_path_replica ~nominal ~degraded
+    | In_situ -> Sensor.in_situ_monitors ~nominal ~degraded
+  in
+  let reading = Sensor.quantize ~resolution reading in
+  let raw_beta = reading.Sensor.slowdown in
+  let measured_beta = raw_beta *. (1.0 +. guardband) in
+  let dcrit_nominal = Timing.dcrit nominal in
+  let dcrit_degraded = Timing.dcrit degraded in
+  let nominal_leakage_nw = design_leakage nl ~bias:(fun _ -> 0.0) in
+  let no_compensation () =
+    {
+      measured_beta;
+      raw_beta;
+      alarms_before = reading.Sensor.alarms;
+      levels = Some (Array.make (P.num_rows placement) 0);
+      clusters = 1;
+      leakage_nw = nominal_leakage_nw;
+      nominal_leakage_nw;
+      dcrit_nominal;
+      dcrit_degraded;
+      dcrit_compensated = dcrit_degraded;
+      timing_closed = dcrit_degraded <= dcrit_nominal +. 1e-6;
+    }
+  in
+  if measured_beta <= 0.0 then no_compensation ()
+  else begin
+    let problem = Fbb_core.Problem.build ~beta:measured_beta placement in
+    match Fbb_core.Refine.heuristic ~max_clusters problem with
+    | None ->
+      (* Compensation impossible even at full bias. *)
+      { (no_compensation ()) with levels = None; timing_closed = false }
+    | Some r ->
+      let levels = r.Fbb_core.Refine.levels in
+      let bias g =
+        let row = P.row_of placement g in
+        if row < 0 then 0.0 else Fbb_tech.Bias.voltage levels.(row)
+      in
+      let compensated = Timing.analyze ~derate ~bias nl in
+      let dcrit_compensated = Timing.dcrit compensated in
+      {
+        measured_beta;
+        raw_beta;
+        alarms_before = reading.Sensor.alarms;
+        levels = Some levels;
+        clusters = Fbb_core.Solution.cluster_count levels;
+        leakage_nw = design_leakage nl ~bias;
+        nominal_leakage_nw;
+        dcrit_nominal;
+        dcrit_degraded;
+        dcrit_compensated;
+        timing_closed = dcrit_compensated <= dcrit_nominal +. 1e-6;
+      }
+  end

@@ -1,0 +1,18 @@
+(* Aggregated alcotest runner for every library. *)
+let () =
+  Alcotest.run "fbb"
+    [
+      ("util", Test_util.suite);
+      ("tech", Test_tech.suite);
+      ("netlist", Test_netlist.suite);
+      ("generators", Test_generators.suite);
+      ("verilog", Test_verilog.suite);
+      ("sta", Test_sta.suite);
+      ("place", Test_place.suite);
+      ("solvers", Test_solvers.suite);
+      ("layout", Test_layout.suite);
+      ("core", Test_core.suite);
+      ("variation", Test_variation.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,286 @@
+(* Tests for Fbb_netlist.Generators and Benchmarks: structural validity,
+   exact Table-1 gate counts, and functional correctness of the arithmetic
+   generators proved by simulation. *)
+
+module N = Fbb_netlist.Netlist
+module G = Fbb_netlist.Generators
+module B = Fbb_netlist.Benchmarks
+module Sim = Fbb_netlist.Simulate
+
+let test_benchmark_gate_counts () =
+  List.iter
+    (fun (s : B.spec) ->
+      let nl = s.B.generate () in
+      Alcotest.(check int) (s.B.name ^ " gate count") s.B.gates
+        (N.gate_count nl))
+    (List.filter (fun s -> s.B.gates <= 5000) B.all)
+
+let test_benchmark_validity () =
+  List.iter
+    (fun (s : B.spec) ->
+      let nl = s.B.generate () in
+      match N.validate nl with
+      | Ok () -> ()
+      | Error es ->
+        Alcotest.failf "%s invalid: %s" s.B.name (String.concat "; " es))
+    (List.filter (fun s -> s.B.gates <= 5000) B.all)
+
+let test_benchmark_determinism () =
+  let s = B.find "c3540" in
+  let a = s.B.generate () in
+  let b = s.B.generate () in
+  Alcotest.(check int) "same size" (N.size a) (N.size b);
+  Array.iter
+    (fun g ->
+      Alcotest.(check string) "same cells"
+        (N.cell a g).Fbb_tech.Cell_library.name
+        (N.cell b g).Fbb_tech.Cell_library.name)
+    (N.gates a)
+
+let test_find () =
+  Alcotest.(check string) "case insensitive" "Industrial1"
+    (B.find "industrial1").B.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (B.find "c9999"))
+
+let step2 nl inputs =
+  (* Registered-in, registered-out pipelines need two clock edges before
+     the outputs hold the result. *)
+  let s = Sim.eval nl ~inputs in
+  Sim.step nl (Sim.step nl s)
+
+let test_prefix_adder_adds () =
+  let bits = 16 in
+  let nl = G.prefix_adder ~bits ~registered_inputs:true () in
+  let rng = Fbb_util.Rng.create ~seed:42 in
+  for _ = 1 to 25 do
+    let x = Fbb_util.Rng.int rng (1 lsl bits) in
+    let y = Fbb_util.Rng.int rng (1 lsl bits) in
+    let cin = Fbb_util.Rng.bool rng in
+    let inputs =
+      Sim.input_bus ~prefix:"a" ~width:bits x
+      @ Sim.input_bus ~prefix:"b" ~width:bits y
+      @ [ ("cin", cin) ]
+    in
+    let s = step2 nl inputs in
+    let total = x + y + if cin then 1 else 0 in
+    Alcotest.(check int)
+      (Printf.sprintf "%d+%d+%b" x y cin)
+      (total land ((1 lsl bits) - 1))
+      (Sim.bus_value nl s ~prefix:"sum");
+    Alcotest.(check bool) "cout" (total >= 1 lsl bits)
+      (Sim.output nl s "cout")
+  done
+
+let test_ripple_adder_adds () =
+  let bits = 12 in
+  let nl = G.ripple_adder ~bits ~registered:false () in
+  let rng = Fbb_util.Rng.create ~seed:43 in
+  for _ = 1 to 25 do
+    let x = Fbb_util.Rng.int rng (1 lsl bits) in
+    let y = Fbb_util.Rng.int rng (1 lsl bits) in
+    let inputs =
+      Sim.input_bus ~prefix:"a" ~width:bits x
+      @ Sim.input_bus ~prefix:"b" ~width:bits y
+      @ [ ("cin", false) ]
+    in
+    let s = Sim.eval nl ~inputs in
+    Alcotest.(check int)
+      (Printf.sprintf "%d+%d" x y)
+      ((x + y) land ((1 lsl bits) - 1))
+      (Sim.bus_value nl s ~prefix:"sum")
+  done
+
+let test_multiplier_multiplies () =
+  let bits = 5 in
+  let nl = G.array_multiplier ~bits () in
+  let rng = Fbb_util.Rng.create ~seed:44 in
+  for _ = 1 to 25 do
+    let x = Fbb_util.Rng.int rng (1 lsl bits) in
+    let y = Fbb_util.Rng.int rng (1 lsl bits) in
+    let inputs =
+      Sim.input_bus ~prefix:"a" ~width:bits x
+      @ Sim.input_bus ~prefix:"b" ~width:bits y
+    in
+    let s = Sim.eval nl ~inputs in
+    Alcotest.(check int)
+      (Printf.sprintf "%d*%d" x y)
+      (x * y)
+      (Sim.bus_value nl s ~prefix:"p")
+  done
+
+let test_adder_comparator_functions () =
+  let bits = 8 in
+  let nl = G.adder_comparator ~bits () in
+  let rng = Fbb_util.Rng.create ~seed:45 in
+  for _ = 1 to 25 do
+    let x = Fbb_util.Rng.int rng (1 lsl bits) in
+    let y = Fbb_util.Rng.int rng (1 lsl bits) in
+    let inputs =
+      Sim.input_bus ~prefix:"a" ~width:bits x
+      @ Sim.input_bus ~prefix:"b" ~width:bits y
+      @ [ ("cin", false) ]
+    in
+    let s = Sim.eval nl ~inputs in
+    Alcotest.(check int) "sum" ((x + y) land ((1 lsl bits) - 1))
+      (Sim.bus_value nl s ~prefix:"sum");
+    Alcotest.(check int) "rounded sum" ((x + y + 1) land ((1 lsl bits) - 1))
+      (Sim.bus_value nl s ~prefix:"rsum");
+    Alcotest.(check bool) "a<b" (x < y) (Sim.output nl s "a_lt_b");
+    Alcotest.(check bool) "a=b" (x = y) (Sim.output nl s "a_eq_b");
+    let parity v =
+      let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc <> (v land 1 = 1)) in
+      go v false
+    in
+    Alcotest.(check bool) "par_a" (parity x) (Sim.output nl s "par_a")
+  done
+
+let test_ecc_checker_accepts_codewords () =
+  let data_bits = 16 and check_bits = 8 and coverage = 3 in
+  let nl = G.ecc_checker ~data_bits ~check_bits ~coverage ~stride:1 () in
+  let rng = Fbb_util.Rng.create ~seed:46 in
+  for _ = 1 to 20 do
+    let data = Fbb_util.Rng.int rng (1 lsl data_bits) in
+    (* Recompute the rotating-cover parities the generator implements. *)
+    let check_bit j =
+      let acc = ref false in
+      for i = 0 to data_bits - 1 do
+        if (i + (5 * j)) mod data_bits < coverage + j && data land (1 lsl i) <> 0
+        then acc := not !acc
+      done;
+      !acc
+    in
+    let inputs =
+      Sim.input_bus ~prefix:"d" ~width:data_bits data
+      @ List.init check_bits (fun j -> (Printf.sprintf "c%d" j, check_bit j))
+    in
+    let s = Sim.eval nl ~inputs in
+    Alcotest.(check bool) "no error flagged" false (Sim.output nl s "err");
+    Alcotest.(check int) "data passes through unchanged" data
+      (Sim.bus_value nl s ~prefix:"q")
+  done
+
+let test_ecc_checker_flags_errors () =
+  let data_bits = 16 and check_bits = 8 and coverage = 3 in
+  let nl = G.ecc_checker ~data_bits ~check_bits ~coverage ~stride:1 () in
+  (* All-zero data has all-zero checks; flipping one check bit must raise
+     the error flag. *)
+  let inputs flip =
+    Sim.input_bus ~prefix:"d" ~width:data_bits 0
+    @ List.init check_bits (fun j -> (Printf.sprintf "c%d" j, j = flip))
+  in
+  for flip = 0 to check_bits - 1 do
+    let s = Sim.eval nl (* broken codeword *) ~inputs:(inputs flip) in
+    Alcotest.(check bool) "error flagged" true (Sim.output nl s "err")
+  done
+
+let test_alu_add_operation () =
+  let bits = 8 in
+  let nl = G.alu ~bits () in
+  let rng = Fbb_util.Rng.create ~seed:47 in
+  for _ = 1 to 20 do
+    let x = Fbb_util.Rng.int rng (1 lsl bits) in
+    let y = Fbb_util.Rng.int rng (1 lsl bits) in
+    (* op = 0 0 0 with op2 selecting the arithmetic mux half: in our slice
+       encoding, op2=0 picks arithmetic, op1=0,op0=0 picks the adder. *)
+    let inputs =
+      Sim.input_bus ~prefix:"a" ~width:bits x
+      @ Sim.input_bus ~prefix:"b" ~width:bits y
+      @ [ ("cin", false); ("op0", false); ("op1", false); ("op2", false) ]
+    in
+    let s = Sim.eval nl ~inputs in
+    Alcotest.(check int) "alu add" ((x + y) land ((1 lsl bits) - 1))
+      (Sim.bus_value nl s ~prefix:"r")
+  done
+
+let test_alu_logic_operation () =
+  let bits = 8 in
+  let nl = G.alu ~bits () in
+  let x = 0b10110100 and y = 0b11010010 in
+  let run op0 op1 =
+    let inputs =
+      Sim.input_bus ~prefix:"a" ~width:bits x
+      @ Sim.input_bus ~prefix:"b" ~width:bits y
+      @ [ ("cin", false); ("op0", op0); ("op1", op1); ("op2", true) ]
+    in
+    Sim.bus_value nl (Sim.eval nl ~inputs) ~prefix:"r"
+  in
+  Alcotest.(check int) "and" (x land y) (run false false);
+  Alcotest.(check int) "or" (x lor y) (run true false);
+  Alcotest.(check int) "xor" (x lxor y) (run false true)
+
+let test_random_module_shapes () =
+  List.iter
+    (fun gates ->
+      let nl = G.random_module ~seed:5 ~gates () in
+      Alcotest.(check int) "exact count" gates (N.gate_count nl);
+      Alcotest.(check bool) "has outputs" true
+        (Array.length (N.outputs nl) > 0);
+      Alcotest.(check bool) "has flip-flops" true
+        (Array.exists (N.is_sequential nl) (N.gates nl));
+      match N.validate nl with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "invalid: %s" (String.concat ";" es))
+    [ 100; 500; 2000 ]
+
+let test_pad_to_rejects_small_target () =
+  Alcotest.(check bool) "core larger than target rejected" true
+    (match G.array_multiplier ~bits:16 ~target_gates:100 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_padding_off_critical_path () =
+  (* Glue gates feed dedicated outputs; the design's critical path must be
+     identical with and without padding. *)
+  let bare = G.prefix_adder ~bits:64 () in
+  let padded = G.prefix_adder ~bits:64 ~target_gates:1200 () in
+  let d0 = Fbb_sta.Timing.dcrit (Fbb_sta.Timing.analyze bare) in
+  let d1 = Fbb_sta.Timing.dcrit (Fbb_sta.Timing.analyze padded) in
+  (* Sizing differs slightly because fanouts change; allow 5%. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dcrit %.1f vs %.1f" d0 d1)
+    true
+    (Float.abs (d1 -. d0) /. d0 < 0.05)
+
+let test_bench_roundtrip_benchmark () =
+  let nl = (B.find "c1355").B.generate () in
+  let text = Fbb_netlist.Bench_io.to_string nl in
+  let nl' = Fbb_netlist.Bench_io.parse text in
+  Alcotest.(check int) "gates preserved" (N.gate_count nl) (N.gate_count nl');
+  (* Same simulation behaviour on random vectors. *)
+  let rng = Fbb_util.Rng.create ~seed:48 in
+  for _ = 1 to 5 do
+    let inputs =
+      Array.to_list (N.inputs nl)
+      |> List.map (fun i -> (N.name nl i, Fbb_util.Rng.bool rng))
+    in
+    let s = Sim.eval nl ~inputs in
+    let s' = Sim.eval nl' ~inputs in
+    Array.iter
+      (fun o ->
+        let driver = (N.fanins nl o).(0) in
+        let v = Sim.value s driver in
+        let v' = Sim.value s' (N.find nl' (N.name nl driver)) in
+        Alcotest.(check bool) "same output" v v')
+      (N.outputs nl)
+  done
+
+let suite =
+  [
+    ("benchmark gate counts exact", `Quick, test_benchmark_gate_counts);
+    ("benchmarks structurally valid", `Quick, test_benchmark_validity);
+    ("benchmark generation deterministic", `Quick, test_benchmark_determinism);
+    ("benchmark lookup", `Quick, test_find);
+    ("prefix adder adds", `Quick, test_prefix_adder_adds);
+    ("ripple adder adds", `Quick, test_ripple_adder_adds);
+    ("array multiplier multiplies", `Quick, test_multiplier_multiplies);
+    ("adder-comparator functions", `Quick, test_adder_comparator_functions);
+    ("ecc accepts valid codewords", `Quick, test_ecc_checker_accepts_codewords);
+    ("ecc flags corrupted checks", `Quick, test_ecc_checker_flags_errors);
+    ("alu adds", `Quick, test_alu_add_operation);
+    ("alu logic ops", `Quick, test_alu_logic_operation);
+    ("random module shapes", `Quick, test_random_module_shapes);
+    ("padding target too small rejected", `Quick, test_pad_to_rejects_small_target);
+    ("padding stays off the critical path", `Quick, test_padding_off_critical_path);
+    ("bench roundtrip on c1355 w/ simulation", `Quick, test_bench_roundtrip_benchmark);
+  ]

@@ -1,0 +1,187 @@
+(* Tests for Fbb_layout: contact insertion, area accounting, rendering. *)
+
+module BR = Fbb_layout.Bias_rails
+module Area = Fbb_layout.Area
+module Render = Fbb_layout.Render
+module Pl = Fbb_place.Placement
+
+let placement () = Lazy.force Tsupport.small_placement
+
+let test_insert_unbiased () =
+  let pl = placement () in
+  let levels = Array.make (Pl.num_rows pl) 0 in
+  let t = BR.insert pl ~levels in
+  Alcotest.(check int) "no rail pairs" 0 t.BR.bias_pairs;
+  Alcotest.(check (float 1e-9)) "no increase" 0.0 t.BR.max_utilization_increase;
+  Alcotest.(check bool) "feasible" true t.BR.feasible
+
+let test_insert_biased () =
+  let pl = placement () in
+  let levels = Array.init (Pl.num_rows pl) (fun r -> if r < 3 then 4 else 0) in
+  let t = BR.insert pl ~levels in
+  Alcotest.(check int) "one pair" 1 t.BR.bias_pairs;
+  Alcotest.(check bool) "some increase" true (t.BR.max_utilization_increase > 0.0);
+  Alcotest.(check bool) "the paper's <= 6% claim" true
+    (t.BR.max_utilization_increase <= 0.06 +. 1e-9);
+  Alcotest.(check bool) "feasible" true t.BR.feasible;
+  Array.iter
+    (fun rc ->
+      if rc.BR.level = 0 then
+        Alcotest.(check int) "unbiased rows add nothing" 0 rc.BR.added_sites
+      else
+        Alcotest.(check int) "biased rows swap taps for contact pairs"
+          (rc.BR.windows * ((2 * BR.contact_width_sites) - BR.tap_width_sites))
+          rc.BR.added_sites)
+    t.BR.rows
+
+let test_insert_two_pairs () =
+  let pl = placement () in
+  let levels =
+    Array.init (Pl.num_rows pl) (fun r -> if r < 2 then 6 else if r < 4 then 3 else 0)
+  in
+  let t = BR.insert pl ~levels in
+  Alcotest.(check int) "two pairs" 2 t.BR.bias_pairs
+
+let test_insert_length_mismatch () =
+  let pl = placement () in
+  Alcotest.(check bool) "rejected" true
+    (match BR.insert pl ~levels:[| 0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_max_supported_pairs () =
+  let pl = placement () in
+  let pairs = BR.max_supported_pairs pl ~utilization_cap:1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "supports >= 2 pairs (got %d)" pairs)
+    true (pairs >= 2)
+
+let test_pairs_monotone_in_cap () =
+  let pl = placement () in
+  let a = BR.max_supported_pairs pl ~utilization_cap:0.8 in
+  let b = BR.max_supported_pairs pl ~utilization_cap:1.0 in
+  Alcotest.(check bool) "monotone" true (b >= a)
+
+let test_area_uniform () =
+  let pl = placement () in
+  let a = Area.of_assignment pl ~levels:(Array.make (Pl.num_rows pl) 3) in
+  Alcotest.(check int) "no boundaries" 0 a.Area.boundaries;
+  Alcotest.(check (float 1e-9)) "no overhead" 0.0 a.Area.overhead_pct
+
+let test_area_boundaries () =
+  let pl = placement () in
+  let levels = Array.init (Pl.num_rows pl) (fun r -> r mod 2) in
+  let a = Area.of_assignment pl ~levels in
+  Alcotest.(check int) "alternating = rows-1 boundaries"
+    (Pl.num_rows pl - 1) a.Area.boundaries;
+  Alcotest.(check bool) "positive overhead" true (a.Area.overhead_pct > 0.0);
+  (* Worst case is bounded by sep/row_height. *)
+  Alcotest.(check bool) "bounded by 10%" true (a.Area.overhead_pct <= 10.0)
+
+let test_area_scaling () =
+  let pl = placement () in
+  let two =
+    Area.of_assignment pl
+      ~levels:(Array.init (Pl.num_rows pl) (fun r -> if r = 0 then 1 else 0))
+  in
+  let four =
+    Area.of_assignment pl
+      ~levels:(Array.init (Pl.num_rows pl) (fun r -> if r < 2 then 1 else 0))
+  in
+  Alcotest.(check bool) "fewer boundaries, less overhead" true
+    (two.Area.overhead_pct <= four.Area.overhead_pct +. 1e-12)
+
+let test_ascii () =
+  let pl = placement () in
+  let levels = Array.init (Pl.num_rows pl) (fun r -> r mod 3) in
+  let s = Render.ascii pl ~levels in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  Alcotest.(check int) "one line per row" (Pl.num_rows pl) (List.length lines);
+  Alcotest.(check bool) "shows voltages" true (Tsupport.contains s "vbs=0.10V")
+
+let test_svg_well_formed () =
+  let pl = placement () in
+  let levels = Array.init (Pl.num_rows pl) (fun r -> if r < 2 then 4 else 0) in
+  let s = Render.svg pl ~levels in
+  Alcotest.(check bool) "svg root" true (Tsupport.contains s "<svg");
+  Alcotest.(check bool) "closed" true (Tsupport.contains s "</svg>");
+  Alcotest.(check bool) "has rail label" true (Tsupport.contains s "vbs0=0.20V");
+  (* one <rect per cell at least *)
+  let count_rects =
+    List.length (String.split_on_char '<' s)
+  in
+  Alcotest.(check bool) "substantial drawing" true (count_rects > 100)
+
+let test_svg_save () =
+  let pl = placement () in
+  let path = Filename.temp_file "fbb" ".svg" in
+  Render.save_svg ~path pl ~levels:(Array.make (Pl.num_rows pl) 0);
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty file" true (len > 100)
+
+let test_row_order_minimizes_boundaries () =
+  let pl = placement () in
+  let levels = Array.init (Pl.num_rows pl) (fun r -> r mod 3) in
+  let report, pl' = Fbb_layout.Row_order.apply pl ~levels in
+  let open Fbb_layout.Row_order in
+  Alcotest.(check int) "minimum boundaries = clusters - 1" 2
+    report.boundaries_after;
+  Alcotest.(check bool) "fewer boundaries" true
+    (report.boundaries_after <= report.boundaries_before);
+  Alcotest.(check bool) "less overhead" true
+    (report.overhead_after_pct <= report.overhead_before_pct +. 1e-9);
+  (* the permuted placement is still structurally sound *)
+  let nl = Pl.netlist pl' in
+  let total =
+    List.init (Pl.num_rows pl') (fun r -> Array.length (Pl.row_gates pl' r))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "gates preserved"
+    (Fbb_netlist.Netlist.gate_count nl)
+    total;
+  for pos = 0 to Pl.num_rows pl' - 1 do
+    Array.iter
+      (fun g -> Alcotest.(check int) "row_of consistent" pos (Pl.row_of pl' g))
+      (Pl.row_gates pl' pos)
+  done
+
+let test_row_order_stable () =
+  let pl = placement () in
+  let levels = Array.make (Pl.num_rows pl) 0 in
+  let perm = Fbb_layout.Row_order.order_by_level pl ~levels in
+  Alcotest.(check (array int)) "identity when uniform"
+    (Array.init (Pl.num_rows pl) (fun i -> i))
+    perm
+
+let test_permute_rows_validation () =
+  let pl = placement () in
+  Alcotest.(check bool) "bad length rejected" true
+    (match Pl.permute_rows pl [| 0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Pl.permute_rows pl (Array.make (Pl.num_rows pl) 0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    ("insert unbiased", `Quick, test_insert_unbiased);
+    ("insert biased", `Quick, test_insert_biased);
+    ("insert two pairs", `Quick, test_insert_two_pairs);
+    ("insert length mismatch", `Quick, test_insert_length_mismatch);
+    ("max supported pairs", `Quick, test_max_supported_pairs);
+    ("pairs monotone in cap", `Quick, test_pairs_monotone_in_cap);
+    ("area uniform", `Quick, test_area_uniform);
+    ("area boundaries", `Quick, test_area_boundaries);
+    ("area scaling", `Quick, test_area_scaling);
+    ("ascii rendering", `Quick, test_ascii);
+    ("svg well-formed", `Quick, test_svg_well_formed);
+    ("svg save", `Quick, test_svg_save);
+    ("row order minimizes boundaries", `Quick, test_row_order_minimizes_boundaries);
+    ("row order stable on uniform", `Quick, test_row_order_stable);
+    ("permute rows validation", `Quick, test_permute_rows_validation);
+  ]

@@ -1,0 +1,413 @@
+(* Tests for Fbb_netlist: builder, structure, validation, topological
+   order, bench IO, simulation, logic gadgets. *)
+
+module N = Fbb_netlist.Netlist
+module B = N.Builder
+module L = Fbb_netlist.Logic
+module CL = Fbb_tech.Cell_library
+module Sim = Fbb_netlist.Simulate
+module Bench = Fbb_netlist.Bench_io
+
+let lib = CL.default
+
+let tiny () =
+  (* a, b -> nand -> inv -> out, plus a dff loop. *)
+  let b = B.create lib in
+  let a = B.input b "a" in
+  let bb = B.input b "b" in
+  let g1 = B.gate b ~name:"g1" CL.Nand2 [ a; bb ] in
+  let g2 = B.gate b ~name:"g2" CL.Inv [ g1 ] in
+  let q = B.gate b ~name:"q" CL.Dff [ B.unconnected ] in
+  let g3 = B.gate b ~name:"g3" CL.And2 [ g2; q ] in
+  B.connect_pin b q ~pin:0 g3;
+  ignore (B.output b "out" g3);
+  B.freeze b
+
+let test_builder_basics () =
+  let nl = tiny () in
+  Alcotest.(check int) "nodes" 7 (N.size nl);
+  Alcotest.(check int) "gates" 4 (N.gate_count nl);
+  Alcotest.(check int) "inputs" 2 (Array.length (N.inputs nl));
+  Alcotest.(check int) "outputs" 1 (Array.length (N.outputs nl));
+  Alcotest.(check int) "fanouts of g1" 1 (Array.length (N.fanouts nl (N.find nl "g1")));
+  Alcotest.(check int) "fanouts of g3" 2 (Array.length (N.fanouts nl (N.find nl "g3")))
+
+let test_validate_ok () =
+  match N.validate (tiny ()) with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected: %s" (String.concat "; " es)
+
+let test_duplicate_name () =
+  let b = B.create lib in
+  ignore (B.input b "a");
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Netlist.Builder: duplicate name a") (fun () ->
+      ignore (B.input b "a"))
+
+let test_wrong_arity () =
+  let b = B.create lib in
+  let a = B.input b "a" in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Netlist.Builder.gate: NAND2_X1 expects 2 pins, got 1")
+    (fun () -> ignore (B.gate b CL.Nand2 [ a ]))
+
+let test_unconnected_rejected () =
+  let b = B.create lib in
+  let a = B.input b "a" in
+  ignore a;
+  ignore (B.gate b ~name:"f" CL.Dff [ B.unconnected ]);
+  Alcotest.check_raises "freeze fails"
+    (Invalid_argument "Netlist.Builder.freeze: f pin 0 unconnected")
+    (fun () -> ignore (B.freeze b))
+
+let test_sealed_builder () =
+  let b = B.create lib in
+  ignore (B.input b "a");
+  ignore (B.freeze b);
+  Alcotest.check_raises "sealed" (Invalid_argument "Netlist.Builder: sealed")
+    (fun () -> ignore (B.input b "z"))
+
+let test_topo_order () =
+  let nl = tiny () in
+  let order = N.topo_order nl in
+  Alcotest.(check int) "covers all nodes" (N.size nl) (Array.length order);
+  let pos = Array.make (N.size nl) 0 in
+  Array.iteri (fun k i -> pos.(i) <- k) order;
+  Array.iter
+    (fun g ->
+      if not (N.is_sequential nl g) then
+        Array.iter
+          (fun f ->
+            Alcotest.(check bool) "fanin first" true (pos.(f) < pos.(g)))
+          (N.fanins nl g))
+    (N.gates nl)
+
+let test_combinational_cycle_detected () =
+  let b = B.create lib in
+  let a = B.input b "a" in
+  let g1 = B.gate b ~name:"c1" CL.And2 [ a; B.unconnected ] in
+  let g2 = B.gate b ~name:"c2" CL.Inv [ g1 ] in
+  B.connect_pin b g1 ~pin:1 g2;
+  ignore (B.output b "o" g2);
+  let nl = B.freeze b in
+  (match N.validate nl with
+  | Ok () -> Alcotest.fail "cycle not detected"
+  | Error es ->
+    Alcotest.(check bool) "mentions cycle" true
+      (List.exists (fun e -> Tsupport.contains e "cycle") es));
+  Alcotest.(check bool) "topo raises" true
+    (match N.topo_order nl with
+    | exception N.Combinational_cycle _ -> true
+    | _ -> false)
+
+let test_dff_feedback_legal () =
+  let nl = tiny () in
+  match N.validate nl with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "dff loop flagged: %s" (String.concat ";" es)
+
+let test_stats_and_width () =
+  let nl = tiny () in
+  let stats = N.stats nl in
+  Alcotest.(check (option int)) "one nand" (Some 1)
+    (List.assoc_opt "NAND2_X1" stats);
+  Alcotest.(check bool) "width positive" true (N.total_width_sites nl > 0)
+
+let test_resize () =
+  let nl = tiny () in
+  let nl' =
+    N.resize nl (fun g ->
+        if N.name nl g = "g1" then Some CL.X4 else None)
+  in
+  Alcotest.(check string) "g1 resized" "NAND2_X4"
+    (N.cell nl' (N.find nl' "g1")).CL.name;
+  Alcotest.(check string) "g2 untouched" "INV_X1"
+    (N.cell nl' (N.find nl' "g2")).CL.name;
+  Alcotest.(check int) "same size" (N.size nl) (N.size nl')
+
+let test_simulate_gates () =
+  let nl = tiny () in
+  (* out = and(inv(nand(a,b)), q); q starts 0 so out=0; after a clock with
+     a=b=1: nand=0, inv=1, and(1, q)... q captures out. *)
+  let s = Sim.eval nl ~inputs:[ ("a", true); ("b", true) ] in
+  Alcotest.(check bool) "g2 = a&b" true (Sim.value s (N.find nl "g2"));
+  Alcotest.(check bool) "out 0 initially" false (Sim.output nl s "out")
+
+let test_simulate_missing_input () =
+  let nl = tiny () in
+  Alcotest.(check bool) "raises" true
+    (match Sim.eval nl ~inputs:[ ("a", true) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_simulate_step () =
+  (* toggle flip-flop: q = dff(inv(q)) *)
+  let b = B.create lib in
+  let a = B.input b "en" in
+  ignore a;
+  let q = B.gate b ~name:"q" CL.Dff [ B.unconnected ] in
+  let nq = B.gate b ~name:"nq" CL.Inv [ q ] in
+  B.connect_pin b q ~pin:0 nq;
+  ignore (B.output b "o" q);
+  let nl = B.freeze b in
+  let s0 = Sim.eval nl ~inputs:[ ("en", false) ] in
+  Alcotest.(check bool) "q=0" false (Sim.output nl s0 "o");
+  let s1 = Sim.step nl s0 in
+  Alcotest.(check bool) "q=1" true (Sim.output nl s1 "o");
+  let s2 = Sim.step nl s1 in
+  Alcotest.(check bool) "q=0 again" false (Sim.output nl s2 "o")
+
+(* Logic gadget truth tables via simulation. *)
+let gadget2 build =
+  let b = B.create lib in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let r = build b x y in
+  ignore (B.output b "r" r);
+  B.freeze b
+
+let check_truth2 name build f =
+  let nl = gadget2 build in
+  List.iter
+    (fun (x, y) ->
+      let s = Sim.eval nl ~inputs:[ ("x", x); ("y", y) ] in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s(%b,%b)" name x y)
+        (f x y) (Sim.output nl s "r"))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_logic_xor () = check_truth2 "xor" (fun b x y -> L.xor2 b x y) ( <> )
+let test_logic_xnor () = check_truth2 "xnor" (fun b x y -> L.xnor2 b x y) ( = )
+
+let test_logic_mux () =
+  let b = B.create lib in
+  let s = B.input b "s" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  ignore (B.output b "r" (L.mux2 b ~sel:s x y));
+  let nl = B.freeze b in
+  List.iter
+    (fun (sv, xv, yv) ->
+      let st = Sim.eval nl ~inputs:[ ("s", sv); ("x", xv); ("y", yv) ] in
+      Alcotest.(check bool) "mux" (if sv then yv else xv)
+        (Sim.output nl st "r"))
+    [
+      (false, true, false); (false, false, true);
+      (true, true, false); (true, false, true);
+    ]
+
+let test_logic_const () =
+  let b = B.create lib in
+  let x = B.input b "x" in
+  ignore (B.output b "zero" (L.const_zero b ~any:x));
+  ignore (B.output b "one" (L.const_one b ~any:x));
+  let nl = B.freeze b in
+  List.iter
+    (fun xv ->
+      let s = Sim.eval nl ~inputs:[ ("x", xv) ] in
+      Alcotest.(check bool) "zero" false (Sim.output nl s "zero");
+      Alcotest.(check bool) "one" true (Sim.output nl s "one"))
+    [ false; true ]
+
+let test_full_adders_equivalent () =
+  List.iter
+    (fun maj ->
+      let b = B.create lib in
+      let x = B.input b "x" and y = B.input b "y" and c = B.input b "c" in
+      let s, co = (if maj then L.full_adder_maj else L.full_adder) b x y c in
+      ignore (B.output b "s" s);
+      ignore (B.output b "co" co);
+      let nl = B.freeze b in
+      List.iter
+        (fun (xv, yv, cv) ->
+          let st =
+            Sim.eval nl ~inputs:[ ("x", xv); ("y", yv); ("c", cv) ]
+          in
+          let total =
+            (if xv then 1 else 0) + (if yv then 1 else 0) + if cv then 1 else 0
+          in
+          Alcotest.(check bool) "sum" (total land 1 = 1) (Sim.output nl st "s");
+          Alcotest.(check bool) "carry" (total >= 2) (Sim.output nl st "co"))
+        [
+          (false, false, false); (false, false, true); (false, true, false);
+          (false, true, true); (true, false, false); (true, false, true);
+          (true, true, false); (true, true, true);
+        ])
+    [ false; true ]
+
+let test_xor_tree_parity () =
+  let b = B.create lib in
+  let xs = List.init 7 (fun i -> B.input b (Printf.sprintf "x%d" i)) in
+  ignore (B.output b "p" (L.xor_tree b xs));
+  let nl = B.freeze b in
+  let rng = Fbb_util.Rng.create ~seed:5 in
+  for _ = 1 to 20 do
+    let bits = List.init 7 (fun i -> (Printf.sprintf "x%d" i, Fbb_util.Rng.bool rng)) in
+    let expected = List.fold_left (fun a (_, v) -> a <> v) false bits in
+    let s = Sim.eval nl ~inputs:bits in
+    Alcotest.(check bool) "parity" expected (Sim.output nl s "p")
+  done
+
+let test_bench_roundtrip () =
+  let nl = tiny () in
+  let text = Bench.to_string nl in
+  let nl' = Bench.parse text in
+  Alcotest.(check int) "gates preserved" (N.gate_count nl) (N.gate_count nl');
+  Alcotest.(check int) "inputs preserved"
+    (Array.length (N.inputs nl))
+    (Array.length (N.inputs nl'));
+  match N.validate nl' with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid roundtrip: %s" (String.concat ";" es)
+
+let test_bench_parse_basic () =
+  let nl =
+    Bench.parse
+      "# comment\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n"
+  in
+  Alcotest.(check int) "one gate" 1 (N.gate_count nl);
+  let s = Sim.eval nl ~inputs:[ ("a", true); ("b", true) ] in
+  Alcotest.(check bool) "nand" false (Sim.value s (N.find nl "y"))
+
+let test_bench_xor_synthesis () =
+  let nl =
+    Bench.parse "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n"
+  in
+  List.iter
+    (fun (a, b) ->
+      let s = Sim.eval nl ~inputs:[ ("a", a); ("b", b) ] in
+      Alcotest.(check bool) "xor value" (a <> b) (Sim.value s (N.find nl "y")))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_bench_wide_gate () =
+  let nl =
+    Bench.parse
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\n\
+       y = AND(a, b, c, d, e)\n"
+  in
+  let case vals expected =
+    let s =
+      Sim.eval nl
+        ~inputs:(List.map2 (fun n v -> (n, v)) [ "a"; "b"; "c"; "d"; "e" ] vals)
+    in
+    Alcotest.(check bool) "wide and" expected (Sim.value s (N.find nl "y"))
+  in
+  case [ true; true; true; true; true ] true;
+  case [ true; true; false; true; true ] false
+
+let test_bench_dff_forward_reference () =
+  let nl =
+    Bench.parse
+      "INPUT(a)\nOUTPUT(q)\nq = DFF(n)\nn = NOT(q2)\nq2 = AND(q, a)\n"
+  in
+  match N.validate nl with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "feedback rejected: %s" (String.concat ";" es)
+
+let test_bench_errors () =
+  Alcotest.(check bool) "bad statement" true
+    (match Bench.parse "WIBBLE(a)\n" with
+    | exception Bench.Parse_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "undefined signal" true
+    (match Bench.parse "INPUT(a)\nOUTPUT(y)\ny = AND(a, zz)\n" with
+    | exception Bench.Parse_error _ -> true
+    | _ -> false)
+
+let test_bench_nand4_and_xnor () =
+  let nl =
+    Bench.parse
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nOUTPUT(z)\n\
+       y = NAND(a, b, c, d)\nz = XNOR(a, b, c)\n"
+  in
+  let case (a, b0, c, d0) =
+    let s =
+      Sim.eval nl
+        ~inputs:[ ("a", a); ("b", b0); ("c", c); ("d", d0) ]
+    in
+    Alcotest.(check bool) "nand4" (not (a && b0 && c && d0))
+      (Sim.value s (N.find nl "y"));
+    Alcotest.(check bool) "xnor3"
+      (not ((a <> b0) <> c))
+      (Sim.value s (N.find nl "z"))
+  in
+  List.iter case
+    [ (true, true, true, true); (true, false, true, true);
+      (false, false, false, false); (true, true, false, true) ]
+
+let test_simulate_bus_helpers () =
+  let assigns = Sim.input_bus ~prefix:"a" ~width:4 0b1010 in
+  Alcotest.(check (list (pair string bool))) "encoding"
+    [ ("a0", false); ("a1", true); ("a2", false); ("a3", true) ]
+    assigns
+
+let test_bench_drive_annotation () =
+  let nl = Bench.parse "INPUT(a)\nOUTPUT(y)\ny = NOT(a) # X4\n" in
+  Alcotest.(check string) "drive kept" "INV_X4"
+    (N.cell nl (N.find nl "y")).CL.name
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"random module is structurally valid" ~count:10
+      (int_range 1 1_000_000)
+      (fun seed ->
+        let nl = Fbb_netlist.Generators.random_module ~seed ~gates:300 () in
+        N.gate_count nl = 300 && N.validate nl = Ok ());
+    Test.make ~name:"prefix_add computes addition" ~count:60
+      (triple (int_range 0 255) (int_range 0 255) bool)
+      (fun (x, y, cin) ->
+        let b = B.create lib in
+        let xs = List.init 8 (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+        let ys = List.init 8 (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+        let c = B.input b "cin" in
+        let sums, cout = L.prefix_add b xs ys ~cin:c in
+        List.iteri
+          (fun i s -> ignore (B.output b (Printf.sprintf "s%d$po" i) s))
+          sums;
+        ignore (B.output b "cout$po" cout);
+        let nl = B.freeze b in
+        let inputs =
+          Sim.input_bus ~prefix:"a" ~width:8 x
+          @ Sim.input_bus ~prefix:"b" ~width:8 y
+          @ [ ("cin", cin) ]
+        in
+        let s = Sim.eval nl ~inputs in
+        let total = x + y + if cin then 1 else 0 in
+        Sim.bus_value nl s ~prefix:"s" = total land 0xff
+        && Sim.value s (N.find nl "cout$po") = (total > 0xff));
+  ]
+
+let suite =
+  [
+    ("builder basics", `Quick, test_builder_basics);
+    ("validate ok", `Quick, test_validate_ok);
+    ("duplicate name", `Quick, test_duplicate_name);
+    ("wrong arity", `Quick, test_wrong_arity);
+    ("unconnected pin rejected", `Quick, test_unconnected_rejected);
+    ("sealed builder", `Quick, test_sealed_builder);
+    ("topological order", `Quick, test_topo_order);
+    ("combinational cycle detected", `Quick, test_combinational_cycle_detected);
+    ("dff feedback legal", `Quick, test_dff_feedback_legal);
+    ("stats and width", `Quick, test_stats_and_width);
+    ("resize", `Quick, test_resize);
+    ("simulate gates", `Quick, test_simulate_gates);
+    ("simulate missing input", `Quick, test_simulate_missing_input);
+    ("simulate step", `Quick, test_simulate_step);
+    ("logic xor", `Quick, test_logic_xor);
+    ("logic xnor", `Quick, test_logic_xnor);
+    ("logic mux", `Quick, test_logic_mux);
+    ("logic const", `Quick, test_logic_const);
+    ("full adders equivalent", `Quick, test_full_adders_equivalent);
+    ("xor tree parity", `Quick, test_xor_tree_parity);
+    ("bench roundtrip", `Quick, test_bench_roundtrip);
+    ("bench parse basic", `Quick, test_bench_parse_basic);
+    ("bench xor synthesis", `Quick, test_bench_xor_synthesis);
+    ("bench wide gate", `Quick, test_bench_wide_gate);
+    ("bench dff forward reference", `Quick, test_bench_dff_forward_reference);
+    ("bench parse errors", `Quick, test_bench_errors);
+    ("bench drive annotation", `Quick, test_bench_drive_annotation);
+    ("bench nand4 and xnor", `Quick, test_bench_nand4_and_xnor);
+    ("simulate bus helpers", `Quick, test_simulate_bus_helpers);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

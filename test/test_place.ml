@@ -1,0 +1,200 @@
+(* Tests for Fbb_place: FM partitioner and the row placer. *)
+
+module Pt = Fbb_place.Partition
+module Pl = Fbb_place.Placement
+module N = Fbb_netlist.Netlist
+
+let ladder_graph n =
+  (* 2 x n grid: cutting between the two columns costs n nets; FM should
+     find the 2-net cut between top and bottom halves instead. *)
+  let nets = ref [] in
+  for i = 0 to n - 2 do
+    nets := [| i; i + 1 |] :: !nets;
+    nets := [| n + i; n + i + 1 |] :: !nets
+  done;
+  for i = 0 to n - 1 do
+    nets := [| i; n + i |] :: !nets
+  done;
+  { Pt.nv = 2 * n; weights = Array.make (2 * n) 1; nets = Array.of_list !nets }
+
+let test_fm_finds_good_cut () =
+  let h = ladder_graph 16 in
+  let side = Pt.bisect ~seed:3 h in
+  let cut = Pt.cut_size h side in
+  Alcotest.(check bool) (Printf.sprintf "cut %d <= 6" cut) true (cut <= 6)
+
+let test_fm_balance () =
+  let h = ladder_graph 16 in
+  let side = Pt.bisect ~balance:0.1 h in
+  let w1 = Array.fold_left (fun a s -> if s then a + 1 else a) 0 side in
+  Alcotest.(check bool) "balanced" true (w1 >= 12 && w1 <= 20)
+
+let test_fm_deterministic () =
+  let h = ladder_graph 10 in
+  let a = Pt.bisect ~seed:5 h in
+  let b = Pt.bisect ~seed:5 h in
+  Alcotest.(check bool) "same result" true (a = b)
+
+let test_fm_empty_and_single () =
+  let h0 = { Pt.nv = 0; weights = [||]; nets = [||] } in
+  Alcotest.(check int) "empty" 0 (Array.length (Pt.bisect h0));
+  let h1 = { Pt.nv = 1; weights = [| 3 |]; nets = [||] } in
+  Alcotest.(check int) "single" 1 (Array.length (Pt.bisect h1))
+
+let test_cut_size () =
+  let h =
+    { Pt.nv = 4; weights = Array.make 4 1; nets = [| [| 0; 1 |]; [| 2; 3 |]; [| 1; 2 |] |] }
+  in
+  let side = [| false; false; true; true |] in
+  Alcotest.(check int) "one crossing net" 1 (Pt.cut_size h side)
+
+let placement () = Lazy.force Tsupport.small_placement
+
+let test_all_gates_placed () =
+  let pl = placement () in
+  let nl = Pl.netlist pl in
+  Array.iter
+    (fun g ->
+      let r = Pl.row_of pl g in
+      Alcotest.(check bool) "row assigned" true (r >= 0 && r < Pl.num_rows pl))
+    (N.gates nl);
+  Array.iter
+    (fun i -> Alcotest.(check int) "ports unplaced" (-1) (Pl.row_of pl i))
+    (N.inputs nl)
+
+let test_row_count_target () =
+  Alcotest.(check int) "6 rows" 6 (Pl.num_rows (placement ()))
+
+let test_rows_within_capacity () =
+  let pl = placement () in
+  for r = 0 to Pl.num_rows pl - 1 do
+    Alcotest.(check bool) "within capacity" true
+      (Pl.row_used_sites pl r <= Pl.row_capacity_sites pl)
+  done
+
+let test_no_site_overlap () =
+  let pl = placement () in
+  let nl = Pl.netlist pl in
+  for r = 0 to Pl.num_rows pl - 1 do
+    let spans =
+      Array.to_list (Pl.row_gates pl r)
+      |> List.map (fun g ->
+             let w = (N.cell nl g).Fbb_tech.Cell_library.width_sites in
+             (Pl.site_of pl g, Pl.site_of pl g + w))
+      |> List.sort compare
+    in
+    let rec check = function
+      | (_, e1) :: ((s2, _) :: _ as rest) ->
+        Alcotest.(check bool) "no overlap" true (s2 >= e1);
+        check rest
+      | [ _ ] | [] -> ()
+    in
+    check spans
+  done
+
+let test_row_partition_of_gates () =
+  let pl = placement () in
+  let nl = Pl.netlist pl in
+  let total =
+    List.init (Pl.num_rows pl) (fun r -> Array.length (Pl.row_gates pl r))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "every gate in exactly one row" (N.gate_count nl) total;
+  for r = 0 to Pl.num_rows pl - 1 do
+    Array.iter
+      (fun g -> Alcotest.(check int) "row_of matches" r (Pl.row_of pl g))
+      (Pl.row_gates pl r)
+  done
+
+let test_determinism () =
+  let nl = Fbb_netlist.Generators.alu ~bits:4 () in
+  let a = Pl.place ~target_rows:4 ~seed:9 nl in
+  let b = Pl.place ~target_rows:4 ~seed:9 nl in
+  Array.iter
+    (fun g ->
+      Alcotest.(check int) "same row" (Pl.row_of a g) (Pl.row_of b g))
+    (N.gates nl)
+
+let test_locality_beats_random () =
+  (* The bisection order must beat an identity-order placement on HPWL. *)
+  let nl = Fbb_netlist.Generators.alu ~bits:6 () in
+  let placed = Pl.place ~target_rows:8 nl in
+  let hpwl = Pl.half_perimeter_wirelength placed in
+  (* Identity-order baseline: emulate by placing with a placer seed that
+     cannot help — instead, compare against the die semi-perimeter scaled
+     by net count, a generous random-placement proxy. *)
+  let nets = Array.length (N.gates nl) + Array.length (N.inputs nl) in
+  let random_expectation =
+    float_of_int nets
+    *. (Pl.die_width_um placed +. Pl.die_height_um placed)
+    /. 3.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "hpwl %.0f < random proxy %.0f" hpwl random_expectation)
+    true (hpwl < random_expectation)
+
+let test_utilization_bounds () =
+  let nl = Fbb_netlist.Generators.alu ~bits:4 () in
+  Alcotest.(check bool) "zero utilization rejected" true
+    (match Pl.place ~utilization:0.0 nl with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "u>1 rejected" true
+    (match Pl.place ~utilization:1.5 nl with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_default_rows_squarish () =
+  let nl = Fbb_netlist.Generators.alu ~bits:8 ~stages:2 () in
+  let pl = Pl.place nl in
+  let aspect = Pl.die_width_um pl /. Pl.die_height_um pl in
+  Alcotest.(check bool)
+    (Printf.sprintf "aspect %.2f near 1" aspect)
+    true
+    (aspect > 0.5 && aspect < 2.0)
+
+let test_geometry () =
+  let pl = placement () in
+  Alcotest.(check (float 1e-9)) "die width"
+    (float_of_int (Pl.row_capacity_sites pl) *. Pl.site_width_um)
+    (Pl.die_width_um pl);
+  Alcotest.(check (float 1e-9)) "die height"
+    (float_of_int (Pl.num_rows pl) *. Pl.row_height_um)
+    (Pl.die_height_um pl);
+  for r = 0 to Pl.num_rows pl - 1 do
+    let u = Pl.row_utilization pl r in
+    Alcotest.(check bool) "utilization in (0,1]" true (u > 0.0 && u <= 1.0)
+  done
+
+let test_rows_balanced () =
+  (* The proportional fill must leave no straggler rows. *)
+  let pl = placement () in
+  let min_u = ref 1.0 and max_u = ref 0.0 in
+  for r = 0 to Pl.num_rows pl - 1 do
+    min_u := Float.min !min_u (Pl.row_utilization pl r);
+    max_u := Float.max !max_u (Pl.row_utilization pl r)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced fill (%.2f .. %.2f)" !min_u !max_u)
+    true
+    (!max_u -. !min_u < 0.25)
+
+let suite =
+  [
+    ("fm finds a good cut", `Quick, test_fm_finds_good_cut);
+    ("fm respects balance", `Quick, test_fm_balance);
+    ("fm deterministic", `Quick, test_fm_deterministic);
+    ("fm degenerate inputs", `Quick, test_fm_empty_and_single);
+    ("cut size", `Quick, test_cut_size);
+    ("all gates placed", `Quick, test_all_gates_placed);
+    ("row count target", `Quick, test_row_count_target);
+    ("rows within capacity", `Quick, test_rows_within_capacity);
+    ("no site overlap", `Quick, test_no_site_overlap);
+    ("rows partition gates", `Quick, test_row_partition_of_gates);
+    ("placement deterministic", `Quick, test_determinism);
+    ("locality beats random proxy", `Quick, test_locality_beats_random);
+    ("utilization bounds", `Quick, test_utilization_bounds);
+    ("default floorplan squarish", `Quick, test_default_rows_squarish);
+    ("geometry accessors", `Quick, test_geometry);
+    ("rows balanced", `Quick, test_rows_balanced);
+  ]

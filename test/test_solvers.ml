@@ -1,0 +1,211 @@
+(* Tests for Fbb_lp (simplex) and Fbb_ilp (branch and bound). *)
+
+module S = Fbb_lp.Simplex
+module BB = Fbb_ilp.Branch_bound
+
+let lp ?upper num_vars minimize constraints =
+  { S.num_vars; minimize = Array.of_list minimize; constraints; upper }
+
+let c terms relation rhs = { S.terms; relation; rhs }
+
+let expect_opt name problem expected_obj =
+  match S.solve problem with
+  | S.Optimal { objective; solution } ->
+    Alcotest.(check (float 1e-6)) name expected_obj objective;
+    Alcotest.(check bool) "solution feasible" true
+      (S.check problem solution ~eps:1e-6)
+  | S.Infeasible -> Alcotest.failf "%s: infeasible" name
+  | S.Unbounded -> Alcotest.failf "%s: unbounded" name
+
+let test_lp_max_basic () =
+  (* max 3x+2y st x+y<=4, x+3y<=6 -> 12 at (4,0) *)
+  expect_opt "basic max"
+    (lp 2 [ -3.0; -2.0 ]
+       [ c [ (0, 1.0); (1, 1.0) ] S.Le 4.0; c [ (0, 1.0); (1, 3.0) ] S.Le 6.0 ])
+    (-12.0)
+
+let test_lp_min_with_eq () =
+  expect_opt "min with equality"
+    (lp 2 [ 1.0; 1.0 ]
+       [ c [ (0, 1.0); (1, 1.0) ] S.Ge 2.0; c [ (0, 1.0); (1, -1.0) ] S.Eq 1.0 ])
+    2.0
+
+let test_lp_negative_rhs () =
+  (* -x <= -3  <=>  x >= 3 *)
+  expect_opt "negative rhs" (lp 1 [ 1.0 ] [ c [ (0, -1.0) ] S.Le (-3.0) ]) 3.0
+
+let test_lp_infeasible () =
+  match
+    S.solve
+      (lp 1 [ 1.0 ] [ c [ (0, 1.0) ] S.Le 1.0; c [ (0, 1.0) ] S.Ge 2.0 ])
+  with
+  | S.Infeasible -> ()
+  | S.Optimal _ | S.Unbounded -> Alcotest.fail "expected infeasible"
+
+let test_lp_unbounded () =
+  match S.solve (lp 1 [ -1.0 ] []) with
+  | S.Unbounded -> ()
+  | S.Optimal _ | S.Infeasible -> Alcotest.fail "expected unbounded"
+
+let test_lp_upper_bounds () =
+  expect_opt "upper bound binds"
+    (lp ~upper:[| 5.0 |] 1 [ -1.0 ] [])
+    (-5.0)
+
+let test_lp_degenerate () =
+  (* Multiple redundant constraints through one vertex. *)
+  expect_opt "degenerate"
+    (lp 2 [ -1.0; -1.0 ]
+       [
+         c [ (0, 1.0); (1, 1.0) ] S.Le 1.0;
+         c [ (0, 2.0); (1, 2.0) ] S.Le 2.0;
+         c [ (0, 1.0) ] S.Le 1.0;
+         c [ (1, 1.0) ] S.Le 1.0;
+       ])
+    (-1.0)
+
+let test_lp_duplicate_terms () =
+  (* (x + x) <= 4 must densify to 2x <= 4. *)
+  expect_opt "duplicate terms"
+    (lp 1 [ -1.0 ] [ c [ (0, 1.0); (0, 1.0) ] S.Le 4.0 ])
+    (-2.0)
+
+(* Brute-force reference for small 0-1 programs. *)
+let brute p =
+  let n = p.BB.num_vars in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun i -> if mask land (1 lsl i) <> 0 then 1.0 else 0.0) in
+    let ok =
+      List.for_all
+        (fun (cc : S.constr) ->
+          let lhs =
+            List.fold_left (fun a (v, co) -> a +. (co *. x.(v))) 0.0 cc.S.terms
+          in
+          match cc.S.relation with
+          | S.Le -> lhs <= cc.S.rhs +. 1e-9
+          | S.Ge -> lhs >= cc.S.rhs -. 1e-9
+          | S.Eq -> Float.abs (lhs -. cc.S.rhs) <= 1e-9)
+        p.BB.constraints
+    in
+    if ok then begin
+      let obj = BB.objective_of p x in
+      match !best with
+      | Some b when b <= obj -> ()
+      | Some _ | None -> best := Some obj
+    end
+  done;
+  !best
+
+let random_problem rng =
+  let open Fbb_util in
+  let n = 3 + Rng.int rng 8 in
+  let m = 1 + Rng.int rng 6 in
+  let minimize =
+    Array.init n (fun _ -> float_of_int (1 + Rng.int rng 20))
+  in
+  let constraints =
+    List.init m (fun _ ->
+        let terms =
+          List.init n (fun v -> (v, float_of_int (Rng.int rng 4)))
+          |> List.filter (fun (_, co) -> co > 0.0)
+        in
+        if terms = [] then c [ (0, 1.0) ] S.Ge 0.0
+        else
+          let total =
+            List.fold_left (fun a (_, co) -> a +. co) 0.0 terms
+          in
+          c terms S.Ge (Float.of_int (Rng.int rng (int_of_float total + 1))))
+  in
+  { BB.num_vars = n; minimize; constraints }
+
+let test_bb_vs_brute_force () =
+  let rng = Fbb_util.Rng.create ~seed:123 in
+  for _ = 1 to 60 do
+    let p = random_problem rng in
+    let r = BB.solve p in
+    match (brute p, r.BB.best) with
+    | None, None -> ()
+    | Some expected, Some (_, got) ->
+      Alcotest.(check (float 1e-6)) "optimum matches brute force" expected got
+    | None, Some _ -> Alcotest.fail "bb found solution to infeasible problem"
+    | Some _, None -> Alcotest.fail "bb missed a feasible solution"
+  done
+
+let test_bb_status_optimal () =
+  let p =
+    { BB.num_vars = 2; minimize = [| 1.0; 2.0 |];
+      constraints = [ c [ (0, 1.0); (1, 1.0) ] S.Ge 1.0 ] }
+  in
+  let r = BB.solve p in
+  Alcotest.(check bool) "proved optimal" true (r.BB.status = BB.Proved_optimal);
+  match r.BB.best with
+  | Some (_, obj) -> Alcotest.(check (float 1e-9)) "picks cheaper var" 1.0 obj
+  | None -> Alcotest.fail "no solution"
+
+let test_bb_infeasible () =
+  let p =
+    { BB.num_vars = 2; minimize = [| 1.0; 1.0 |];
+      constraints =
+        [
+          c [ (0, 1.0); (1, 1.0) ] S.Le 1.0;
+          c [ (0, 1.0) ] S.Ge 1.0;
+          c [ (1, 1.0) ] S.Ge 1.0;
+        ] }
+  in
+  Alcotest.(check bool) "infeasible" true
+    ((BB.solve p).BB.status = BB.Proved_infeasible)
+
+let test_bb_warm_start () =
+  let p =
+    { BB.num_vars = 3; minimize = [| 3.0; 5.0; 4.0 |];
+      constraints =
+        [
+          c [ (0, 1.0); (1, 1.0) ] S.Ge 1.0;
+          c [ (1, 1.0); (2, 1.0) ] S.Ge 1.0;
+          c [ (0, 1.0); (2, 1.0) ] S.Ge 1.0;
+        ] }
+  in
+  let r = BB.solve ~incumbent:[| 1.0; 1.0; 1.0 |] p in
+  (match r.BB.best with
+  | Some (_, obj) -> Alcotest.(check (float 1e-9)) "optimal 7" 7.0 obj
+  | None -> Alcotest.fail "no solution");
+  Alcotest.check_raises "bad incumbent rejected"
+    (Invalid_argument "Branch_bound.solve: infeasible incumbent") (fun () ->
+      ignore (BB.solve ~incumbent:[| 0.0; 0.0; 0.0 |] p))
+
+let test_bb_cutoff () =
+  let p =
+    { BB.num_vars = 1; minimize = [| 5.0 |];
+      constraints = [ c [ (0, 1.0) ] S.Ge 1.0 ] }
+  in
+  let r = BB.solve ~cutoff:5.0 p in
+  Alcotest.(check bool) "cutoff suppresses equal solutions" true
+    (r.BB.best = None);
+  let r2 = BB.solve ~cutoff:5.1 p in
+  Alcotest.(check bool) "cutoff admits better solutions" true
+    (r2.BB.best <> None)
+
+let test_bb_node_limit () =
+  let rng = Fbb_util.Rng.create ~seed:77 in
+  let p = random_problem rng in
+  let r = BB.solve ~limits:{ BB.max_nodes = 1; max_seconds = 60.0 } p in
+  Alcotest.(check bool) "limited" true (r.BB.nodes <= 2)
+
+let suite =
+  [
+    ("lp max basic", `Quick, test_lp_max_basic);
+    ("lp min with equality", `Quick, test_lp_min_with_eq);
+    ("lp negative rhs", `Quick, test_lp_negative_rhs);
+    ("lp infeasible", `Quick, test_lp_infeasible);
+    ("lp unbounded", `Quick, test_lp_unbounded);
+    ("lp upper bounds", `Quick, test_lp_upper_bounds);
+    ("lp degenerate", `Quick, test_lp_degenerate);
+    ("lp duplicate terms", `Quick, test_lp_duplicate_terms);
+    ("bb vs brute force", `Slow, test_bb_vs_brute_force);
+    ("bb proved optimal", `Quick, test_bb_status_optimal);
+    ("bb infeasible", `Quick, test_bb_infeasible);
+    ("bb warm start", `Quick, test_bb_warm_start);
+    ("bb cutoff", `Quick, test_bb_cutoff);
+    ("bb node limit", `Quick, test_bb_node_limit);
+  ]

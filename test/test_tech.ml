@@ -1,0 +1,259 @@
+(* Tests for Fbb_tech: device model, bias generator, cell library,
+   characterization, transient cross-check. *)
+
+module Device = Fbb_tech.Device
+module Bias = Fbb_tech.Bias
+module CL = Fbb_tech.Cell_library
+module Char_ = Fbb_tech.Characterize
+
+let d = Device.default
+
+let test_figure1_anchors () =
+  (* The paper's Figure 1: 21 % speed-up and 12.74x subthreshold leakage at
+     vbs = 0.5 V. *)
+  Alcotest.(check (float 0.05)) "speed-up" 21.0 (Device.speedup_pct d ~vbs:0.5);
+  Alcotest.(check (float 0.05)) "leakage" 12.74
+    (Device.subthreshold_factor d ~vbs:0.5)
+
+let test_nbb_identity () =
+  Alcotest.(check (float 1e-12)) "delay" 1.0 (Device.delay_factor d ~vbs:0.0);
+  Alcotest.(check (float 1e-6)) "leak" 1.0 (Device.leakage_factor d ~vbs:0.0)
+
+let test_vth_linear () =
+  Alcotest.(check (float 1e-12)) "vth at 0.3" (0.45 -. (0.2 *. 0.3))
+    (Device.vth d ~vbs:0.3)
+
+let test_monotonic () =
+  let prev_d = ref 2.0 and prev_l = ref 0.0 in
+  for i = 0 to 50 do
+    let vbs = float_of_int i /. 50.0 *. 0.95 in
+    let df = Device.delay_factor d ~vbs in
+    let lf = Device.leakage_factor d ~vbs in
+    Alcotest.(check bool) "delay decreases" true (df < !prev_d);
+    Alcotest.(check bool) "leak increases" true (lf > !prev_l);
+    prev_d := df;
+    prev_l := lf
+  done
+
+let test_usable_limit () =
+  let lim = Device.usable_vbs_limit d in
+  Alcotest.(check bool) "limit near 0.5V" true (lim > 0.45 && lim < 0.65);
+  Alcotest.(check bool) "junction small below limit" true
+    (Device.junction_factor d ~vbs:0.4
+    < 0.1 *. Device.subthreshold_factor d ~vbs:0.4);
+  Alcotest.(check bool) "junction dominates at 0.95" true
+    (Device.junction_factor d ~vbs:0.95
+    > Device.subthreshold_factor d ~vbs:0.95)
+
+let test_bias_levels () =
+  Alcotest.(check int) "P = 11" 11 Bias.count;
+  Alcotest.(check (float 1e-12)) "level 0" 0.0 (Bias.voltage 0);
+  Alcotest.(check (float 1e-12)) "level 10" 0.5 (Bias.voltage 10);
+  Alcotest.(check (float 1e-12)) "resolution" 0.05
+    (Bias.voltage 4 -. Bias.voltage 3);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bias.voltage: level out of range") (fun () ->
+      ignore (Bias.voltage 11))
+
+let test_bias_nearest () =
+  Alcotest.(check int) "0.12 -> 2" 2 (Bias.nearest_level 0.12);
+  Alcotest.(check int) "0.13 -> 3" 3 (Bias.nearest_level 0.13);
+  Alcotest.(check int) "clamps high" 10 (Bias.nearest_level 0.9);
+  Alcotest.(check int) "clamps low" 0 (Bias.nearest_level (-0.3))
+
+let test_bias_pmos () =
+  Alcotest.(check (float 1e-12)) "pmos" 0.8 (Bias.pmos_bias ~vdd:1.0 4)
+
+let lib = CL.default
+
+let test_library_lookup () =
+  let c = CL.find lib CL.Nand2 CL.X2 in
+  Alcotest.(check string) "name" "NAND2_X2" c.CL.name;
+  Alcotest.(check int) "fanin" 2 c.CL.fanin;
+  let c' = CL.find_name lib "NAND2_X2" in
+  Alcotest.(check string) "by name" c.CL.name c'.CL.name;
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (CL.find_name lib "XOR9_X9"))
+
+let test_library_complete () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun drive -> ignore (CL.find lib kind drive))
+        CL.all_drives)
+    CL.all_kinds;
+  Alcotest.(check int) "cell count" (12 * 3) (Array.length (CL.cells lib))
+
+let test_drive_scaling () =
+  let x1 = CL.find lib CL.Inv CL.X1 in
+  let x4 = CL.find lib CL.Inv CL.X4 in
+  Alcotest.(check bool) "x4 drives load faster" true
+    (CL.delay_ps lib x4 ~load:8 ~vbs:0.0 < CL.delay_ps lib x1 ~load:8 ~vbs:0.0);
+  Alcotest.(check bool) "x4 leaks more" true (x4.CL.leak_nw > x1.CL.leak_nw);
+  Alcotest.(check bool) "x4 wider" true (x4.CL.width_sites > x1.CL.width_sites)
+
+let test_delay_load_monotone () =
+  let c = CL.find lib CL.Nor2 CL.X1 in
+  let d1 = CL.delay_ps lib c ~load:1 ~vbs:0.0 in
+  let d4 = CL.delay_ps lib c ~load:4 ~vbs:0.0 in
+  Alcotest.(check bool) "more load, more delay" true (d4 > d1)
+
+let test_fbb_speeds_up_cells () =
+  Array.iter
+    (fun c ->
+      let d0 = CL.delay_ps lib c ~load:2 ~vbs:0.0 in
+      let d5 = CL.delay_ps lib c ~load:2 ~vbs:0.5 in
+      Alcotest.(check (float 1e-9)) ("21% speedup " ^ c.CL.name)
+        (d0 *. Device.delay_factor d ~vbs:0.5)
+        d5;
+      let l0 = CL.leakage_nw lib c ~vbs:0.0 in
+      let l5 = CL.leakage_nw lib c ~vbs:0.5 in
+      Alcotest.(check bool) ("leak up " ^ c.CL.name) true (l5 > 12.0 *. l0))
+    (CL.cells lib)
+
+let test_sequential_flag () =
+  Alcotest.(check bool) "dff" true (CL.is_sequential CL.Dff);
+  List.iter
+    (fun k ->
+      if k <> CL.Dff then
+        Alcotest.(check bool) (CL.kind_name k) false (CL.is_sequential k))
+    CL.all_kinds
+
+let test_characterize_sweep () =
+  let pts = Char_.figure1 () in
+  Alcotest.(check int) "20 points" 20 (Array.length pts);
+  Alcotest.(check (float 1e-9)) "starts at 0" 0.0 pts.(0).Char_.vbs;
+  Alcotest.(check (float 1e-9)) "ends at 0.95" 0.95
+    pts.(Array.length pts - 1).Char_.vbs;
+  let lv = Char_.generator_levels () in
+  Alcotest.(check int) "11 levels" 11 (Array.length lv)
+
+let test_cell_table () =
+  let c = CL.find lib CL.Inv CL.X1 in
+  let table = Char_.cell_table lib c ~load:2 in
+  Alcotest.(check int) "one row per level" Bias.count (Array.length table);
+  let d0, l0 = table.(0) and d10, l10 = table.(10) in
+  Alcotest.(check bool) "faster at max bias" true (d10 < d0);
+  Alcotest.(check bool) "leakier at max bias" true (l10 > l0)
+
+let test_transient_agrees_with_analytic () =
+  List.iter
+    (fun vbs ->
+      let sim = Fbb_tech.Transient.delay_factor ~vbs () in
+      let ana = Device.delay_factor d ~vbs in
+      Alcotest.(check bool)
+        (Printf.sprintf "within 2%% at %.2fV" vbs)
+        true
+        (Float.abs (sim -. ana) /. ana < 0.02))
+    [ 0.05; 0.15; 0.25; 0.35; 0.45; 0.5 ]
+
+let test_transient_waveform () =
+  let wf = Fbb_tech.Transient.waveform ~vbs:0.2 () in
+  Alcotest.(check bool) "non-empty" true (Array.length wf > 10);
+  let monotone = ref true in
+  for i = 1 to Array.length wf - 1 do
+    if snd wf.(i) > snd wf.(i - 1) +. 1e-12 then monotone := false
+  done;
+  Alcotest.(check bool) "output falls monotonically" true !monotone
+
+let test_sweep_invalid () =
+  Alcotest.(check bool) "steps >= 1" true
+    (match Char_.sweep ~lo:0.0 ~hi:0.5 ~steps:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_transient_cap_scaling () =
+  (* Twice the load capacitance must double the propagation delay. *)
+  let d1 = Fbb_tech.Transient.propagation_delay ~cap_ff:1.0 ~vbs:0.2 () in
+  let d2 = Fbb_tech.Transient.propagation_delay ~cap_ff:2.0 ~vbs:0.2 () in
+  Alcotest.(check bool) "linear in C" true (Float.abs ((d2 /. d1) -. 2.0) < 0.01)
+
+let test_rbb_region () =
+  (* Reverse bias slows gates and cuts leakage down to the BTBT floor. *)
+  Alcotest.(check bool) "slower" true (Device.delay_factor d ~vbs:(-0.2) > 1.0);
+  Alcotest.(check bool) "less leaky" true
+    (Device.leakage_factor d ~vbs:(-0.2) < 1.0);
+  Alcotest.(check (float 1e-9)) "no btbt at NBB" 0.0 (Device.btbt_factor d ~vbs:0.0);
+  Alcotest.(check bool) "btbt grows with reverse bias" true
+    (Device.btbt_factor d ~vbs:(-0.5) > Device.btbt_factor d ~vbs:(-0.2));
+  let opt = Device.optimal_rbb d in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimal rbb %.2f in (-0.6, 0)" opt)
+    true
+    (opt > -0.6 && opt < 0.0);
+  (* Deeper than optimal is counter-productive. *)
+  Alcotest.(check bool) "minimum is a minimum" true
+    (Device.leakage_factor d ~vbs:(opt -. 0.15)
+     > Device.leakage_factor d ~vbs:opt
+    && Device.leakage_factor d ~vbs:(opt +. 0.15)
+       > Device.leakage_factor d ~vbs:opt)
+
+let test_rbb_levels () =
+  let lv = Bias.rbb_levels () in
+  Alcotest.(check int) "count" Bias.rbb_count (Array.length lv);
+  Alcotest.(check (float 1e-12)) "level 0 shared" 0.0 lv.(0);
+  Alcotest.(check bool) "descending" true (lv.(Bias.rbb_count - 1) < -0.3);
+  Alcotest.check_raises "range" (Invalid_argument "Bias.rbb_voltage: level out of range")
+    (fun () -> ignore (Bias.rbb_voltage Bias.rbb_count))
+
+let test_liberty_dump () =
+  let s = Fbb_tech.Liberty.to_string lib in
+  Alcotest.(check bool) "library group" true (Tsupport.contains s "library (fbb45)");
+  Alcotest.(check bool) "all cells present" true
+    (Array.for_all
+       (fun c -> Tsupport.contains s ("cell (" ^ c.CL.name ^ ")"))
+       (CL.cells lib));
+  Alcotest.(check bool) "one opcond per level" true
+    (Tsupport.contains s "vbs_10");
+  Alcotest.(check bool) "ff group for dffs" true (Tsupport.contains s "ff (IQ)");
+  let path = Filename.temp_file "fbb" ".lib" in
+  Fbb_tech.Liberty.save lib ~path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file written" true (len > 1000)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"delay factor in (0,1] over bias range" ~count:200
+      (float_range 0.0 0.5)
+      (fun vbs ->
+        let f = Device.delay_factor d ~vbs in
+        f > 0.0 && f <= 1.0 +. 1e-12);
+    Test.make ~name:"leakage factor >= 1 over bias range" ~count:200
+      (float_range 0.0 0.5)
+      (fun vbs -> Device.leakage_factor d ~vbs >= 1.0 -. 1e-9);
+    Test.make ~name:"nearest_level inverts voltage" ~count:100
+      (int_range 0 10)
+      (fun j -> Bias.nearest_level (Bias.voltage j) = j);
+  ]
+
+let suite =
+  [
+    ("figure 1 anchors", `Quick, test_figure1_anchors);
+    ("NBB identity", `Quick, test_nbb_identity);
+    ("vth linear in vbs", `Quick, test_vth_linear);
+    ("delay/leak monotone in vbs", `Quick, test_monotonic);
+    ("usable bias limit", `Quick, test_usable_limit);
+    ("bias generator levels", `Quick, test_bias_levels);
+    ("bias nearest level", `Quick, test_bias_nearest);
+    ("pmos bias", `Quick, test_bias_pmos);
+    ("library lookup", `Quick, test_library_lookup);
+    ("library complete", `Quick, test_library_complete);
+    ("drive scaling", `Quick, test_drive_scaling);
+    ("delay load monotone", `Quick, test_delay_load_monotone);
+    ("FBB speeds up every cell", `Quick, test_fbb_speeds_up_cells);
+    ("sequential flag", `Quick, test_sequential_flag);
+    ("characterize sweep", `Quick, test_characterize_sweep);
+    ("cell table", `Quick, test_cell_table);
+    ("transient agrees with analytic", `Quick, test_transient_agrees_with_analytic);
+    ("transient waveform monotone", `Quick, test_transient_waveform);
+    ("characterize sweep invalid", `Quick, test_sweep_invalid);
+    ("transient cap scaling", `Quick, test_transient_cap_scaling);
+    ("rbb device region", `Quick, test_rbb_region);
+    ("rbb generator levels", `Quick, test_rbb_levels);
+    ("liberty dump", `Quick, test_liberty_dump);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -1,0 +1,186 @@
+(* Tests for Fbb_util: RNG, statistics, tables, CSV. *)
+
+module Rng = Fbb_util.Rng
+module Stats = Fbb_util.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" false (xs = ys)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.int a 10);
+  let b = Rng.copy a in
+  Alcotest.(check int) "copy continues identically" (Rng.int a 100)
+    (Rng.int b 100)
+
+let test_rng_split () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "split decorrelates" false (xs = ys)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:3 in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng ~mu:5.0 ~sigma:2.0) in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (Stats.mean xs -. 5.0) < 0.1);
+  Alcotest.(check bool) "stdev near 2" true (Float.abs (Stats.stdev xs -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:9 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_stats_basic () =
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "sum" 10.0 (Stats.sum [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "mean empty" 0.0 (Stats.mean [||]);
+  check_float "stdev singleton" 0.0 (Stats.stdev [| 5.0 |]);
+  check_float "stdev" (sqrt 1.25) (Stats.stdev [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi;
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.min_max: empty") (fun () ->
+      ignore (Stats.min_max [||]))
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  check_float "p0" 10.0 (Stats.percentile xs 0.0);
+  check_float "p100" 50.0 (Stats.percentile xs 100.0);
+  check_float "p50" 30.0 (Stats.percentile xs 50.0);
+  check_float "p25" 20.0 (Stats.percentile xs 25.0)
+
+let test_ratio_pct () =
+  check_float "half saved" 50.0 (Stats.ratio_pct 10.0 5.0);
+  check_float "zero base" 0.0 (Stats.ratio_pct 0.0 5.0);
+  check_float "negative saving" (-50.0) (Stats.ratio_pct 10.0 15.0)
+
+let test_texttab_render () =
+  let t = Fbb_util.Texttab.create ~headers:[ "name"; "v" ] in
+  Fbb_util.Texttab.add_row t [ "a"; "1" ];
+  Fbb_util.Texttab.add_row t [ "bb" ];
+  let s = Fbb_util.Texttab.render t in
+  Alcotest.(check bool) "has header" true
+    (Tsupport.contains s "name");
+  Alcotest.(check bool) "pads short rows" true (Tsupport.contains s "bb");
+  let lines = String.split_on_char '\n' s in
+  let widths =
+    List.filter (fun l -> String.length l > 0) lines |> List.map String.length
+  in
+  Alcotest.(check bool) "all lines same width" true
+    (match widths with [] -> false | w :: rest -> List.for_all (( = ) w) rest)
+
+let test_texttab_too_many_cells () =
+  let t = Fbb_util.Texttab.create ~headers:[ "a" ] in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Texttab.add_row: too many cells") (fun () ->
+      Fbb_util.Texttab.add_row t [ "1"; "2" ])
+
+let test_csv_quoting () =
+  let c = Fbb_util.Csv.create ~headers:[ "x"; "y" ] in
+  Fbb_util.Csv.add_row c [ "a,b"; "say \"hi\"" ];
+  let s = Fbb_util.Csv.render c in
+  Alcotest.(check string) "quoted" "x,y\n\"a,b\",\"say \"\"hi\"\"\"\n" s
+
+let test_csv_save () =
+  let c = Fbb_util.Csv.create ~headers:[ "a" ] in
+  Fbb_util.Csv.add_row c [ "1" ];
+  let path = Filename.temp_file "fbb" ".csv" in
+  Fbb_util.Csv.save c ~path;
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header line" "a" first
+
+let test_texttab_align () =
+  let t = Fbb_util.Texttab.create ~headers:[ "x"; "y" ] in
+  Fbb_util.Texttab.set_align t 1 Fbb_util.Texttab.Left;
+  Fbb_util.Texttab.add_row t [ "1"; "q" ];
+  Fbb_util.Texttab.add_rule t;
+  Fbb_util.Texttab.add_row t [ "2"; "r" ];
+  let s = Fbb_util.Texttab.render t in
+  Alcotest.(check bool) "rule rendered" true
+    (List.length (String.split_on_char '\n' s) >= 7)
+
+let test_cells () =
+  Alcotest.(check string) "cell_f" "1.50" (Fbb_util.Texttab.cell_f 1.5);
+  Alcotest.(check string) "cell_f digits" "1.5"
+    (Fbb_util.Texttab.cell_f ~digits:1 1.5);
+  Alcotest.(check string) "cell_i" "42" (Fbb_util.Texttab.cell_i 42);
+  Alcotest.(check string) "cell_pct" "12.35"
+    (Fbb_util.Texttab.cell_pct 12.345)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"rng int within bounds" ~count:500
+      (pair small_int (int_range 1 10_000))
+      (fun (seed, n) ->
+        let rng = Rng.create ~seed in
+        let v = Rng.int rng n in
+        v >= 0 && v < n);
+    Test.make ~name:"rng uniform in [0,1)" ~count:500 small_int (fun seed ->
+        let rng = Rng.create ~seed in
+        let v = Rng.uniform rng in
+        v >= 0.0 && v < 1.0);
+    Test.make ~name:"rng int_in inclusive" ~count:500
+      (triple small_int (int_range (-100) 100) (int_range 0 200))
+      (fun (seed, lo, span) ->
+        let rng = Rng.create ~seed in
+        let v = Rng.int_in rng lo (lo + span) in
+        v >= lo && v <= lo + span);
+    Test.make ~name:"percentile between min and max" ~count:300
+      (pair (list_of_size Gen.(int_range 1 40) (float_range (-1e3) 1e3))
+         (float_range 0.0 100.0))
+      (fun (xs, p) ->
+        let a = Array.of_list xs in
+        let lo, hi = Stats.min_max a in
+        let v = Stats.percentile a p in
+        v >= lo -. 1e-9 && v <= hi +. 1e-9);
+    Test.make ~name:"mean between min and max" ~count:300
+      (list_of_size Gen.(int_range 1 40) (float_range (-1e3) 1e3))
+      (fun xs ->
+        let a = Array.of_list xs in
+        let lo, hi = Stats.min_max a in
+        let m = Stats.mean a in
+        m >= lo -. 1e-9 && m <= hi +. 1e-9);
+  ]
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng split", `Quick, test_rng_split);
+    ("rng gaussian moments", `Quick, test_rng_gaussian_moments);
+    ("rng shuffle is a permutation", `Quick, test_rng_shuffle_permutation);
+    ("stats basic", `Quick, test_stats_basic);
+    ("stats min_max", `Quick, test_stats_min_max);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats ratio_pct", `Quick, test_ratio_pct);
+    ("texttab render", `Quick, test_texttab_render);
+    ("texttab too many cells", `Quick, test_texttab_too_many_cells);
+    ("csv quoting", `Quick, test_csv_quoting);
+    ("csv save", `Quick, test_csv_save);
+    ("texttab align and rules", `Quick, test_texttab_align);
+    ("texttab cells", `Quick, test_cells);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -1,0 +1,148 @@
+(* Tests for the structural Verilog subset reader/writer. *)
+
+module N = Fbb_netlist.Netlist
+module V = Fbb_netlist.Verilog_io
+module Sim = Fbb_netlist.Simulate
+
+let test_write_basic () =
+  let nl = Fbb_netlist.Generators.alu ~bits:4 () in
+  let s = V.to_string ~module_name:"alu4" nl in
+  Alcotest.(check bool) "module header" true (Tsupport.contains s "module alu4");
+  Alcotest.(check bool) "endmodule" true (Tsupport.contains s "endmodule");
+  Alcotest.(check bool) "instances" true (Tsupport.contains s "NAND2_X");
+  Alcotest.(check bool) "assigns" true (Tsupport.contains s "assign")
+
+let test_parse_basic () =
+  let nl =
+    V.parse
+      "// a tiny design\n\
+       module t (a, b, y);\n\
+      \  input a, b;\n\
+      \  output y;\n\
+      \  wire n1;\n\
+      \  NAND2_X1 u0 (.A(a), .B(b), .Y(n1));\n\
+      \  INV_X2 u1 (.A(n1), .Y(n2));\n\
+      \  assign y = n2;\n\
+       endmodule\n"
+  in
+  Alcotest.(check int) "gates" 2 (N.gate_count nl);
+  Alcotest.(check string) "drive kept" "INV_X2"
+    (N.cell nl (N.find nl "n2")).Fbb_tech.Cell_library.name;
+  let s = Sim.eval nl ~inputs:[ ("a", true); ("b", true) ] in
+  Alcotest.(check bool) "and via nand+inv" true (Sim.output nl s "y")
+
+let test_parse_dff_feedback () =
+  let nl =
+    V.parse
+      "module t (a, q);\n\
+      \  input a;\n\
+      \  output q;\n\
+      \  DFF_X1 u0 (.D(nq), .Q(qq), .CK(clkignored));\n\
+      \  INV_X1 u1 (.A(qq), .Y(nq));\n\
+      \  assign q = qq;\n\
+       endmodule\n"
+  in
+  (match N.validate nl with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat ";" es));
+  (* toggle flip-flop behaviour *)
+  let s0 = Sim.eval nl ~inputs:[ ("a", false) ] in
+  Alcotest.(check bool) "q=0" false (Sim.output nl s0 "q");
+  let s1 = Sim.step nl s0 in
+  Alcotest.(check bool) "q toggles" true (Sim.output nl s1 "q")
+
+let test_parse_errors () =
+  let expect_error src =
+    match V.parse src with
+    | exception V.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %s" src
+  in
+  expect_error "module t (y);\n output y;\n WIBBLE_X1 u0 (.A(a), .Y(y));\nendmodule\n";
+  expect_error "module t (y);\n output y;\nendmodule\n";
+  (* missing pin *)
+  expect_error
+    "module t (a, y);\n input a;\n output y;\n NAND2_X1 u0 (.A(a), .Y(y));\n\
+     assign z = y;\nendmodule\n";
+  (* combinational cycle *)
+  expect_error
+    "module t (a, y);\n input a;\n output y;\n\
+     INV_X1 u0 (.A(n1), .Y(n0));\n INV_X1 u1 (.A(n0), .Y(n1));\n\
+     assign y = n0;\nendmodule\n"
+
+let test_roundtrip_structure () =
+  let nl = (Fbb_netlist.Benchmarks.find "c1355").Fbb_netlist.Benchmarks.generate () in
+  let nl' = V.parse (V.to_string nl) in
+  Alcotest.(check int) "gates preserved" (N.gate_count nl) (N.gate_count nl');
+  Alcotest.(check int) "inputs preserved"
+    (Array.length (N.inputs nl))
+    (Array.length (N.inputs nl'));
+  Alcotest.(check int) "outputs preserved"
+    (Array.length (N.outputs nl))
+    (Array.length (N.outputs nl'));
+  match N.validate nl' with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "roundtrip invalid: %s" (String.concat ";" es)
+
+let test_roundtrip_simulation () =
+  let nl = Fbb_netlist.Generators.adder_comparator ~bits:6 () in
+  let nl' = V.parse (V.to_string nl) in
+  let rng = Fbb_util.Rng.create ~seed:31 in
+  for _ = 1 to 10 do
+    let inputs =
+      Array.to_list (N.inputs nl)
+      |> List.map (fun i -> (N.name nl i, Fbb_util.Rng.bool rng))
+    in
+    let s = Sim.eval nl ~inputs in
+    let s' = Sim.eval nl' ~inputs in
+    Array.iter
+      (fun o ->
+        let driver = (N.fanins nl o).(0) in
+        Alcotest.(check bool) "same value"
+          (Sim.value s driver)
+          (Sim.value s' (N.find nl' (N.name nl driver))))
+      (N.outputs nl)
+  done
+
+let test_output_driven_directly () =
+  (* OUTPUT net driven straight by an instance pin, no assign alias. *)
+  let nl =
+    V.parse
+      "module t (a, y);\n  input a;\n  output y;\n\
+      \  INV_X1 u0 (.A(a), .Y(y));\nendmodule\n"
+  in
+  Alcotest.(check int) "one gate" 1 (N.gate_count nl);
+  Alcotest.(check int) "one output" 1 (Array.length (N.outputs nl));
+  let s = Sim.eval nl ~inputs:[ ("a", false) ] in
+  Alcotest.(check bool) "inverts" true (Sim.output nl s "y")
+
+let test_save_and_parse_file () =
+  let nl = Fbb_netlist.Generators.alu ~bits:4 () in
+  let path = Filename.temp_file "fbb" ".v" in
+  V.save nl ~path;
+  let nl' = V.parse_file path in
+  Sys.remove path;
+  Alcotest.(check int) "gates" (N.gate_count nl) (N.gate_count nl')
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"verilog roundtrip on random modules" ~count:8
+      (int_range 1 1_000_000)
+      (fun seed ->
+        let nl = Fbb_netlist.Generators.random_module ~seed ~gates:150 () in
+        let nl' = V.parse (V.to_string nl) in
+        N.gate_count nl = N.gate_count nl' && N.validate nl' = Ok ());
+  ]
+
+let suite =
+  [
+    ("write basic", `Quick, test_write_basic);
+    ("parse basic", `Quick, test_parse_basic);
+    ("parse dff feedback", `Quick, test_parse_dff_feedback);
+    ("parse errors", `Quick, test_parse_errors);
+    ("roundtrip structure (c1355)", `Quick, test_roundtrip_structure);
+    ("roundtrip simulation", `Quick, test_roundtrip_simulation);
+    ("output driven directly", `Quick, test_output_driven_directly);
+    ("save and parse file", `Quick, test_save_and_parse_file);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

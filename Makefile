@@ -1,0 +1,29 @@
+# Convenience wrappers around dune. `make profile` demonstrates the
+# Fbb_obs instrumentation on a mid-size benchmark.
+
+DUNE ?= dune
+
+.PHONY: all build test bench profile trace clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test: build
+	$(DUNE) runtest
+
+bench: build
+	$(DUNE) exec bench/main.exe
+
+profile: build
+	$(DUNE) exec bin/fbbopt.exe -- optimize -d c5315 --ilp --profile
+
+trace: build
+	$(DUNE) exec bin/fbbopt.exe -- optimize -d c5315 --ilp \
+	  --trace fbbopt-trace.jsonl --profile-csv fbbopt-profile.csv
+	@echo "wrote fbbopt-trace.jsonl and fbbopt-profile.csv"
+
+clean:
+	$(DUNE) clean
+	rm -f fbbopt-trace.jsonl fbbopt-profile.csv

@@ -37,8 +37,8 @@ let header title =
   Printf.printf "\n%s\n%s\n%s\n" line title line
 
 let opt_pct = function
-  | Some v -> Printf.sprintf "%.2f" v
-  | None -> "-"
+  | Some v when Float.is_finite v -> Printf.sprintf "%.2f" v
+  | Some _ | None -> "-"
 
 let prepared_cache : (string, Fbb_core.Flow.prepared) Hashtbl.t =
   Hashtbl.create 16

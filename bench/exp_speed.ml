@@ -115,6 +115,10 @@ let tests () =
 
 let run () =
   Exp_common.header "Bechamel micro-benchmarks (per-stage costs)";
+  (* Measure the uninstrumented path: the harness installs a global
+     aggregator sink, which would otherwise tax every span in the hot
+     loops being timed. *)
+  Fbb_obs.Sink.suspended @@ fun () ->
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:false ()

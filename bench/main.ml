@@ -25,16 +25,45 @@ let usage () =
     experiments;
   print_endline "(no argument runs everything in paper order)"
 
+(* Every experiment runs inside a top-level span feeding an in-memory
+   aggregator, so a per-experiment timing table closes the session. *)
+let timed name run () = Fbb_obs.Span.with_ ~name:("exp." ^ name) run
+
+let timing_table agg =
+  match Fbb_obs.Aggregate.span_rows agg with
+  | [] -> ()
+  | rows ->
+    Exp_common.header "Experiment wall-clock summary";
+    let tab = Fbb_util.Texttab.create ~headers:[ "experiment"; "seconds" ] in
+    List.iter
+      (fun (name, _count, total_s, _mean, _max) ->
+        match String.length name > 4 && String.sub name 0 4 = "exp." with
+        | true ->
+          Fbb_util.Texttab.add_row tab
+            [
+              String.sub name 4 (String.length name - 4);
+              Fbb_util.Texttab.cell_f ~digits:2 total_s;
+            ]
+        | false -> ())
+      rows;
+    Fbb_util.Texttab.print tab
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let agg = Fbb_obs.Aggregate.create () in
+  Fbb_obs.Sink.install (Fbb_obs.Aggregate.sink agg);
+  Fun.protect ~finally:(fun () ->
+      Fbb_obs.Sink.clear ();
+      timing_table agg)
+  @@ fun () ->
   match args with
   | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage ()
-  | [] -> List.iter (fun (_, _, run) -> run ()) experiments
+  | [] -> List.iter (fun (name, _, run) -> timed name run ()) experiments
   | names ->
     List.iter
       (fun name ->
         match List.find_opt (fun (n, _, _) -> n = name) experiments with
-        | Some (_, _, run) -> run ()
+        | Some (_, _, run) -> timed name run ()
         | None ->
           Printf.printf "unknown experiment %s\n" name;
           usage ();

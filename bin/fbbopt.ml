@@ -52,6 +52,80 @@ let ascii_arg =
   let doc = "Print the row/cluster map as ASCII art." in
   Arg.(value & flag & info [ "ascii" ] ~doc)
 
+(* ----- observability ---------------------------------------------------- *)
+
+let trace_arg =
+  let doc =
+    "Write a JSONL event trace (one span/counter/gauge event per line, \
+     Chrome trace_event flavoured) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Print a per-stage timing report (span statistics and counter totals) \
+     to stderr when the command finishes."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let profile_csv_arg =
+  let doc = "Write the per-stage timing report as CSV to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "profile-csv" ] ~docv:"FILE" ~doc)
+
+module Obs_cli = struct
+  type t = {
+    aggregate : Fbb_obs.Aggregate.t option;
+    jsonl : Fbb_obs.Jsonl.t option;
+    profile : bool;
+    profile_csv : string option;
+  }
+
+  let start ~trace ~profile ~profile_csv =
+    let aggregate =
+      if profile || profile_csv <> None then Some (Fbb_obs.Aggregate.create ())
+      else None
+    in
+    let jsonl = Option.map Fbb_obs.Jsonl.create trace in
+    let sinks =
+      List.filter_map Fun.id
+        [
+          Option.map Fbb_obs.Aggregate.sink aggregate;
+          Option.map Fbb_obs.Jsonl.sink jsonl;
+        ]
+    in
+    (match sinks with
+    | [] -> ()
+    | s :: rest ->
+      Fbb_obs.Sink.install (List.fold_left Fbb_obs.Sink.tee s rest));
+    { aggregate; jsonl; profile; profile_csv }
+
+  let finish t =
+    Fbb_obs.Sink.clear ();
+    Option.iter Fbb_obs.Jsonl.close t.jsonl;
+    Option.iter
+      (fun agg ->
+        if t.profile then prerr_string (Fbb_obs.Aggregate.report agg);
+        Option.iter
+          (fun path ->
+            Fbb_util.Csv.save (Fbb_obs.Aggregate.to_csv agg) ~path;
+            Printf.eprintf "profile csv written to %s\n" path)
+          t.profile_csv)
+      t.aggregate
+
+  (* Run [f] under the requested sinks, wrapped in a top-level span so
+     the report's first line accounts for (nearly) the full wall clock. *)
+  let run ~span ~trace ~profile ~profile_csv f =
+    let t = start ~trace ~profile ~profile_csv in
+    Fun.protect
+      ~finally:(fun () -> finish t)
+      (fun () -> Fbb_obs.Span.with_ ~name:span f)
+end
+
+(* Savings against a zero/NaN baseline print as "-", not inf/nan. *)
+let pct_str v =
+  if Float.is_finite v then Printf.sprintf "%.2f%%" v else "-"
+
 let load_placement ~design ~file ~rows =
   match (design, file) with
   | Some _, Some _ -> Error "pass either --design or --file, not both"
@@ -179,10 +253,10 @@ let optimize design file beta_pct clusters rows run_ilp ilp_seconds svg ascii =
       (Fbb_tech.Bias.voltage jopt)
       (single_bb_nw /. 1000.0);
     Printf.printf
-      "heuristic (C=%d): leakage %.3f uW, savings %.2f%%, clusters %s \
+      "heuristic (C=%d): leakage %.3f uW, savings %s, clusters %s \
        (signoff %s, %d refinement iteration(s))\n"
       clusters (heur_nw /. 1000.0)
-      (Fbb_util.Stats.ratio_pct single_bb_nw heur_nw)
+      (pct_str (Fbb_util.Stats.ratio_pct single_bb_nw heur_nw))
       (String.concat "/"
          (List.map
             (fun l -> Printf.sprintf "%.2fV" (Fbb_tech.Bias.voltage l))
@@ -206,9 +280,9 @@ let optimize design file beta_pct clusters rows run_ilp ilp_seconds svg ascii =
       match (r.Fbb_core.Ilp_opt.levels, r.Fbb_core.Ilp_opt.leakage_nw) with
       | Some levels, Some leak ->
         Printf.printf
-          "ILP (C=%d): leakage %.3f uW, savings %.2f%%%s (%d nodes, %.1fs)\n"
+          "ILP (C=%d): leakage %.3f uW, savings %s%s (%d nodes, %.1fs)\n"
           clusters (leak /. 1000.0)
-          (Fbb_util.Stats.ratio_pct single_bb_nw leak)
+          (pct_str (Fbb_util.Stats.ratio_pct single_bb_nw leak))
           (if r.Fbb_core.Ilp_opt.proved_optimal then " [optimal]"
            else " [budget hit - best incumbent]")
           r.Fbb_core.Ilp_opt.nodes r.Fbb_core.Ilp_opt.elapsed_s;
@@ -232,10 +306,14 @@ let optimize design file beta_pct clusters rows run_ilp ilp_seconds svg ascii =
     Ok ()
 
 let optimize_cmd =
-  let run d f b c r i s svg ascii =
-    match optimize d f b c r i s svg ascii with
+  let run d f b c r i s svg ascii trace profile profile_csv =
+    match
+      Obs_cli.run ~span:"fbbopt.optimize" ~trace ~profile ~profile_csv
+        (fun () -> optimize d f b c r i s svg ascii)
+    with
     | Ok () -> `Ok ()
     | Error m -> `Error (false, m)
+    | exception Sys_error m -> `Error (false, m)
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -243,7 +321,8 @@ let optimize_cmd =
     Term.(
       ret
         (const run $ design_arg $ bench_file_arg $ beta_arg $ clusters_arg
-        $ rows_arg $ ilp_arg $ ilp_seconds_arg $ svg_arg $ ascii_arg))
+        $ rows_arg $ ilp_arg $ ilp_seconds_arg $ svg_arg $ ascii_arg
+        $ trace_arg $ profile_arg $ profile_csv_arg))
 
 (* ----- tune ------------------------------------------------------------- *)
 
@@ -304,17 +383,22 @@ let tune_cmd =
     Arg.(value & opt float 0.15
            & info [ "guardband" ] ~docv:"F" ~doc:"sensor guardband fraction")
   in
-  let run d f r c m s g =
-    match tune d f r c m s g with
+  let run d f r c m s g trace profile profile_csv =
+    match
+      Obs_cli.run ~span:"fbbopt.tune" ~trace ~profile ~profile_csv (fun () ->
+          tune d f r c m s g)
+    with
     | Ok () -> `Ok ()
     | Error msg -> `Error (false, msg)
+    | exception Sys_error msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Closed-loop post-silicon tuning simulation")
     Term.(
       ret
         (const run $ design_arg $ bench_file_arg $ rows_arg $ condition_arg
-        $ magnitude_arg $ seed_arg $ guardband_arg))
+        $ magnitude_arg $ seed_arg $ guardband_arg $ trace_arg $ profile_arg
+        $ profile_csv_arg))
 
 (* ----- recover ----------------------------------------------------------- *)
 

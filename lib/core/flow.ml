@@ -7,13 +7,16 @@ type prepared = {
 }
 
 let prepare ?lib ?utilization spec =
+  Fbb_obs.Span.with_ ~name:"flow.prepare" @@ fun () ->
   let netlist = spec.B.generate ?lib () in
   let placement =
     Fbb_place.Placement.place ?utilization ~target_rows:spec.B.rows netlist
   in
   { spec; netlist; placement }
 
-let problem prepared ~beta = Problem.build ~beta prepared.placement
+let problem prepared ~beta =
+  Fbb_obs.Span.with_ ~name:"flow.problem" @@ fun () ->
+  Problem.build ~beta prepared.placement
 
 type evaluation = {
   beta : float;
@@ -25,6 +28,7 @@ type evaluation = {
 }
 
 let evaluate ?(cs = [ 2; 3 ]) ?(run_ilp = true) ?ilp_limits prepared ~beta =
+  Fbb_obs.Span.with_ ~name:"flow.evaluate" @@ fun () ->
   let p = problem prepared ~beta in
   let jopt = Heuristic.pass_one p in
   let single_bb_nw =
@@ -34,6 +38,7 @@ let evaluate ?(cs = [ 2; 3 ]) ?(run_ilp = true) ?ilp_limits prepared ~beta =
      comparable across extended problems because the leakage tables do not
      depend on the constraint set. *)
   let refined =
+    Fbb_obs.Span.with_ ~name:"flow.heuristic" @@ fun () ->
     List.filter_map
       (fun c -> Option.map (fun o -> (c, o)) (Refine.heuristic ~max_clusters:c p))
       cs
@@ -60,6 +65,7 @@ let evaluate ?(cs = [ 2; 3 ]) ?(run_ilp = true) ?ilp_limits prepared ~beta =
   let ilp =
     if not run_ilp then []
     else
+      Fbb_obs.Span.with_ ~name:"flow.ilp" @@ fun () ->
       List.map
         (fun c ->
           let config =
@@ -132,15 +138,21 @@ let evaluate ?(cs = [ 2; 3 ]) ?(run_ilp = true) ?ilp_limits prepared ~beta =
   in
   { beta; constraints = Problem.num_paths p; jopt; single_bb_nw; heuristic; ilp }
 
+(* Savings against a zero/NaN baseline are meaningless; drop them here
+   so report columns show "-" instead of inf/nan. *)
+let finite_opt = function
+  | Some v when Float.is_finite v -> Some v
+  | Some _ | None -> None
+
 let heuristic_savings_pct ev ~c =
-  Option.map
-    (fun (r : Heuristic.result) -> r.Heuristic.savings_pct)
-    (List.assoc_opt c ev.heuristic)
+  finite_opt
+    (Option.map
+       (fun (r : Heuristic.result) -> r.Heuristic.savings_pct)
+       (List.assoc_opt c ev.heuristic))
 
 let ilp_savings_pct ev ~c =
   match (List.assoc_opt c ev.ilp, ev.single_bb_nw) with
   | Some r, Some base when r.Ilp_opt.proved_optimal ->
-    Option.map
-      (fun leak -> Fbb_util.Stats.ratio_pct base leak)
-      r.Ilp_opt.leakage_nw
+    Option.bind r.Ilp_opt.leakage_nw (fun leak ->
+        Fbb_util.Stats.ratio_pct_opt base leak)
   | Some _, _ | None, _ -> None

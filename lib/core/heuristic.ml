@@ -7,7 +7,14 @@ type result = {
   savings_pct : float;
 }
 
-let pass_one p = Problem.max_single_level p
+let descents_c = Fbb_obs.Counter.make "heuristic.descents"
+let covers_c = Fbb_obs.Counter.make "heuristic.covers"
+let moves_c = Fbb_obs.Counter.make "heuristic.moves"
+let candidates_c = Fbb_obs.Counter.make "heuristic.candidates"
+
+let pass_one p =
+  Fbb_obs.Span.with_ ~name:"heuristic.pass_one" @@ fun () ->
+  Problem.max_single_level p
 
 (* slack can be zero on the critical path itself; the epsilon keeps the
    ranking finite while preserving the order the paper intends. *)
@@ -29,6 +36,7 @@ let criticality p =
 
 let optimize ?(max_clusters = 2) p =
   if max_clusters < 1 then invalid_arg "Heuristic.optimize: C must be >= 1";
+  Fbb_obs.Span.with_ ~name:"heuristic.optimize" @@ fun () ->
   match pass_one p with
   | None -> None
   | Some jopt ->
@@ -51,6 +59,7 @@ let optimize ?(max_clusters = 2) p =
     in
     if jopt = 0 then finish single_bb
     else begin
+      Fbb_obs.Span.with_ ~name:"heuristic.pass_two" @@ fun () ->
       let ct = criticality p in
       let ranked = Array.init nrows (fun i -> i) in
       (* increasing criticality: least critical first *)
@@ -63,6 +72,7 @@ let optimize ?(max_clusters = 2) p =
          timing is reverted and locked as part of the cluster at its
          current level. *)
       let descend init =
+        Fbb_obs.Counter.incr descents_c;
         let checker = Solution.Checker.create p init in
         let locked = Array.make nrows false in
         let running = ref true in
@@ -75,7 +85,10 @@ let optimize ?(max_clusters = 2) p =
                 if cur = 0 then locked.(r) <- true
                 else begin
                   Solution.Checker.set checker ~row:r ~level:(cur - 1);
-                  if Solution.Checker.feasible checker then moved := true
+                  if Solution.Checker.feasible checker then begin
+                    Fbb_obs.Counter.incr moves_c;
+                    moved := true
+                  end
                   else begin
                     Solution.Checker.set checker ~row:r ~level:cur;
                     locked.(r) <- true
@@ -90,6 +103,7 @@ let optimize ?(max_clusters = 2) p =
       (* Covering pass (the dual greedy): everyone at NBB, then raise rows
          to [level] in decreasing criticality until timing is met. *)
       let cover level =
+        Fbb_obs.Counter.incr covers_c;
         let checker = Solution.Checker.create p (Solution.uniform p 0) in
         let k = ref (nrows - 1) in
         while (not (Solution.Checker.feasible checker)) && !k >= 0 do
@@ -145,6 +159,7 @@ let optimize ?(max_clusters = 2) p =
          outright). Keep the cheapest after budget enforcement. *)
       let best = ref None in
       let consider levels =
+        Fbb_obs.Counter.incr candidates_c;
         let levels = shrink levels in
         let leak = Solution.leakage_nw p levels in
         match !best with

@@ -33,7 +33,12 @@ type result = {
    reduction while every row offers it at most as much raw delay: any x
    satisfying k' then satisfies k. Dropping implied constraints is
    lossless. *)
+let subsets_considered_c = Fbb_obs.Counter.make "ilp.subsets_considered"
+let subsets_pruned_c = Fbb_obs.Counter.make "ilp.subsets_pruned"
+let constraints_dropped_c = Fbb_obs.Counter.make "ilp.constraints_dropped"
+
 let reduce_paths p =
+  Fbb_obs.Span.with_ ~name:"ilp.reduce_paths" @@ fun () ->
   let m = Problem.num_paths p in
   let delay_in k =
     let tbl = Hashtbl.create 8 in
@@ -65,9 +70,12 @@ let reduce_paths p =
       in
       if not implied then kept := k :: !kept)
     order;
-  List.rev !kept
+  let kept = List.rev !kept in
+  Fbb_obs.Counter.add constraints_dropped_c (m - List.length kept);
+  kept
 
 let formulate ?(reduce = true) ~max_clusters p =
+  Fbb_obs.Span.with_ ~name:"ilp.formulate" @@ fun () ->
   let nrows = Problem.num_rows p in
   let nlev = Problem.num_levels p in
   let x i j = (i * nlev) + j in
@@ -151,6 +159,7 @@ let warm_vector p ~max_clusters levels =
   else None
 
 let optimize_monolithic config ?warm_start p ~kept =
+  Fbb_obs.Span.with_ ~name:"ilp.monolithic" @@ fun () ->
   let problem =
     formulate ~reduce:config.reduce ~max_clusters:config.max_clusters p
   in
@@ -248,7 +257,8 @@ let project_levels subset levels =
     levels
 
 let optimize_enumerate config ?warm_start p ~kept =
-  let start = Unix.gettimeofday () in
+  Fbb_obs.Span.with_ ~name:"ilp.enumerate" @@ fun () ->
+  let start = Fbb_obs.Clock.now_s () in
   let nrows = Problem.num_rows p in
   let best = ref None in
   (match warm_start with
@@ -284,7 +294,8 @@ let optimize_enumerate config ?warm_start p ~kept =
     in
     List.iter
       (fun subset ->
-        let elapsed = Unix.gettimeofday () -. start in
+        Fbb_obs.Counter.incr subsets_considered_c;
+        let elapsed = Fbb_obs.Clock.now_s () -. start in
         let remaining = config.limits.BB.max_seconds -. elapsed in
         if remaining <= 0.0 then all_proved := false
         else begin
@@ -296,6 +307,7 @@ let optimize_enumerate config ?warm_start p ~kept =
             | Some (_, b) -> floor_cost < b -. 1e-9
             | None -> true
           in
+          if not beatable then Fbb_obs.Counter.incr subsets_pruned_c;
           if beatable then begin
             let problem, s = formulate_subset p ~kept ~subset in
             let incumbent =
@@ -352,12 +364,13 @@ let optimize_enumerate config ?warm_start p ~kept =
     proved_optimal = !all_proved;
     timed_out = not !all_proved;
     nodes = !nodes;
-    elapsed_s = Unix.gettimeofday () -. start;
+    elapsed_s = Fbb_obs.Clock.now_s () -. start;
     constraints_total = Problem.num_paths p;
     constraints_solved = List.length kept;
   }
 
 let optimize ?(config = default_config) ?warm_start p =
+  Fbb_obs.Span.with_ ~name:"ilp.optimize" @@ fun () ->
   let kept =
     if config.reduce then reduce_paths p
     else List.init (Problem.num_paths p) (fun k -> k)

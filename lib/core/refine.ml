@@ -10,7 +10,11 @@ type outcome = {
   signoff_clean : bool;
 }
 
+let iterations_c = Fbb_obs.Counter.make "refine.iterations"
+let constraints_added_c = Fbb_obs.Counter.make "refine.constraints_added"
+
 let signoff p ~levels =
+  Fbb_obs.Span.with_ ~name:"refine.signoff" @@ fun () ->
   let placement = p.Problem.placement in
   let nl = Placement.netlist placement in
   let beta = p.Problem.beta in
@@ -29,7 +33,9 @@ let signoff p ~levels =
   (Array.length offenders = 0, offenders)
 
 let solve ?(max_iterations = 10) ~solver p0 =
+  Fbb_obs.Span.with_ ~name:"refine.solve" @@ fun () ->
   let rec loop p iterations added last =
+    Fbb_obs.Counter.incr iterations_c;
     match solver p with
     | None -> begin
       match last with
@@ -71,11 +77,14 @@ let solve ?(max_iterations = 10) ~solver p0 =
               added_constraints = added;
               signoff_clean = false;
             }
-        else
+        else begin
+          Fbb_obs.Counter.add constraints_added_c
+            (Problem.num_paths p' - Problem.num_paths p);
           loop p'
             (iterations + 1)
             (added + Problem.num_paths p' - Problem.num_paths p)
             (Some levels)
+        end
       end
   in
   loop p0 0 0 None

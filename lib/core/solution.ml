@@ -38,6 +38,9 @@ module Checker = struct
     mutable violations : int;
   }
 
+  let checks_c = Fbb_obs.Counter.make "checker.feasible_checks"
+  let updates_c = Fbb_obs.Counter.make "checker.incremental_updates"
+
   let create problem levels0 =
     let levels = Array.copy levels0 in
     let sigma =
@@ -53,6 +56,7 @@ module Checker = struct
   let set t ~row ~level =
     let old_level = t.levels.(row) in
     if old_level <> level then begin
+      Fbb_obs.Counter.incr updates_c;
       let p = t.problem in
       let delta =
         p.Problem.reduction.(level) -. p.Problem.reduction.(old_level)
@@ -73,6 +77,9 @@ module Checker = struct
 
   let level t ~row = t.levels.(row)
   let levels t = Array.copy t.levels
-  let feasible t = t.violations = 0
+
+  let feasible t =
+    Fbb_obs.Counter.incr checks_c;
+    t.violations = 0
   let violation_count t = t.violations
 end

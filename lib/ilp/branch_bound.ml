@@ -1,5 +1,14 @@
 module S = Fbb_lp.Simplex
 
+(* Observability. Totals accumulate with or without a sink; [nodes] in
+   the result stays authoritative for compatibility, and the counters
+   mirror it (delta over a solve equals [result.nodes]). *)
+let nodes_c = Fbb_obs.Counter.make "bb.nodes"
+let pruned_c = Fbb_obs.Counter.make "bb.pruned"
+let incumbents_c = Fbb_obs.Counter.make "bb.incumbents"
+let lp_infeasible_c = Fbb_obs.Counter.make "bb.lp_infeasible"
+let lp_pivot_limit_c = Fbb_obs.Counter.make "bb.lp_pivot_limit"
+
 type problem = {
   num_vars : int;
   minimize : float array;
@@ -89,7 +98,8 @@ let feasible p x =
     x ~eps:1e-6
 
 let solve ?(limits = default_limits) ?incumbent ?cutoff p =
-  let start = Unix.gettimeofday () in
+  Fbb_obs.Span.with_ ~name:"bb.solve" @@ fun () ->
+  let start = Fbb_obs.Clock.now_s () in
   let best = ref None in
   (match incumbent with
   | Some x ->
@@ -103,20 +113,28 @@ let solve ?(limits = default_limits) ?incumbent ?cutoff p =
   let rec branch () =
     if
       !nodes >= limits.max_nodes
-      || Unix.gettimeofday () -. start > limits.max_seconds
+      || Fbb_obs.Clock.now_s () -. start > limits.max_seconds
     then hit_limit := true
     else begin
       incr nodes;
+      Fbb_obs.Counter.incr nodes_c;
       let lp, free, fixed_cost = reduced_lp p fixed in
-      match S.solve lp with
-      | S.Infeasible | S.Unbounded -> ()
+      match Fbb_obs.Span.with_ ~name:"bb.lp_bound" (fun () -> S.solve lp) with
+      | S.Infeasible | S.Unbounded ->
+        Fbb_obs.Counter.incr lp_infeasible_c
+      | S.Pivot_limit ->
+        (* The LP could not bound this subtree; abandoning it without a
+           proof forfeits optimality, exactly like a node/time budget. *)
+        Fbb_obs.Counter.incr lp_pivot_limit_c;
+        hit_limit := true
       | S.Optimal { objective; solution } ->
         let total = objective +. fixed_cost in
         let pruned =
           (match !best with Some (_, b) -> total >= b -. 1e-9 | None -> false)
           || match cutoff with Some c -> total >= c -. 1e-9 | None -> false
         in
-        if not pruned then begin
+        if pruned then Fbb_obs.Counter.incr pruned_c
+        else begin
           (* Most fractional free variable. *)
           let frac = ref (-1) in
           let dist = ref 0.0 in
@@ -141,7 +159,9 @@ let solve ?(limits = default_limits) ?incumbent ?cutoff p =
             let obj = objective_of p x in
             match !best with
             | Some (_, b) when obj >= b -. 1e-12 -> ()
-            | Some _ | None -> best := Some (x, obj)
+            | Some _ | None ->
+              Fbb_obs.Counter.incr incumbents_c;
+              best := Some (x, obj)
           end
           else begin
             let var = free.(!frac) in
@@ -156,7 +176,7 @@ let solve ?(limits = default_limits) ?incumbent ?cutoff p =
     end
   in
   branch ();
-  let elapsed_s = Unix.gettimeofday () -. start in
+  let elapsed_s = Fbb_obs.Clock.now_s () -. start in
   let status =
     match (!best, !hit_limit) with
     | Some _, false -> Proved_optimal

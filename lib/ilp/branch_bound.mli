@@ -41,6 +41,14 @@ val solve :
 
     [cutoff] prunes any subtree whose LP bound is not strictly below it —
     useful when an external search already holds a solution of that
-    objective; solutions at or above the cutoff are not reported. *)
+    objective; solutions at or above the cutoff are not reported.
+
+    The whole solve runs inside a [bb.solve] observability span, each
+    LP relaxation inside [bb.lp_bound]; node, prune, incumbent and
+    LP-failure events accumulate on the [bb.*] counters (the delta of
+    [bb.nodes] over a call equals [result.nodes]). An LP relaxation
+    ending in {!Fbb_lp.Simplex.Pivot_limit} abandons that subtree and
+    downgrades the result to [Feasible]/[Limit_reached], like a node or
+    time budget. *)
 
 val objective_of : problem -> float array -> float

@@ -17,8 +17,20 @@ type outcome =
   | Optimal of { objective : float; solution : float array }
   | Infeasible
   | Unbounded
+  | Pivot_limit
 
 let eps = 1e-8
+
+(* Observability: totals survive with no sink installed, so callers and
+   tests can read them; events only flow once a sink is set up. *)
+let solves_c = Fbb_obs.Counter.make "lp.solves"
+let pivots_c = Fbb_obs.Counter.make "lp.pivots"
+let phase1_c = Fbb_obs.Counter.make "lp.phase1_pivots"
+let phase2_c = Fbb_obs.Counter.make "lp.phase2_pivots"
+let bland_c = Fbb_obs.Counter.make "lp.bland_engaged"
+let pivot_limit_c = Fbb_obs.Counter.make "lp.pivot_limit"
+
+exception Pivot_limit_hit
 
 let check problem x ~eps =
   let ok = ref true in
@@ -114,9 +126,10 @@ let solve ?max_pivots problem =
     | None -> 200 * (m + ncols + 10)
   in
   let pivots = ref 0 in
+  let phase1_pivots = ref 0 in
   let pivot ~row ~col =
     incr pivots;
-    if !pivots > max_pivots then failwith "Simplex.solve: pivot limit";
+    if !pivots > max_pivots then raise Pivot_limit_hit;
     let prow = tab.(row) in
     let d = prow.(col) in
     for j = 0 to ncols do
@@ -198,7 +211,10 @@ let solve ?max_pivots problem =
         else begin
           if !best_ratio < eps then begin
             incr degenerate;
-            if !degenerate > stall_after then bland := true
+            if !degenerate > stall_after && not !bland then begin
+              Fbb_obs.Counter.incr bland_c;
+              bland := true
+            end
           end
           else degenerate := 0;
           pivot ~row:!leave ~col;
@@ -209,7 +225,7 @@ let solve ?max_pivots problem =
     iterate ()
   in
   (* Phase 1: minimize the sum of artificials. *)
-  let phase1 =
+  let run_phase1 () =
     if n_art = 0 then `Feasible
     else begin
       for j = art_start to ncols - 1 do
@@ -237,26 +253,42 @@ let solve ?max_pivots problem =
         end
     end
   in
-  match phase1 with
-  | `Infeasible -> Infeasible
-  | `Feasible ->
-    (* Phase 2: restore the real objective. *)
-    let orow = tab.(0) in
-    Array.fill orow 0 (ncols + 1) 0.0;
-    for j = 0 to n - 1 do
-      orow.(j) <- problem.minimize.(j)
-    done;
-    price_out ();
-    let allowed j = j < art_start in
-    (match run_phase allowed with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-      let solution = Array.make n 0.0 in
-      for r = 1 to m do
-        if basis.(r - 1) < n then solution.(basis.(r - 1)) <- tab.(r).(ncols)
+  let run_phases () =
+    let phase1 = run_phase1 () in
+    phase1_pivots := !pivots;
+    match phase1 with
+    | `Infeasible -> Infeasible
+    | `Feasible ->
+      (* Phase 2: restore the real objective. *)
+      let orow = tab.(0) in
+      Array.fill orow 0 (ncols + 1) 0.0;
+      for j = 0 to n - 1 do
+        orow.(j) <- problem.minimize.(j)
       done;
-      let objective =
-        Array.fold_left ( +. ) 0.0
-          (Array.mapi (fun i c -> c *. solution.(i)) problem.minimize)
-      in
-      Optimal { objective; solution })
+      price_out ();
+      let allowed j = j < art_start in
+      (match run_phase allowed with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+        let solution = Array.make n 0.0 in
+        for r = 1 to m do
+          if basis.(r - 1) < n then solution.(basis.(r - 1)) <- tab.(r).(ncols)
+        done;
+        let objective =
+          Array.fold_left ( +. ) 0.0
+            (Array.mapi (fun i c -> c *. solution.(i)) problem.minimize)
+        in
+        Optimal { objective; solution })
+  in
+  Fbb_obs.Counter.incr solves_c;
+  let outcome =
+    match run_phases () with
+    | o -> o
+    | exception Pivot_limit_hit ->
+      Fbb_obs.Counter.incr pivot_limit_c;
+      Pivot_limit
+  in
+  Fbb_obs.Counter.add pivots_c !pivots;
+  Fbb_obs.Counter.add phase1_c !phase1_pivots;
+  Fbb_obs.Counter.add phase2_c (!pivots - !phase1_pivots);
+  outcome

@@ -28,11 +28,17 @@ type outcome =
   | Optimal of { objective : float; solution : float array }
   | Infeasible
   | Unbounded
+  | Pivot_limit
+      (** the pivot budget ran out before either phase converged
+          (numerically hostile instance); no conclusion about the
+          problem can be drawn *)
 
 val solve : ?max_pivots:int -> problem -> outcome
 (** [max_pivots] defaults to a generous function of the problem size;
-    exceeding it raises [Failure] (indicates a numerically hostile
-    instance, never observed in tests). *)
+    exceeding it yields [Pivot_limit] (and bumps the [lp.pivot_limit]
+    observability counter) so callers can degrade gracefully instead of
+    crashing. Pivot, phase-split and Bland-engagement counts are
+    recorded on the [lp.*] counters of {!Fbb_obs.Counter}. *)
 
 val check : problem -> float array -> eps:float -> bool
 (** Feasibility check of a candidate solution (used in tests and by the

@@ -1,0 +1,165 @@
+(* In-memory aggregating sink: per-span-name duration statistics plus
+   counter totals and last gauge values, rendered as a text report
+   (Fbb_util.Texttab) or machine-readable CSV. *)
+
+type stat = {
+  mutable count : int;
+  mutable total_s : float;
+  mutable max_s : float;
+}
+
+type t = {
+  spans : (string, stat) Hashtbl.t;
+  mutable span_order : string list;  (* first-completion order, reversed *)
+  counters : (string, int ref) Hashtbl.t;
+  mutable counter_order : string list;
+  gauges : (string, float ref) Hashtbl.t;
+  mutable gauge_order : string list;
+}
+
+let create () =
+  {
+    spans = Hashtbl.create 32;
+    span_order = [];
+    counters = Hashtbl.create 32;
+    counter_order = [];
+    gauges = Hashtbl.create 8;
+    gauge_order = [];
+  }
+
+let sink t =
+  {
+    Sink.emit =
+      (fun ev ->
+        match ev with
+        | Event.Span_begin _ -> ()
+        | Event.Span_end { name; dur_s; _ } ->
+          let s =
+            match Hashtbl.find_opt t.spans name with
+            | Some s -> s
+            | None ->
+              let s = { count = 0; total_s = 0.0; max_s = 0.0 } in
+              Hashtbl.add t.spans name s;
+              t.span_order <- name :: t.span_order;
+              s
+          in
+          s.count <- s.count + 1;
+          s.total_s <- s.total_s +. dur_s;
+          if dur_s > s.max_s then s.max_s <- dur_s
+        | Event.Counter_add { name; delta; _ } ->
+          let r =
+            match Hashtbl.find_opt t.counters name with
+            | Some r -> r
+            | None ->
+              let r = ref 0 in
+              Hashtbl.add t.counters name r;
+              t.counter_order <- name :: t.counter_order;
+              r
+          in
+          r := !r + delta
+        | Event.Gauge_set { name; value; _ } -> begin
+          match Hashtbl.find_opt t.gauges name with
+          | Some r -> r := value
+          | None ->
+            Hashtbl.add t.gauges name (ref value);
+            t.gauge_order <- name :: t.gauge_order
+        end);
+    flush = ignore;
+  }
+
+let span_stat t name =
+  Option.map
+    (fun s -> (s.count, s.total_s, s.max_s))
+    (Hashtbl.find_opt t.spans name)
+
+let span_total t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s -> Some s.total_s
+  | None -> None
+
+let counter_total t name =
+  Option.map ( ! ) (Hashtbl.find_opt t.counters name)
+
+(* Span rows, heaviest first: (name, count, total_s, mean_s, max_s). *)
+let span_rows t =
+  List.rev t.span_order
+  |> List.map (fun name ->
+         let s = Hashtbl.find t.spans name in
+         (name, s.count, s.total_s, s.total_s /. float_of_int s.count, s.max_s))
+  |> List.stable_sort (fun (_, _, a, _, _) (_, _, b, _, _) -> compare b a)
+
+let counter_rows t =
+  List.rev t.counter_order
+  |> List.map (fun name -> (name, !(Hashtbl.find t.counters name)))
+
+let gauge_rows t =
+  List.rev t.gauge_order
+  |> List.map (fun name -> (name, !(Hashtbl.find t.gauges name)))
+
+let report t =
+  let module T = Fbb_util.Texttab in
+  let buf = Buffer.create 1024 in
+  let spans = span_rows t in
+  if spans <> [] then begin
+    let tab =
+      T.create ~headers:[ "span"; "count"; "total s"; "mean s"; "max s" ]
+    in
+    List.iter
+      (fun (name, count, total, mean, mx) ->
+        T.add_row tab
+          [
+            name;
+            T.cell_i count;
+            T.cell_f ~digits:4 total;
+            T.cell_f ~digits:6 mean;
+            T.cell_f ~digits:6 mx;
+          ])
+      spans;
+    Buffer.add_string buf (T.render tab)
+  end;
+  let counters = counter_rows t in
+  if counters <> [] then begin
+    let tab = T.create ~headers:[ "counter"; "total" ] in
+    List.iter
+      (fun (name, v) -> T.add_row tab [ name; T.cell_i v ])
+      counters;
+    Buffer.add_string buf (T.render tab)
+  end;
+  let gauges = gauge_rows t in
+  if gauges <> [] then begin
+    let tab = T.create ~headers:[ "gauge"; "value" ] in
+    List.iter
+      (fun (name, v) -> T.add_row tab [ name; T.cell_f ~digits:4 v ])
+      gauges;
+    Buffer.add_string buf (T.render tab)
+  end;
+  if Buffer.length buf = 0 then Buffer.add_string buf "(no events recorded)\n";
+  Buffer.contents buf
+
+let to_csv t =
+  let csv =
+    Fbb_util.Csv.create
+      ~headers:[ "kind"; "name"; "count"; "total_s"; "mean_s"; "max_s" ]
+  in
+  List.iter
+    (fun (name, count, total, mean, mx) ->
+      Fbb_util.Csv.add_row csv
+        [
+          "span";
+          name;
+          string_of_int count;
+          Printf.sprintf "%.9f" total;
+          Printf.sprintf "%.9f" mean;
+          Printf.sprintf "%.9f" mx;
+        ])
+    (span_rows t);
+  List.iter
+    (fun (name, v) ->
+      Fbb_util.Csv.add_row csv [ "counter"; name; "1"; string_of_int v; ""; "" ])
+    (counter_rows t);
+  List.iter
+    (fun (name, v) ->
+      Fbb_util.Csv.add_row csv
+        [ "gauge"; name; "1"; Printf.sprintf "%.9g" v; ""; "" ])
+    (gauge_rows t);
+  csv

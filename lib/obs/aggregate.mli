@@ -1,0 +1,26 @@
+(** In-memory aggregating sink: per-span-name duration statistics
+    (count / total / mean / max), counter totals and last gauge values,
+    rendered as a text report or CSV. *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Sink.t
+
+val span_stat : t -> string -> (int * float * float) option
+(** [(count, total_s, max_s)] for a span name, if ever completed. *)
+
+val span_total : t -> string -> float option
+val counter_total : t -> string -> int option
+
+val span_rows : t -> (string * int * float * float * float) list
+(** [(name, count, total_s, mean_s, max_s)], heaviest first. *)
+
+val counter_rows : t -> (string * int) list
+val gauge_rows : t -> (string * float) list
+
+val report : t -> string
+(** Per-stage text report (Fbb_util.Texttab tables). *)
+
+val to_csv : t -> Fbb_util.Csv.t
+(** Machine-readable dump: kind,name,count,total_s,mean_s,max_s. *)

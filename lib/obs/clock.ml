@@ -1,0 +1,10 @@
+(* Monotonic time base for spans and traces. All timestamps are seconds
+   since [epoch_ns], the first clock read of the process, so traces start
+   near zero and survive wall-clock adjustments (NTP, DST). The underlying
+   source is CLOCK_MONOTONIC via a noalloc C stub. *)
+
+let epoch_ns = Monotonic_clock.now ()
+
+let now_ns () = Int64.sub (Monotonic_clock.now ()) epoch_ns
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9

@@ -1,0 +1,11 @@
+(** Monotonic time base for spans and traces.
+
+    Timestamps are seconds since the first clock read of the process
+    (CLOCK_MONOTONIC underneath), so traces start near zero and are
+    immune to wall-clock adjustments. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since process epoch. *)
+
+val now_s : unit -> float
+(** Seconds since process epoch. *)

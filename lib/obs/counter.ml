@@ -1,0 +1,98 @@
+(* Named monotonic counters and float gauges.
+
+   Counters always accumulate into a plain int field - two integer adds
+   per [add], cheap enough for per-pivot and per-node call sites - so
+   totals are readable (and testable) even with no sink installed. The
+   [pending] field batches increments between span boundaries: when a
+   sink is installed, [flush_pending] (called by [Span.with_] at every
+   boundary) turns the accumulated delta into a single [Counter_add]
+   event, attributing the work to the innermost open span without
+   emitting one event per increment. *)
+
+type t = { name : string; mutable total : int; mutable pending : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+(* First-registration order, for stable report layout. *)
+let order : t list ref = ref []
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { name; total = 0; pending = 0 } in
+    Hashtbl.add registry name c;
+    order := c :: !order;
+    c
+
+let add c n =
+  c.total <- c.total + n;
+  c.pending <- c.pending + n
+
+let incr c = add c 1
+
+let read c = c.total
+let name c = c.name
+
+let reset c =
+  c.total <- 0;
+  c.pending <- 0
+
+let reset_all () = Hashtbl.iter (fun _ c -> reset c) registry
+
+let flush_pending () =
+  if Sink.enabled () then begin
+    let ts = Clock.now_s () in
+    List.iter
+      (fun c ->
+        if c.pending <> 0 then begin
+          Sink.emit (Event.Counter_add { name = c.name; delta = c.pending; ts });
+          c.pending <- 0
+        end)
+      !order
+  end
+
+(* Non-zero totals in registration order, for text reports. *)
+let totals () =
+  List.rev !order
+  |> List.filter_map (fun c ->
+         if c.total <> 0 then Some (c.name, c.total) else None)
+
+(* ----- gauges ---------------------------------------------------------- *)
+
+module Gauge = struct
+  type g = { gname : string; mutable value : float; mutable set_once : bool }
+
+  let gregistry : (string, g) Hashtbl.t = Hashtbl.create 16
+  let gorder : g list ref = ref []
+
+  let make gname =
+    match Hashtbl.find_opt gregistry gname with
+    | Some g -> g
+    | None ->
+      let g = { gname; value = 0.0; set_once = false } in
+      Hashtbl.add gregistry gname g;
+      gorder := g :: !gorder;
+      g
+
+  let set g v =
+    g.value <- v;
+    g.set_once <- true;
+    if Sink.enabled () then
+      Sink.emit
+        (Event.Gauge_set { name = g.gname; value = v; ts = Clock.now_s () })
+
+  let read g = g.value
+
+  let reset_all () =
+    Hashtbl.iter
+      (fun _ g ->
+        g.value <- 0.0;
+        g.set_once <- false)
+      gregistry
+
+  let values () =
+    List.rev !gorder
+    |> List.filter_map (fun g ->
+           if g.set_once then Some (g.gname, g.value) else None)
+end

@@ -1,0 +1,39 @@
+(** Named monotonic counters and float gauges.
+
+    Counters accumulate unconditionally (two integer adds per {!add}),
+    so totals are readable without any sink; pending deltas are turned
+    into {!Event.Counter_add} events at span boundaries when a sink is
+    installed. Registration is idempotent: [make name] returns the
+    existing counter if the name is taken. *)
+
+type t
+
+val make : string -> t
+val add : t -> int -> unit
+val incr : t -> unit
+val read : t -> int
+val name : t -> string
+
+val reset : t -> unit
+val reset_all : unit -> unit
+
+val flush_pending : unit -> unit
+(** Emit one [Counter_add] per counter with a non-zero pending delta.
+    Called by [Span.with_] at every span boundary; no-op without a
+    sink. *)
+
+val totals : unit -> (string * int) list
+(** Non-zero totals in first-registration order. *)
+
+module Gauge : sig
+  type g
+
+  val make : string -> g
+  val set : g -> float -> unit
+  val read : g -> float
+  val reset_all : unit -> unit
+
+  val values : unit -> (string * float) list
+  (** Last value of every gauge that has been set, in registration
+      order. *)
+end

@@ -1,0 +1,62 @@
+(* The observability event model. Every instrumentation primitive reduces
+   to one of four events; sinks only ever see this type, so adding a sink
+   never touches instrumented code.
+
+   Span begin/end events always come in balanced pairs (Span.with_ emits
+   the end even when the body raises). Counter events carry deltas, not
+   totals: they are flushed at span boundaries so a trace attributes each
+   increment to the innermost span that was open when it happened. *)
+
+type t =
+  | Span_begin of { name : string; ts : float; depth : int }
+  | Span_end of { name : string; ts : float; dur_s : float; depth : int }
+  | Counter_add of { name : string; delta : int; ts : float }
+  | Gauge_set of { name : string; value : float; ts : float }
+
+let name = function
+  | Span_begin { name; _ }
+  | Span_end { name; _ }
+  | Counter_add { name; _ }
+  | Gauge_set { name; _ } -> name
+
+let ts = function
+  | Span_begin { ts; _ }
+  | Span_end { ts; _ }
+  | Counter_add { ts; _ }
+  | Gauge_set { ts; _ } -> ts
+
+(* Minimal JSON string escaping; names are controlled identifiers but a
+   sink must never emit an unparseable line whatever it is handed. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One JSON object per event. "ph" mirrors the Chrome trace_event phase
+   letters (B/E/C and an extra "G" for gauges) so a converter only has to
+   rescale timestamps to microseconds. *)
+let to_json ev =
+  match ev with
+  | Span_begin { name; ts; depth } ->
+    Printf.sprintf {|{"ph":"B","name":"%s","ts":%.9f,"depth":%d}|}
+      (escape name) ts depth
+  | Span_end { name; ts; dur_s; depth } ->
+    Printf.sprintf {|{"ph":"E","name":"%s","ts":%.9f,"dur_s":%.9f,"depth":%d}|}
+      (escape name) ts dur_s depth
+  | Counter_add { name; delta; ts } ->
+    Printf.sprintf {|{"ph":"C","name":"%s","ts":%.9f,"delta":%d}|}
+      (escape name) ts delta
+  | Gauge_set { name; value; ts } ->
+    Printf.sprintf {|{"ph":"G","name":"%s","ts":%.9f,"value":%.9g}|}
+      (escape name) ts value

@@ -1,0 +1,23 @@
+(** The observability event model: everything a sink can observe.
+
+    Span begin/end events come in balanced pairs even when the spanned
+    computation raises. Counter events carry {e deltas} batched at span
+    boundaries, never totals, so a trace attributes increments to the
+    innermost open span. *)
+
+type t =
+  | Span_begin of { name : string; ts : float; depth : int }
+  | Span_end of { name : string; ts : float; dur_s : float; depth : int }
+  | Counter_add of { name : string; delta : int; ts : float }
+  | Gauge_set of { name : string; value : float; ts : float }
+
+val name : t -> string
+val ts : t -> float
+
+val to_json : t -> string
+(** One-line JSON object. The ["ph"] field mirrors Chrome trace_event
+    phase letters (B/E/C, plus "G" for gauges); timestamps are seconds
+    (trace_event wants microseconds - rescale when converting). *)
+
+val escape : string -> string
+(** JSON string-body escaping (exposed for sinks that render JSON). *)

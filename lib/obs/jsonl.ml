@@ -1,0 +1,24 @@
+(* JSONL trace sink: one event per line, append-only, suitable for
+   offline analysis (jq, pandas) or conversion to the Chrome trace_event
+   format (the "ph" letters already match; timestamps are seconds). *)
+
+type t = { oc : out_channel; mutable closed : bool }
+
+let create path = { oc = open_out path; closed = false }
+
+let sink t =
+  {
+    Sink.emit =
+      (fun ev ->
+        if not t.closed then begin
+          output_string t.oc (Event.to_json ev);
+          output_char t.oc '\n'
+        end);
+    flush = (fun () -> if not t.closed then flush t.oc);
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end

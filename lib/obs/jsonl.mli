@@ -1,0 +1,10 @@
+(** JSONL trace sink: one event per line, for offline analysis or
+    Chrome trace_event conversion. *)
+
+type t
+
+val create : string -> t
+(** Open (truncating) the trace file. *)
+
+val sink : t -> Sink.t
+val close : t -> unit

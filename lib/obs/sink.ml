@@ -1,0 +1,58 @@
+(* A sink consumes events; at most one is installed at a time (compose
+   with [tee] to fan out). The default state is *no* sink: every
+   instrumentation primitive checks [installed] with one ref read and
+   falls through, so the uninstrumented hot path stays allocation-free. *)
+
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;  (* make buffered output durable *)
+}
+
+(* Explicit no-op sink. Installing it exercises the full event path
+   (span clock reads, counter flushes) while discarding everything -
+   useful for measuring instrumentation overhead; [None] is the
+   zero-overhead default. *)
+let null = { emit = ignore; flush = ignore }
+
+let tee a b =
+  {
+    emit =
+      (fun ev ->
+        a.emit ev;
+        b.emit ev);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+  }
+
+let installed : t option ref = ref None
+
+let enabled () = Option.is_some !installed
+
+let install s = installed := Some s
+
+let clear () =
+  (match !installed with Some s -> s.flush () | None -> ());
+  installed := None
+
+let emit ev = match !installed with None -> () | Some s -> s.emit ev
+
+let flush () = match !installed with None -> () | Some s -> s.flush ()
+
+(* Scoped installation; restores the previous sink (if any) on exit. *)
+let with_installed s f =
+  let prev = !installed in
+  installed := Some s;
+  Fun.protect
+    ~finally:(fun () ->
+      s.flush ();
+      installed := prev)
+    f
+
+(* Scoped removal: run [f] with no sink at all, e.g. so micro-benchmarks
+   measure the uninstrumented path even inside a traced harness. *)
+let suspended f =
+  let prev = !installed in
+  installed := None;
+  Fun.protect ~finally:(fun () -> installed := prev) f

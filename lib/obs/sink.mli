@@ -1,0 +1,38 @@
+(** Pluggable event consumers.
+
+    At most one sink is installed at a time; compose with {!tee} to fan
+    out. The default state is no sink at all: instrumentation then costs
+    one ref read per span and two integer adds per counter bump, keeping
+    the uninstrumented hot path allocation-free. *)
+
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;  (** make buffered output durable *)
+}
+
+val null : t
+(** Discards everything but still exercises the full event path (clock
+    reads, counter flushes); [installed := None] is the cheaper default. *)
+
+val tee : t -> t -> t
+
+val installed : t option ref
+(** The current sink. Read directly by the hot-path primitives. *)
+
+val enabled : unit -> bool
+val install : t -> unit
+
+val clear : unit -> unit
+(** Flush and uninstall the current sink, if any. *)
+
+val emit : Event.t -> unit
+val flush : unit -> unit
+
+val with_installed : t -> (unit -> 'a) -> 'a
+(** Run with the given sink installed; flushes it and restores the
+    previous sink on exit (also on exception). *)
+
+val suspended : (unit -> 'a) -> 'a
+(** Run with no sink at all, restoring the previous one after; lets
+    micro-benchmarks measure the uninstrumented path inside a traced
+    harness. *)

@@ -1,0 +1,32 @@
+(* Hierarchical timed spans. [with_ ~name f] is the only primitive: it
+   nests, it is exception-safe (the end event is emitted even when [f]
+   raises, so traces stay balanced), and with no sink installed it is a
+   single ref read and a tail call - the hot path pays nothing. *)
+
+let depth = ref 0
+
+let current_depth () = !depth
+
+let with_ ~name f =
+  match !Sink.installed with
+  | None -> f ()
+  | Some sink ->
+    (* Attribute increments made outside this span to its parent. *)
+    Counter.flush_pending ();
+    let d = !depth in
+    depth := d + 1;
+    let t0 = Clock.now_s () in
+    sink.emit (Event.Span_begin { name; ts = t0; depth = d });
+    let finish () =
+      Counter.flush_pending ();
+      let t1 = Clock.now_s () in
+      depth := d;
+      sink.emit (Event.Span_end { name; ts = t1; dur_s = t1 -. t0; depth = d })
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)

@@ -1,0 +1,10 @@
+(** Hierarchical timed spans. *)
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a named span. Nests; the end event
+    is emitted even when [f] raises, so traces stay balanced. With no
+    sink installed this is a single ref read plus a call to [f]. *)
+
+val current_depth : unit -> int
+(** Nesting depth of the innermost open span (0 outside any span).
+    Only meaningful while a sink is installed. *)

@@ -2,6 +2,9 @@ open Fbb_netlist
 
 type path = { gates : Netlist.id array; delay : float }
 
+let extractions_c = Fbb_obs.Counter.make "sta.path_extractions"
+let paths_c = Fbb_obs.Counter.make "sta.paths_extracted"
+
 (* Longest continuation of each node towards an endpoint: value and the
    successor gate achieving it (-1 when the best continuation stops here,
    i.e. the node feeds an endpoint or nothing). *)
@@ -56,6 +59,8 @@ let backtrace t g =
   go g []
 
 let through_cell t =
+  Fbb_obs.Span.with_ ~name:"sta.paths" @@ fun () ->
+  Fbb_obs.Counter.incr extractions_c;
   let nl = Timing.netlist t in
   let down, succ = downstream t in
   let seen = Hashtbl.create 1024 in
@@ -75,6 +80,7 @@ let through_cell t =
     (Netlist.gates nl);
   let paths = Array.of_list !acc in
   Array.sort (fun a b -> compare b.delay a.delay) paths;
+  Fbb_obs.Counter.add paths_c (Array.length paths);
   paths
 
 let violating t ~beta =

@@ -1,6 +1,9 @@
 open Fbb_netlist
 module CL = Fbb_tech.Cell_library
 
+let analyses_c = Fbb_obs.Counter.make "sta.analyses"
+let arrival_passes_c = Fbb_obs.Counter.make "sta.arrival_passes"
+
 type t = {
   nl : Netlist.t;
   delays : float array;  (* per node; 0 for ports *)
@@ -31,12 +34,15 @@ let node_delay nl ~derate ~bias i =
     CL.delay_ps (Netlist.library nl) c ~load ~vbs:(bias i) *. derate i
 
 let analyze ?(derate = fun _ -> 1.0) ?(bias = fun _ -> 0.0) nl =
+  Fbb_obs.Span.with_ ~name:"sta.analyze" @@ fun () ->
+  Fbb_obs.Counter.incr analyses_c;
   let n = Netlist.size nl in
   let order = Netlist.topo_order nl in
   let delays = Array.init n (node_delay nl ~derate ~bias) in
   let arrivals = Array.make n 0.0 in
   let endpoint_arrivals = Array.make n Float.nan in
   (* Forward pass: launch at 0 from inputs, at clock-to-q from flip-flops. *)
+  Fbb_obs.Counter.incr arrival_passes_c;
   Array.iter
     (fun i ->
       let fanin_arrival () =

@@ -33,4 +33,14 @@ let percentile xs p =
     let w = rank -. float_of_int lo in
     ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
 
-let ratio_pct base v = if base = 0.0 then 0.0 else (base -. v) /. base *. 100.0
+(* A zero or non-finite baseline makes "percent saved" meaningless; nan
+   propagates to the reporting layer, which renders it as "-" instead of
+   inf/nan leaking into tables. *)
+let ratio_pct base v =
+  if base = 0.0 || (not (Float.is_finite base)) || not (Float.is_finite v) then
+    Float.nan
+  else (base -. v) /. base *. 100.0
+
+let ratio_pct_opt base v =
+  let r = ratio_pct base v in
+  if Float.is_finite r then Some r else None

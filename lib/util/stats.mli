@@ -17,4 +17,11 @@ val sum : float array -> float
 
 val ratio_pct : float -> float -> float
 (** [ratio_pct base v] is the percentage change of [v] relative to [base]:
-    [(base - v) / base * 100]. Returns 0 when [base] is 0. *)
+    [(base - v) / base * 100]. Returns [nan] when the baseline is zero or
+    either argument is non-finite, so a meaningless ratio can never print
+    as [inf]/[nan]: {!Texttab.cell_pct} and the experiment tables render
+    it as ["-"]. *)
+
+val ratio_pct_opt : float -> float -> float option
+(** Like {!ratio_pct} but [None] instead of [nan] for meaningless
+    ratios. *)

@@ -69,6 +69,12 @@ let render t =
 
 let print t = print_string (render t)
 
-let cell_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
-let cell_pct ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+(* Non-finite values (e.g. a ratio against a zero baseline) render as
+   "-", the paper's notation for a missing entry. *)
+let cell_f ?(digits = 2) v =
+  if Float.is_finite v then Printf.sprintf "%.*f" digits v else "-"
+
+let cell_pct ?(digits = 2) v =
+  if Float.is_finite v then Printf.sprintf "%.*f" digits v else "-"
+
 let cell_i v = string_of_int v

@@ -28,9 +28,12 @@ val print : t -> unit
 (** [render] followed by [print_string]. *)
 
 val cell_f : ?digits:int -> float -> string
-(** Format a float cell with [digits] decimals (default 2). *)
+(** Format a float cell with [digits] decimals (default 2). Non-finite
+    values render as ["-"]. *)
 
 val cell_pct : ?digits:int -> float -> string
-(** Format a percentage cell, e.g. [23.08]. Default 2 decimals. *)
+(** Format a percentage cell, e.g. [23.08]. Default 2 decimals.
+    Non-finite values (a ratio against a zero/NaN baseline) render as
+    ["-"]. *)
 
 val cell_i : int -> string

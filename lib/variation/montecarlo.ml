@@ -16,6 +16,9 @@ type t = {
   mean_measured_slowdown_pct : float;
 }
 
+let samples_c = Fbb_obs.Counter.make "mc.samples"
+let shipped_c = Fbb_obs.Counter.make "mc.shipped_clustered"
+
 let stats_of shipped total =
   match shipped with
   | [] -> { yield_pct = 0.0; mean_leakage_nw = 0.0; p95_leakage_nw = 0.0 }
@@ -29,6 +32,7 @@ let stats_of shipped total =
 
 let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
     ?(guardband = 0.15) placement =
+  Fbb_obs.Span.with_ ~name:"mc.run" @@ fun () ->
   let nl = P.netlist placement in
   let rng = Fbb_util.Rng.create ~seed in
   let nominal = Timing.analyze nl in
@@ -39,6 +43,7 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
   let clustered = ref [] in
   let slowdowns = ref [] in
   for _ = 1 to samples do
+    Fbb_obs.Counter.incr samples_c;
     let die_rng = Fbb_util.Rng.split rng in
     let corner = Models.die_to_die die_rng ~sigma:(sigma /. 2.0) in
     let within = Models.spatially_correlated die_rng ~sigma placement in
@@ -79,8 +84,10 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
       | None -> ());
     (* Strategy 3: the clustering optimizer in its closed loop. *)
     let o = Tuning.compensate ~max_clusters ~guardband placement ~derate in
-    if o.Tuning.timing_closed then
+    if o.Tuning.timing_closed then begin
+      Fbb_obs.Counter.incr shipped_c;
       clustered := o.Tuning.leakage_nw :: !clustered
+    end
   done;
   {
     samples;

@@ -25,8 +25,12 @@ let design_leakage nl ~bias =
       acc +. Fbb_tech.Cell_library.leakage_nw lib (N.cell nl g) ~vbs:(bias g))
     0.0 (N.gates nl)
 
+let compensations_c = Fbb_obs.Counter.make "tuning.compensations"
+
 let compensate ?(max_clusters = 2) ?(sensor = In_situ) ?(guardband = 0.1)
     ?(resolution = 0.01) placement ~derate =
+  Fbb_obs.Span.with_ ~name:"tuning.compensate" @@ fun () ->
+  Fbb_obs.Counter.incr compensations_c;
   let nl = P.netlist placement in
   let nominal = Timing.analyze nl in
   let degraded = Timing.analyze ~derate nl in

@@ -3,6 +3,7 @@ let () =
   Alcotest.run "fbb"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("tech", Test_tech.suite);
       ("netlist", Test_netlist.suite);
       ("generators", Test_generators.suite);

@@ -1,0 +1,331 @@
+(* Tests for Fbb_obs: spans, counters, sinks, JSONL traces. *)
+
+module Obs = Fbb_obs
+
+(* A sink that records every event, for asserting on the raw stream. *)
+let recording () =
+  let events = ref [] in
+  ( { Obs.Sink.emit = (fun e -> events := e :: !events);
+      flush = (fun () -> ()) },
+    fun () -> List.rev !events )
+
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "%s.%d" prefix !n
+
+(* ----- spans ------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let sink, events = recording () in
+  let r =
+    Obs.Sink.with_installed sink (fun () ->
+        Obs.Span.with_ ~name:"outer" (fun () ->
+            Obs.Span.with_ ~name:"inner" (fun () -> ());
+            Obs.Span.with_ ~name:"inner" (fun () -> 41 + 1)))
+  in
+  Alcotest.(check int) "value returned through spans" 42 r;
+  let shape =
+    List.filter_map
+      (function
+        | Obs.Event.Span_begin { name; depth; _ } -> Some (`B, name, depth)
+        | Obs.Event.Span_end { name; depth; _ } -> Some (`E, name, depth)
+        | Obs.Event.Counter_add _ | Obs.Event.Gauge_set _ -> None)
+      (events ())
+  in
+  Alcotest.(check int) "six span events" 6 (List.length shape);
+  Alcotest.(check bool) "begin/end pairing and depths" true
+    (shape
+    = [
+        (`B, "outer", 0);
+        (`B, "inner", 1);
+        (`E, "inner", 1);
+        (`B, "inner", 1);
+        (`E, "inner", 1);
+        (`E, "outer", 0);
+      ])
+
+let test_span_exception_safe () =
+  let sink, events = recording () in
+  (try
+     Obs.Sink.with_installed sink (fun () ->
+         Obs.Span.with_ ~name:"doomed" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let opens, closes =
+    List.fold_left
+      (fun (b, e) ev ->
+        match ev with
+        | Obs.Event.Span_begin _ -> (b + 1, e)
+        | Obs.Event.Span_end _ -> (b, e + 1)
+        | Obs.Event.Counter_add _ | Obs.Event.Gauge_set _ -> (b, e))
+      (0, 0) (events ())
+  in
+  Alcotest.(check (pair int int)) "end emitted despite raise" (1, 1)
+    (opens, closes)
+
+let test_span_durations_aggregate () =
+  let agg = Obs.Aggregate.create () in
+  Obs.Sink.with_installed (Obs.Aggregate.sink agg) (fun () ->
+      for _ = 1 to 3 do
+        Obs.Span.with_ ~name:"work" (fun () -> Sys.opaque_identity ())
+      done);
+  match Obs.Aggregate.span_stat agg "work" with
+  | None -> Alcotest.fail "span not aggregated"
+  | Some (count, total_s, max_s) ->
+    Alcotest.(check int) "count" 3 count;
+    Alcotest.(check bool) "durations sane" true
+      (total_s >= 0.0 && max_s >= 0.0 && max_s <= total_s +. 1e-12)
+
+(* ----- counters --------------------------------------------------------- *)
+
+let test_counter_totals_without_sink () =
+  Alcotest.(check bool) "no sink installed" false (Obs.Sink.enabled ());
+  let c = Obs.Counter.make (fresh "t.plain") in
+  Obs.Counter.add c 5;
+  Obs.Counter.incr c;
+  Alcotest.(check int) "total accumulates sink-free" 6 (Obs.Counter.read c);
+  Obs.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Obs.Counter.read c)
+
+let test_counter_registration_idempotent () =
+  let name = fresh "t.idem" in
+  let a = Obs.Counter.make name in
+  let b = Obs.Counter.make name in
+  Obs.Counter.add a 2;
+  Obs.Counter.add b 3;
+  Alcotest.(check int) "same underlying counter" 5 (Obs.Counter.read a);
+  Alcotest.(check string) "name preserved" name (Obs.Counter.name b)
+
+let test_counter_aggregation () =
+  let name = fresh "t.agg" in
+  let c = Obs.Counter.make name in
+  let agg = Obs.Aggregate.create () in
+  Obs.Sink.with_installed (Obs.Aggregate.sink agg) (fun () ->
+      Obs.Span.with_ ~name:"span" (fun () ->
+          Obs.Counter.add c 4;
+          Obs.Counter.incr c));
+  Alcotest.(check (option int)) "deltas reach the aggregator" (Some 5)
+    (Obs.Aggregate.counter_total agg name)
+
+let test_counter_delta_attribution () =
+  (* Pending deltas flush at span boundaries: increments made inside a
+     span appear as Counter_add events between its begin and end. *)
+  let name = fresh "t.attr" in
+  let c = Obs.Counter.make name in
+  let sink, events = recording () in
+  Obs.Sink.with_installed sink (fun () ->
+      Obs.Span.with_ ~name:"s" (fun () -> Obs.Counter.add c 7));
+  let saw = ref None in
+  List.iter
+    (function
+      | Obs.Event.Counter_add { name = n; delta; _ } when n = name ->
+        saw := Some delta
+      | _ -> ())
+    (events ());
+  Alcotest.(check (option int)) "one batched delta event" (Some 7) !saw
+
+let test_gauge () =
+  let g = Obs.Counter.Gauge.make (fresh "t.gauge") in
+  Obs.Counter.Gauge.set g 2.5;
+  Alcotest.(check (float 1e-12)) "gauge readback" 2.5
+    (Obs.Counter.Gauge.read g)
+
+(* ----- sink management -------------------------------------------------- *)
+
+let test_sink_restore () =
+  let sink_a, _ = recording () in
+  let sink_b, events_b = recording () in
+  Obs.Sink.with_installed sink_a (fun () ->
+      Obs.Sink.with_installed sink_b (fun () ->
+          Alcotest.(check bool) "inner enabled" true (Obs.Sink.enabled ());
+          Obs.Span.with_ ~name:"inner-only" (fun () -> ()));
+      Alcotest.(check bool) "outer restored" true (Obs.Sink.enabled ()));
+  Alcotest.(check bool) "cleared at top level" false (Obs.Sink.enabled ());
+  Alcotest.(check int) "inner sink saw its span" 2
+    (List.length (events_b ()))
+
+let test_suspended () =
+  let sink, events = recording () in
+  Obs.Sink.with_installed sink (fun () ->
+      Obs.Sink.suspended (fun () ->
+          Alcotest.(check bool) "suspended" false (Obs.Sink.enabled ());
+          Obs.Span.with_ ~name:"invisible" (fun () -> ()));
+      Alcotest.(check bool) "restored" true (Obs.Sink.enabled ()));
+  Alcotest.(check int) "no events while suspended" 0
+    (List.length (events ()))
+
+let test_null_sink_noop () =
+  (* The null sink must swallow the full event stream without effect;
+     counters still accumulate. *)
+  let c = Obs.Counter.make (fresh "t.null") in
+  let r =
+    Obs.Sink.with_installed Obs.Sink.null (fun () ->
+        Obs.Span.with_ ~name:"nulled" (fun () ->
+            Obs.Counter.add c 9;
+            "ok"))
+  in
+  Alcotest.(check string) "value through null sink" "ok" r;
+  Alcotest.(check int) "counter total intact" 9 (Obs.Counter.read c)
+
+(* ----- JSONL round-trip ------------------------------------------------- *)
+
+(* Minimal parser for the flat one-line objects Jsonl emits: keys are
+   plain strings, values are strings or numbers, no nesting. *)
+let parse_flat line =
+  let n = String.length line in
+  let i = ref 0 in
+  let fail msg = Alcotest.failf "bad json (%s): %s" msg line in
+  let expect ch =
+    if !i >= n || line.[!i] <> ch then
+      fail (Printf.sprintf "expected '%c' at %d" ch !i);
+    incr i
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string"
+      else
+        match line.[!i] with
+        | '"' -> incr i
+        | '\\' ->
+          incr i;
+          if !i >= n then fail "dangling escape";
+          (match line.[!i] with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'u' ->
+            if !i + 4 >= n then fail "short \\u";
+            let code = int_of_string ("0x" ^ String.sub line (!i + 1) 4) in
+            Buffer.add_char b (Char.chr (code land 0xff));
+            i := !i + 4
+          | c -> Buffer.add_char b c);
+          incr i;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr i;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !i in
+    while
+      !i < n
+      && (match line.[!i] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr i
+    done;
+    match float_of_string_opt (String.sub line start (!i - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  expect '{';
+  let fields = ref [] in
+  let rec members () =
+    let key = parse_string () in
+    expect ':';
+    let value =
+      if !i < n && line.[!i] = '"' then `S (parse_string ())
+      else `F (parse_number ())
+    in
+    fields := (key, value) :: !fields;
+    if !i < n && line.[!i] = ',' then begin
+      incr i;
+      members ()
+    end
+  in
+  if not (!i < n && line.[!i] = '}') then members ();
+  expect '}';
+  if !i <> n then fail "trailing garbage";
+  List.rev !fields
+
+let test_jsonl_roundtrip () =
+  let path = Filename.temp_file "fbb_obs" ".jsonl" in
+  let counter = Obs.Counter.make (fresh "t.jsonl") in
+  let cname = Obs.Counter.name counter in
+  let writer = Obs.Jsonl.create path in
+  Obs.Sink.with_installed (Obs.Jsonl.sink writer) (fun () ->
+      Obs.Span.with_ ~name:"a \"quoted\"\nname" (fun () ->
+          Obs.Span.with_ ~name:"child" (fun () -> Obs.Counter.add counter 3)));
+  Obs.Jsonl.close writer;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "trace non-empty" true (lines <> []);
+  let stack = ref [] in
+  let counter_sum = ref 0 in
+  List.iter
+    (fun line ->
+      let fields = parse_flat line in
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (`S s) -> s
+        | Some (`F _) | None -> Alcotest.failf "missing string %s: %s" k line
+      in
+      let num k =
+        match List.assoc_opt k fields with
+        | Some (`F f) -> f
+        | Some (`S _) | None -> Alcotest.failf "missing number %s: %s" k line
+      in
+      Alcotest.(check bool) "timestamp present and sane" true (num "ts" >= 0.0);
+      match str "ph" with
+      | "B" -> stack := str "name" :: !stack
+      | "E" -> begin
+        match !stack with
+        | top :: rest ->
+          Alcotest.(check string) "end matches innermost begin" top
+            (str "name");
+          Alcotest.(check bool) "duration non-negative" true
+            (num "dur_s" >= 0.0);
+          stack := rest
+        | [] -> Alcotest.failf "unbalanced end: %s" line
+      end
+      | "C" -> if str "name" = cname then
+          counter_sum := !counter_sum + int_of_float (num "delta")
+      | "G" -> ignore (num "value")
+      | ph -> Alcotest.failf "unknown phase %s" ph)
+    lines;
+  Alcotest.(check (list string)) "all spans closed" [] !stack;
+  Alcotest.(check int) "counter delta survives round-trip" 3 !counter_sum
+
+let test_event_json_escaping () =
+  let j =
+    Obs.Event.to_json
+      (Obs.Event.Span_begin { name = "q\"\\\n\t"; ts = 0.5; depth = 2 })
+  in
+  let fields = parse_flat j in
+  match List.assoc_opt "name" fields with
+  | Some (`S s) -> Alcotest.(check string) "escapes round-trip" "q\"\\\n\t" s
+  | Some (`F _) | None -> Alcotest.fail "name field missing"
+
+let suite =
+  [
+    ("span nesting", `Quick, test_span_nesting);
+    ("span exception safety", `Quick, test_span_exception_safe);
+    ("span duration aggregation", `Quick, test_span_durations_aggregate);
+    ("counter totals without sink", `Quick, test_counter_totals_without_sink);
+    ("counter registration idempotent", `Quick,
+     test_counter_registration_idempotent);
+    ("counter aggregation", `Quick, test_counter_aggregation);
+    ("counter delta attribution", `Quick, test_counter_delta_attribution);
+    ("gauge", `Quick, test_gauge);
+    ("sink install/restore", `Quick, test_sink_restore);
+    ("sink suspended", `Quick, test_suspended);
+    ("null sink is a no-op", `Quick, test_null_sink_noop);
+    ("jsonl round-trip", `Quick, test_jsonl_roundtrip);
+    ("event json escaping", `Quick, test_event_json_escaping);
+  ]

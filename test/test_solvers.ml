@@ -16,6 +16,7 @@ let expect_opt name problem expected_obj =
       (S.check problem solution ~eps:1e-6)
   | S.Infeasible -> Alcotest.failf "%s: infeasible" name
   | S.Unbounded -> Alcotest.failf "%s: unbounded" name
+  | S.Pivot_limit -> Alcotest.failf "%s: pivot limit" name
 
 let test_lp_max_basic () =
   (* max 3x+2y st x+y<=4, x+3y<=6 -> 12 at (4,0) *)
@@ -40,12 +41,14 @@ let test_lp_infeasible () =
       (lp 1 [ 1.0 ] [ c [ (0, 1.0) ] S.Le 1.0; c [ (0, 1.0) ] S.Ge 2.0 ])
   with
   | S.Infeasible -> ()
-  | S.Optimal _ | S.Unbounded -> Alcotest.fail "expected infeasible"
+  | S.Optimal _ | S.Unbounded | S.Pivot_limit ->
+    Alcotest.fail "expected infeasible"
 
 let test_lp_unbounded () =
   match S.solve (lp 1 [ -1.0 ] []) with
   | S.Unbounded -> ()
-  | S.Optimal _ | S.Infeasible -> Alcotest.fail "expected unbounded"
+  | S.Optimal _ | S.Infeasible | S.Pivot_limit ->
+    Alcotest.fail "expected unbounded"
 
 let test_lp_upper_bounds () =
   expect_opt "upper bound binds"
@@ -186,6 +189,41 @@ let test_bb_cutoff () =
   Alcotest.(check bool) "cutoff admits better solutions" true
     (r2.BB.best <> None)
 
+let test_lp_pivot_limit () =
+  (* The basic max problem needs at least one pivot to leave the
+     origin; a zero budget must surface as a typed outcome, not an
+     exception. *)
+  let p =
+    lp 2 [ -3.0; -2.0 ]
+      [ c [ (0, 1.0); (1, 1.0) ] S.Le 4.0; c [ (0, 1.0); (1, 3.0) ] S.Le 6.0 ]
+  in
+  let limit_c = Fbb_obs.Counter.make "lp.pivot_limit" in
+  let before = Fbb_obs.Counter.read limit_c in
+  (match S.solve ~max_pivots:0 p with
+  | S.Pivot_limit -> ()
+  | S.Optimal _ | S.Infeasible | S.Unbounded ->
+    Alcotest.fail "expected pivot limit");
+  Alcotest.(check int) "lp.pivot_limit counter bumped" (before + 1)
+    (Fbb_obs.Counter.read limit_c);
+  (* An ample budget still solves the same problem. *)
+  expect_opt "same problem, ample budget" p (-12.0)
+
+let test_bb_counters_match_result () =
+  let nodes_c = Fbb_obs.Counter.make "bb.nodes" in
+  let pruned_c = Fbb_obs.Counter.make "bb.pruned" in
+  let rng = Fbb_util.Rng.create ~seed:321 in
+  for _ = 1 to 10 do
+    let p = random_problem rng in
+    let n0 = Fbb_obs.Counter.read nodes_c in
+    let p0 = Fbb_obs.Counter.read pruned_c in
+    let r = BB.solve p in
+    Alcotest.(check int) "bb.nodes delta equals result.nodes" r.BB.nodes
+      (Fbb_obs.Counter.read nodes_c - n0);
+    Alcotest.(check bool) "pruned delta bounded by nodes" true
+      (let dp = Fbb_obs.Counter.read pruned_c - p0 in
+       dp >= 0 && dp <= r.BB.nodes)
+  done
+
 let test_bb_node_limit () =
   let rng = Fbb_util.Rng.create ~seed:77 in
   let p = random_problem rng in
@@ -202,10 +240,12 @@ let suite =
     ("lp upper bounds", `Quick, test_lp_upper_bounds);
     ("lp degenerate", `Quick, test_lp_degenerate);
     ("lp duplicate terms", `Quick, test_lp_duplicate_terms);
+    ("lp pivot limit", `Quick, test_lp_pivot_limit);
     ("bb vs brute force", `Slow, test_bb_vs_brute_force);
     ("bb proved optimal", `Quick, test_bb_status_optimal);
     ("bb infeasible", `Quick, test_bb_infeasible);
     ("bb warm start", `Quick, test_bb_warm_start);
     ("bb cutoff", `Quick, test_bb_cutoff);
     ("bb node limit", `Quick, test_bb_node_limit);
+    ("bb counters match result", `Quick, test_bb_counters_match_result);
   ]

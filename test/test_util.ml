@@ -69,8 +69,24 @@ let test_stats_percentile () =
 
 let test_ratio_pct () =
   check_float "half saved" 50.0 (Stats.ratio_pct 10.0 5.0);
-  check_float "zero base" 0.0 (Stats.ratio_pct 0.0 5.0);
-  check_float "negative saving" (-50.0) (Stats.ratio_pct 10.0 15.0)
+  check_float "negative saving" (-50.0) (Stats.ratio_pct 10.0 15.0);
+  (* Meaningless baselines yield nan, never inf, and the table layer
+     renders them as "-". *)
+  Alcotest.(check bool) "zero base is nan" true
+    (Float.is_nan (Stats.ratio_pct 0.0 5.0));
+  Alcotest.(check bool) "nan base is nan" true
+    (Float.is_nan (Stats.ratio_pct Float.nan 5.0));
+  Alcotest.(check bool) "inf value is nan" true
+    (Float.is_nan (Stats.ratio_pct 10.0 Float.infinity));
+  Alcotest.(check bool) "opt none on zero base" true
+    (Stats.ratio_pct_opt 0.0 5.0 = None);
+  Alcotest.(check (option (float 1e-9))) "opt some on sane input"
+    (Some 50.0)
+    (Stats.ratio_pct_opt 10.0 5.0);
+  Alcotest.(check string) "cell_pct renders nan as -" "-"
+    (Fbb_util.Texttab.cell_pct (Stats.ratio_pct 0.0 5.0));
+  Alcotest.(check string) "cell_f renders inf as -" "-"
+    (Fbb_util.Texttab.cell_f Float.infinity)
 
 let test_texttab_render () =
   let t = Fbb_util.Texttab.create ~headers:[ "name"; "v" ] in

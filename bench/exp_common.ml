@@ -16,6 +16,11 @@ let env_float name default =
 
 let env_flag name = Sys.getenv_opt name <> None
 
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
 let ilp_seconds () = env_float "FBB_ILP_SECONDS" 90.0
 
 let ilp_limits () =
@@ -40,10 +45,21 @@ let opt_pct = function
   | Some v when Float.is_finite v -> Printf.sprintf "%.2f" v
   | Some _ | None -> "-"
 
+(* Experiments fan cells out on the domain pool, and several cells of
+   one design can ask for the same prepared flow at once; the mutex
+   covers the whole find-or-prepare so each design is prepared exactly
+   once. Serializing prepares is fine - they are a small fraction of
+   any experiment that bothers to cache them. [Flow.prepare] must not
+   submit pool batches: a submitter helps drain the shared queue, and a
+   stolen task calling back into [prepare] would self-deadlock on this
+   mutex. *)
 let prepared_cache : (string, Fbb_core.Flow.prepared) Hashtbl.t =
   Hashtbl.create 16
 
+let prepared_mutex = Mutex.create ()
+
 let prepare name =
+  Mutex.protect prepared_mutex @@ fun () ->
   match Hashtbl.find_opt prepared_cache name with
   | Some p -> p
   | None ->

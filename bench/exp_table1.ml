@@ -49,17 +49,35 @@ let evaluate_design (spec : Fbb_netlist.Benchmarks.spec) beta =
     ilp_s;
   }
 
+(* The (design, beta) cells are independent, so the whole grid fans out
+   across the domain pool one cell per task; results come back
+   positionally, keeping the printed tables and CSV in suite order at
+   any job count. Each design is prepared once up front so the pool
+   workers hit a warm cache instead of racing to build the same
+   placement. Progress lines complete as cells finish - their order is
+   the one part of the output that is timing-dependent. *)
+let progress_mutex = Mutex.create ()
+
 let collect () =
-  List.concat_map
-    (fun spec ->
-      List.map
-        (fun beta ->
-          let m = evaluate_design spec beta in
-          Printf.printf "  %-14s beta=%2d%% done (heur %.2fs, ilp %.1fs)\n%!"
-            m.name m.beta_pct m.heur_s m.ilp_s;
-          m)
-        [ 0.05; 0.10 ])
-    Fbb_netlist.Benchmarks.all
+  List.iter
+    (fun (spec : Fbb_netlist.Benchmarks.spec) ->
+      ignore (Exp_common.prepare spec.Fbb_netlist.Benchmarks.name))
+    Fbb_netlist.Benchmarks.all;
+  let cells =
+    List.concat_map
+      (fun spec -> List.map (fun beta -> (spec, beta)) [ 0.05; 0.10 ])
+      Fbb_netlist.Benchmarks.all
+    |> Array.of_list
+  in
+  let measured =
+    Fbb_par.Pool.parallel_map ~chunk:1 cells ~f:(fun (spec, beta) ->
+        let m = evaluate_design spec beta in
+        Mutex.protect progress_mutex (fun () ->
+            Printf.printf "  %-14s beta=%2d%% done (heur %.2fs, ilp %.1fs)\n%!"
+              m.name m.beta_pct m.heur_s m.ilp_s);
+        m)
+  in
+  Array.to_list measured
 
 let print_table measured =
   let tab =

@@ -7,8 +7,14 @@
 module T = Fbb_util.Texttab
 
 let run () =
+  (* FBB_MC_SAMPLES shrinks the run for smoke tests (CI runs 10 dies);
+     the sample count is part of the seed-split RNG layout, so results
+     are comparable only at equal counts. *)
+  let samples = Exp_common.env_int "FBB_MC_SAMPLES" 50 in
   Exp_common.header
-    "Extension - Monte-Carlo timing yield and leakage (50 dies/design)";
+    (Printf.sprintf
+       "Extension - Monte-Carlo timing yield and leakage (%d dies/design)"
+       samples);
   let tab =
     T.create
       ~headers:
@@ -22,7 +28,7 @@ let run () =
     (fun name ->
       let prep = Exp_common.prepare name in
       let mc =
-        Fbb_variation.Montecarlo.run ~samples:50 ~sigma:0.05
+        Fbb_variation.Montecarlo.run ~samples ~sigma:0.05
           prep.Fbb_core.Flow.placement
       in
       let open Fbb_variation.Montecarlo in

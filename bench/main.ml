@@ -1,7 +1,10 @@
 (* Experiment harness: regenerates every table and figure of the paper.
    Run all experiments with [dune exec bench/main.exe], or one of them
-   with [dune exec bench/main.exe -- <name>]. Environment:
-   FBB_ILP_SECONDS  per-(design, beta, C) ILP budget (default 90). *)
+   with [dune exec bench/main.exe -- <name>]. Options:
+   --jobs N         domain-pool width (also FBB_JOBS; flag wins)
+   Environment:
+   FBB_ILP_SECONDS  per-(design, beta, C) ILP budget (default 90)
+   FBB_MC_SAMPLES   Monte-Carlo dies per design in [yield] (default 50) *)
 
 let experiments =
   [
@@ -18,7 +21,7 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [experiment ...]";
+  print_endline "usage: main.exe [--jobs N] [experiment ...]";
   print_endline "experiments:";
   List.iter
     (fun (name, doc, _) -> Printf.printf "  %-8s %s\n" name doc)
@@ -29,32 +32,84 @@ let usage () =
    aggregator, so a per-experiment timing table closes the session. *)
 let timed name run () = Fbb_obs.Span.with_ ~name:("exp." ^ name) run
 
+let exp_seconds agg =
+  List.filter_map
+    (fun (name, _count, total_s, _mean, _max) ->
+      if String.length name > 4 && String.sub name 0 4 = "exp." then
+        Some (String.sub name 4 (String.length name - 4), total_s)
+      else None)
+    (Fbb_obs.Aggregate.span_rows agg)
+
 let timing_table agg =
-  match Fbb_obs.Aggregate.span_rows agg with
+  match exp_seconds agg with
   | [] -> ()
   | rows ->
     Exp_common.header "Experiment wall-clock summary";
     let tab = Fbb_util.Texttab.create ~headers:[ "experiment"; "seconds" ] in
     List.iter
-      (fun (name, _count, total_s, _mean, _max) ->
-        match String.length name > 4 && String.sub name 0 4 = "exp." with
-        | true ->
-          Fbb_util.Texttab.add_row tab
-            [
-              String.sub name 4 (String.length name - 4);
-              Fbb_util.Texttab.cell_f ~digits:2 total_s;
-            ]
-        | false -> ())
+      (fun (name, total_s) ->
+        Fbb_util.Texttab.add_row tab
+          [ name; Fbb_util.Texttab.cell_f ~digits:2 total_s ])
       rows;
     Fbb_util.Texttab.print tab
 
+(* Machine-readable session record for CI artifacts and speedup
+   comparisons across job counts. Hand-rolled JSON: the names are all
+   [a-z0-9._-] identifiers from this codebase, so the only values that
+   need care are the floats (printed with enough digits to round-trip). *)
+let save_json agg =
+  match exp_seconds agg with
+  | [] -> ()
+  | rows ->
+    let buf = Buffer.create 1024 in
+    let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    addf "{\n";
+    addf "  \"schema\": \"fbb-bench-1\",\n";
+    addf "  \"jobs\": %d,\n" (Fbb_par.Pool.jobs ());
+    addf "  \"experiments\": [\n";
+    List.iteri
+      (fun i (name, total_s) ->
+        addf "    {\"name\": \"%s\", \"seconds\": %.6f}%s\n" name total_s
+          (if i < List.length rows - 1 then "," else ""))
+      rows;
+    addf "  ],\n";
+    addf "  \"counters\": {\n";
+    let counters = Fbb_obs.Counter.totals () in
+    List.iteri
+      (fun i (name, total) ->
+        addf "    \"%s\": %d%s\n" name total
+          (if i < List.length counters - 1 then "," else ""))
+      counters;
+    addf "  }\n";
+    addf "}\n";
+    let path = Exp_common.out_path "bench.json" in
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "session timings written to %s\n" path
+
+let rec parse_args = function
+  | "--jobs" :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some jobs when jobs >= 1 ->
+      Fbb_par.Pool.set_jobs jobs;
+      parse_args rest
+    | Some _ | None ->
+      Printf.printf "--jobs expects a positive integer, got %s\n" n;
+      exit 1)
+  | [ "--jobs" ] ->
+    print_endline "--jobs expects a positive integer";
+    exit 1
+  | args -> args
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = parse_args (List.tl (Array.to_list Sys.argv)) in
   let agg = Fbb_obs.Aggregate.create () in
   Fbb_obs.Sink.install (Fbb_obs.Aggregate.sink agg);
   Fun.protect ~finally:(fun () ->
       Fbb_obs.Sink.clear ();
-      timing_table agg)
+      timing_table agg;
+      save_json agg)
   @@ fun () ->
   match args with
   | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage ()

@@ -44,6 +44,16 @@ let ilp_seconds_arg =
   let doc = "ILP time budget in seconds." in
   Arg.(value & opt float 60.0 & info [ "ilp-seconds" ] ~docv:"S" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Width of the parallel domain pool (default: $(b,FBB_JOBS), else the \
+     machine's available cores). Results are bit-identical at any width; \
+     1 runs everything on the calling domain."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let set_jobs = Option.iter Fbb_par.Pool.set_jobs
+
 let svg_arg =
   let doc = "Write the biased layout as SVG to $(docv)." in
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
@@ -306,7 +316,8 @@ let optimize design file beta_pct clusters rows run_ilp ilp_seconds svg ascii =
     Ok ()
 
 let optimize_cmd =
-  let run d f b c r i s svg ascii trace profile profile_csv =
+  let run d f b c r i s svg ascii jobs trace profile profile_csv =
+    set_jobs jobs;
     match
       Obs_cli.run ~span:"fbbopt.optimize" ~trace ~profile ~profile_csv
         (fun () -> optimize d f b c r i s svg ascii)
@@ -322,7 +333,7 @@ let optimize_cmd =
       ret
         (const run $ design_arg $ bench_file_arg $ beta_arg $ clusters_arg
         $ rows_arg $ ilp_arg $ ilp_seconds_arg $ svg_arg $ ascii_arg
-        $ trace_arg $ profile_arg $ profile_csv_arg))
+        $ jobs_arg $ trace_arg $ profile_arg $ profile_csv_arg))
 
 (* ----- tune ------------------------------------------------------------- *)
 
@@ -383,7 +394,8 @@ let tune_cmd =
     Arg.(value & opt float 0.15
            & info [ "guardband" ] ~docv:"F" ~doc:"sensor guardband fraction")
   in
-  let run d f r c m s g trace profile profile_csv =
+  let run d f r c m s g jobs trace profile profile_csv =
+    set_jobs jobs;
     match
       Obs_cli.run ~span:"fbbopt.tune" ~trace ~profile ~profile_csv (fun () ->
           tune d f r c m s g)
@@ -397,8 +409,8 @@ let tune_cmd =
     Term.(
       ret
         (const run $ design_arg $ bench_file_arg $ rows_arg $ condition_arg
-        $ magnitude_arg $ seed_arg $ guardband_arg $ trace_arg $ profile_arg
-        $ profile_csv_arg))
+        $ magnitude_arg $ seed_arg $ guardband_arg $ jobs_arg $ trace_arg
+        $ profile_arg $ profile_csv_arg))
 
 (* ----- recover ----------------------------------------------------------- *)
 

@@ -98,7 +98,7 @@ let optimize ?(max_clusters = 2) p =
             ranked;
           if not !moved then running := false
         done;
-        Solution.Checker.levels checker
+        (Solution.Checker.levels checker, Solution.Checker.leakage_nw checker)
       in
       (* Covering pass (the dual greedy): everyone at NBB, then raise rows
          to [level] in decreasing criticality until timing is met. *)
@@ -129,9 +129,12 @@ let optimize ?(max_clusters = 2) p =
           levels;
         !acc
       in
-      let rec shrink levels =
+      (* [leak] rides along as a running total: a merge's leakage delta
+         is exactly [merge_cost], so the budget loop never re-walks the
+         rows to reprice a candidate. *)
+      let rec shrink (levels, leak) =
         let used = Solution.clusters_used levels in
-        if List.length used <= max_clusters then levels
+        if List.length used <= max_clusters then (levels, leak)
         else begin
           let rec adj = function
             | a :: (b :: _ as rest) -> (a, b) :: adj rest
@@ -147,9 +150,10 @@ let optimize ?(max_clusters = 2) p =
               None (adj used)
           in
           match best_pair with
-          | None -> levels
-          | Some (lo, hi, _) ->
-            shrink (Array.map (fun l -> if l = lo then hi else l) levels)
+          | None -> (levels, leak)
+          | Some (lo, hi, c) ->
+            shrink
+              (Array.map (fun l -> if l = lo then hi else l) levels, leak +. c)
         end
       in
       (* Candidates: descents from every feasible uniform start (PassOne's
@@ -158,10 +162,9 @@ let optimize ?(max_clusters = 2) p =
          every covering solution (which leave non-critical rows at NBB
          outright). Keep the cheapest after budget enforcement. *)
       let best = ref None in
-      let consider levels =
+      let consider candidate =
         Fbb_obs.Counter.incr candidates_c;
-        let levels = shrink levels in
-        let leak = Solution.leakage_nw p levels in
+        let levels, leak = shrink candidate in
         match !best with
         | Some (_, b) when b <= leak -> ()
         | Some _ | None -> best := Some (levels, leak)

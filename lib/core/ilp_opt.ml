@@ -50,27 +50,34 @@ let reduce_paths p =
   Array.sort
     (fun a b -> compare p.Problem.required.(b) p.Problem.required.(a))
     order;
-  let kept = ref [] in
-  Array.iter
-    (fun k ->
+  (* k' implies k when req(k') >= req(k) — guaranteed by the sort
+     order — and k offers at least k's raw delay in every row of k''s
+     support. Dropping k whenever *any* earlier position implies it
+     (rather than only a kept one, as the sequential scan did) is
+     equivalent up to epsilon because implication is transitive; it
+     makes every position independent of the others, so the pairwise
+     scan shards across the pool and the kept set depends on nothing
+     but the problem — identical at any job count. The tables are
+     built before the fan-out and only read inside it. *)
+  let dropped = Array.make m false in
+  Fbb_par.Pool.parallel_for ~n:m (fun i ->
+      let k = order.(i) in
       let tk = tables.(k) in
-      let implied =
-        (* k' implies k when req(k') >= req(k) — guaranteed by the sort
-           order — and k offers at least k's raw delay in every row of
-           k''s support. *)
-        List.exists
-          (fun k' ->
-            Array.for_all
-              (fun (r, d') ->
-                match Hashtbl.find_opt tk r with
-                | Some d -> d >= d' -. 1e-9
-                | None -> false)
-              p.Problem.path_rows.(k'))
-          !kept
+      let implied_by j =
+        Array.for_all
+          (fun (r, d') ->
+            match Hashtbl.find_opt tk r with
+            | Some d -> d >= d' -. 1e-9
+            | None -> false)
+          p.Problem.path_rows.(order.(j))
       in
-      if not implied then kept := k :: !kept)
-    order;
-  let kept = List.rev !kept in
+      let rec scan j = j < i && (implied_by j || scan (j + 1)) in
+      dropped.(i) <- scan 0);
+  let kept = ref [] in
+  for i = m - 1 downto 0 do
+    if not dropped.(i) then kept := order.(i) :: !kept
+  done;
+  let kept = !kept in
   Fbb_obs.Counter.add constraints_dropped_c (m - List.length kept);
   kept
 

@@ -44,6 +44,12 @@ type result = {
   constraints_solved : int;  (** after dominance reduction *)
 }
 
+val reduce_paths : Problem.t -> int list
+(** Indices of the timing constraints kept by dominance reduction, in
+    decreasing-requirement order. The pairwise scan is sharded across
+    the {!Fbb_par.Pool} but depends only on the problem, so the kept
+    set is identical at any job count. *)
+
 val formulate :
   ?reduce:bool -> max_clusters:int -> Problem.t -> Fbb_ilp.Branch_bound.problem
 (** Expose the raw 0-1 program (used by tests to cross-check optima). *)

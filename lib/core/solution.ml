@@ -36,6 +36,7 @@ module Checker = struct
     levels : int array;
     sigma : float array;  (* achieved reduction per path *)
     mutable violations : int;
+    mutable leak : float;  (* running total leakage of [levels] *)
   }
 
   let checks_c = Fbb_obs.Counter.make "checker.feasible_checks"
@@ -51,7 +52,13 @@ module Checker = struct
     Array.iteri
       (fun k req -> if sigma.(k) < req -. timing_eps then incr violations)
       problem.Problem.required;
-    { problem; levels; sigma; violations = !violations }
+    {
+      problem;
+      levels;
+      sigma;
+      violations = !violations;
+      leak = Problem.total_leakage problem ~levels;
+    }
 
   let set t ~row ~level =
     let old_level = t.levels.(row) in
@@ -72,11 +79,16 @@ module Checker = struct
           if was_bad && not is_bad then t.violations <- t.violations - 1
           else if is_bad && not was_bad then t.violations <- t.violations + 1)
         p.Problem.row_paths.(row);
+      t.leak <-
+        t.leak
+        +. Problem.row_leakage p ~row ~level
+        -. Problem.row_leakage p ~row ~level:old_level;
       t.levels.(row) <- level
     end
 
   let level t ~row = t.levels.(row)
   let levels t = Array.copy t.levels
+  let leakage_nw t = t.leak
 
   let feasible t =
     Fbb_obs.Counter.incr checks_c;

@@ -43,4 +43,11 @@ module Checker : sig
   (** O(1). *)
 
   val violation_count : t -> int
+
+  val leakage_nw : t -> float
+  (** Total leakage of the current assignment, maintained as a running
+      sum of per-move row deltas — O(1) to read. Floating-point
+      accumulation order differs from a fresh {!Solution.leakage_nw}, so
+      the two can disagree in the last bits; recompute from scratch when
+      reporting a final answer. *)
 end

@@ -8,6 +8,7 @@ let pruned_c = Fbb_obs.Counter.make "bb.pruned"
 let incumbents_c = Fbb_obs.Counter.make "bb.incumbents"
 let lp_infeasible_c = Fbb_obs.Counter.make "bb.lp_infeasible"
 let lp_pivot_limit_c = Fbb_obs.Counter.make "bb.lp_pivot_limit"
+let waves_c = Fbb_obs.Counter.make "bb.waves"
 
 type problem = {
   num_vars : int;
@@ -97,6 +98,89 @@ let feasible p x =
     { S.num_vars = p.num_vars; minimize = p.minimize; constraints = p.constraints; upper = Some (Array.make p.num_vars 1.0) }
     x ~eps:1e-6
 
+(* Subproblem awaiting exploration. [lower] is the parent's LP bound -
+   a valid lower bound on anything beneath this node, used to discard
+   it without an LP solve once the incumbent has moved past it. *)
+type node = { fixed : int array; lower : float }
+
+(* What exploring one node produced. Computed in parallel on the pool;
+   pure in the shared search state, so a wave's outcomes depend only on
+   (problem, node, threshold) and never on scheduling. *)
+type outcome =
+  | Pre_pruned
+  | Bound_pruned
+  | Lp_infeasible
+  | Lp_pivot_limit
+  | Integral of float array * float
+  | Branched of node * node
+
+(* The threshold a wave prunes against: anything whose lower bound
+   cannot beat it (within 1e-9) is abandoned. It folds together the
+   incumbent and the caller's cutoff, and is frozen at the start of a
+   wave so every node of the wave - wherever it runs - prunes against
+   the same value. That freeze is what makes the parallel search
+   deterministic: incumbents found mid-wave only tighten the *next*
+   wave, identically at any job count, instead of racing into sibling
+   subtrees at scheduler-dependent moments. *)
+let explore p threshold node =
+  if node.lower >= threshold -. 1e-9 then Pre_pruned
+  else begin
+    let lp, free, fixed_cost = reduced_lp p node.fixed in
+    match Fbb_obs.Span.with_ ~name:"bb.lp_bound" (fun () -> S.solve lp) with
+    | S.Infeasible | S.Unbounded -> Lp_infeasible
+    | S.Pivot_limit -> Lp_pivot_limit
+    | S.Optimal { objective; solution } ->
+      let total = objective +. fixed_cost in
+      if total >= threshold -. 1e-9 then Bound_pruned
+      else begin
+        (* Most fractional free variable. *)
+        let frac = ref (-1) in
+        let dist = ref 0.0 in
+        Array.iteri
+          (fun k _ ->
+            let v = solution.(k) in
+            let d = Float.min (Float.abs v) (Float.abs (1.0 -. v)) in
+            if d > int_eps && d > !dist then begin
+              dist := d;
+              frac := k
+            end)
+          free;
+        if !frac < 0 then begin
+          (* Integral: candidate incumbent. *)
+          let x = Array.make p.num_vars 0.0 in
+          for i = 0 to p.num_vars - 1 do
+            if node.fixed.(i) >= 0 then x.(i) <- float_of_int node.fixed.(i)
+          done;
+          Array.iteri (fun k i -> x.(i) <- Float.round solution.(k)) free;
+          Integral (x, objective_of p x)
+        end
+        else begin
+          let var = free.(!frac) in
+          let first = if solution.(!frac) >= 0.5 then 1 else 0 in
+          let child v =
+            let fixed = Array.copy node.fixed in
+            fixed.(var) <- v;
+            { fixed; lower = total }
+          in
+          Branched (child first, child (1 - first))
+        end
+      end
+  end
+
+let rec take_batch n frontier =
+  if n = 0 then ([], frontier)
+  else
+    match frontier with
+    | [] -> ([], [])
+    | node :: rest ->
+      let batch, remaining = take_batch (n - 1) rest in
+      (node :: batch, remaining)
+
+(* Nodes explored per synchronization wave. Fixed (never derived from
+   the job count) so the wave structure, and therefore the entire
+   search, is identical at any parallelism level. *)
+let wave_width = 32
+
 let solve ?(limits = default_limits) ?incumbent ?cutoff p =
   Fbb_obs.Span.with_ ~name:"bb.solve" @@ fun () ->
   let start = Fbb_obs.Clock.now_s () in
@@ -109,73 +193,62 @@ let solve ?(limits = default_limits) ?incumbent ?cutoff p =
   | None -> ());
   let nodes = ref 0 in
   let hit_limit = ref false in
-  let fixed = Array.make p.num_vars (-1) in
-  let rec branch () =
+  let threshold () =
+    let b = match !best with Some (_, b) -> b | None -> Float.infinity in
+    match cutoff with Some c -> Float.min b c | None -> b
+  in
+  let root = { fixed = Array.make p.num_vars (-1); lower = Float.neg_infinity } in
+  let frontier = ref [ root ] in
+  let running = ref true in
+  while !running && !frontier <> [] do
     if
       !nodes >= limits.max_nodes
       || Fbb_obs.Clock.now_s () -. start > limits.max_seconds
-    then hit_limit := true
+    then begin
+      hit_limit := true;
+      running := false
+    end
     else begin
-      incr nodes;
-      Fbb_obs.Counter.incr nodes_c;
-      let lp, free, fixed_cost = reduced_lp p fixed in
-      match Fbb_obs.Span.with_ ~name:"bb.lp_bound" (fun () -> S.solve lp) with
-      | S.Infeasible | S.Unbounded ->
-        Fbb_obs.Counter.incr lp_infeasible_c
-      | S.Pivot_limit ->
-        (* The LP could not bound this subtree; abandoning it without a
-           proof forfeits optimality, exactly like a node/time budget. *)
-        Fbb_obs.Counter.incr lp_pivot_limit_c;
-        hit_limit := true
-      | S.Optimal { objective; solution } ->
-        let total = objective +. fixed_cost in
-        let pruned =
-          (match !best with Some (_, b) -> total >= b -. 1e-9 | None -> false)
-          || match cutoff with Some c -> total >= c -. 1e-9 | None -> false
-        in
-        if pruned then Fbb_obs.Counter.incr pruned_c
-        else begin
-          (* Most fractional free variable. *)
-          let frac = ref (-1) in
-          let dist = ref 0.0 in
-          Array.iteri
-            (fun k _ ->
-              let v = solution.(k) in
-              let d = Float.min (Float.abs v) (Float.abs (1.0 -. v)) in
-              if d > int_eps && d > !dist then begin
-                dist := d;
-                frac := k
-              end)
-            free;
-          if !frac < 0 then begin
-            (* Integral: new incumbent. *)
-            let x = Array.make p.num_vars 0.0 in
-            for i = 0 to p.num_vars - 1 do
-              if fixed.(i) >= 0 then x.(i) <- float_of_int fixed.(i)
-            done;
-            Array.iteri
-              (fun k i -> x.(i) <- Float.round solution.(k))
-              free;
-            let obj = objective_of p x in
+      Fbb_obs.Counter.incr waves_c;
+      let width = min wave_width (limits.max_nodes - !nodes) in
+      let batch, rest = take_batch width !frontier in
+      let t = threshold () in
+      let outcomes =
+        Fbb_par.Pool.parallel_map ~chunk:1 (Array.of_list batch)
+          ~f:(explore p t)
+      in
+      let batch_n = Array.length outcomes in
+      nodes := !nodes + batch_n;
+      Fbb_obs.Counter.add nodes_c batch_n;
+      (* Fold the wave sequentially in node order: incumbent updates and
+         child ordering are then functions of the outcomes alone. *)
+      let children = ref [] in
+      Array.iter
+        (fun outcome ->
+          match outcome with
+          | Pre_pruned | Bound_pruned -> Fbb_obs.Counter.incr pruned_c
+          | Lp_infeasible -> Fbb_obs.Counter.incr lp_infeasible_c
+          | Lp_pivot_limit ->
+            (* The LP could not bound this subtree; abandoning it without
+               a proof forfeits optimality, exactly like a node/time
+               budget. *)
+            Fbb_obs.Counter.incr lp_pivot_limit_c;
+            hit_limit := true
+          | Integral (x, obj) -> begin
             match !best with
             | Some (_, b) when obj >= b -. 1e-12 -> ()
             | Some _ | None ->
               Fbb_obs.Counter.incr incumbents_c;
               best := Some (x, obj)
           end
-          else begin
-            let var = free.(!frac) in
-            let first = if solution.(!frac) >= 0.5 then 1 else 0 in
-            fixed.(var) <- first;
-            branch ();
-            fixed.(var) <- 1 - first;
-            branch ();
-            fixed.(var) <- -1
-          end
-        end
+          | Branched (a, b) -> children := b :: a :: !children)
+        outcomes;
+      (* Children go to the front (depth-first flavour keeps the frontier
+         small); [children] is reversed, restoring node order. *)
+      frontier := List.rev_append !children rest
     end
-  in
-  branch ();
+  done;
+  if !frontier <> [] then hit_limit := true;
   let elapsed_s = Fbb_obs.Clock.now_s () -. start in
   let status =
     match (!best, !hit_limit) with

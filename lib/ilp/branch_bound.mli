@@ -1,10 +1,22 @@
 (** 0-1 integer linear programming by branch and bound.
 
     LP-relaxation bounds come from {!Fbb_lp.Simplex}; branching is on the
-    most fractional variable, depth-first, exploring the nearest rounding
-    first. A warm-start incumbent (e.g. from the paper's heuristic) makes
-    pruning effective immediately. Node and wall-clock limits reproduce
-    the paper's "ILP did not converge" behaviour on the largest designs. *)
+    most fractional variable, depth-first flavoured, exploring the nearest
+    rounding first. A warm-start incumbent (e.g. from the paper's
+    heuristic) makes pruning effective immediately. Node and wall-clock
+    limits reproduce the paper's "ILP did not converge" behaviour on the
+    largest designs.
+
+    The search runs in fixed-width waves: up to 32 open nodes have their
+    LP relaxations solved in parallel on the {!Fbb_par.Pool} domain pool,
+    then the wave is folded sequentially in node order — incumbent
+    updates, pruning bookkeeping, child ordering. The pruning threshold
+    (incumbent best folded with [?cutoff]) is frozen at the start of each
+    wave, so the set of explored nodes, the node count, the winning
+    solution and its deterministic tie-breaking (first node in wave order
+    wins among equal objectives) are all bit-identical at any job count;
+    only wall-clock time and time-budget truncation depend on the
+    machine. *)
 
 type problem = {
   num_vars : int;  (** all variables are binary *)

@@ -1,42 +1,50 @@
 (* Named monotonic counters and float gauges.
 
-   Counters always accumulate into a plain int field - two integer adds
-   per [add], cheap enough for per-pivot and per-node call sites - so
-   totals are readable (and testable) even with no sink installed. The
-   [pending] field batches increments between span boundaries: when a
-   sink is installed, [flush_pending] (called by [Span.with_] at every
-   boundary) turns the accumulated delta into a single [Counter_add]
-   event, attributing the work to the innermost open span without
-   emitting one event per increment. *)
+   Counters accumulate into [Atomic.t] cells - one fetch-and-add per
+   [add], cheap enough for per-pivot and per-node call sites, and safe
+   under domain-parallel increments (a plain [int ref] here would lose
+   updates the moment Monte-Carlo samples or branch-and-bound nodes run
+   on the pool). Totals are readable (and testable) even with no sink
+   installed. The [pending] cell batches increments between span
+   boundaries: when a sink is installed, [flush_pending] (called by
+   [Span.with_] at every boundary) atomically drains the accumulated
+   delta into a single [Counter_add] event, attributing the work to the
+   innermost open span without emitting one event per increment. *)
 
-type t = { name : string; mutable total : int; mutable pending : int }
+type t = { name : string; total : int Atomic.t; pending : int Atomic.t }
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
 
 (* First-registration order, for stable report layout. *)
 let order : t list ref = ref []
 
 let make name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-    let c = { name; total = 0; pending = 0 } in
-    Hashtbl.add registry name c;
-    order := c :: !order;
-    c
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { name; total = Atomic.make 0; pending = Atomic.make 0 } in
+      Hashtbl.add registry name c;
+      order := c :: !order;
+      c
+  in
+  Mutex.unlock registry_mutex;
+  c
 
 let add c n =
-  c.total <- c.total + n;
-  c.pending <- c.pending + n
+  ignore (Atomic.fetch_and_add c.total n);
+  ignore (Atomic.fetch_and_add c.pending n)
 
 let incr c = add c 1
 
-let read c = c.total
+let read c = Atomic.get c.total
 let name c = c.name
 
 let reset c =
-  c.total <- 0;
-  c.pending <- 0
+  Atomic.set c.total 0;
+  Atomic.set c.pending 0
 
 let reset_all () = Hashtbl.iter (fun _ c -> reset c) registry
 
@@ -45,10 +53,9 @@ let flush_pending () =
     let ts = Clock.now_s () in
     List.iter
       (fun c ->
-        if c.pending <> 0 then begin
-          Sink.emit (Event.Counter_add { name = c.name; delta = c.pending; ts });
-          c.pending <- 0
-        end)
+        let delta = Atomic.exchange c.pending 0 in
+        if delta <> 0 then
+          Sink.emit (Event.Counter_add { name = c.name; delta; ts }))
       !order
   end
 
@@ -56,43 +63,52 @@ let flush_pending () =
 let totals () =
   List.rev !order
   |> List.filter_map (fun c ->
-         if c.total <> 0 then Some (c.name, c.total) else None)
+         let v = Atomic.get c.total in
+         if v <> 0 then Some (c.name, v) else None)
 
 (* ----- gauges ---------------------------------------------------------- *)
 
 module Gauge = struct
-  type g = { gname : string; mutable value : float; mutable set_once : bool }
+  type g = { gname : string; value : float Atomic.t; set_once : bool Atomic.t }
 
   let gregistry : (string, g) Hashtbl.t = Hashtbl.create 16
   let gorder : g list ref = ref []
 
   let make gname =
-    match Hashtbl.find_opt gregistry gname with
-    | Some g -> g
-    | None ->
-      let g = { gname; value = 0.0; set_once = false } in
-      Hashtbl.add gregistry gname g;
-      gorder := g :: !gorder;
-      g
+    Mutex.lock registry_mutex;
+    let g =
+      match Hashtbl.find_opt gregistry gname with
+      | Some g -> g
+      | None ->
+        let g =
+          { gname; value = Atomic.make 0.0; set_once = Atomic.make false }
+        in
+        Hashtbl.add gregistry gname g;
+        gorder := g :: !gorder;
+        g
+    in
+    Mutex.unlock registry_mutex;
+    g
 
   let set g v =
-    g.value <- v;
-    g.set_once <- true;
+    Atomic.set g.value v;
+    Atomic.set g.set_once true;
     if Sink.enabled () then
       Sink.emit
         (Event.Gauge_set { name = g.gname; value = v; ts = Clock.now_s () })
 
-  let read g = g.value
+  let read g = Atomic.get g.value
 
   let reset_all () =
     Hashtbl.iter
       (fun _ g ->
-        g.value <- 0.0;
-        g.set_once <- false)
+        Atomic.set g.value 0.0;
+        Atomic.set g.set_once false)
       gregistry
 
   let values () =
     List.rev !gorder
     |> List.filter_map (fun g ->
-           if g.set_once then Some (g.gname, g.value) else None)
+           if Atomic.get g.set_once then Some (g.gname, Atomic.get g.value)
+           else None)
 end

@@ -1,10 +1,12 @@
 (** Named monotonic counters and float gauges.
 
-    Counters accumulate unconditionally (two integer adds per {!add}),
-    so totals are readable without any sink; pending deltas are turned
-    into {!Event.Counter_add} events at span boundaries when a sink is
-    installed. Registration is idempotent: [make name] returns the
-    existing counter if the name is taken. *)
+    Counters accumulate unconditionally (two atomic adds per {!add}),
+    so totals are readable without any sink and exact even when
+    increments come from pool worker domains running in parallel;
+    pending deltas are turned into {!Event.Counter_add} events at span
+    boundaries when a sink is installed. Registration is idempotent
+    and thread-safe: [make name] returns the existing counter if the
+    name is taken. *)
 
 type t
 

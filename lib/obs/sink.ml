@@ -1,7 +1,14 @@
 (* A sink consumes events; at most one is installed at a time (compose
    with [tee] to fan out). The default state is *no* sink: every
-   instrumentation primitive checks [installed] with one ref read and
-   falls through, so the uninstrumented hot path stays allocation-free. *)
+   instrumentation primitive checks [current] with one atomic load and
+   falls through, so the uninstrumented hot path stays allocation-free.
+
+   Domain-safety: sinks themselves (aggregate hashtables, JSONL
+   buffers) are single-threaded code, so [emit]/[flush] serialize all
+   deliveries through one mutex. Events from worker domains interleave
+   in the shared stream - each carries its own per-domain span depth -
+   which is the "merge at span close" the pool relies on. Install and
+   clear are meant to bracket parallel sections, not race with them. *)
 
 type t = {
   emit : Event.t -> unit;
@@ -26,33 +33,47 @@ let tee a b =
         b.flush ());
   }
 
-let installed : t option ref = ref None
+let current : t option Atomic.t = Atomic.make None
 
-let enabled () = Option.is_some !installed
+let emit_mutex = Mutex.create ()
 
-let install s = installed := Some s
+let installed () = Atomic.get current
+
+let enabled () = Option.is_some (Atomic.get current)
+
+let install s = Atomic.set current (Some s)
+
+let locked f =
+  Mutex.lock emit_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock emit_mutex) f
+
+let emit ev =
+  match Atomic.get current with
+  | None -> ()
+  | Some s -> locked (fun () -> s.emit ev)
+
+let flush () =
+  match Atomic.get current with
+  | None -> ()
+  | Some s -> locked (fun () -> s.flush ())
 
 let clear () =
-  (match !installed with Some s -> s.flush () | None -> ());
-  installed := None
-
-let emit ev = match !installed with None -> () | Some s -> s.emit ev
-
-let flush () = match !installed with None -> () | Some s -> s.flush ()
+  flush ();
+  Atomic.set current None
 
 (* Scoped installation; restores the previous sink (if any) on exit. *)
 let with_installed s f =
-  let prev = !installed in
-  installed := Some s;
+  let prev = Atomic.get current in
+  Atomic.set current (Some s);
   Fun.protect
     ~finally:(fun () ->
-      s.flush ();
-      installed := prev)
+      locked (fun () -> s.flush ());
+      Atomic.set current prev)
     f
 
 (* Scoped removal: run [f] with no sink at all, e.g. so micro-benchmarks
    measure the uninstrumented path even inside a traced harness. *)
 let suspended f =
-  let prev = !installed in
-  installed := None;
-  Fun.protect ~finally:(fun () -> installed := prev) f
+  let prev = Atomic.get current in
+  Atomic.set current None;
+  Fun.protect ~finally:(fun () -> Atomic.set current prev) f

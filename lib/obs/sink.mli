@@ -2,8 +2,14 @@
 
     At most one sink is installed at a time; compose with {!tee} to fan
     out. The default state is no sink at all: instrumentation then costs
-    one ref read per span and two integer adds per counter bump, keeping
-    the uninstrumented hot path allocation-free. *)
+    one atomic load per span and two atomic adds per counter bump,
+    keeping the uninstrumented hot path allocation-free.
+
+    Event delivery is serialized through an internal mutex, so a sink
+    written as single-threaded code (the aggregate's hashtables, the
+    JSONL buffer) stays correct when spans and counters fire from pool
+    worker domains. [install]/[clear] should bracket parallel sections
+    rather than race with them. *)
 
 type t = {
   emit : Event.t -> unit;
@@ -16,8 +22,8 @@ val null : t
 
 val tee : t -> t -> t
 
-val installed : t option ref
-(** The current sink. Read directly by the hot-path primitives. *)
+val installed : unit -> t option
+(** The current sink (one atomic load). *)
 
 val enabled : unit -> bool
 val install : t -> unit

@@ -1,27 +1,34 @@
 (* Hierarchical timed spans. [with_ ~name f] is the only primitive: it
    nests, it is exception-safe (the end event is emitted even when [f]
    raises, so traces stay balanced), and with no sink installed it is a
-   single ref read and a tail call - the hot path pays nothing. *)
+   single atomic load and a tail call - the hot path pays nothing.
 
-let depth = ref 0
+   Each domain keeps its own nesting depth in domain-local storage, so
+   spans opened inside pool workers nest correctly against their own
+   ancestry instead of racing over one global stack; the per-domain
+   stacks merge into the shared stream when [Sink.emit] serializes the
+   begin/end events at span boundaries. *)
 
-let current_depth () = !depth
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let current_depth () = !(Domain.DLS.get depth_key)
 
 let with_ ~name f =
-  match !Sink.installed with
+  match Sink.installed () with
   | None -> f ()
-  | Some sink ->
+  | Some _ ->
     (* Attribute increments made outside this span to its parent. *)
     Counter.flush_pending ();
+    let depth = Domain.DLS.get depth_key in
     let d = !depth in
     depth := d + 1;
     let t0 = Clock.now_s () in
-    sink.emit (Event.Span_begin { name; ts = t0; depth = d });
+    Sink.emit (Event.Span_begin { name; ts = t0; depth = d });
     let finish () =
       Counter.flush_pending ();
       let t1 = Clock.now_s () in
       depth := d;
-      sink.emit (Event.Span_end { name; ts = t1; dur_s = t1 -. t0; depth = d })
+      Sink.emit (Event.Span_end { name; ts = t1; dur_s = t1 -. t0; depth = d })
     in
     (match f () with
     | v ->

@@ -3,8 +3,10 @@
 val with_ : name:string -> (unit -> 'a) -> 'a
 (** [with_ ~name f] runs [f] inside a named span. Nests; the end event
     is emitted even when [f] raises, so traces stay balanced. With no
-    sink installed this is a single ref read plus a call to [f]. *)
+    sink installed this is a single atomic load plus a call to [f].
+    Depth is tracked per domain, so spans opened on pool workers nest
+    against their own ancestry. *)
 
 val current_depth : unit -> int
-(** Nesting depth of the innermost open span (0 outside any span).
-    Only meaningful while a sink is installed. *)
+(** Nesting depth of the calling domain's innermost open span (0
+    outside any span). Only meaningful while a sink is installed. *)

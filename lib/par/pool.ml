@@ -1,0 +1,232 @@
+(* Lazily-started fixed domain pool.
+
+   One global task queue under one mutex: batches enqueue closures,
+   worker domains drain them, and - crucially - the submitter drains
+   the queue too while its batch is outstanding. That "help" rule is
+   what makes nesting safe: a worker whose task submits a sub-batch
+   makes progress executing queued tasks (its own sub-batch's or
+   anyone else's) instead of blocking a pool slot, so the dependency
+   graph of waiting batches is a forest and never cycles.
+
+   Determinism is the combinators' contract, not the scheduler's:
+   tasks write to disjoint per-chunk slots and all combination happens
+   on the caller in chunk-index order, so the values computed are
+   independent of which domain ran what and when. *)
+
+let tasks_c = Fbb_obs.Counter.make "par.tasks"
+let batches_c = Fbb_obs.Counter.make "par.batches"
+
+type state = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* queue became non-empty, or shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  mutable size : int;  (* jobs the running pool was sized for *)
+}
+
+let st =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    queue = Queue.create ();
+    stop = false;
+    domains = [];
+    size = 1;
+  }
+
+let override = ref None
+
+let set_jobs n = override := Some (max 1 n)
+
+let env_jobs () =
+  match Sys.getenv_opt "FBB_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let jobs () =
+  match !override with
+  | Some n -> n
+  | None -> (
+    match env_jobs () with
+    | Some n -> n
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+let worker () =
+  let rec loop () =
+    Mutex.lock st.mutex;
+    let rec next () =
+      if st.stop then Mutex.unlock st.mutex
+      else
+        match Queue.take_opt st.queue with
+        | Some task ->
+          Mutex.unlock st.mutex;
+          task ();
+          loop ()
+        | None ->
+          Condition.wait st.work st.mutex;
+          next ()
+    in
+    next ()
+  in
+  loop ()
+
+let shutdown () =
+  Mutex.lock st.mutex;
+  st.stop <- true;
+  Condition.broadcast st.work;
+  Mutex.unlock st.mutex;
+  List.iter Domain.join st.domains;
+  st.domains <- [];
+  st.stop <- false;
+  st.size <- 1
+
+let at_exit_installed = ref false
+
+(* (Re)spawn so that the running pool matches the requested size.
+   Workers are [size - 1] domains; the caller is the remaining job. *)
+let ensure_started size =
+  if size <> st.size || (size > 1 && st.domains = []) then begin
+    if st.domains <> [] then shutdown ();
+    st.size <- size;
+    if size > 1 then begin
+      if not !at_exit_installed then begin
+        at_exit_installed := true;
+        at_exit shutdown
+      end;
+      st.domains <- List.init (size - 1) (fun _ -> Domain.spawn worker)
+    end
+  end
+
+(* Run every task (each must be exception-free: combinators catch into
+   per-chunk slots) and return when all have completed, executing
+   queued tasks on the calling domain while waiting. *)
+let run_batch tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    Fbb_obs.Counter.incr batches_c;
+    Fbb_obs.Counter.add tasks_c n;
+    let size = jobs () in
+    ensure_started size;
+    if size = 1 then Array.iter (fun t -> t ()) tasks
+    else begin
+      let remaining = Atomic.make n in
+      let batch_done = Condition.create () in
+      let wrap t () =
+        (try t () with _ -> ());
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock st.mutex;
+          Condition.broadcast batch_done;
+          Mutex.unlock st.mutex
+        end
+      in
+      Mutex.lock st.mutex;
+      Array.iter (fun t -> Queue.add (wrap t) st.queue) tasks;
+      Condition.broadcast st.work;
+      let rec help () =
+        if Atomic.get remaining = 0 then Mutex.unlock st.mutex
+        else
+          match Queue.take_opt st.queue with
+          | Some task ->
+            Mutex.unlock st.mutex;
+            task ();
+            Mutex.lock st.mutex;
+            help ()
+          | None ->
+            (* All our tasks are in flight on workers; their finisher
+               broadcasts [batch_done] under the mutex, so this wait
+               cannot miss the wakeup. *)
+            if Atomic.get remaining = 0 then Mutex.unlock st.mutex
+            else begin
+              Condition.wait batch_done st.mutex;
+              help ()
+            end
+      in
+      help ()
+    end
+  end
+
+(* Chunk geometry depends only on [n] and [?chunk] - job-count
+   independent, which is what makes chunked reductions deterministic. *)
+let chunk_size ?chunk n =
+  match chunk with Some c -> max 1 c | None -> max 1 (n / 64)
+
+let raise_first_error errors =
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors
+
+let parallel_map ?chunk a ~f =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let c = chunk_size ?chunk n in
+    let nchunks = (n + c - 1) / c in
+    let out = Array.make nchunks None in
+    let errors = Array.make nchunks None in
+    let task k () =
+      let lo = k * c in
+      let len = min c (n - lo) in
+      match Array.init len (fun i -> f a.(lo + i)) with
+      | r -> out.(k) <- Some r
+      | exception e -> errors.(k) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    run_batch (Array.init nchunks task);
+    raise_first_error errors;
+    Array.concat
+      (List.init nchunks (fun k ->
+           match out.(k) with Some r -> r | None -> assert false))
+  end
+
+let parallel_for ?chunk ~n f =
+  if n > 0 then begin
+    let c = chunk_size ?chunk n in
+    let nchunks = (n + c - 1) / c in
+    let errors = Array.make nchunks None in
+    let task k () =
+      let lo = k * c in
+      let hi = min n (lo + c) - 1 in
+      match
+        for i = lo to hi do
+          f i
+        done
+      with
+      | () -> ()
+      | exception e -> errors.(k) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    run_batch (Array.init nchunks task);
+    raise_first_error errors
+  end
+
+let parallel_reduce ?chunk ~n ~map ~combine init =
+  if n <= 0 then init
+  else begin
+    let c = chunk_size ?chunk n in
+    let nchunks = (n + c - 1) / c in
+    let out = Array.make nchunks None in
+    let errors = Array.make nchunks None in
+    let task k () =
+      let lo = k * c in
+      let hi = min n (lo + c) - 1 in
+      match
+        let acc = ref (map lo) in
+        for i = lo + 1 to hi do
+          acc := combine !acc (map i)
+        done;
+        !acc
+      with
+      | v -> out.(k) <- Some v
+      | exception e -> errors.(k) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    run_batch (Array.init nchunks task);
+    raise_first_error errors;
+    Array.fold_left
+      (fun acc slot ->
+        match slot with Some v -> combine acc v | None -> assert false)
+      init out
+  end

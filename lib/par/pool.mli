@@ -1,0 +1,62 @@
+(** Fixed domain pool with deterministic parallel combinators.
+
+    The pool is lazily started on first use and sized by, in order of
+    precedence: {!set_jobs} (the [--jobs] CLI flag), the [FBB_JOBS]
+    environment variable, and [Domain.recommended_domain_count ()].
+    At [jobs = 1] nothing is ever spawned and every combinator runs on
+    the calling domain — a clean sequential fallback through the same
+    code path.
+
+    {b Determinism guarantee.} Results are bit-identical at any job
+    count. [parallel_map] and [parallel_for] assemble results
+    positionally, so scheduling cannot reorder them; [parallel_reduce]
+    folds each chunk sequentially and then combines the chunk results
+    in chunk-index order, and chunk boundaries depend only on [n] and
+    [?chunk] — never on the job count — so even non-associative
+    floating-point reductions give the same bits at [jobs = 1] and
+    [jobs = 64]. Callers that need randomness shard it the same way:
+    derive one RNG stream per work item by seed-splitting {i before}
+    entering the pool (see [Fbb_variation.Montecarlo]).
+
+    Combinators may be nested (a task may itself call into the pool):
+    a caller waiting on a batch helps drain the shared queue, so no
+    domain ever idles while work is pending and nesting cannot
+    deadlock.
+
+    Exceptions raised by the mapped function are caught per chunk and
+    re-raised in the caller — deterministically the one from the
+    lowest-indexed failing chunk — after the whole batch has drained,
+    leaving the pool reusable. *)
+
+val set_jobs : int -> unit
+(** Override the pool size (clamped to [>= 1]). Takes effect at the
+    next combinator call; a running pool of a different size is shut
+    down and respawned. Call between parallel sections, not from
+    inside a task. *)
+
+val jobs : unit -> int
+(** The job count the next parallel section will use. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains (idempotent). Also installed as an
+    [at_exit] handler when the pool first starts, so programs never
+    exit with live domains. *)
+
+val parallel_map : ?chunk:int -> 'a array -> f:('a -> 'b) -> 'b array
+(** [parallel_map a ~f] is [Array.map f a] with the elements sharded
+    across the pool in contiguous chunks ([?chunk] elements each;
+    default scales with the input size). Results are positional, so
+    the output is independent of scheduling. *)
+
+val parallel_for : ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~n f] runs [f 0 .. f (n-1)], sharded in contiguous
+    chunks. The body must only write to disjoint, per-index state. *)
+
+val parallel_reduce :
+  ?chunk:int -> n:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) ->
+  'a -> 'a
+(** [parallel_reduce ~n ~map ~combine init] folds [map 0 .. map (n-1)]
+    into [init]. Each chunk is folded left-to-right sequentially and
+    chunk results are combined left-to-right in chunk order, so the
+    reduction tree — hence the result, even for floating point — is a
+    function of [n] and [?chunk] only, never of the job count. *)

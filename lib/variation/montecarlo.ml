@@ -30,6 +30,15 @@ let stats_of shipped total =
       p95_leakage_nw = Fbb_util.Stats.percentile a 95.0;
     }
 
+(* One fabricated die. Pure given its own RNG stream, so dies can be
+   evaluated in any order on the pool. *)
+type die = {
+  slowdown : float;
+  ship_as_is : float option;  (* leakage if the strategy ships the die *)
+  ship_single : float option;
+  ship_clustered : float option;
+}
+
 let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
     ?(guardband = 0.15) placement =
   Fbb_obs.Span.with_ ~name:"mc.run" @@ fun () ->
@@ -38,22 +47,26 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
   let nominal = Timing.analyze nl in
   let budget = Timing.dcrit nominal +. 1e-6 in
   let leakage ~bias = Tuning.design_leakage nl ~bias in
-  let no_tuning = ref [] in
-  let single_bb = ref [] in
-  let clustered = ref [] in
-  let slowdowns = ref [] in
-  for _ = 1 to samples do
+  (* Seed-splitting: die [i]'s generator is the [i]-th split of the run
+     seed, derived sequentially up front. Each die then draws only from
+     its own stream, so the sampled corners are a function of
+     [(seed, i)] alone - identical at any job count, and identical to
+     what the historical sequential loop (which split once per
+     iteration) produced. *)
+  let die_rngs = Array.init samples (fun _ -> Fbb_util.Rng.split rng) in
+  let sample die_rng =
     Fbb_obs.Counter.incr samples_c;
-    let die_rng = Fbb_util.Rng.split rng in
     let corner = Models.die_to_die die_rng ~sigma:(sigma /. 2.0) in
     let within = Models.spatially_correlated die_rng ~sigma placement in
     let derate g = corner *. within g in
     let degraded = Timing.analyze ~derate nl in
     let reading = Sensor.in_situ_monitors ~nominal ~degraded in
-    slowdowns := reading.Sensor.slowdown :: !slowdowns;
     (* Strategy 1: ship as fabricated. *)
-    if Timing.dcrit degraded <= budget then
-      no_tuning := leakage ~bias:(fun _ -> 0.0) :: !no_tuning;
+    let ship_as_is =
+      if Timing.dcrit degraded <= budget then
+        Some (leakage ~bias:(fun _ -> 0.0))
+      else None
+    in
     (* Strategy 2: one die-wide voltage. Uses the same sensing, guardband
        and PassOne selection the clustered loop gets (an exact
        signoff-search baseline would smuggle in information no real tuning
@@ -67,33 +80,49 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
         Fbb_core.Problem.max_single_level
           (Fbb_core.Problem.build ~beta:measured placement)
     in
-    (match jopt with
-    | None -> ()
-    | Some j0 ->
-      let rec close j =
-        if j >= Fbb_tech.Bias.count then None
-        else begin
-          let bias _ = Fbb_tech.Bias.voltage j in
-          if Timing.dcrit (Timing.analyze ~derate ~bias nl) <= budget then
-            Some (leakage ~bias)
-          else close (j + 1)
-        end
-      in
-      match close j0 with
-      | Some leak -> single_bb := leak :: !single_bb
-      | None -> ());
+    let ship_single =
+      Option.bind jopt (fun j0 ->
+          let rec close j =
+            if j >= Fbb_tech.Bias.count then None
+            else begin
+              let bias _ = Fbb_tech.Bias.voltage j in
+              if Timing.dcrit (Timing.analyze ~derate ~bias nl) <= budget then
+                Some (leakage ~bias)
+              else close (j + 1)
+            end
+          in
+          close j0)
+    in
     (* Strategy 3: the clustering optimizer in its closed loop. *)
     let o = Tuning.compensate ~max_clusters ~guardband placement ~derate in
-    if o.Tuning.timing_closed then begin
-      Fbb_obs.Counter.incr shipped_c;
-      clustered := o.Tuning.leakage_nw :: !clustered
-    end
-  done;
+    let ship_clustered =
+      if o.Tuning.timing_closed then begin
+        Fbb_obs.Counter.incr shipped_c;
+        Some o.Tuning.leakage_nw
+      end
+      else None
+    in
+    { slowdown = reading.Sensor.slowdown; ship_as_is; ship_single;
+      ship_clustered }
+  in
+  (* One die per task: dies are expensive (three STA runs plus the
+     optimizer) and [samples] is small. Results come back positionally,
+     so every downstream list and sum is in die order regardless of
+     which domain evaluated what. *)
+  let dies = Fbb_par.Pool.parallel_map ~chunk:1 die_rngs ~f:sample in
+  let shipped select =
+    Array.fold_left
+      (fun acc d -> match select d with Some leak -> leak :: acc | None -> acc)
+      [] dies
+  in
+  let slowdowns = Array.map (fun d -> d.slowdown) dies in
   {
     samples;
-    no_tuning = stats_of !no_tuning samples;
-    single_bb = stats_of !single_bb samples;
-    clustered = stats_of !clustered samples;
+    no_tuning = stats_of (shipped (fun d -> d.ship_as_is)) samples;
+    single_bb = stats_of (shipped (fun d -> d.ship_single)) samples;
+    clustered = stats_of (shipped (fun d -> d.ship_clustered)) samples;
     mean_measured_slowdown_pct =
-      100.0 *. Fbb_util.Stats.mean (Array.of_list !slowdowns);
+      100.0
+      *. Fbb_util.Stats.mean
+           (Array.of_list (Array.fold_left (fun acc s -> s :: acc) [] slowdowns));
   }

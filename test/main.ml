@@ -4,6 +4,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("tech", Test_tech.suite);
       ("netlist", Test_netlist.suite);
       ("generators", Test_generators.suite);
@@ -15,5 +16,6 @@ let () =
       ("core", Test_core.suite);
       ("variation", Test_variation.suite);
       ("integration", Test_integration.suite);
+      ("determinism", Test_determinism.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,91 @@
+(* Cross-job-count determinism of the parallel hot paths: Monte-Carlo
+   sampling, branch-and-bound, constraint reduction and the full ILP
+   flow must produce bit-identical results at any pool width. *)
+
+module BB = Fbb_ilp.Branch_bound
+module S = Fbb_lp.Simplex
+
+let at_jobs n f =
+  let prev = Fbb_par.Pool.jobs () in
+  Fbb_par.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Fbb_par.Pool.set_jobs prev) f
+
+let check_eq name a b = Alcotest.(check bool) name true (a = b)
+
+(* ----- Monte-Carlo ------------------------------------------------------ *)
+
+let test_montecarlo () =
+  let pl = Lazy.force Tsupport.small_placement in
+  let run () =
+    Fbb_variation.Montecarlo.run ~seed:7 ~samples:6 ~sigma:0.05 pl
+  in
+  let a = at_jobs 1 run in
+  let b = at_jobs 4 run in
+  (* Record equality covers every yield percentage and leakage statistic
+     down to the last float bit. *)
+  check_eq "mc records bit-identical jobs=1 vs 4" a b
+
+(* ----- branch and bound ------------------------------------------------- *)
+
+let c terms relation rhs = { S.terms; relation; rhs }
+
+let random_problem rng =
+  let open Fbb_util in
+  let n = 3 + Rng.int rng 8 in
+  let m = 1 + Rng.int rng 6 in
+  let minimize = Array.init n (fun _ -> float_of_int (1 + Rng.int rng 20)) in
+  let constraints =
+    List.init m (fun _ ->
+        let terms =
+          List.init n (fun v -> (v, float_of_int (Rng.int rng 4)))
+          |> List.filter (fun (_, co) -> co > 0.0)
+        in
+        if terms = [] then c [ (0, 1.0) ] S.Ge 0.0
+        else
+          let total = List.fold_left (fun a (_, co) -> a +. co) 0.0 terms in
+          c terms S.Ge (Float.of_int (Rng.int rng (int_of_float total + 1))))
+  in
+  { BB.num_vars = n; minimize; constraints }
+
+let test_branch_bound () =
+  let rng = Fbb_util.Rng.create ~seed:321 in
+  for i = 1 to 25 do
+    let p = random_problem rng in
+    let a = at_jobs 1 (fun () -> BB.solve p) in
+    let b = at_jobs 4 (fun () -> BB.solve p) in
+    let tag fmt = Printf.sprintf fmt i in
+    check_eq (tag "status equal (case %d)") a.BB.status b.BB.status;
+    (* [best] carries the winning 0/1 vector: equality means the same
+       solution, not merely the same objective, at both widths. *)
+    check_eq (tag "incumbent equal (case %d)") a.BB.best b.BB.best;
+    check_eq (tag "node count equal (case %d)") a.BB.nodes b.BB.nodes
+  done
+
+(* ----- constraint reduction and the full ILP flow ----------------------- *)
+
+let test_reduce_paths () =
+  let p = Tsupport.small_problem () in
+  let a = at_jobs 1 (fun () -> Fbb_core.Ilp_opt.reduce_paths p) in
+  let b = at_jobs 4 (fun () -> Fbb_core.Ilp_opt.reduce_paths p) in
+  check_eq "kept set identical jobs=1 vs 4" a b;
+  Alcotest.(check bool) "reduction keeps at least one constraint" true
+    (a <> [])
+
+let test_ilp_flow () =
+  let p = Tsupport.small_problem ~beta:0.05 () in
+  let run () =
+    let r = Fbb_core.Ilp_opt.optimize p in
+    (r.Fbb_core.Ilp_opt.levels, r.Fbb_core.Ilp_opt.leakage_nw,
+     r.Fbb_core.Ilp_opt.proved_optimal, r.Fbb_core.Ilp_opt.nodes)
+  in
+  let a = at_jobs 1 run in
+  let b = at_jobs 4 run in
+  check_eq "ilp assignment/leakage/nodes identical jobs=1 vs 4" a b
+
+let suite =
+  [
+    Alcotest.test_case "montecarlo" `Quick test_montecarlo;
+    Alcotest.test_case "branch and bound" `Quick test_branch_bound;
+    Alcotest.test_case "reduce_paths" `Quick test_reduce_paths;
+    Alcotest.test_case "ilp flow" `Quick test_ilp_flow;
+  ]

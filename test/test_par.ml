@@ -1,0 +1,178 @@
+(* Tests for the Fbb_par domain pool: combinator semantics, exception
+   propagation, pool lifecycle and reuse. *)
+
+module Pool = Fbb_par.Pool
+
+(* Pin the pool width for one test and restore the previous width after,
+   so suites stay independent of execution order (and of FBB_JOBS). *)
+let at_jobs n f =
+  let prev = Pool.jobs () in
+  Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs prev) f
+
+let widths = [ 1; 2; 4 ]
+
+(* ----- parallel_map ----------------------------------------------------- *)
+
+let test_map_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      at_jobs jobs @@ fun () ->
+      List.iter
+        (fun n ->
+          let input = Array.init n (fun i -> i) in
+          let expect = Array.map (fun i -> (i * i) + 1) input in
+          let got = Pool.parallel_map input ~f:(fun i -> (i * i) + 1) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map n=%d jobs=%d" n jobs)
+            expect got)
+        [ 0; 1; 7; 64; 257 ])
+    widths
+
+let test_map_chunk_sizes () =
+  at_jobs 4 @@ fun () ->
+  let input = Array.init 100 (fun i -> i) in
+  let expect = Array.map succ input in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "chunk=%d" chunk)
+        expect
+        (Pool.parallel_map ~chunk input ~f:succ))
+    [ 1; 3; 100; 1000 ]
+
+let test_empty_inputs () =
+  List.iter
+    (fun jobs ->
+      at_jobs jobs @@ fun () ->
+      Alcotest.(check (array int))
+        "empty map" [||]
+        (Pool.parallel_map [||] ~f:(fun i -> i));
+      Pool.parallel_for ~n:0 (fun _ -> Alcotest.fail "body ran for n=0");
+      Alcotest.(check int) "empty reduce is init" 42
+        (Pool.parallel_reduce ~n:0 ~map:(fun i -> i) ~combine:( + ) 42))
+    widths
+
+(* ----- exceptions ------------------------------------------------------- *)
+
+exception Boom of int
+
+let test_exception_propagates_and_pool_survives () =
+  List.iter
+    (fun jobs ->
+      at_jobs jobs @@ fun () ->
+      let input = Array.init 50 (fun i -> i) in
+      (* Two failing chunks; the one with the smallest chunk index wins,
+         independent of which domain hit it first. *)
+      (match
+         Pool.parallel_map ~chunk:1 input ~f:(fun i ->
+             if i = 10 || i = 37 then raise (Boom i) else i)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "first failing chunk wins (jobs=%d)" jobs)
+          10 i);
+      (* The pool must stay serviceable after a failed batch. *)
+      Alcotest.(check (array int))
+        "pool reusable after exception"
+        (Array.map succ input)
+        (Pool.parallel_map input ~f:succ))
+    widths
+
+(* ----- parallel_for ----------------------------------------------------- *)
+
+let test_for_covers_every_index_once () =
+  List.iter
+    (fun jobs ->
+      at_jobs jobs @@ fun () ->
+      let n = 200 in
+      (* Distinct indices never race: each cell is written by exactly the
+         task that owns its index. *)
+      let hits = Array.make n 0 in
+      Pool.parallel_for ~chunk:7 ~n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "every index exactly once (jobs=%d)" jobs)
+        true
+        (Array.for_all (fun h -> h = 1) hits))
+    widths
+
+(* ----- parallel_reduce -------------------------------------------------- *)
+
+let test_reduce_sum () =
+  let sum jobs =
+    at_jobs jobs @@ fun () ->
+    Pool.parallel_reduce ~n:1000
+      ~map:(fun i -> float_of_int i *. 0.1)
+      ~combine:( +. ) 0.0
+  in
+  let expected = sum 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "float sum bit-identical jobs=1 vs %d" jobs)
+        true
+        (sum jobs = expected))
+    widths
+
+let test_reduce_geometry_independent_of_jobs () =
+  (* Subtraction is not associative, so the result encodes the exact
+     combination tree; it must depend on (n, chunk) only, never on the
+     pool width. *)
+  let run jobs =
+    at_jobs jobs @@ fun () ->
+    Pool.parallel_reduce ~chunk:5 ~n:83 ~map:float_of_int ~combine:( -. ) 0.0
+  in
+  let expected = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "combination tree fixed (jobs=%d)" jobs)
+        true
+        (run jobs = expected))
+    widths
+
+(* ----- nesting and lifecycle -------------------------------------------- *)
+
+let test_nested_batches () =
+  at_jobs 4 @@ fun () ->
+  let outer = Array.init 6 (fun i -> i) in
+  let got =
+    Pool.parallel_map ~chunk:1 outer ~f:(fun i ->
+        Pool.parallel_reduce ~chunk:2 ~n:10
+          ~map:(fun j -> (i * 10) + j)
+          ~combine:( + ) 0)
+  in
+  let expect = Array.init 6 (fun i -> (i * 100) + 45) in
+  Alcotest.(check (array int)) "batch inside batch" expect got
+
+let test_set_jobs_switches_pool () =
+  let input = Array.init 33 (fun i -> i * 3) in
+  let expect = Array.map succ input in
+  List.iter
+    (fun jobs ->
+      at_jobs jobs @@ fun () ->
+      Alcotest.(check int) "width taken" jobs (Pool.jobs ());
+      Alcotest.(check (array int))
+        (Printf.sprintf "map after resize to %d" jobs)
+        expect
+        (Pool.parallel_map input ~f:succ))
+    [ 2; 1; 4; 1; 2 ]
+
+let suite =
+  [
+    Alcotest.test_case "map matches sequential" `Quick
+      test_map_matches_sequential;
+    Alcotest.test_case "map chunk sizes" `Quick test_map_chunk_sizes;
+    Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+    Alcotest.test_case "exception propagation and reuse" `Quick
+      test_exception_propagates_and_pool_survives;
+    Alcotest.test_case "for covers every index once" `Quick
+      test_for_covers_every_index_once;
+    Alcotest.test_case "reduce sum" `Quick test_reduce_sum;
+    Alcotest.test_case "reduce geometry fixed" `Quick
+      test_reduce_geometry_independent_of_jobs;
+    Alcotest.test_case "nested batches" `Quick test_nested_batches;
+    Alcotest.test_case "set_jobs switches pool" `Quick
+      test_set_jobs_switches_pool;
+  ]

@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench profile trace clean
+.PHONY: all build test bench fuzz profile trace clean
 
 all: build
 
@@ -15,6 +15,9 @@ test: build
 
 bench: build
 	$(DUNE) exec bench/main.exe
+
+fuzz: build
+	$(DUNE) exec bin/fbbfuzz.exe -- --cases 50 --seed 1 --corpus-dir test/corpus
 
 profile: build
 	$(DUNE) exec bin/fbbopt.exe -- optimize -d c5315 --ilp --profile

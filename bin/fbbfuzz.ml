@@ -1,0 +1,203 @@
+(* fbbfuzz: differential fuzzer for the clustered-FBB solvers.
+
+   Replays the persisted regression corpus, then generates random placed
+   problems and cross-checks the heuristic, branch & bound and the
+   refinement loop against the exact brute-force oracle and an
+   independent invariant checker (Fbb_oracle). Failing cases are
+   greedily minimized and written out as replayable .case files. *)
+
+open Cmdliner
+
+let cases_arg =
+  let doc = "Number of random cases to generate (on top of the corpus)." in
+  Arg.(value & opt int 100 & info [ "n"; "cases" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Root RNG seed; equal seeds fuzz identical case sequences." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let shrink_arg =
+  let doc = "Minimize failing cases before writing repro files." in
+  Arg.(value & opt bool true & info [ "shrink" ] ~docv:"BOOL" ~doc)
+
+let corpus_dir_arg =
+  let doc = "Replay every *.case file of $(docv) before fuzzing." in
+  Arg.(
+    value & opt (some string) None & info [ "corpus-dir" ] ~docv:"DIR" ~doc)
+
+let repro_dir_arg =
+  let doc = "Directory minimized failing cases are written to." in
+  Arg.(value & opt string "fuzz_out" & info [ "repro-dir" ] ~docv:"DIR" ~doc)
+
+let metamorphic_arg =
+  let doc =
+    "Also check metamorphic properties of the optimum (row permutation, \
+     beta monotonicity, leakage scaling) on oracle-sized cases."
+  in
+  Arg.(value & opt bool true & info [ "metamorphic" ] ~docv:"BOOL" ~doc)
+
+let ilp_seconds_arg =
+  let doc = "Per-case branch & bound time budget in seconds." in
+  Arg.(value & opt float 30.0 & info [ "ilp-seconds" ] ~docv:"S" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Width of the parallel domain pool used inside the solvers (default: \
+     $(b,FBB_JOBS), else the machine's cores). Solver outputs are \
+     bit-identical at any width."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let verbose_arg =
+  let doc = "Print every case instead of a progress line per 10." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+(* Case distribution: mostly oracle-sized (small row counts, C=2) so the
+   exact cross-check fires, with a steady minority of larger instances
+   that exercise the invariant-only path and an occasional coarse-level
+   or truncated-constraint variant. *)
+let random_case rng =
+  let open Fbb_util in
+  let oracle_sized = Rng.int rng 7 <> 0 in
+  let rows = if oracle_sized then 2 + Rng.int rng 5 else 7 + Rng.int rng 4 in
+  let gates = 40 + Rng.int rng 120 in
+  let beta = 0.04 +. Rng.float rng 0.06 in
+  let max_clusters =
+    if oracle_sized && rows <= 5 && Rng.int rng 4 = 0 then 3 else 2
+  in
+  let level_stride = if Rng.int rng 5 = 0 then 1 + Rng.int rng 2 else 1 in
+  let max_paths = if Rng.int rng 4 = 0 then Some (8 + Rng.int rng 24) else None in
+  Fbb_oracle.Case.make ~beta ~max_clusters ~level_stride ?max_paths
+    ~seed:(Rng.int rng 1_000_000) ~gates ~rows ()
+
+type tally = {
+  mutable total : int;
+  mutable oracle_checked : int;
+  mutable oracle_infeasible : int;
+  mutable bb_proved : int;
+  mutable failed : int;
+}
+
+let describe_case c =
+  let open Fbb_oracle in
+  Printf.sprintf "%s" (Case.name c)
+
+let run_one ~tally ~verbose ~metamorphic ~ilp_seconds ~origin case =
+  let open Fbb_oracle in
+  let r = Differential.run ~metamorphic ~ilp_seconds case in
+  tally.total <- tally.total + 1;
+  (match r.Differential.outputs.Differential.oracle with
+  | Differential.Checked Oracle.Infeasible ->
+    tally.oracle_checked <- tally.oracle_checked + 1;
+    tally.oracle_infeasible <- tally.oracle_infeasible + 1
+  | Differential.Checked (Oracle.Optimal _) ->
+    tally.oracle_checked <- tally.oracle_checked + 1
+  | Differential.Skipped -> ());
+  if r.Differential.outputs.Differential.bb.Differential.proved_optimal then
+    tally.bb_proved <- tally.bb_proved + 1;
+  if Differential.failed r then tally.failed <- tally.failed + 1;
+  if verbose || Differential.failed r then
+    Printf.printf "%s %-40s %s\n%!"
+      (if Differential.failed r then "FAIL" else "ok  ")
+      (describe_case case) origin;
+  List.iter (fun m -> Printf.printf "     - %s\n%!" m) r.Differential.failures;
+  r
+
+let report_failure ~shrink ~repro_dir ~metamorphic ~ilp_seconds case =
+  let open Fbb_oracle in
+  let minimized, note =
+    if shrink then begin
+      Printf.printf "     shrinking...\n%!";
+      let minimized, progress =
+        Shrink.minimize
+          ~run:(fun c ->
+            (Differential.run ~metamorphic ~ilp_seconds c)
+              .Differential.failures)
+          case
+      in
+      ( minimized,
+        Printf.sprintf "%d step(s) in %d attempt(s)" progress.Shrink.steps
+          progress.Shrink.attempts )
+    end
+    else (case, "shrinking disabled")
+  in
+  let path = Case.save ~dir:repro_dir minimized in
+  Printf.printf "     minimized to %s (%s)\n     repro written: %s\n%!"
+    (describe_case minimized) note path;
+  (* Print the residual failures of the minimized case so the log alone
+     is actionable. *)
+  if minimized <> case then
+    List.iter
+      (fun m -> Printf.printf "     - %s\n%!" m)
+      (Differential.run ~metamorphic ~ilp_seconds minimized)
+        .Differential.failures
+
+let fuzz cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds jobs
+    verbose =
+  Option.iter Fbb_par.Pool.set_jobs jobs;
+  let open Fbb_oracle in
+  let tally =
+    { total = 0; oracle_checked = 0; oracle_infeasible = 0; bb_proved = 0;
+      failed = 0 }
+  in
+  let failing = ref [] in
+  let consider ~origin case =
+    let r = run_one ~tally ~verbose ~metamorphic ~ilp_seconds ~origin case in
+    if Differential.failed r then failing := case :: !failing
+  in
+  (* corpus replay; a corrupt corpus is a hard error, not a skipped case *)
+  (match corpus_dir with
+  | None -> ()
+  | Some dir ->
+    let corpus =
+      match Case.load_dir dir with
+      | corpus -> corpus
+      | exception Failure m ->
+        Printf.eprintf "fbbfuzz: corrupt corpus: %s\n%!" m;
+        exit 2
+    in
+    Printf.printf "replaying %d corpus case(s) from %s\n%!"
+      (List.length corpus) dir;
+    List.iter (fun (path, case) -> consider ~origin:path case) corpus);
+  (* random generation *)
+  let rng = Fbb_util.Rng.create ~seed in
+  for i = 1 to cases do
+    (match random_case rng with
+    | case -> consider ~origin:(Printf.sprintf "case %d/%d" i cases) case
+    | exception Invalid_argument _ -> ());
+    if (not verbose) && i mod 10 = 0 then
+      Printf.printf
+        "  %d/%d done (oracle-checked %d, infeasible %d, bb-proved %d, \
+         failures %d)\n%!"
+        i cases tally.oracle_checked tally.oracle_infeasible tally.bb_proved
+        tally.failed
+  done;
+  List.iter
+    (report_failure ~shrink ~repro_dir ~metamorphic ~ilp_seconds)
+    (List.rev !failing);
+  Printf.printf
+    "fuzz summary: %d case(s), %d oracle-checked (%d infeasible), %d \
+     bb-proved, %d failure(s)\n%!"
+    tally.total tally.oracle_checked tally.oracle_infeasible tally.bb_proved
+    tally.failed;
+  if tally.failed = 0 then 0
+  else begin
+    Printf.eprintf "fbbfuzz: %d failing case(s); repros under %s\n%!"
+      tally.failed repro_dir;
+    1
+  end
+
+let () =
+  let info =
+    Cmd.info "fbbfuzz" ~version:"1.0.0"
+      ~doc:
+        "Differential fuzzing of the clustered-FBB solvers against an exact \
+         brute-force oracle"
+  in
+  let term =
+    Term.(
+      const fuzz $ cases_arg $ seed_arg $ shrink_arg $ corpus_dir_arg
+      $ repro_dir_arg $ metamorphic_arg $ ilp_seconds_arg $ jobs_arg
+      $ verbose_arg)
+  in
+  exit (Cmd.eval' (Cmd.v info term))

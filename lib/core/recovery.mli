@@ -51,4 +51,9 @@ val meets_budget : t -> int array -> bool
 (** The recovery CheckTiming: every path's stretched delay stays within
     the budget. *)
 
+val signoff : t -> int array -> bool * Fbb_sta.Paths.path array
+(** Full STA of the placed netlist with the reverse bias applied, against
+    the budget (the recovery counterpart of {!Refine.signoff}): whether
+    every path meets it, and the per-cell longest paths that do not. *)
+
 val leakage_nw : t -> int array -> float

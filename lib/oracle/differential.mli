@@ -1,0 +1,58 @@
+(** One differential run: every solver against the oracle and the
+    independent invariant checker.
+
+    For a {!Case.t} this builds the problem once, then runs the paper's
+    two-pass heuristic, the branch & bound exact solver (cold — no warm
+    start, so the two searches stay independent), the signoff refinement
+    loop, and — when the instance is small enough — the {!Oracle}
+    brute force, cross-checking:
+
+    - heuristic/B&B feasibility claims agree with each other and with
+      the oracle's;
+    - every returned assignment survives {!Invariant.check};
+    - heuristic (and refined) leakage is never below the oracle optimum;
+    - a proved-optimal B&B answer has exactly the oracle's optimum
+      leakage;
+    - signoff-clean refinement outcomes pass an independent full-STA
+      re-check;
+    - metamorphic properties of the optimum: row-permutation invariance,
+      monotonicity in beta, and equivariance under scaling the leakage
+      table.
+
+    All tolerances are relative 1e-9 — far above float-summation noise,
+    far below the leakage quantum of a single row level change. *)
+
+type oracle_result = Checked of Oracle.verdict | Skipped
+
+type bb_run = {
+  levels : int array option;
+  leakage_nw : float option;  (** recomputed from [levels], not the LP *)
+  proved_optimal : bool;
+  timed_out : bool;
+}
+
+type outputs = {
+  oracle : oracle_result;
+  heuristic : (int array * float) option;  (** (levels, leakage) *)
+  bb : bb_run;
+  refine : (int array * float * bool) option;
+      (** (levels, leakage, signoff_clean) *)
+}
+(** Plain data, structurally comparable — the cross-job-count
+    determinism suite asserts [outputs] equality at FBB_JOBS=1 vs 4. *)
+
+type report = {
+  case : Case.t;
+  outputs : outputs;
+  failures : string list;  (** empty = all checks passed *)
+}
+
+val run : ?metamorphic:bool -> ?ilp_seconds:float -> Case.t -> report
+(** [metamorphic] (default true) additionally rebuilds the problem under
+    a row rotation, a smaller beta and a scaled leakage table — three
+    extra oracle solves — on oracle-sized instances. [ilp_seconds]
+    (default 30) bounds the B&B; a timed-out B&B skips the optimality
+    comparison rather than failing. Exceptions while building the case
+    are reported as a single failure prefixed ["build:"]. *)
+
+val failed : report -> bool

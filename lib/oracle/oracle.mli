@@ -1,0 +1,48 @@
+(** Exact brute-force reference for the clustered-FBB allocation problem.
+
+    For instances small enough to enumerate, [solve] walks {e every}
+    row-to-level assignment whose distinct-level count fits the cluster
+    budget and returns the provably minimal-leakage feasible one. It
+    shares only the problem's coefficient tables with the production
+    solvers — feasibility and leakage are recomputed with plain loops,
+    no incremental checker, no LP, no pruning beyond a safe leakage
+    bound — so it serves as the independent ground truth the
+    differential fuzzer measures the heuristic and branch & bound
+    against.
+
+    Enumeration walks level subsets of size 1..C (ascending, so the
+    visit order — and therefore the tie-breaking among equal-leakage
+    optima: first visited wins — is deterministic), then all assignments
+    of rows to subset members. *)
+
+type optimum = {
+  levels : int array;  (** row assignment, one level per row *)
+  leakage_nw : float;  (** recomputed from the problem's leakage table *)
+}
+
+type verdict =
+  | Optimal of optimum
+  | Infeasible
+      (** no assignment within the cluster budget meets timing; since a
+          uniform assignment uses one cluster, this is equivalent to
+          [Problem.max_single_level = None] *)
+
+val default_max_rows : int
+(** 8. *)
+
+val default_max_leaves : int
+(** Cap on enumerated assignments (2_000_000). *)
+
+val tractable :
+  ?max_rows:int -> ?max_leaves:int -> max_clusters:int -> Fbb_core.Problem.t ->
+  bool
+(** Whether [solve] is allowed: the row count fits and the total number
+    of assignments [sum_{s=1..C} (P choose s) * s^rows] stays within
+    [max_leaves]. *)
+
+val solve :
+  ?max_rows:int -> ?max_leaves:int -> ?max_clusters:int ->
+  Fbb_core.Problem.t -> verdict
+(** Exhaustive search ([max_clusters] defaults to 2). Raises
+    [Invalid_argument] when the instance is not {!tractable} — callers
+    are expected to gate on {!tractable} first. *)

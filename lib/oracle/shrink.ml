@@ -1,0 +1,73 @@
+type progress = { steps : int; attempts : int }
+
+let attempts_c = Fbb_obs.Counter.make "shrink.attempts"
+let accepted_c = Fbb_obs.Counter.make "shrink.accepted"
+
+let build_failure_only failures =
+  failures <> []
+  && List.for_all
+       (fun m -> String.length m >= 6 && String.sub m 0 6 = "build:")
+       failures
+
+(* Candidate moves, biggest reductions first. Each returns a hopefully
+   smaller case or None when the dimension is exhausted. *)
+let moves =
+  [
+    (fun (c : Case.t) ->
+      if c.Case.gates / 2 >= 16 then Some { c with Case.gates = c.Case.gates / 2 }
+      else None);
+    (fun c ->
+      let g = c.Case.gates * 3 / 4 in
+      if g >= 16 && g < c.Case.gates then Some { c with Case.gates = g }
+      else None);
+    (fun c ->
+      if c.Case.rows > 2 then Some { c with Case.rows = c.Case.rows - 1 }
+      else None);
+    (fun c ->
+      match c.Case.max_paths with
+      | None -> Some { c with Case.max_paths = Some 16 }
+      | Some n when n > 1 -> Some { c with Case.max_paths = Some (n / 2) }
+      | Some _ -> None);
+    (fun c ->
+      (* stay within stride 5: 11 levels at stride 5 still leave
+         {0, 0.25V, 0.5V}, a meaningful 3-level problem *)
+      if c.Case.level_stride < 5 then
+        Some { c with Case.level_stride = min 5 (c.Case.level_stride * 2) }
+      else None);
+    (fun c ->
+      if c.Case.max_clusters > 1 then
+        Some { c with Case.max_clusters = c.Case.max_clusters - 1 }
+      else None);
+  ]
+
+let minimize ?(max_attempts = 200) ~run case =
+  Fbb_obs.Span.with_ ~name:"shrink.minimize" @@ fun () ->
+  if run case = [] then (case, { steps = 0; attempts = 1 })
+  else begin
+    let attempts = ref 1 and steps = ref 0 in
+    let rec fixpoint current =
+      let rec try_moves = function
+        | [] -> current
+        | move :: rest -> (
+          match move current with
+          | None -> try_moves rest
+          | Some candidate when candidate = current -> try_moves rest
+          | Some candidate ->
+            if !attempts >= max_attempts then current
+            else begin
+              incr attempts;
+              Fbb_obs.Counter.incr attempts_c;
+              let failures = run candidate in
+              if failures <> [] && not (build_failure_only failures) then begin
+                incr steps;
+                Fbb_obs.Counter.incr accepted_c;
+                fixpoint candidate
+              end
+              else try_moves rest
+            end)
+      in
+      try_moves moves
+    in
+    let minimized = fixpoint case in
+    (minimized, { steps = !steps; attempts = !attempts })
+  end

@@ -1,0 +1,27 @@
+(** Greedy failure minimization.
+
+    Given a failing case, repeatedly try to make it smaller — fewer
+    gates, fewer rows, fewer constraint paths, coarser bias levels, a
+    tighter cluster budget — keeping a candidate only when it still
+    fails. The result is the smallest case (under this move set) that
+    reproduces {e a} failure; like most shrinkers, it preserves
+    "fails at all", not the identity of the original failure. Candidates
+    whose only failures are ["build:"] exceptions are rejected: a case
+    that cannot even be constructed reproduces nothing. *)
+
+type progress = {
+  steps : int;  (** accepted shrinking moves *)
+  attempts : int;  (** candidate runs, including rejected ones *)
+}
+
+val minimize :
+  ?max_attempts:int ->
+  run:(Case.t -> string list) ->
+  Case.t ->
+  Case.t * progress
+(** [run] returns the failure list of a candidate (typically
+    [fun c -> (Differential.run c).failures]). [max_attempts]
+    (default 200) bounds total candidate executions. The input case is
+    returned unchanged when [run] reports it as passing — there is
+    nothing to shrink. Deterministic: the candidate order is fixed and
+    the first still-failing candidate is always taken. *)

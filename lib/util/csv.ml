@@ -29,6 +29,76 @@ let render t =
   List.iter emit (List.rev t.rows);
   Buffer.contents buf
 
+exception Parse_error of int * string
+
+(* Single-pass RFC 4180 state machine. [line] tracks physical lines so
+   errors inside multi-line quoted fields point at the opening line. *)
+let parse s =
+  let n = String.length s in
+  let rows = ref [] and row = ref [] in
+  let field = Buffer.create 32 in
+  let line = ref 1 in
+  let flush_field () =
+    row := Buffer.contents field :: !row;
+    Buffer.clear field
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec unquoted i =
+    if i >= n then begin
+      (* no trailing newline: the dangling fragment is the last record,
+         unless the file is empty or ended exactly at a row boundary *)
+      if Buffer.length field > 0 || !row <> [] then flush_row ()
+    end
+    else
+      match s.[i] with
+      | ',' ->
+        flush_field ();
+        unquoted (i + 1)
+      | '\n' ->
+        incr line;
+        flush_row ();
+        unquoted (i + 1)
+      | '\r' when i + 1 < n && s.[i + 1] = '\n' ->
+        incr line;
+        flush_row ();
+        unquoted (i + 2)
+      | '"' when Buffer.length field = 0 -> quoted !line (i + 1)
+      | c ->
+        Buffer.add_char field c;
+        unquoted (i + 1)
+  and quoted start i =
+    if i >= n then raise (Parse_error (start, "unterminated quoted field"))
+    else
+      match s.[i] with
+      | '"' when i + 1 < n && s.[i + 1] = '"' ->
+        Buffer.add_char field '"';
+        quoted start (i + 2)
+      | '"' -> begin
+        (* the closing quote must end the field *)
+        if i + 1 >= n then begin
+          flush_row ();
+          ()
+        end
+        else
+          match s.[i + 1] with
+          | ',' | '\n' | '\r' -> unquoted (i + 1)
+          | _ -> raise (Parse_error (!line, "data after closing quote"))
+      end
+      | '\n' ->
+        incr line;
+        Buffer.add_char field '\n';
+        quoted start (i + 1)
+      | c ->
+        Buffer.add_char field c;
+        quoted start (i + 1)
+  in
+  unquoted 0;
+  List.rev !rows
+
 let save t ~path =
   let oc = open_out path in
   Fun.protect

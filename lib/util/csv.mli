@@ -1,4 +1,5 @@
-(** Minimal CSV writer for exporting experiment series (figure data). *)
+(** Minimal CSV writer/reader for exporting experiment series (figure
+    data) and round-tripping machine-readable artifacts. *)
 
 type t
 
@@ -12,3 +13,14 @@ val render : t -> string
 
 val save : t -> path:string -> unit
 (** Write the CSV to [path], creating or truncating the file. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> string list list
+(** Inverse of {!render}: split RFC 4180 text into records (the header
+    line, when present, is just the first record). Quoted fields may
+    contain commas, doubled quotes and embedded newlines; records are
+    separated by [\n] or [\r\n], and a trailing newline does not produce
+    an empty final record. Raises {!Parse_error} on an unterminated
+    quoted field or on stray data after a closing quote. *)

@@ -16,6 +16,7 @@ let () =
       ("core", Test_core.suite);
       ("variation", Test_variation.suite);
       ("integration", Test_integration.suite);
+      ("oracle", Test_oracle.suite);
       ("determinism", Test_determinism.suite);
       ("properties", Test_properties.suite);
     ]

@@ -377,6 +377,97 @@ let test_zero_beta () =
     Alcotest.(check (list int)) "all NBB" [ 0 ]
       (Solution.clusters_used r.Heuristic.levels)
 
+(* ----- refine / recovery edge cases ------------------------------------- *)
+
+let test_refine_zero_beta () =
+  (* No slowdown means an empty critical-path set: the refinement loop
+     must converge immediately with nothing to fold in. *)
+  let p = Fbb_core.Problem.build ~beta:0.0 (Lazy.force Tsupport.small_placement) in
+  Alcotest.(check int) "no constraints" 0 (Problem.num_paths p);
+  match Fbb_core.Refine.heuristic p with
+  | None -> Alcotest.fail "zero beta must be solvable"
+  | Some o ->
+    Alcotest.(check int) "one iteration" 1 o.Fbb_core.Refine.iterations;
+    Alcotest.(check int) "nothing folded in" 0 o.Fbb_core.Refine.added_constraints;
+    Alcotest.(check bool) "clean" true o.Fbb_core.Refine.signoff_clean
+
+let test_refine_feasible_noop () =
+  (* An input the solver already answers signoff-clean: the loop must be
+     a no-op — one solve, zero added constraints, the problem returned
+     unchanged. *)
+  let p = problem () in
+  let o =
+    Option.get
+      (Fbb_core.Refine.solve ~solver:(fun q -> Some (Solution.uniform q 10)) p)
+  in
+  Alcotest.(check int) "one iteration" 1 o.Fbb_core.Refine.iterations;
+  Alcotest.(check int) "no added constraints" 0
+    o.Fbb_core.Refine.added_constraints;
+  Alcotest.(check int) "constraint set unchanged" (Problem.num_paths p)
+    (Problem.num_paths o.Fbb_core.Refine.problem)
+
+let test_refine_infeasible_at_max_bias () =
+  (* A slowdown beyond the deepest bias level: the loop must propagate
+     the heuristic's infeasibility instead of iterating. *)
+  let p = Tsupport.small_problem ~beta:0.6 () in
+  Alcotest.(check bool) "no single level" true (Problem.max_single_level p = None);
+  Alcotest.(check bool) "refine reports infeasible" true
+    (Fbb_core.Refine.heuristic p = None)
+
+let test_recovery_empty_paths () =
+  (* A constraint-free recovery instance: nothing bounds the greedy
+     deepening, and any assignment trivially meets the (empty) budget.
+     The optimizer must still terminate within its iteration cap. *)
+  let t = Lazy.force recovery_t in
+  let empty =
+    {
+      t with
+      Fbb_core.Recovery.slack = [||];
+      path_rows = [||];
+      row_paths = Array.map (fun _ -> [||]) t.Fbb_core.Recovery.row_paths;
+    }
+  in
+  let r = Fbb_core.Recovery.optimize ~max_iterations:3 empty in
+  let nrows = Fbb_place.Placement.num_rows t.Fbb_core.Recovery.placement in
+  Alcotest.(check int) "levels per row" nrows
+    (Array.length r.Fbb_core.Recovery.levels);
+  Alcotest.(check bool) "terminates within the cap" true
+    (r.Fbb_core.Recovery.iterations <= 3);
+  Alcotest.(check bool) "empty budget trivially met" true
+    (Fbb_core.Recovery.meets_budget empty r.Fbb_core.Recovery.levels);
+  Alcotest.(check bool) "recovers no more than nominal" true
+    (r.Fbb_core.Recovery.recovered_leakage_nw
+     <= r.Fbb_core.Recovery.nominal_leakage_nw +. 1e-9)
+
+let test_recovery_impossible_budget () =
+  (* A budget below the nominal critical delay cannot be met even at
+     all-NBB (RBB only slows things down): signoff must honestly report
+     failure instead of claiming a clean result. *)
+  let t = Lazy.force recovery_t in
+  let tight =
+    { t with Fbb_core.Recovery.budget_ps = t.Fbb_core.Recovery.budget_ps /. 2.0 }
+  in
+  let r = Fbb_core.Recovery.optimize ~max_iterations:2 tight in
+  Alcotest.(check bool) "signoff honestly fails" false
+    r.Fbb_core.Recovery.signoff_clean;
+  let clean, offenders =
+    Fbb_core.Recovery.signoff tight (Array.make
+      (Fbb_place.Placement.num_rows t.Fbb_core.Recovery.placement) 0)
+  in
+  Alcotest.(check bool) "even all-NBB misses the budget" false clean;
+  Alcotest.(check bool) "offenders reported" true (Array.length offenders > 0)
+
+let test_recovery_single_cluster_uniform () =
+  (* C=1 leaves room for exactly one level across the block, so the
+     assignment must be uniform. *)
+  let t = Lazy.force recovery_t in
+  let r = Fbb_core.Recovery.optimize ~max_clusters:1 t in
+  Alcotest.(check int) "one cluster" 1 r.Fbb_core.Recovery.clusters;
+  Alcotest.(check bool) "uniform assignment" true
+    (Array.for_all
+       (fun l -> l = r.Fbb_core.Recovery.levels.(0))
+       r.Fbb_core.Recovery.levels)
+
 let test_flow_end_to_end () =
   let spec = Fbb_netlist.Benchmarks.find "c1355" in
   let prep = Fbb_core.Flow.prepare spec in
@@ -430,5 +521,15 @@ let suite =
     ("extend with empty set", `Quick, test_extend_empty);
     ("recovery rejects bad margin", `Quick, test_recovery_bad_margin);
     ("zero beta is trivial", `Quick, test_zero_beta);
+    ("refine zero beta converges at once", `Quick, test_refine_zero_beta);
+    ("refine feasible input is a no-op", `Quick, test_refine_feasible_noop);
+    ( "refine infeasible at max bias",
+      `Quick,
+      test_refine_infeasible_at_max_bias );
+    ("rbb recovery empty path set", `Quick, test_recovery_empty_paths);
+    ("rbb recovery impossible budget", `Quick, test_recovery_impossible_budget);
+    ( "rbb recovery single cluster uniform",
+      `Quick,
+      test_recovery_single_cluster_uniform );
     ("flow end to end (c1355)", `Slow, test_flow_end_to_end);
   ]

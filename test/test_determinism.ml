@@ -82,10 +82,37 @@ let test_ilp_flow () =
   let b = at_jobs 4 run in
   check_eq "ilp assignment/leakage/nodes identical jobs=1 vs 4" a b
 
+(* ----- the differential fuzz harness ------------------------------------ *)
+
+let test_differential_harness () =
+  (* The whole oracle/heuristic/B&B/refine cross-check — the fuzzer's
+     inner loop — must produce identical verdicts at any pool width,
+     both the solver outputs and the (hopefully empty) failure lists. *)
+  let module D = Fbb_oracle.Differential in
+  let cases =
+    [
+      Fbb_oracle.Case.make ~seed:11 ~gates:60 ~rows:3 ();
+      Fbb_oracle.Case.make ~beta:0.08 ~seed:23 ~gates:90 ~rows:4 ();
+      Fbb_oracle.Case.make ~beta:0.05 ~max_clusters:3 ~level_stride:2 ~seed:37
+        ~gates:120 ~rows:5 ();
+    ]
+  in
+  List.iter
+    (fun c ->
+      let a = at_jobs 1 (fun () -> D.run c) in
+      let b = at_jobs 4 (fun () -> D.run c) in
+      let tag s = Printf.sprintf "%s (%s)" s (Fbb_oracle.Case.name c) in
+      check_eq (tag "differential outputs identical jobs=1 vs 4")
+        a.D.outputs b.D.outputs;
+      check_eq (tag "failure lists identical jobs=1 vs 4")
+        a.D.failures b.D.failures)
+    cases
+
 let suite =
   [
     Alcotest.test_case "montecarlo" `Quick test_montecarlo;
     Alcotest.test_case "branch and bound" `Quick test_branch_bound;
     Alcotest.test_case "reduce_paths" `Quick test_reduce_paths;
     Alcotest.test_case "ilp flow" `Quick test_ilp_flow;
+    Alcotest.test_case "differential harness" `Quick test_differential_harness;
   ]

@@ -144,9 +144,60 @@ let test_cells () =
   Alcotest.(check string) "cell_pct" "12.35"
     (Fbb_util.Texttab.cell_pct 12.345)
 
+let test_csv_parse_tricky () =
+  let c = Fbb_util.Csv.create ~headers:[ "x"; "y" ] in
+  Fbb_util.Csv.add_row c [ "a,b"; "line1\nline2" ];
+  Fbb_util.Csv.add_row c [ "say \"hi\""; "" ];
+  Alcotest.(check (list (list string)))
+    "parse inverts render"
+    [ [ "x"; "y" ]; [ "a,b"; "line1\nline2" ]; [ "say \"hi\""; "" ] ]
+    (Fbb_util.Csv.parse (Fbb_util.Csv.render c));
+  Alcotest.(check (list (list string))) "crlf records"
+    [ [ "a"; "b" ]; [ "c" ] ]
+    (Fbb_util.Csv.parse "a,b\r\nc\r\n");
+  Alcotest.(check (list (list string))) "no trailing newline"
+    [ [ "a" ]; [ "b" ] ]
+    (Fbb_util.Csv.parse "a\nb");
+  Alcotest.check_raises "unterminated quote"
+    (Fbb_util.Csv.Parse_error (1, "unterminated quoted field")) (fun () ->
+      ignore (Fbb_util.Csv.parse "\"abc"));
+  Alcotest.check_raises "stray data after quote"
+    (Fbb_util.Csv.Parse_error (1, "data after closing quote")) (fun () ->
+      ignore (Fbb_util.Csv.parse "\"a\"b,c"))
+
 let qcheck_tests =
   let open QCheck in
+  (* Fields drawn from a charset biased towards the CSV metacharacters the
+     quoting layer has to get right. *)
+  let csv_field =
+    let gen =
+      Gen.(
+        string_size ~gen:(oneofl [ 'a'; 'z'; '0'; ','; '"'; '\n'; ' '; '\r' ])
+          (int_range 0 8))
+    in
+    QCheck.make ~print:String.escaped gen
+  in
+  let csv_table =
+    let gen =
+      let open Gen in
+      int_range 1 4 >>= fun width ->
+      let row = list_size (return width) (QCheck.gen csv_field) in
+      pair row (list_size (int_range 0 6) row)
+    in
+    let print (headers, rows) =
+      String.concat " | "
+        (List.map
+           (fun r -> String.concat "," (List.map String.escaped r))
+           (headers :: rows))
+    in
+    QCheck.make ~print gen
+  in
   [
+    Test.make ~name:"csv render/parse round-trip" ~count:300 csv_table
+      (fun (headers, rows) ->
+        let c = Fbb_util.Csv.create ~headers in
+        List.iter (Fbb_util.Csv.add_row c) rows;
+        Fbb_util.Csv.parse (Fbb_util.Csv.render c) = headers :: rows);
     Test.make ~name:"rng int within bounds" ~count:500
       (pair small_int (int_range 1 10_000))
       (fun (seed, n) ->
@@ -195,6 +246,7 @@ let suite =
     ("texttab render", `Quick, test_texttab_render);
     ("texttab too many cells", `Quick, test_texttab_too_many_cells);
     ("csv quoting", `Quick, test_csv_quoting);
+    ("csv parse tricky fields", `Quick, test_csv_parse_tricky);
     ("csv save", `Quick, test_csv_save);
     ("texttab align and rules", `Quick, test_texttab_align);
     ("texttab cells", `Quick, test_cells);

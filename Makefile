@@ -3,7 +3,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench fuzz profile trace clean
+.PHONY: all build test bench bench-compare baseline fuzz profile trace flame \
+  clean
 
 all: build
 
@@ -16,6 +17,19 @@ test: build
 bench: build
 	$(DUNE) exec bench/main.exe
 
+# Diff a fresh smoke run against the committed baseline, with the same
+# configuration the baseline was recorded under (CI runs this too).
+bench-compare: build
+	FBB_MC_SAMPLES=10 $(DUNE) exec bench/main.exe -- --jobs 2 yield
+	$(DUNE) exec bin/fbbopt.exe -- bench-compare \
+	  bench/baseline.json bench_out/bench.json --max-regress 25
+
+# Re-record the committed baseline (after a deliberate perf change).
+baseline: build
+	FBB_MC_SAMPLES=10 $(DUNE) exec bench/main.exe -- --jobs 2 yield
+	cp bench_out/bench.json bench/baseline.json
+	@echo "bench/baseline.json updated - commit it with the change"
+
 fuzz: build
 	$(DUNE) exec bin/fbbfuzz.exe -- --cases 50 --seed 1 --corpus-dir test/corpus
 
@@ -25,8 +39,17 @@ profile: build
 trace: build
 	$(DUNE) exec bin/fbbopt.exe -- optimize -d c5315 --ilp \
 	  --trace fbbopt-trace.jsonl --profile-csv fbbopt-profile.csv
-	@echo "wrote fbbopt-trace.jsonl and fbbopt-profile.csv"
+	$(DUNE) exec bin/fbbopt.exe -- trace convert fbbopt-trace.jsonl \
+	  -o fbbopt-trace.chrome.json
+	@echo "wrote fbbopt-trace.jsonl, fbbopt-profile.csv and"
+	@echo "fbbopt-trace.chrome.json (load the latter in ui.perfetto.dev)"
+
+flame: trace
+	$(DUNE) exec bin/fbbopt.exe -- trace flame fbbopt-trace.jsonl \
+	  -o fbbopt-trace.folded
+	@echo "wrote fbbopt-trace.folded (feed to flamegraph.pl / inferno)"
 
 clean:
 	$(DUNE) clean
-	rm -f fbbopt-trace.jsonl fbbopt-profile.csv
+	rm -f fbbopt-trace.jsonl fbbopt-profile.csv fbbopt-trace.chrome.json \
+	  fbbopt-trace.folded

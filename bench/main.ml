@@ -32,16 +32,8 @@ let usage () =
    aggregator, so a per-experiment timing table closes the session. *)
 let timed name run () = Fbb_obs.Span.with_ ~name:("exp." ^ name) run
 
-let exp_seconds agg =
-  List.filter_map
-    (fun (name, _count, total_s, _mean, _max) ->
-      if String.length name > 4 && String.sub name 0 4 = "exp." then
-        Some (String.sub name 4 (String.length name - 4), total_s)
-      else None)
-    (Fbb_obs.Aggregate.span_rows agg)
-
 let timing_table agg =
-  match exp_seconds agg with
+  match Baseline.exp_seconds agg with
   | [] -> ()
   | rows ->
     Exp_common.header "Experiment wall-clock summary";
@@ -52,41 +44,6 @@ let timing_table agg =
           [ name; Fbb_util.Texttab.cell_f ~digits:2 total_s ])
       rows;
     Fbb_util.Texttab.print tab
-
-(* Machine-readable session record for CI artifacts and speedup
-   comparisons across job counts. Hand-rolled JSON: the names are all
-   [a-z0-9._-] identifiers from this codebase, so the only values that
-   need care are the floats (printed with enough digits to round-trip). *)
-let save_json agg =
-  match exp_seconds agg with
-  | [] -> ()
-  | rows ->
-    let buf = Buffer.create 1024 in
-    let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-    addf "{\n";
-    addf "  \"schema\": \"fbb-bench-1\",\n";
-    addf "  \"jobs\": %d,\n" (Fbb_par.Pool.jobs ());
-    addf "  \"experiments\": [\n";
-    List.iteri
-      (fun i (name, total_s) ->
-        addf "    {\"name\": \"%s\", \"seconds\": %.6f}%s\n" name total_s
-          (if i < List.length rows - 1 then "," else ""))
-      rows;
-    addf "  ],\n";
-    addf "  \"counters\": {\n";
-    let counters = Fbb_obs.Counter.totals () in
-    List.iteri
-      (fun i (name, total) ->
-        addf "    \"%s\": %d%s\n" name total
-          (if i < List.length counters - 1 then "," else ""))
-      counters;
-    addf "  }\n";
-    addf "}\n";
-    let path = Exp_common.out_path "bench.json" in
-    let oc = open_out path in
-    output_string oc (Buffer.contents buf);
-    close_out oc;
-    Printf.printf "session timings written to %s\n" path
 
 let rec parse_args = function
   | "--jobs" :: n :: rest -> (
@@ -107,9 +64,12 @@ let () =
   let agg = Fbb_obs.Aggregate.create () in
   Fbb_obs.Sink.install (Fbb_obs.Aggregate.sink agg);
   Fun.protect ~finally:(fun () ->
+      (* Utilization gauges land while the aggregate sink is still
+         installed, so the session record carries them. *)
+      Fbb_par.Pool.publish_utilization ();
       Fbb_obs.Sink.clear ();
       timing_table agg;
-      save_json agg)
+      Baseline.save agg)
   @@ fun () ->
   match args with
   | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage ()

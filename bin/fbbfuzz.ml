@@ -52,6 +52,13 @@ let verbose_arg =
   let doc = "Print every case instead of a progress line per 10." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a JSONL event trace of the whole fuzz run (span/counter/gauge \
+     events, convertible with $(b,fbbopt trace)) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 (* Case distribution: mostly oracle-sized (small row counts, C=2) so the
    exact cross-check fires, with a steady minority of larger instances
    that exercise the invariant-only path and an occasional coarse-level
@@ -132,9 +139,8 @@ let report_failure ~shrink ~repro_dir ~metamorphic ~ilp_seconds case =
       (Differential.run ~metamorphic ~ilp_seconds minimized)
         .Differential.failures
 
-let fuzz cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds jobs
+let fuzz_body cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds
     verbose =
-  Option.iter Fbb_par.Pool.set_jobs jobs;
   let open Fbb_oracle in
   let tally =
     { total = 0; oracle_checked = 0; oracle_infeasible = 0; bb_proved = 0;
@@ -187,6 +193,28 @@ let fuzz cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds jobs
     1
   end
 
+let fuzz cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds jobs
+    verbose trace =
+  Option.iter Fbb_par.Pool.set_jobs jobs;
+  let run () =
+    fuzz_body cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds
+      verbose
+  in
+  match trace with
+  | None -> run ()
+  | Some path ->
+    (* Same sink discipline as fbbopt: trace the whole run under one
+       root span, publish pool utilization while the sink is still
+       installed, and close (fsync) the file even if the run raises. *)
+    let jsonl = Fbb_obs.Jsonl.create path in
+    Fbb_obs.Sink.install (Fbb_obs.Jsonl.sink jsonl);
+    Fun.protect
+      ~finally:(fun () ->
+        Fbb_par.Pool.publish_utilization ();
+        Fbb_obs.Sink.clear ();
+        Fbb_obs.Jsonl.close jsonl)
+      (fun () -> Fbb_obs.Span.with_ ~name:"fbbfuzz.run" run)
+
 let () =
   let info =
     Cmd.info "fbbfuzz" ~version:"1.0.0"
@@ -198,6 +226,6 @@ let () =
     Term.(
       const fuzz $ cases_arg $ seed_arg $ shrink_arg $ corpus_dir_arg
       $ repro_dir_arg $ metamorphic_arg $ ilp_seconds_arg $ jobs_arg
-      $ verbose_arg)
+      $ verbose_arg $ trace_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

@@ -5,7 +5,10 @@
      characterize  - device/bias sweep (Figure 1 data)
      optimize      - run the clustering optimizer on a benchmark or a
                      .bench netlist and report leakage savings
-     tune          - closed-loop post-silicon tuning simulation *)
+     tune          - closed-loop post-silicon tuning simulation
+     recover       - active leakage recovery with reverse body bias
+     trace         - offline converters for recorded JSONL traces
+     bench-compare - diff two bench.json records, gate on regressions *)
 
 open Cmdliner
 
@@ -111,6 +114,9 @@ module Obs_cli = struct
     { aggregate; jsonl; profile; profile_csv }
 
   let finish t =
+    (* Pool utilization gauges must land while the sinks are still
+       installed so they reach the trace and the profile report. *)
+    Fbb_par.Pool.publish_utilization ();
     Fbb_obs.Sink.clear ();
     Option.iter Fbb_obs.Jsonl.close t.jsonl;
     Option.iter
@@ -455,6 +461,130 @@ let recover_cmd =
         (const run $ design_arg $ bench_file_arg $ rows_arg $ margin_arg
         $ clusters_arg))
 
+(* ----- trace ------------------------------------------------------------ *)
+
+let trace_file_arg =
+  let doc = "JSONL trace recorded with $(b,--trace)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let out_arg =
+  let doc = "Write the result to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let write_out out content =
+  match out with
+  | None -> print_string content
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc content);
+    Printf.printf "written %s\n" path
+
+let with_trace path f =
+  match f (Fbb_obs.Trace_export.load path) with
+  | () -> `Ok ()
+  | exception Failure msg -> `Error (false, msg)
+  | exception Sys_error msg -> `Error (false, msg)
+
+let trace_convert_cmd =
+  let run path out =
+    with_trace path @@ fun events ->
+    write_out out
+      (Fbb_util.Json.to_string ~indent:false
+         (Fbb_obs.Trace_export.to_chrome events))
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a JSONL trace to Chrome trace_event JSON (load in \
+          ui.perfetto.dev or chrome://tracing)")
+    Term.(ret (const run $ trace_file_arg $ out_arg))
+
+let trace_flame_cmd =
+  let run path out =
+    with_trace path @@ fun events ->
+    write_out out
+      (Fbb_obs.Trace_export.folded_to_string
+         (Fbb_obs.Trace_export.to_folded events))
+  in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:
+         "Render a JSONL trace as folded flamegraph stacks (self time in \
+          microseconds, for flamegraph.pl / inferno)")
+    Term.(ret (const run $ trace_file_arg $ out_arg))
+
+let trace_stats_cmd =
+  let run path =
+    with_trace path @@ fun events ->
+    print_string (Fbb_obs.Trace_export.stats events)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Replay a JSONL trace through the aggregate sink and print its \
+          report plus span-balance checks")
+    Term.(ret (const run $ trace_file_arg))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Offline converters for recorded JSONL traces")
+    [ trace_convert_cmd; trace_flame_cmd; trace_stats_cmd ]
+
+(* ----- bench-compare ---------------------------------------------------- *)
+
+let bench_compare_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench.json.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Fresh bench.json to judge.")
+  in
+  let max_regress_arg =
+    Arg.(
+      value & opt float 25.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Fail when a gated metric (experiment seconds, GC allocation) \
+             grew by more than $(docv) percent beyond the noise floor.")
+  in
+  let run old_path new_path max_regress_pct =
+    let load what path =
+      match Fbb_obs.Benchfile.load path with
+      | Ok t -> Ok t
+      | Error msg -> Error (Printf.sprintf "%s record %s: %s" what path msg)
+    in
+    match
+      let* old_t = load "old" old_path in
+      let* new_t = load "new" new_path in
+      Ok (Fbb_obs.Benchfile.compare ~max_regress_pct old_t new_t)
+    with
+    | Error msg ->
+      prerr_endline msg;
+      exit 2
+    | Ok c ->
+      print_string (Fbb_obs.Benchfile.render c);
+      if c.Fbb_obs.Benchfile.missing <> [] then exit 2
+      else if Fbb_obs.Benchfile.regressed c then begin
+        Printf.printf "REGRESSION: gated metric(s) beyond %.0f%%\n"
+          max_regress_pct;
+        exit 1
+      end
+      else print_string "bench-compare: ok\n"
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Diff two bench.json records; exit 1 on regression, 2 on \
+          missing/unreadable data")
+    Term.(const run $ old_arg $ new_arg $ max_regress_arg)
+
 (* ----- main ------------------------------------------------------------- *)
 
 let () =
@@ -465,4 +595,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; characterize_cmd; optimize_cmd; tune_cmd; recover_cmd ]))
+          [
+            list_cmd;
+            characterize_cmd;
+            optimize_cmd;
+            tune_cmd;
+            recover_cmd;
+            trace_cmd;
+            bench_compare_cmd;
+          ]))

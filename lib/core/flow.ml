@@ -8,8 +8,12 @@ type prepared = {
 
 let prepare ?lib ?utilization spec =
   Fbb_obs.Span.with_ ~name:"flow.prepare" @@ fun () ->
-  let netlist = spec.B.generate ?lib () in
+  let netlist =
+    Fbb_obs.Span.with_ ~name:"flow.generate" @@ fun () ->
+    spec.B.generate ?lib ()
+  in
   let placement =
+    Fbb_obs.Span.with_ ~name:"flow.place" @@ fun () ->
     Fbb_place.Placement.place ?utilization ~target_rows:spec.B.rows netlist
   in
   { spec; netlist; placement }

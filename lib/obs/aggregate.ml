@@ -1,6 +1,9 @@
-(* In-memory aggregating sink: per-span-name duration statistics plus
-   counter totals and last gauge values, rendered as a text report
-   (Fbb_util.Texttab) or machine-readable CSV. *)
+(* In-memory aggregating sink: per-span-name duration statistics
+   (count/total/max from span events, p50/p90/p99 from the Hist_record
+   stream), per-span GC deltas, counter totals and last gauge values,
+   rendered as a text report (Fbb_util.Texttab) or machine-readable
+   CSV. Columns with nothing to show (a span with no histogram or GC
+   events, e.g. replaying a pre-histogram trace) render as "-". *)
 
 type stat = {
   mutable count : int;
@@ -11,6 +14,8 @@ type stat = {
 type t = {
   spans : (string, stat) Hashtbl.t;
   mutable span_order : string list;  (* first-completion order, reversed *)
+  hists : (string, Histogram.t) Hashtbl.t;
+  gc : (string, Gcprof.sample ref) Hashtbl.t;
   counters : (string, int ref) Hashtbl.t;
   mutable counter_order : string list;
   gauges : (string, float ref) Hashtbl.t;
@@ -21,6 +26,8 @@ let create () =
   {
     spans = Hashtbl.create 32;
     span_order = [];
+    hists = Hashtbl.create 32;
+    gc = Hashtbl.create 32;
     counters = Hashtbl.create 32;
     counter_order = [];
     gauges = Hashtbl.create 8;
@@ -46,6 +53,49 @@ let sink t =
           s.count <- s.count + 1;
           s.total_s <- s.total_s +. dur_s;
           if dur_s > s.max_s then s.max_s <- dur_s
+        | Event.Hist_record { name; value; _ } ->
+          let h =
+            match Hashtbl.find_opt t.hists name with
+            | Some h -> h
+            | None ->
+              let h = Histogram.create name in
+              Hashtbl.add t.hists name h;
+              h
+          in
+          (* observe, not record: we are inside the sink mutex. *)
+          Histogram.observe h value
+        | Event.Gc_sample
+            {
+              name;
+              minor_words;
+              major_words;
+              minor_collections;
+              major_collections;
+              top_heap_words;
+              _;
+            } -> begin
+          let add (g : Gcprof.sample) =
+            {
+              Gcprof.minor_words = g.Gcprof.minor_words +. minor_words;
+              major_words = g.Gcprof.major_words +. major_words;
+              minor_collections = g.Gcprof.minor_collections + minor_collections;
+              major_collections = g.Gcprof.major_collections + major_collections;
+              top_heap_words = max g.Gcprof.top_heap_words top_heap_words;
+            }
+          in
+          match Hashtbl.find_opt t.gc name with
+          | Some r -> r := add !r
+          | None ->
+            Hashtbl.add t.gc name
+              (ref
+                 {
+                   Gcprof.minor_words;
+                   major_words;
+                   minor_collections;
+                   major_collections;
+                   top_heap_words;
+                 })
+        end
         | Event.Counter_add { name; delta; _ } ->
           let r =
             match Hashtbl.find_opt t.counters name with
@@ -80,6 +130,15 @@ let span_total t name =
 let counter_total t name =
   Option.map ( ! ) (Hashtbl.find_opt t.counters name)
 
+let histogram t name = Hashtbl.find_opt t.hists name
+
+let span_percentiles t name =
+  Option.map
+    (fun h -> (Histogram.p50 h, Histogram.p90 h, Histogram.p99 h))
+    (Hashtbl.find_opt t.hists name)
+
+let gc_stat t name = Option.map ( ! ) (Hashtbl.find_opt t.gc name)
+
 (* Span rows, heaviest first: (name, count, total_s, mean_s, max_s). *)
 let span_rows t =
   List.rev t.span_order
@@ -96,23 +155,52 @@ let gauge_rows t =
   List.rev t.gauge_order
   |> List.map (fun name -> (name, !(Hashtbl.find t.gauges name)))
 
+let gc_rows t =
+  List.rev t.span_order
+  |> List.filter_map (fun name ->
+         Option.map (fun r -> (name, !r)) (Hashtbl.find_opt t.gc name))
+
+(* Percentile / GC lookups as floats, NaN when absent so Texttab's "-"
+   rendering for non-finite cells applies. *)
+let pctls_or_nan t name =
+  match span_percentiles t name with
+  | Some v -> v
+  | None -> (Float.nan, Float.nan, Float.nan)
+
+let gc_words_or_nan t name =
+  match gc_stat t name with
+  | Some g -> (g.Gcprof.minor_words, g.Gcprof.major_words)
+  | None -> (Float.nan, Float.nan)
+
 let report t =
   let module T = Fbb_util.Texttab in
   let buf = Buffer.create 1024 in
   let spans = span_rows t in
   if spans <> [] then begin
     let tab =
-      T.create ~headers:[ "span"; "count"; "total s"; "mean s"; "max s" ]
+      T.create
+        ~headers:
+          [
+            "span"; "count"; "total s"; "mean s"; "p50 s"; "p90 s"; "p99 s";
+            "max s"; "gc minor w"; "gc major w";
+          ]
     in
     List.iter
       (fun (name, count, total, mean, mx) ->
+        let p50, p90, p99 = pctls_or_nan t name in
+        let minor_w, major_w = gc_words_or_nan t name in
         T.add_row tab
           [
             name;
             T.cell_i count;
             T.cell_f ~digits:4 total;
             T.cell_f ~digits:6 mean;
+            T.cell_f ~digits:6 p50;
+            T.cell_f ~digits:6 p90;
+            T.cell_f ~digits:6 p99;
             T.cell_f ~digits:6 mx;
+            T.cell_f ~digits:0 minor_w;
+            T.cell_f ~digits:0 major_w;
           ])
       spans;
     Buffer.add_string buf (T.render tab)
@@ -139,27 +227,35 @@ let report t =
 let to_csv t =
   let csv =
     Fbb_util.Csv.create
-      ~headers:[ "kind"; "name"; "count"; "total_s"; "mean_s"; "max_s" ]
+      ~headers:
+        [
+          "kind"; "name"; "count"; "total_s"; "mean_s"; "p50_s"; "p90_s";
+          "p99_s"; "max_s"; "gc_minor_words"; "gc_major_words";
+        ]
   in
+  let cell v = if Float.is_finite v then Printf.sprintf "%.9f" v else "-" in
+  let cell_w v = if Float.is_finite v then Printf.sprintf "%.0f" v else "-" in
   List.iter
     (fun (name, count, total, mean, mx) ->
+      let p50, p90, p99 = pctls_or_nan t name in
+      let minor_w, major_w = gc_words_or_nan t name in
       Fbb_util.Csv.add_row csv
         [
-          "span";
-          name;
-          string_of_int count;
-          Printf.sprintf "%.9f" total;
-          Printf.sprintf "%.9f" mean;
-          Printf.sprintf "%.9f" mx;
+          "span"; name; string_of_int count; cell total; cell mean; cell p50;
+          cell p90; cell p99; cell mx; cell_w minor_w; cell_w major_w;
         ])
     (span_rows t);
   List.iter
     (fun (name, v) ->
-      Fbb_util.Csv.add_row csv [ "counter"; name; "1"; string_of_int v; ""; "" ])
+      Fbb_util.Csv.add_row csv
+        [ "counter"; name; "1"; string_of_int v; ""; ""; ""; ""; ""; ""; "" ])
     (counter_rows t);
   List.iter
     (fun (name, v) ->
       Fbb_util.Csv.add_row csv
-        [ "gauge"; name; "1"; Printf.sprintf "%.9g" v; ""; "" ])
+        [
+          "gauge"; name; "1"; Printf.sprintf "%.9g" v; ""; ""; ""; ""; ""; "";
+          "";
+        ])
     (gauge_rows t);
   csv

@@ -1,6 +1,8 @@
 (** In-memory aggregating sink: per-span-name duration statistics
-    (count / total / mean / max), counter totals and last gauge values,
-    rendered as a text report or CSV. *)
+    (count / total / mean / max from span events, p50/p90/p99 from the
+    histogram stream), per-span GC deltas, counter totals and last
+    gauge values, rendered as a text report or CSV. Cells with no data
+    (a span with no histogram or GC events) render as "-". *)
 
 type t
 
@@ -13,14 +15,29 @@ val span_stat : t -> string -> (int * float * float) option
 val span_total : t -> string -> float option
 val counter_total : t -> string -> int option
 
+val histogram : t -> string -> Histogram.t option
+(** The aggregated value distribution for a histogram name (span
+    durations use the span's name), if any [Hist_record] was seen. *)
+
+val span_percentiles : t -> string -> (float * float * float) option
+(** [(p50, p90, p99)] seconds for a span name. *)
+
+val gc_stat : t -> string -> Gcprof.sample option
+(** Summed GC deltas attributed to a span name ([top_heap_words] is
+    the max seen). *)
+
 val span_rows : t -> (string * int * float * float * float) list
 (** [(name, count, total_s, mean_s, max_s)], heaviest first. *)
 
 val counter_rows : t -> (string * int) list
 val gauge_rows : t -> (string * float) list
 
+val gc_rows : t -> (string * Gcprof.sample) list
+(** Per-span GC deltas in first-completion span order. *)
+
 val report : t -> string
 (** Per-stage text report (Fbb_util.Texttab tables). *)
 
 val to_csv : t -> Fbb_util.Csv.t
-(** Machine-readable dump: kind,name,count,total_s,mean_s,max_s. *)
+(** Machine-readable dump: kind,name,count,total_s,mean_s,p50_s,p90_s,
+    p99_s,max_s,gc_minor_words,gc_major_words. *)

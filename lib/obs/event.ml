@@ -1,29 +1,55 @@
 (* The observability event model. Every instrumentation primitive reduces
-   to one of four events; sinks only ever see this type, so adding a sink
+   to one of six events; sinks only ever see this type, so adding a sink
    never touches instrumented code.
 
    Span begin/end events always come in balanced pairs (Span.with_ emits
-   the end even when the body raises). Counter events carry deltas, not
-   totals: they are flushed at span boundaries so a trace attributes each
-   increment to the innermost span that was open when it happened. *)
+   the end even when the body raises) and carry the integer id of the
+   domain that ran them, so offline converters can rebuild one coherent
+   stack per domain from the interleaved stream. Counter events carry
+   deltas, not totals: they are flushed at span boundaries so a trace
+   attributes each increment to the innermost span that was open when it
+   happened. Hist_record carries one observed value (span durations are
+   recorded automatically; any code can record into its own histogram);
+   Gc_sample carries the GC-counter deltas across one span, measured on
+   the span's own domain. *)
 
 type t =
-  | Span_begin of { name : string; ts : float; depth : int }
-  | Span_end of { name : string; ts : float; dur_s : float; depth : int }
+  | Span_begin of { name : string; ts : float; depth : int; dom : int }
+  | Span_end of {
+      name : string;
+      ts : float;
+      dur_s : float;
+      depth : int;
+      dom : int;
+    }
   | Counter_add of { name : string; delta : int; ts : float }
   | Gauge_set of { name : string; value : float; ts : float }
+  | Hist_record of { name : string; value : float; ts : float }
+  | Gc_sample of {
+      name : string;  (* the span the deltas are attributed to *)
+      minor_words : float;
+      major_words : float;
+      minor_collections : int;
+      major_collections : int;
+      top_heap_words : int;  (* absolute high-water mark, not a delta *)
+      ts : float;
+    }
 
 let name = function
   | Span_begin { name; _ }
   | Span_end { name; _ }
   | Counter_add { name; _ }
-  | Gauge_set { name; _ } -> name
+  | Gauge_set { name; _ }
+  | Hist_record { name; _ }
+  | Gc_sample { name; _ } -> name
 
 let ts = function
   | Span_begin { ts; _ }
   | Span_end { ts; _ }
   | Counter_add { ts; _ }
-  | Gauge_set { ts; _ } -> ts
+  | Gauge_set { ts; _ }
+  | Hist_record { ts; _ }
+  | Gc_sample { ts; _ } -> ts
 
 (* Minimal JSON string escaping; names are controlled identifiers but a
    sink must never emit an unparseable line whatever it is handed. *)
@@ -44,19 +70,38 @@ let escape s =
   Buffer.contents buf
 
 (* One JSON object per event. "ph" mirrors the Chrome trace_event phase
-   letters (B/E/C and an extra "G" for gauges) so a converter only has to
-   rescale timestamps to microseconds. *)
+   letters (B/E/C) plus our own extensions ("G" gauges, "H" histogram
+   observations, "M" GC samples) so a converter only has to rescale
+   timestamps to microseconds. *)
 let to_json ev =
   match ev with
-  | Span_begin { name; ts; depth } ->
-    Printf.sprintf {|{"ph":"B","name":"%s","ts":%.9f,"depth":%d}|}
-      (escape name) ts depth
-  | Span_end { name; ts; dur_s; depth } ->
-    Printf.sprintf {|{"ph":"E","name":"%s","ts":%.9f,"dur_s":%.9f,"depth":%d}|}
-      (escape name) ts dur_s depth
+  | Span_begin { name; ts; depth; dom } ->
+    Printf.sprintf {|{"ph":"B","name":"%s","ts":%.9f,"depth":%d,"dom":%d}|}
+      (escape name) ts depth dom
+  | Span_end { name; ts; dur_s; depth; dom } ->
+    Printf.sprintf
+      {|{"ph":"E","name":"%s","ts":%.9f,"dur_s":%.9f,"depth":%d,"dom":%d}|}
+      (escape name) ts dur_s depth dom
   | Counter_add { name; delta; ts } ->
     Printf.sprintf {|{"ph":"C","name":"%s","ts":%.9f,"delta":%d}|}
       (escape name) ts delta
   | Gauge_set { name; value; ts } ->
     Printf.sprintf {|{"ph":"G","name":"%s","ts":%.9f,"value":%.9g}|}
       (escape name) ts value
+  | Hist_record { name; value; ts } ->
+    Printf.sprintf {|{"ph":"H","name":"%s","ts":%.9f,"value":%.9g}|}
+      (escape name) ts value
+  | Gc_sample
+      {
+        name;
+        minor_words;
+        major_words;
+        minor_collections;
+        major_collections;
+        top_heap_words;
+        ts;
+      } ->
+    Printf.sprintf
+      {|{"ph":"M","name":"%s","ts":%.9f,"minor_words":%.1f,"major_words":%.1f,"minor_collections":%d,"major_collections":%d,"top_heap_words":%d}|}
+      (escape name) ts minor_words major_words minor_collections
+      major_collections top_heap_words

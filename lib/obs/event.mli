@@ -1,23 +1,45 @@
 (** The observability event model: everything a sink can observe.
 
     Span begin/end events come in balanced pairs even when the spanned
-    computation raises. Counter events carry {e deltas} batched at span
-    boundaries, never totals, so a trace attributes increments to the
-    innermost open span. *)
+    computation raises, and carry the id of the domain that ran them so
+    converters can rebuild per-domain stacks from the interleaved
+    stream. Counter events carry {e deltas} batched at span boundaries,
+    never totals, so a trace attributes increments to the innermost
+    open span. [Hist_record] is one observed histogram value (span
+    durations are recorded automatically); [Gc_sample] is the GC
+    counter delta across one span on the span's own domain
+    ([top_heap_words] is the absolute high-water mark). *)
 
 type t =
-  | Span_begin of { name : string; ts : float; depth : int }
-  | Span_end of { name : string; ts : float; dur_s : float; depth : int }
+  | Span_begin of { name : string; ts : float; depth : int; dom : int }
+  | Span_end of {
+      name : string;
+      ts : float;
+      dur_s : float;
+      depth : int;
+      dom : int;
+    }
   | Counter_add of { name : string; delta : int; ts : float }
   | Gauge_set of { name : string; value : float; ts : float }
+  | Hist_record of { name : string; value : float; ts : float }
+  | Gc_sample of {
+      name : string;
+      minor_words : float;
+      major_words : float;
+      minor_collections : int;
+      major_collections : int;
+      top_heap_words : int;
+      ts : float;
+    }
 
 val name : t -> string
 val ts : t -> float
 
 val to_json : t -> string
 (** One-line JSON object. The ["ph"] field mirrors Chrome trace_event
-    phase letters (B/E/C, plus "G" for gauges); timestamps are seconds
-    (trace_event wants microseconds - rescale when converting). *)
+    phase letters (B/E/C) plus extensions "G" (gauge), "H" (histogram
+    observation) and "M" (GC sample); timestamps are seconds
+    (trace_event wants microseconds — {!Trace_export} rescales). *)
 
 val escape : string -> string
 (** JSON string-body escaping (exposed for sinks that render JSON). *)

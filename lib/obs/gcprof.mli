@@ -1,0 +1,35 @@
+(** Per-span GC attribution via [Gc.quick_stat] deltas.
+
+    When a sink is installed and GC profiling is enabled (the
+    default), {!Span.with_} snapshots the domain's GC counters at
+    span open and emits an {!Event.Gc_sample} with the delta at span
+    close — minor/major words allocated, collections run — plus the
+    absolute [top_heap_words] high-water mark. Nested spans report
+    inclusive deltas, like durations. *)
+
+type sample = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  top_heap_words : int;
+}
+
+val set_enabled : bool -> unit
+(** Turn per-span GC sampling off (or back on) independently of the
+    sink — e.g. micro-benchmarks that want spans without the two
+    [Gc.quick_stat] calls per span. Default: enabled. *)
+
+val enabled : unit -> bool
+
+val sample : unit -> sample
+(** The calling domain's current GC counters (no collection forced). *)
+
+val delta : before:sample -> after:sample -> sample
+(** Per-field difference, clamped at zero; [top_heap_words] is
+    [after]'s absolute value. *)
+
+val emit_span_delta : name:string -> ts:float -> sample -> unit
+(** [emit_span_delta ~name ~ts before] samples now and emits the delta
+    against [before] as a [Gc_sample] attributed to span [name].
+    Called by [Span.with_]; exposed for custom instrumentation. *)

@@ -1,0 +1,191 @@
+(* Lock-free log-bucketed latency/size histograms (HDR-style).
+
+   A histogram is a fixed array of atomic bucket counters on a
+   log-linear grid: [sub] linear sub-buckets per power of two, octaves
+   spanning 2^-40 s (~1e-12, below any clock tick) to 2^24 s (~6
+   months), plus a dedicated bucket for zero/negative values and exact
+   atomic count / sum / max alongside. Everything is a fetch-and-add or
+   a CAS retry loop, so worker domains observe concurrently without a
+   lock and without losing updates; readers see a slightly torn but
+   monotone snapshot, which is all a percentile report needs.
+
+   The grid resolution is sub = 16, i.e. every bucket's upper bound is
+   within 1/16 (6.25%) of its lower bound - percentile estimates carry
+   at most that relative error, while exact max is tracked separately.
+
+   Like counters, histograms accumulate with no sink installed;
+   [record] additionally emits a {!Event.Hist_record} so JSONL traces
+   and the aggregate sink can rebuild the distribution offline. The
+   aggregate sink itself uses plain [observe] (no event) - emitting
+   from inside a sink would re-enter the sink mutex. *)
+
+let sub = 16
+let min_exp = -40
+let max_exp = 24
+let octaves = max_exp - min_exp
+
+(* bucket 0: v <= 0; buckets 1 .. octaves*sub: the log-linear grid.
+   Values beyond the top octave clamp into the last bucket. *)
+let n_buckets = 1 + (octaves * sub)
+
+type t = {
+  name : string;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : float Atomic.t;
+  max : float Atomic.t;
+}
+
+let create name =
+  {
+    name;
+    buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum = Atomic.make 0.0;
+    max = Atomic.make 0.0;
+  }
+
+let name t = t.name
+
+(* ----- registry (same discipline as Counter) --------------------------- *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+let order : t list ref = ref []
+
+let make name =
+  Mutex.lock registry_mutex;
+  let h =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+      let h = create name in
+      Hashtbl.add registry name h;
+      order := h :: !order;
+      h
+  in
+  Mutex.unlock registry_mutex;
+  h
+
+(* ----- bucketing ------------------------------------------------------- *)
+
+let bucket_of_value v =
+  if not (v > 0.0) then 0 (* zero, negative, nan *)
+  else begin
+    let m, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5, 1) *)
+    if e > max_exp then n_buckets - 1
+    else if e <= min_exp then 1
+    else begin
+      let si = int_of_float ((m -. 0.5) *. 2.0 *. float_of_int sub) in
+      let si = if si >= sub then sub - 1 else if si < 0 then 0 else si in
+      1 + ((e - min_exp - 1) * sub) + si
+    end
+  end
+
+(* Largest value that lands in bucket [i] (its inclusive upper edge up
+   to float rounding); bucket 0 holds only non-positive values. *)
+let bucket_upper i =
+  if i <= 0 then 0.0
+  else begin
+    let i = i - 1 in
+    let e = min_exp + 1 + (i / sub) in
+    let si = i mod sub in
+    (* lower mantissa edge 0.5 + si/(2*sub), width 1/(2*sub) *)
+    Float.ldexp (0.5 +. (float_of_int (si + 1) /. float_of_int (2 * sub))) e
+  end
+
+let rec cas_add cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then cas_add cell x
+
+let rec cas_max cell x =
+  let old = Atomic.get cell in
+  if x > old && not (Atomic.compare_and_set cell old x) then cas_max cell x
+
+let observe t v =
+  ignore (Atomic.fetch_and_add t.buckets.(bucket_of_value v) 1);
+  ignore (Atomic.fetch_and_add t.count 1);
+  cas_add t.sum v;
+  cas_max t.max v
+
+let record t v =
+  observe t v;
+  if Sink.enabled () then
+    Sink.emit (Event.Hist_record { name = t.name; value = v; ts = Clock.now_s () })
+
+(* ----- readers --------------------------------------------------------- *)
+
+let count t = Atomic.get t.count
+let sum t = Atomic.get t.sum
+let max_value t = Atomic.get t.max
+
+let mean t =
+  let n = count t in
+  if n = 0 then Float.nan else sum t /. float_of_int n
+
+(* Smallest bucket upper bound covering rank ceil(p*n), capped at the
+   exact max so a lone huge sample does not report its bucket edge. *)
+let percentile t p =
+  let n = count t in
+  if n = 0 then Float.nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p *. float_of_int n)) in
+      if r < 1 then 1 else if r > n then n else r
+    in
+    let rec walk i cum =
+      if i >= n_buckets then max_value t
+      else begin
+        let cum = cum + Atomic.get t.buckets.(i) in
+        if cum >= rank then
+          (* The overflow bucket's edge is a floor, not a ceiling: values
+             clamped into it can be arbitrarily large, so report the
+             exact max instead of underestimating. *)
+          if i = n_buckets - 1 then max_value t
+          else Float.min (bucket_upper i) (max_value t)
+        else walk (i + 1) cum
+      end
+    in
+    walk 0 0
+  end
+
+let p50 t = percentile t 0.50
+let p90 t = percentile t 0.90
+let p99 t = percentile t 0.99
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    let c = Atomic.get t.buckets.(i) in
+    if c <> 0 then acc := (i, c) :: !acc
+  done;
+  !acc
+
+(* ----- merge ----------------------------------------------------------- *)
+
+let merge_into ~src ~dst =
+  Array.iteri
+    (fun i b ->
+      let c = Atomic.get b in
+      if c <> 0 then ignore (Atomic.fetch_and_add dst.buckets.(i) c))
+    src.buckets;
+  ignore (Atomic.fetch_and_add dst.count (Atomic.get src.count));
+  cas_add dst.sum (Atomic.get src.sum);
+  cas_max dst.max (Atomic.get src.max)
+
+let union a b =
+  let h = create a.name in
+  merge_into ~src:a ~dst:h;
+  merge_into ~src:b ~dst:h;
+  h
+
+let reset t =
+  Array.iter (fun b -> Atomic.set b 0) t.buckets;
+  Atomic.set t.count 0;
+  Atomic.set t.sum 0.0;
+  Atomic.set t.max 0.0
+
+let reset_all () = Hashtbl.iter (fun _ h -> reset h) registry
+
+let registered () = List.rev !order

@@ -1,0 +1,71 @@
+(** Lock-free log-bucketed histograms (HDR-style).
+
+    Fixed log-linear bucket grid — 16 sub-buckets per power of two
+    from 2^-40 to 2^24 (seconds, when used for latencies), plus a
+    zero/negative bucket — with exact atomic count, sum and max kept
+    alongside. All updates are atomic fetch-and-add or CAS retries, so
+    domains observe concurrently without locks; percentile estimates
+    carry at most one bucket width (6.25%) of relative error and are
+    capped at the exact max.
+
+    Like counters, histograms accumulate with or without a sink.
+    {!Span.with_} records every span's duration into a registry
+    histogram of the same name, so percentiles are available for every
+    span wherever an {!Aggregate} report is rendered. *)
+
+type t
+
+val create : string -> t
+(** A free-standing histogram (not registered). *)
+
+val make : string -> t
+(** Registry histogram: idempotent and thread-safe per name, like
+    [Counter.make]. *)
+
+val name : t -> string
+
+val observe : t -> float -> unit
+(** Record one value (lock-free; no event). Zero, negative and NaN
+    values land in the dedicated bottom bucket and count toward
+    [count] but not [max]. *)
+
+val record : t -> float -> unit
+(** [observe] plus an {!Event.Hist_record} emission when a sink is
+    installed. Never call from inside a sink — it would re-enter the
+    sink mutex; sinks use {!observe}. *)
+
+val count : t -> int
+val sum : t -> float
+val max_value : t -> float
+val mean : t -> float
+(** NaN when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for p in [0,1]: smallest bucket upper edge whose
+    cumulative count reaches rank [ceil (p * count)], capped at the
+    exact max. NaN when empty. *)
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+
+val nonzero_buckets : t -> (int * int) list
+(** [(bucket index, count)] for every non-empty bucket, ascending —
+    the full distribution state, for tests and serialization. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add [src]'s buckets, count, sum into [dst]; max is the pairwise
+    max. [src] is read atomically bucket-by-bucket, so merging a live
+    histogram yields a consistent-enough snapshot. *)
+
+val union : t -> t -> t
+(** Fresh histogram holding the merge of both (named after the
+    first). Associative and commutative on bucket counts, counts and
+    maxes (float sums associate only approximately). *)
+
+val reset : t -> unit
+val reset_all : unit -> unit
+(** Reset every registry histogram. *)
+
+val registered : unit -> t list
+(** Registry histograms in first-registration order. *)

@@ -1,6 +1,11 @@
 (* JSONL trace sink: one event per line, append-only, suitable for
-   offline analysis (jq, pandas) or conversion to the Chrome trace_event
-   format (the "ph" letters already match; timestamps are seconds). *)
+   offline analysis (jq, pandas) or conversion with {!Trace_export} to
+   the Chrome trace_event format (the "ph" letters already match;
+   timestamps are seconds).
+
+   [close] flushes and fsyncs before closing the descriptor: a trace is
+   usually the evidence for a crash or a perf regression, so it must
+   survive whatever happens to the process right after. *)
 
 type t = { oc : out_channel; mutable closed : bool }
 
@@ -20,5 +25,8 @@ let sink t =
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    flush t.oc;
+    (try Unix.fsync (Unix.descr_of_out_channel t.oc)
+     with Unix.Unix_error _ -> () (* e.g. a pipe; durability is best-effort *));
     close_out t.oc
   end

@@ -1,5 +1,5 @@
 (** JSONL trace sink: one event per line, for offline analysis or
-    Chrome trace_event conversion. *)
+    Chrome trace_event conversion (see {!Trace_export}). *)
 
 type t
 
@@ -7,4 +7,7 @@ val create : string -> t
 (** Open (truncating) the trace file. *)
 
 val sink : t -> Sink.t
+
 val close : t -> unit
+(** Flush, [fsync] (best-effort on non-regular files) and close.
+    Idempotent; events emitted after close are dropped. *)

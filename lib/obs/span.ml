@@ -5,9 +5,15 @@
 
    Each domain keeps its own nesting depth in domain-local storage, so
    spans opened inside pool workers nest correctly against their own
-   ancestry instead of racing over one global stack; the per-domain
-   stacks merge into the shared stream when [Sink.emit] serializes the
-   begin/end events at span boundaries. *)
+   ancestry instead of racing over one global stack; every span event
+   carries its domain id, so the per-domain stacks can be rebuilt from
+   the shared stream that [Sink.emit] serializes at span boundaries.
+
+   Beyond the begin/end pair, closing a span (with a sink installed)
+   also records its duration into the registry histogram of the same
+   name (one [Hist_record] event, giving p50/p90/p99 per span name for
+   free) and, unless [Gcprof.set_enabled false], emits a [Gc_sample]
+   with the GC-counter deltas across the span on this domain. *)
 
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
@@ -22,13 +28,18 @@ let with_ ~name f =
     let depth = Domain.DLS.get depth_key in
     let d = !depth in
     depth := d + 1;
+    let dom = (Domain.self () :> int) in
+    let gc0 = if Gcprof.enabled () then Some (Gcprof.sample ()) else None in
     let t0 = Clock.now_s () in
-    Sink.emit (Event.Span_begin { name; ts = t0; depth = d });
+    Sink.emit (Event.Span_begin { name; ts = t0; depth = d; dom });
     let finish () =
       Counter.flush_pending ();
       let t1 = Clock.now_s () in
       depth := d;
-      Sink.emit (Event.Span_end { name; ts = t1; dur_s = t1 -. t0; depth = d })
+      let dur_s = t1 -. t0 in
+      Sink.emit (Event.Span_end { name; ts = t1; dur_s; depth = d; dom });
+      Histogram.record (Histogram.make name) dur_s;
+      Option.iter (Gcprof.emit_span_delta ~name ~ts:t1) gc0
     in
     (match f () with
     | v ->

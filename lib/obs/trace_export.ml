@@ -1,0 +1,296 @@
+(* Offline converters for JSONL traces.
+
+   A trace recorded with the {!Jsonl} sink is a stream of one-line JSON
+   events. This module parses it back into {!Event.t} and renders it as
+
+   * Chrome [trace_event] JSON - load the output in Perfetto
+     (https://ui.perfetto.dev) or chrome://tracing. Spans become B/E
+     pairs on one track per domain; counters and gauges become "C"
+     counter tracks; histogram observations and GC samples become
+     instant events carrying their payload in [args].
+   * folded flamegraph stacks - "a;b;c <self microseconds>" lines,
+     ready for inferno / flamegraph.pl. Self time is a span's duration
+     minus its children's; stacks are kept per domain.
+   * a statistics report - the trace replayed through an {!Aggregate},
+     plus stream-level facts (event counts, span balance).
+
+   Parsing is tolerant where recording may have been cut short: [stats]
+   reports unbalanced spans instead of failing, and the flamegraph
+   drops frames that never closed. Malformed JSON is a hard error -
+   the Jsonl sink never writes it, so it means the wrong file. *)
+
+module Json = Fbb_util.Json
+
+let int_field v k ~default =
+  match Json.member_num k v with
+  | Some f -> int_of_float f
+  | None -> default
+
+let parse_line line =
+  match Json.parse_opt line with
+  | None -> Error "malformed JSON"
+  | Some v -> (
+    match (Json.member_str "ph" v, Json.member_str "name" v) with
+    | None, _ | _, None -> Error "missing \"ph\" or \"name\""
+    | Some ph, Some name -> (
+      let ts = Option.value (Json.member_num "ts" v) ~default:0.0 in
+      let num k = Option.value (Json.member_num k v) ~default:0.0 in
+      (* depth/dom default to 0 so traces from before those fields
+         existed still convert. *)
+      match ph with
+      | "B" ->
+        Ok
+          (Event.Span_begin
+             {
+               name;
+               ts;
+               depth = int_field v "depth" ~default:0;
+               dom = int_field v "dom" ~default:0;
+             })
+      | "E" ->
+        Ok
+          (Event.Span_end
+             {
+               name;
+               ts;
+               dur_s = num "dur_s";
+               depth = int_field v "depth" ~default:0;
+               dom = int_field v "dom" ~default:0;
+             })
+      | "C" ->
+        Ok (Event.Counter_add { name; delta = int_field v "delta" ~default:0; ts })
+      | "G" -> Ok (Event.Gauge_set { name; value = num "value"; ts })
+      | "H" -> Ok (Event.Hist_record { name; value = num "value"; ts })
+      | "M" ->
+        Ok
+          (Event.Gc_sample
+             {
+               name;
+               minor_words = num "minor_words";
+               major_words = num "major_words";
+               minor_collections = int_field v "minor_collections" ~default:0;
+               major_collections = int_field v "major_collections" ~default:0;
+               top_heap_words = int_field v "top_heap_words" ~default:0;
+               ts;
+             })
+      | ph -> Error (Printf.sprintf "unknown phase %S" ph)))
+
+let load path =
+  let ic = open_in path in
+  let events = ref [] in
+  let line_no = ref 0 in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then
+         match parse_line line with
+         | Ok ev -> events := ev :: !events
+         | Error msg -> failwith (Printf.sprintf "%s:%d: %s" path !line_no msg)
+     done
+   with End_of_file -> ());
+  List.rev !events
+
+(* ----- Chrome trace_event --------------------------------------------- *)
+
+let us ts = ts *. 1e6
+
+let to_chrome events =
+  (* Chrome counter tracks plot totals; our Counter_add events carry
+     deltas, so integrate per name as we go. *)
+  let counter_totals : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let trace_events =
+    List.map
+      (fun ev ->
+        let common ph name ts tid rest =
+          Json.Obj
+            ([
+               ("name", Json.Str name);
+               ("ph", Json.Str ph);
+               ("ts", Json.Num (us ts));
+               ("pid", Json.Num 1.0);
+               ("tid", Json.Num (float_of_int tid));
+             ]
+            @ rest)
+        in
+        match ev with
+        | Event.Span_begin { name; ts; depth; dom } ->
+          common "B" name ts dom
+            [ ("args", Json.Obj [ ("depth", Json.Num (float_of_int depth)) ]) ]
+        | Event.Span_end { name; ts; dom; _ } -> common "E" name ts dom []
+        | Event.Counter_add { name; delta; ts } ->
+          let r =
+            match Hashtbl.find_opt counter_totals name with
+            | Some r -> r
+            | None ->
+              let r = ref 0 in
+              Hashtbl.add counter_totals name r;
+              r
+          in
+          r := !r + delta;
+          common "C" name ts 0
+            [ ("args", Json.Obj [ ("value", Json.Num (float_of_int !r)) ]) ]
+        | Event.Gauge_set { name; value; ts } ->
+          common "C" name ts 0 [ ("args", Json.Obj [ ("value", Json.Num value) ]) ]
+        | Event.Hist_record { name; value; ts } ->
+          common "i" name ts 0
+            [
+              ("s", Json.Str "t");
+              ("args", Json.Obj [ ("value", Json.Num value) ]);
+            ]
+        | Event.Gc_sample
+            {
+              name;
+              minor_words;
+              major_words;
+              minor_collections;
+              major_collections;
+              top_heap_words;
+              ts;
+            } ->
+          common "i" ("gc " ^ name) ts 0
+            [
+              ("s", Json.Str "t");
+              ( "args",
+                Json.Obj
+                  [
+                    ("minor_words", Json.Num minor_words);
+                    ("major_words", Json.Num major_words);
+                    ("minor_collections", Json.Num (float_of_int minor_collections));
+                    ("major_collections", Json.Num (float_of_int major_collections));
+                    ("top_heap_words", Json.Num (float_of_int top_heap_words));
+                  ] );
+            ])
+      events
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr trace_events);
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+(* ----- folded flamegraph stacks ---------------------------------------- *)
+
+let to_folded events =
+  let doms =
+    List.sort_uniq compare
+      (List.filter_map
+         (function
+           | Event.Span_begin { dom; _ } | Event.Span_end { dom; _ } -> Some dom
+           | _ -> None)
+         events)
+  in
+  let multi_dom = List.length doms > 1 in
+  (* Per-domain stack of (name, children's total seconds so far). *)
+  let stacks : (int, (string * float ref) list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let stack dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks dom s;
+      s
+  in
+  let folded : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Event.Span_begin { name; dom; _ } ->
+        let s = stack dom in
+        s := (name, ref 0.0) :: !s
+      | Event.Span_end { name; dur_s; dom; _ } -> begin
+        let s = stack dom in
+        match !s with
+        | (top, children) :: rest when top = name ->
+          s := rest;
+          let self = Float.max 0.0 (dur_s -. !children) in
+          (match rest with
+          | (_, parent_children) :: _ ->
+            parent_children := !parent_children +. dur_s
+          | [] -> ());
+          let frames = List.rev_map fst !s @ [ name ] in
+          let frames =
+            if multi_dom then Printf.sprintf "d%d" dom :: frames else frames
+          in
+          let key = String.concat ";" frames in
+          Hashtbl.replace folded key
+            (self +. Option.value (Hashtbl.find_opt folded key) ~default:0.0)
+        | _ ->
+          (* End with no matching begin: truncated head; skip. *)
+          ()
+      end
+      | Event.Counter_add _ | Event.Gauge_set _ | Event.Hist_record _
+      | Event.Gc_sample _ -> ())
+    events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) folded []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let folded_to_string folded =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (stack, self_s) ->
+      (* flamegraph.pl wants integer sample counts; use microseconds. *)
+      Buffer.add_string buf
+        (Printf.sprintf "%s %.0f\n" stack (Float.round (us self_s))))
+    folded;
+  Buffer.contents buf
+
+(* ----- statistics ------------------------------------------------------ *)
+
+let stats events =
+  let agg = Aggregate.create () in
+  let s = Aggregate.sink agg in
+  List.iter s.Sink.emit events;
+  let begins = ref 0
+  and ends = ref 0
+  and counters = ref 0
+  and gauges = ref 0
+  and hists = ref 0
+  and gcs = ref 0 in
+  (* Per-domain balance: every begin must have a later end at the same
+     depth with the same name. Replay the per-domain stacks. *)
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 4 in
+  let unbalanced = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Event.Span_begin { name; dom; _ } ->
+        incr begins;
+        let s =
+          match Hashtbl.find_opt stacks dom with
+          | Some s -> s
+          | None ->
+            let s = ref [] in
+            Hashtbl.add stacks dom s;
+            s
+        in
+        s := name :: !s
+      | Event.Span_end { name; dom; _ } -> begin
+        incr ends;
+        match Hashtbl.find_opt stacks dom with
+        | Some ({ contents = top :: rest } as s) when top = name -> s := rest
+        | _ -> incr unbalanced
+      end
+      | Event.Counter_add _ -> incr counters
+      | Event.Gauge_set _ -> incr gauges
+      | Event.Hist_record _ -> incr hists
+      | Event.Gc_sample _ -> incr gcs)
+    events;
+  let open_spans =
+    Hashtbl.fold (fun _ s acc -> acc + List.length !s) stacks 0
+  in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "events: %d (%d span begin, %d span end, %d counter, %d gauge, %d \
+     histogram, %d gc)\n"
+    (List.length events) !begins !ends !counters !gauges !hists !gcs;
+  if !unbalanced > 0 || open_spans > 0 then
+    Printf.bprintf buf
+      "WARNING: unbalanced spans: %d mismatched end(s), %d never closed\n"
+      !unbalanced open_spans
+  else Printf.bprintf buf "span stream balanced\n";
+  Buffer.add_string buf (Aggregate.report agg);
+  Buffer.contents buf

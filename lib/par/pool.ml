@@ -16,6 +16,76 @@
 let tasks_c = Fbb_obs.Counter.make "par.tasks"
 let batches_c = Fbb_obs.Counter.make "par.batches"
 
+(* ----- utilization accounting ------------------------------------------ *)
+
+(* One record per worker slot (persisting across pool respawns, so a
+   session total survives set_jobs) plus one per non-worker domain that
+   ever executes tasks - the submitter draining the queue while its
+   batch is outstanding, or the whole batch at jobs = 1. Each record is
+   only ever written by the domain that owns it; readers may see a
+   value mid-update, which is fine for a utilization report. Idle time
+   is what a worker spends blocked on the condition variable waiting
+   for work - queue-empty wall time, the pool's "wasted" seconds. *)
+type wutil = {
+  mutable busy_s : float;
+  mutable idle_s : float;
+  mutable tasks : int;
+}
+
+let fresh_wutil () = { busy_s = 0.0; idle_s = 0.0; tasks = 0 }
+
+let util_mutex = Mutex.create ()
+let worker_utils : wutil array ref = ref [||]
+let ext_utils : wutil list ref = ref []
+
+let worker_util slot =
+  Mutex.protect util_mutex (fun () ->
+      let n = Array.length !worker_utils in
+      if slot >= n then
+        worker_utils :=
+          Array.append !worker_utils
+            (Array.init (slot + 1 - n) (fun _ -> fresh_wutil ()));
+      !worker_utils.(slot))
+
+(* The calling domain's bucket, registered on first use. *)
+let ext_key =
+  Domain.DLS.new_key (fun () ->
+      let u = fresh_wutil () in
+      Mutex.protect util_mutex (fun () -> ext_utils := u :: !ext_utils);
+      u)
+
+let timed_task u task =
+  let t0 = Fbb_obs.Clock.now_s () in
+  task ();
+  u.busy_s <- u.busy_s +. (Fbb_obs.Clock.now_s () -. t0);
+  u.tasks <- u.tasks + 1
+
+let utilization () =
+  Mutex.protect util_mutex (fun () ->
+      let workers =
+        Array.to_list
+          (Array.mapi
+             (fun i u ->
+               (Printf.sprintf "w%d" i, u.busy_s, u.idle_s, u.tasks))
+             !worker_utils)
+      in
+      let busy, idle, tasks =
+        List.fold_left
+          (fun (b, i, t) u -> (b +. u.busy_s, i +. u.idle_s, t + u.tasks))
+          (0.0, 0.0, 0) !ext_utils
+      in
+      if tasks = 0 && busy = 0.0 then workers
+      else workers @ [ ("caller", busy, idle, tasks) ])
+
+let publish_utilization () =
+  List.iter
+    (fun (label, busy_s, idle_s, tasks) ->
+      let g suffix = Fbb_obs.Counter.Gauge.make ("par." ^ label ^ suffix) in
+      Fbb_obs.Counter.Gauge.set (g ".busy_s") busy_s;
+      Fbb_obs.Counter.Gauge.set (g ".idle_s") idle_s;
+      Fbb_obs.Counter.Gauge.set (g ".tasks") (float_of_int tasks))
+    (utilization ())
+
 type state = {
   mutex : Mutex.t;
   work : Condition.t;  (* queue became non-empty, or shutdown *)
@@ -55,7 +125,8 @@ let jobs () =
     | Some n -> n
     | None -> max 1 (Domain.recommended_domain_count ()))
 
-let worker () =
+let worker slot () =
+  let u = worker_util slot in
   let rec loop () =
     Mutex.lock st.mutex;
     let rec next () =
@@ -64,10 +135,12 @@ let worker () =
         match Queue.take_opt st.queue with
         | Some task ->
           Mutex.unlock st.mutex;
-          task ();
+          timed_task u task;
           loop ()
         | None ->
+          let t0 = Fbb_obs.Clock.now_s () in
           Condition.wait st.work st.mutex;
+          u.idle_s <- u.idle_s +. (Fbb_obs.Clock.now_s () -. t0);
           next ()
     in
     next ()
@@ -97,7 +170,7 @@ let ensure_started size =
         at_exit_installed := true;
         at_exit shutdown
       end;
-      st.domains <- List.init (size - 1) (fun _ -> Domain.spawn worker)
+      st.domains <- List.init (size - 1) (fun i -> Domain.spawn (worker i))
     end
   end
 
@@ -111,7 +184,10 @@ let run_batch tasks =
     Fbb_obs.Counter.add tasks_c n;
     let size = jobs () in
     ensure_started size;
-    if size = 1 then Array.iter (fun t -> t ()) tasks
+    if size = 1 then begin
+      let u = Domain.DLS.get ext_key in
+      Array.iter (fun t -> timed_task u t) tasks
+    end
     else begin
       let remaining = Atomic.make n in
       let batch_done = Condition.create () in
@@ -126,13 +202,14 @@ let run_batch tasks =
       Mutex.lock st.mutex;
       Array.iter (fun t -> Queue.add (wrap t) st.queue) tasks;
       Condition.broadcast st.work;
+      let u = Domain.DLS.get ext_key in
       let rec help () =
         if Atomic.get remaining = 0 then Mutex.unlock st.mutex
         else
           match Queue.take_opt st.queue with
           | Some task ->
             Mutex.unlock st.mutex;
-            task ();
+            timed_task u task;
             Mutex.lock st.mutex;
             help ()
           | None ->

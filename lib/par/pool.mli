@@ -42,6 +42,23 @@ val shutdown : unit -> unit
     [at_exit] handler when the pool first starts, so programs never
     exit with live domains. *)
 
+val utilization : unit -> (string * float * float * int) list
+(** [(label, busy_s, idle_s, tasks)] per execution context: one
+    ["w<i>"] row per worker slot (accumulated across respawns) and one
+    ["caller"] row summing every non-worker domain that executed tasks
+    — the submitter draining the queue while its batch was
+    outstanding, or everything at [jobs = 1]. [busy_s] is time inside
+    tasks, [idle_s] time blocked waiting for work (always 0 for
+    ["caller"]); values are read without stopping the pool, so a
+    concurrent reader sees a slightly stale but self-consistent
+    snapshot. *)
+
+val publish_utilization : unit -> unit
+(** Set [par.<label>.busy_s] / [.idle_s] / [.tasks] gauges from
+    {!utilization}, emitting [Gauge_set] events if a sink is
+    installed. Call at the end of a session (profile reports, bench
+    records), not per batch. *)
+
 val parallel_map : ?chunk:int -> 'a array -> f:('a -> 'b) -> 'b array
 (** [parallel_map a ~f] is [Array.map f a] with the elements sharded
     across the pool in contiguous chunks ([?chunk] elements each;

@@ -1,0 +1,301 @@
+(* Minimal JSON: a value type, a recursive-descent parser and a
+   printer. Enough for the machine-readable artifacts this repo
+   produces (bench session records, JSONL trace events) without an
+   external dependency: object/array/string/number/bool/null, nested
+   arbitrarily, with the string escapes those writers emit.
+
+   Numbers are all floats (like JavaScript); [member_int] truncates.
+   Object member order is preserved by the parser and the printer so
+   round-trips are stable and diffs readable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+(* character offset (0-based) and message *)
+
+(* ----- parsing --------------------------------------------------------- *)
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (st.pos, msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let expect st ch =
+  match peek st with
+  | Some c when c = ch -> advance st
+  | Some c -> error st (Printf.sprintf "expected '%c', got '%c'" ch c)
+  | None -> error st (Printf.sprintf "expected '%c', got end of input" ch)
+
+let parse_literal st lit value =
+  let n = String.length lit in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = lit
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" lit)
+
+let parse_string_body st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | None -> error st "dangling escape"
+      | Some c ->
+        advance st;
+        (match c with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if st.pos + 4 > String.length st.src then error st "short \\u escape";
+          let hex = String.sub st.src st.pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | None -> error st "bad \\u escape"
+          | Some code ->
+            (* Encode the code point as UTF-8; codes above the BMP
+               would arrive as surrogate pairs, which our writers never
+               emit - map surrogates through as-is bytes. *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            st.pos <- st.pos + 4)
+        | c -> error st (Printf.sprintf "bad escape '\\%c'" c)));
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char b c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> error st (Printf.sprintf "bad number %S" s)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let members = ref [] in
+      let rec go () =
+        skip_ws st;
+        let key = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        members := (key, v) :: !members;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          go ()
+        | Some '}' -> advance st
+        | _ -> error st "expected ',' or '}'"
+      in
+      go ();
+      Obj (List.rev !members)
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          go ()
+        | Some ']' -> advance st
+        | _ -> error st "expected ',' or ']'"
+      in
+      go ();
+      Arr (List.rev !items)
+    end
+  | Some '"' -> Str (parse_string_body st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> Num (parse_number st)
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+let parse_opt s = try Some (parse s) with Parse_error _ -> None
+
+(* ----- printing -------------------------------------------------------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    (* %.17g round-trips every float; trim to the shortest that does. *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec print_into buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep () = if indent then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f ->
+    if Float.is_finite f then Buffer.add_string buf (number_to_string f)
+    else Buffer.add_string buf "null" (* JSON has no inf/nan *)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items ->
+    Buffer.add_char buf '[';
+    sep ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          sep ()
+        end;
+        pad (level + 1);
+        print_into buf ~indent ~level:(level + 1) item)
+      items;
+    sep ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj members ->
+    Buffer.add_char buf '{';
+    sep ();
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          sep ()
+        end;
+        pad (level + 1);
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\": ";
+        print_into buf ~indent ~level:(level + 1) item)
+      members;
+    sep ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string ?(indent = false) v =
+  let buf = Buffer.create 256 in
+  print_into buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+let save ?indent v ~path =
+  let oc = open_out path in
+  output_string oc (to_string ?indent v);
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s
+
+(* ----- accessors ------------------------------------------------------- *)
+
+let member key = function Obj members -> List.assoc_opt key members | _ -> None
+
+let member_num key v =
+  match member key v with Some (Num f) -> Some f | _ -> None
+
+let member_str key v =
+  match member key v with Some (Str s) -> Some s | _ -> None
+
+let member_obj key v =
+  match member key v with Some (Obj m) -> Some m | _ -> None
+
+let member_arr key v =
+  match member key v with Some (Arr items) -> Some items | _ -> None
+
+let to_num = function Num f -> Some f | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,43 @@
+(** Minimal JSON value type, parser and printer.
+
+    Covers what this repo's machine-readable artifacts need — bench
+    session records and JSONL trace events — with no external
+    dependency. All numbers are floats; object member order is
+    preserved on both parse and print, so round-trips are stable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+(** Character offset (0-based) and message. *)
+
+val parse : string -> t
+(** Parse a complete JSON document. Raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+val parse_opt : string -> t option
+
+val to_string : ?indent:bool -> t -> string
+(** Render; [~indent:true] pretty-prints with two-space indentation.
+    Non-finite numbers render as [null] (JSON has no inf/nan). *)
+
+val save : ?indent:bool -> t -> path:string -> unit
+(** Write [to_string v] plus a trailing newline to [path]. *)
+
+val load : string -> t
+(** Parse the file at [path]. Raises {!Parse_error} or [Sys_error]. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on missing key or non-object. *)
+
+val member_num : string -> t -> float option
+val member_str : string -> t -> string option
+val member_obj : string -> t -> (string * t) list option
+val member_arr : string -> t -> t list option
+val to_num : t -> float option
+val to_str : t -> string option

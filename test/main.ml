@@ -19,4 +19,5 @@ let () =
       ("oracle", Test_oracle.suite);
       ("determinism", Test_determinism.suite);
       ("properties", Test_properties.suite);
+      ("trace", Test_trace.suite);
     ]

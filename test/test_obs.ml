@@ -31,7 +31,7 @@ let test_span_nesting () =
       (function
         | Obs.Event.Span_begin { name; depth; _ } -> Some (`B, name, depth)
         | Obs.Event.Span_end { name; depth; _ } -> Some (`E, name, depth)
-        | Obs.Event.Counter_add _ | Obs.Event.Gauge_set _ -> None)
+        | _ -> None)
       (events ())
   in
   Alcotest.(check int) "six span events" 6 (List.length shape);
@@ -58,7 +58,7 @@ let test_span_exception_safe () =
         match ev with
         | Obs.Event.Span_begin _ -> (b + 1, e)
         | Obs.Event.Span_end _ -> (b, e + 1)
-        | Obs.Event.Counter_add _ | Obs.Event.Gauge_set _ -> (b, e))
+        | _ -> (b, e))
       (0, 0) (events ())
   in
   Alcotest.(check (pair int int)) "end emitted despite raise" (1, 1)
@@ -142,8 +142,15 @@ let test_sink_restore () =
           Obs.Span.with_ ~name:"inner-only" (fun () -> ()));
       Alcotest.(check bool) "outer restored" true (Obs.Sink.enabled ()));
   Alcotest.(check bool) "cleared at top level" false (Obs.Sink.enabled ());
+  (* A completed span emits begin/end plus a histogram observation and
+     a GC sample; only the begin/end pair is counted here. *)
   Alcotest.(check int) "inner sink saw its span" 2
-    (List.length (events_b ()))
+    (List.length
+       (List.filter
+          (function
+            | Obs.Event.Span_begin _ | Obs.Event.Span_end _ -> true
+            | _ -> false)
+          (events_b ())))
 
 let test_suspended () =
   let sink, events = recording () in
@@ -296,7 +303,8 @@ let test_jsonl_roundtrip () =
       end
       | "C" -> if str "name" = cname then
           counter_sum := !counter_sum + int_of_float (num "delta")
-      | "G" -> ignore (num "value")
+      | "G" | "H" -> ignore (num "value")
+      | "M" -> ignore (num "minor_words")
       | ph -> Alcotest.failf "unknown phase %s" ph)
     lines;
   Alcotest.(check (list string)) "all spans closed" [] !stack;
@@ -305,12 +313,222 @@ let test_jsonl_roundtrip () =
 let test_event_json_escaping () =
   let j =
     Obs.Event.to_json
-      (Obs.Event.Span_begin { name = "q\"\\\n\t"; ts = 0.5; depth = 2 })
+      (Obs.Event.Span_begin { name = "q\"\\\n\t"; ts = 0.5; depth = 2; dom = 0 })
   in
   let fields = parse_flat j in
   match List.assoc_opt "name" fields with
   | Some (`S s) -> Alcotest.(check string) "escapes round-trip" "q\"\\\n\t" s
   | Some (`F _) | None -> Alcotest.fail "name field missing"
+
+(* ----- histograms ------------------------------------------------------- *)
+
+let test_histogram_edges () =
+  let h = Obs.Histogram.create "t.hist.edges" in
+  (* Zero, negative and NaN land in the bottom bucket: counted, no max. *)
+  Obs.Histogram.observe h 0.0;
+  Obs.Histogram.observe h (-3.0);
+  Obs.Histogram.observe h Float.nan;
+  Alcotest.(check int) "degenerate values counted" 3 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "max untouched by degenerates" 0.0
+    (Obs.Histogram.max_value h);
+  (match Obs.Histogram.nonzero_buckets h with
+  | [ (0, 3) ] -> ()
+  | bs ->
+    Alcotest.failf "degenerates not in bucket 0: %s"
+      (String.concat ","
+         (List.map (fun (i, c) -> Printf.sprintf "%d:%d" i c) bs)));
+  (* Values below the grid (2^-40) and above it (2^24) clamp to the
+     first and last real bucket instead of being dropped. *)
+  Obs.Histogram.observe h 1e-15;
+  Obs.Histogram.observe h 1e9;
+  Alcotest.(check int) "extremes counted" 5 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "max is exact" 1e9 (Obs.Histogram.max_value h);
+  Alcotest.(check (float 0.0)) "p99 capped at the exact max" 1e9
+    (Obs.Histogram.percentile h 0.99)
+
+let test_histogram_percentile_accuracy () =
+  let h = Obs.Histogram.create "t.hist.acc" in
+  for i = 1 to 1000 do
+    Obs.Histogram.observe h (float_of_int i *. 1e-3)
+  done;
+  let check_pct p expected =
+    let got = Obs.Histogram.percentile h p in
+    (* One log-linear bucket is 1/16 of an octave: <= 6.25% relative
+       error, upper-edge biased. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "p%.0f within a bucket width" (p *. 100.0))
+      true
+      (got >= expected *. 0.99 && got <= expected *. 1.07)
+  in
+  check_pct 0.50 0.5;
+  check_pct 0.90 0.9;
+  check_pct 0.99 0.99;
+  Alcotest.(check (float 1e-9)) "mean exact from atomic sum" 0.5005
+    (Obs.Histogram.mean h)
+
+let test_histogram_merge_matches_combined () =
+  let a = Obs.Histogram.create "t.hist.a"
+  and b = Obs.Histogram.create "t.hist.b"
+  and all = Obs.Histogram.create "t.hist.all" in
+  let vs_a = [ 0.001; 0.004; 0.12; 7.0 ] and vs_b = [ 0.0; 0.03; 250.0 ] in
+  List.iter (Obs.Histogram.observe a) vs_a;
+  List.iter (Obs.Histogram.observe b) vs_b;
+  List.iter (Obs.Histogram.observe all) (vs_a @ vs_b);
+  let u = Obs.Histogram.union a b in
+  Alcotest.(check int) "merged count" (Obs.Histogram.count all)
+    (Obs.Histogram.count u);
+  Alcotest.(check (float 0.0)) "merged max" (Obs.Histogram.max_value all)
+    (Obs.Histogram.max_value u);
+  Alcotest.(check bool) "merged buckets" true
+    (Obs.Histogram.nonzero_buckets u = Obs.Histogram.nonzero_buckets all)
+
+let qcheck_histogram_merge_associative =
+  (* Bucket counts, count and max are exactly associative under union
+     (float sums only approximately, so they are not compared). *)
+  let gen =
+    QCheck.list_of_size (QCheck.Gen.int_range 0 30)
+      (QCheck.float_range (-1.0) 1e7)
+  in
+  QCheck.Test.make ~count:100 ~name:"histogram union is associative"
+    (QCheck.triple gen gen gen)
+    (fun (xs, ys, zs) ->
+      let mk name vs =
+        let h = Obs.Histogram.create name in
+        List.iter (Obs.Histogram.observe h) vs;
+        h
+      in
+      let a = mk "qa" xs and b = mk "qb" ys and c = mk "qc" zs in
+      let l = Obs.Histogram.union (Obs.Histogram.union a b) c in
+      let r = Obs.Histogram.union a (Obs.Histogram.union b c) in
+      Obs.Histogram.nonzero_buckets l = Obs.Histogram.nonzero_buckets r
+      && Obs.Histogram.count l = Obs.Histogram.count r
+      && (Obs.Histogram.count l = 0
+         || Obs.Histogram.max_value l = Obs.Histogram.max_value r))
+
+let test_span_records_histogram () =
+  let name = fresh "t.span.hist" in
+  let sink, events = recording () in
+  Obs.Sink.with_installed sink (fun () ->
+      Obs.Span.with_ ~name (fun () -> Sys.opaque_identity ()));
+  (* The duration lands both in the registry histogram and on the wire
+     as a Hist_record carrying the same value. *)
+  let h = Obs.Histogram.make name in
+  Alcotest.(check int) "registry histogram observed the span" 1
+    (Obs.Histogram.count h);
+  let wire =
+    List.filter_map
+      (function
+        | Obs.Event.Hist_record { name = n; value; _ } when n = name ->
+          Some value
+        | _ -> None)
+      (events ())
+  in
+  (match wire with
+  | [ v ] ->
+    Alcotest.(check (float 1e-12)) "wire value = histogram sum" v
+      (Obs.Histogram.sum h)
+  | l -> Alcotest.failf "expected 1 Hist_record, got %d" (List.length l));
+  Obs.Histogram.reset h
+
+(* ----- GC profiling ------------------------------------------------------ *)
+
+let test_gc_delta_monotone () =
+  let before = Obs.Gcprof.sample () in
+  (* Allocate enough to move minor_words for sure. *)
+  let keep = ref [] in
+  for i = 1 to 1000 do
+    keep := Array.make 10 i :: !keep
+  done;
+  ignore (Sys.opaque_identity !keep);
+  let after = Obs.Gcprof.sample () in
+  let d = Obs.Gcprof.delta ~before ~after in
+  Alcotest.(check bool) "allocation observed" true
+    (d.Obs.Gcprof.minor_words > 0.0);
+  Alcotest.(check bool) "all delta fields non-negative" true
+    (d.Obs.Gcprof.minor_words >= 0.0
+    && d.Obs.Gcprof.major_words >= 0.0
+    && d.Obs.Gcprof.minor_collections >= 0
+    && d.Obs.Gcprof.major_collections >= 0);
+  (* Deltas against a later snapshot clamp at zero, never go negative. *)
+  let clamped = Obs.Gcprof.delta ~before:after ~after:before in
+  Alcotest.(check (float 0.0)) "clamped minor words" 0.0
+    clamped.Obs.Gcprof.minor_words;
+  Alcotest.(check int) "clamped collections" 0
+    clamped.Obs.Gcprof.minor_collections
+
+let test_span_emits_gc_sample () =
+  let name = fresh "t.span.gc" in
+  let sink, events = recording () in
+  Obs.Sink.with_installed sink (fun () ->
+      Obs.Span.with_ ~name (fun () ->
+          ignore (Sys.opaque_identity (Array.make 4096 0.0))));
+  let samples =
+    List.filter
+      (function
+        | Obs.Event.Gc_sample { name = n; minor_words; _ } ->
+          n = name && minor_words >= 0.0
+        | _ -> false)
+      (events ())
+  in
+  Alcotest.(check int) "one GC sample per span" 1 (List.length samples)
+
+let test_gc_sampling_toggle () =
+  let sink, events = recording () in
+  Obs.Gcprof.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Obs.Gcprof.set_enabled true)
+    (fun () ->
+      Obs.Sink.with_installed sink (fun () ->
+          Obs.Span.with_ ~name:"t.gc.off" (fun () -> ())));
+  Alcotest.(check int) "no GC sample when disabled" 0
+    (List.length
+       (List.filter
+          (function Obs.Event.Gc_sample _ -> true | _ -> false)
+          (events ())))
+
+(* ----- JSONL under exceptions ------------------------------------------- *)
+
+let test_jsonl_valid_when_raising () =
+  (* Satellite guarantee: even when spanned code raises, the trace file
+     closes as valid line-by-line JSON with a balanced span stream. *)
+  let path = Filename.temp_file "fbb_obs_raise" ".jsonl" in
+  let writer = Obs.Jsonl.create path in
+  (try
+     Obs.Sink.with_installed (Obs.Jsonl.sink writer) (fun () ->
+         Obs.Span.with_ ~name:"outer" (fun () ->
+             Obs.Span.with_ ~name:"inner" (fun () -> failwith "boom")))
+   with Failure _ -> ());
+  Obs.Jsonl.close writer;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "trace non-empty" true (lines <> []);
+  let stack = ref [] in
+  List.iter
+    (fun line ->
+      (* Every line must parse as standalone JSON... *)
+      match Fbb_util.Json.parse_opt line with
+      | None -> Alcotest.failf "invalid JSON line: %s" line
+      | Some v -> (
+        match
+          (Fbb_util.Json.member_str "ph" v, Fbb_util.Json.member_str "name" v)
+        with
+        | Some "B", Some name -> stack := name :: !stack
+        | Some "E", Some name -> (
+          match !stack with
+          | top :: rest when top = name -> stack := rest
+          | _ -> Alcotest.failf "unbalanced end: %s" line)
+        | Some _, Some _ -> ()
+        | _ -> Alcotest.failf "line without ph/name: %s" line))
+    lines;
+  (* ...and both spans must have closed despite the raise. *)
+  Alcotest.(check (list string)) "balanced despite raise" [] !stack
 
 let suite =
   [
@@ -328,4 +546,17 @@ let suite =
     ("null sink is a no-op", `Quick, test_null_sink_noop);
     ("jsonl round-trip", `Quick, test_jsonl_roundtrip);
     ("event json escaping", `Quick, test_event_json_escaping);
+    ("histogram edge buckets", `Quick, test_histogram_edges);
+    ("histogram percentile accuracy", `Quick,
+     test_histogram_percentile_accuracy);
+    ("histogram merge = combined", `Quick,
+     test_histogram_merge_matches_combined);
+    ("span records histogram", `Quick, test_span_records_histogram);
+    ("gc delta monotone", `Quick, test_gc_delta_monotone);
+    ("span emits gc sample", `Quick, test_span_emits_gc_sample);
+    ("gc sampling toggle", `Quick, test_gc_sampling_toggle);
+    ("jsonl valid when raising", `Quick, test_jsonl_valid_when_raising);
   ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ qcheck_histogram_merge_associative ]

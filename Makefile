@@ -3,8 +3,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench bench-compare baseline fuzz profile trace flame \
-  clean
+.PHONY: all build test bench bench-compare baseline fuzz fuzz-faults \
+  cascade-demo profile trace flame clean
 
 all: build
 
@@ -32,6 +32,20 @@ baseline: build
 
 fuzz: build
 	$(DUNE) exec bin/fbbfuzz.exe -- --cases 50 --seed 1 --corpus-dir test/corpus
+
+# Fuzz the degradation cascade with deterministic fault injection live
+# (pool crashes, transient retries, LP pivot limits, I/O transients,
+# budget exhaustion), judged by the fault-paused oracle referee.
+fuzz-faults: build
+	$(DUNE) exec bin/fbbfuzz.exe -- --cases 30 --seed 1 --faults 0.1,7 \
+	  --corpus-dir test/corpus --repro-dir fuzz_out
+
+# Deadline-bounded anytime solve on the largest bundled benchmark: the
+# cascade degrades ilp -> budgeted b&b -> heuristic -> single-bb floor
+# and prints its degradation report.
+cascade-demo: build
+	$(DUNE) exec bin/fbbopt.exe -- optimize -d Industrial3 --cascade \
+	  --deadline-ms 50
 
 profile: build
 	$(DUNE) exec bin/fbbopt.exe -- optimize -d c5315 --ilp --profile

@@ -59,6 +59,22 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let faults_arg =
+  let doc =
+    "Inject deterministic faults at rate $(b,RATE) with seed $(b,SEED) and \
+     fuzz the degradation cascade instead of the individual solvers. The \
+     cascade under test runs with injection live at the sites \
+     $(b,pool.worker), $(b,pool.transient), $(b,lp.pivot_limit), \
+     $(b,io.transient) and $(b,budget.exhaust); the oracle referee and the \
+     invariant checker run with injection paused, so faults may degrade the \
+     answer to a later stage but can never corrupt the ground truth it is \
+     judged against."
+  in
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' float int)) None
+    & info [ "faults" ] ~docv:"RATE,SEED" ~doc)
+
 (* Case distribution: mostly oracle-sized (small row counts, C=2) so the
    exact cross-check fires, with a steady minority of larger instances
    that exercise the invariant-only path and an occasional coarse-level
@@ -139,7 +155,27 @@ let report_failure ~shrink ~repro_dir ~metamorphic ~ilp_seconds case =
       (Differential.run ~metamorphic ~ilp_seconds minimized)
         .Differential.failures
 
-let fuzz_body cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds
+(* Resolve --corpus-dir up front, before any fuzzing starts. An empty
+   or missing corpus directory is a usage error (exit 2), not a quietly
+   shorter run: a CI job pointing at the wrong path must fail loudly. A
+   corrupt case file is equally hard. *)
+let load_corpus = function
+  | None -> []
+  | Some dir -> (
+    match Fbb_oracle.Case.load_dir dir with
+    | [] ->
+      Printf.eprintf
+        "fbbfuzz: --corpus-dir %s: no *.case files found (missing or empty \
+         directory)\n\
+         %!"
+        dir;
+      exit 2
+    | corpus -> corpus
+    | exception Failure m ->
+      Printf.eprintf "fbbfuzz: corrupt corpus: %s\n%!" m;
+      exit 2)
+
+let fuzz_body cases seed shrink corpus repro_dir metamorphic ilp_seconds
     verbose =
   let open Fbb_oracle in
   let tally =
@@ -151,20 +187,10 @@ let fuzz_body cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds
     let r = run_one ~tally ~verbose ~metamorphic ~ilp_seconds ~origin case in
     if Differential.failed r then failing := case :: !failing
   in
-  (* corpus replay; a corrupt corpus is a hard error, not a skipped case *)
-  (match corpus_dir with
-  | None -> ()
-  | Some dir ->
-    let corpus =
-      match Case.load_dir dir with
-      | corpus -> corpus
-      | exception Failure m ->
-        Printf.eprintf "fbbfuzz: corrupt corpus: %s\n%!" m;
-        exit 2
-    in
-    Printf.printf "replaying %d corpus case(s) from %s\n%!"
-      (List.length corpus) dir;
-    List.iter (fun (path, case) -> consider ~origin:path case) corpus);
+  if corpus <> [] then begin
+    Printf.printf "replaying %d corpus case(s)\n%!" (List.length corpus);
+    List.iter (fun (path, case) -> consider ~origin:path case) corpus
+  end;
   (* random generation *)
   let rng = Fbb_util.Rng.create ~seed in
   for i = 1 to cases do
@@ -193,12 +219,122 @@ let fuzz_body cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds
     1
   end
 
+(* ----- cascade fuzzing under fault injection --------------------------- *)
+
+(* --faults RATE,SEED: the system under test is the whole degradation
+   cascade, judged by [Differential.run_cascade] (oracle + independent
+   sign-off, both with injection paused). Any reported failure means
+   faults leaked into the answer instead of merely degrading it. *)
+let fault_fuzz_body ~cases ~seed ~shrink ~corpus ~repro_dir ~verbose ~rate
+    ~fault_seed =
+  let open Fbb_oracle in
+  let module Cascade = Fbb_core.Cascade in
+  Fbb_fault.Fault.configure ~rate ~seed:fault_seed;
+  Fbb_fault.Fault.install_io_faults ();
+  Printf.printf "fault injection: rate %g, seed %d\n%!" rate fault_seed;
+  let total = ref 0 and failed = ref 0 and infeasible = ref 0 in
+  let stage_counts = Array.make 4 0 in
+  let stage_idx = function
+    | Cascade.Ilp -> 0
+    | Cascade.Bb -> 1
+    | Cascade.Heuristic -> 2
+    | Cascade.Single_bb -> 3
+  in
+  let failing = ref [] in
+  let consider ~origin case =
+    let r =
+      Differential.run_cascade ~max_clusters:case.Case.max_clusters case
+    in
+    incr total;
+    let outcome_note =
+      match r.Differential.c_result with
+      | Some { Cascade.outcome = Cascade.Solved { stage; _ }; _ } ->
+        stage_counts.(stage_idx stage) <- stage_counts.(stage_idx stage) + 1;
+        Printf.sprintf "[%s]" (Cascade.stage_name stage)
+      | Some { Cascade.outcome = Cascade.Infeasible; _ } ->
+        incr infeasible;
+        "[infeasible]"
+      | None -> "[crashed]"
+    in
+    let bad = Differential.cascade_failed r in
+    if bad then begin
+      incr failed;
+      failing := case :: !failing
+    end;
+    if verbose || bad then
+      Printf.printf "%s %-40s %-12s %s\n%!"
+        (if bad then "FAIL" else "ok  ")
+        (describe_case case) outcome_note origin;
+    List.iter
+      (fun m -> Printf.printf "     - %s\n%!" m)
+      r.Differential.c_failures
+  in
+  List.iter (fun (path, case) -> consider ~origin:path case) corpus;
+  let rng = Fbb_util.Rng.create ~seed in
+  for i = 1 to cases do
+    (match random_case rng with
+    | case -> consider ~origin:(Printf.sprintf "case %d/%d" i cases) case
+    | exception Invalid_argument _ -> ());
+    if (not verbose) && i mod 10 = 0 then
+      Printf.printf "  %d/%d done (%d failure(s))\n%!" i cases !failed
+  done;
+  (* Repro files are written with I/O faults still live: write_atomic
+     retries transients, and the crash-safe protocol means a save that
+     ultimately fails leaves no partial file behind. *)
+  List.iter
+    (fun case ->
+      let minimized, note =
+        if shrink then begin
+          Printf.printf "     shrinking...\n%!";
+          let minimized, progress =
+            Shrink.minimize
+              ~run:(fun c ->
+                (Differential.run_cascade ~max_clusters:c.Case.max_clusters c)
+                  .Differential.c_failures)
+              case
+          in
+          ( minimized,
+            Printf.sprintf "%d step(s) in %d attempt(s)" progress.Shrink.steps
+              progress.Shrink.attempts )
+        end
+        else (case, "shrinking disabled")
+      in
+      match Case.save ~dir:repro_dir minimized with
+      | path -> Printf.printf "     repro written: %s (%s)\n%!" path note
+      | exception e ->
+        Printf.printf "     repro save failed (injected I/O faults?): %s\n%!"
+          (Printexc.to_string e))
+    (List.rev !failing);
+  Printf.printf
+    "fault fuzz summary: %d case(s); stages ilp=%d bb=%d heuristic=%d \
+     single_bb=%d; %d infeasible; %d failure(s)\n%!"
+    !total stage_counts.(0) stage_counts.(1) stage_counts.(2) stage_counts.(3)
+    !infeasible !failed;
+  Printf.printf "fault stats (injected/evaluated):\n%!";
+  List.iter
+    (fun (site, evals, injections) ->
+      Printf.printf "  %-16s %d/%d\n%!" site injections evals)
+    (Fbb_fault.Fault.stats ());
+  Fbb_fault.Fault.clear ();
+  if !failed = 0 then 0
+  else begin
+    Printf.eprintf "fbbfuzz: %d failing case(s); repros under %s\n%!" !failed
+      repro_dir;
+    1
+  end
+
 let fuzz cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds jobs
-    verbose trace =
+    verbose trace faults =
   Option.iter Fbb_par.Pool.set_jobs jobs;
+  let corpus = load_corpus corpus_dir in
   let run () =
-    fuzz_body cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds
-      verbose
+    match faults with
+    | Some (rate, fault_seed) ->
+      fault_fuzz_body ~cases ~seed ~shrink ~corpus ~repro_dir ~verbose ~rate
+        ~fault_seed
+    | None ->
+      fuzz_body cases seed shrink corpus repro_dir metamorphic ilp_seconds
+        verbose
   in
   match trace with
   | None -> run ()
@@ -226,6 +362,6 @@ let () =
     Term.(
       const fuzz $ cases_arg $ seed_arg $ shrink_arg $ corpus_dir_arg
       $ repro_dir_arg $ metamorphic_arg $ ilp_seconds_arg $ jobs_arg
-      $ verbose_arg $ trace_arg)
+      $ verbose_arg $ trace_arg $ faults_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

@@ -321,12 +321,106 @@ let optimize design file beta_pct clusters rows run_ilp ilp_seconds svg ascii =
       svg;
     Ok ()
 
+(* --- the deadline-bounded anytime cascade ------------------------------ *)
+
+let status_str = function
+  | Fbb_core.Cascade.Accepted -> "accepted"
+  | Fbb_core.Cascade.No_candidate -> "no candidate"
+  | Fbb_core.Cascade.Rejected -> "REJECTED BY SIGN-OFF"
+  | Fbb_core.Cascade.Exhausted -> "budget exhausted"
+  | Fbb_core.Cascade.Crashed m -> Printf.sprintf "crashed (%s)" m
+
+let optimize_cascade design file beta_pct clusters rows ~deadline_ms ~work svg
+    ascii =
+  let* pl = load_placement ~design ~file ~rows in
+  report_placement pl;
+  let beta = beta_pct /. 100.0 in
+  let p = Fbb_core.Problem.build ~beta pl in
+  Format.printf "problem: %a@." Fbb_core.Problem.pp_summary p;
+  let budget =
+    match (deadline_ms, work) with
+    | None, None -> Fbb_util.Budget.unlimited
+    | d, w ->
+      Fbb_util.Budget.create
+        ?deadline_s:(Option.map (fun ms -> ms /. 1000.0) d)
+        ?work:w ()
+  in
+  let r = Fbb_core.Cascade.solve ~max_clusters:clusters ~budget p in
+  print_string "degradation report:\n";
+  List.iter
+    (fun (a : Fbb_core.Cascade.attempt) ->
+      Printf.printf "  %-10s %-22s%s  work %d, %.3fs\n"
+        (Fbb_core.Cascade.stage_name a.Fbb_core.Cascade.stage)
+        (status_str a.Fbb_core.Cascade.status)
+        (match a.Fbb_core.Cascade.leakage_nw with
+        | Some l -> Printf.sprintf "  leakage %.3f uW" (l /. 1000.0)
+        | None -> "")
+        a.Fbb_core.Cascade.work_spent a.Fbb_core.Cascade.elapsed_s)
+    r.Fbb_core.Cascade.attempts;
+  if r.Fbb_core.Cascade.exhausted then
+    print_string "budget: exhausted before the cascade finished\n";
+  match r.Fbb_core.Cascade.outcome with
+  | Fbb_core.Cascade.Infeasible ->
+    Error
+      (Printf.sprintf
+         "infeasible: a %.1f%% slowdown cannot be compensated even with \
+          every row at the highest bias level"
+         beta_pct)
+  | Fbb_core.Cascade.Solved { stage; levels; leakage_nw; gap_pct; optimal } ->
+    Printf.printf
+      "cascade (C=%d): stage %s, leakage %.3f uW, clusters %s%s%s\n" clusters
+      (Fbb_core.Cascade.stage_name stage)
+      (leakage_nw /. 1000.0)
+      (String.concat "/"
+         (List.map
+            (fun l -> Printf.sprintf "%.2fV" (Fbb_tech.Bias.voltage l))
+            (Fbb_core.Solution.clusters_used levels)))
+      (if optimal then " [optimal]" else "")
+      (match gap_pct with
+      | Some g when not optimal -> Printf.sprintf " [gap <= %.1f%%]" g
+      | Some _ | None -> "");
+    if ascii then print_string (Fbb_layout.Render.ascii pl ~levels);
+    Option.iter
+      (fun path ->
+        Fbb_layout.Render.save_svg ~path pl ~levels;
+        Printf.printf "svg written to %s\n" path)
+      svg;
+    Ok ()
+
+let cascade_arg =
+  let doc =
+    "Run the anytime fallback cascade (ilp, budgeted B&B, heuristic, single \
+     BB) with independent sign-off instead of the refinement flow. Implied \
+     by $(b,--deadline-ms) and $(b,--work-budget)."
+  in
+  Arg.(value & flag & info [ "cascade" ] ~doc)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock deadline for the cascade in milliseconds; the best \
+     signed-off solution found in time wins."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let work_budget_arg =
+  let doc =
+    "Deterministic work budget for the cascade (abstract ticks: B&B nodes, \
+     descent rounds, oracle leaves). Same budget, same answer - at any \
+     $(b,--jobs)."
+  in
+  Arg.(value & opt (some int) None & info [ "work-budget" ] ~docv:"N" ~doc)
+
 let optimize_cmd =
-  let run d f b c r i s svg ascii jobs trace profile profile_csv =
+  let run d f b c r i s svg ascii cascade deadline_ms work jobs trace profile
+      profile_csv =
     set_jobs jobs;
+    let use_cascade = cascade || deadline_ms <> None || work <> None in
     match
       Obs_cli.run ~span:"fbbopt.optimize" ~trace ~profile ~profile_csv
-        (fun () -> optimize d f b c r i s svg ascii)
+        (fun () ->
+          if use_cascade then
+            optimize_cascade d f b c r ~deadline_ms ~work svg ascii
+          else optimize d f b c r i s svg ascii)
     with
     | Ok () -> `Ok ()
     | Error m -> `Error (false, m)
@@ -339,6 +433,7 @@ let optimize_cmd =
       ret
         (const run $ design_arg $ bench_file_arg $ beta_arg $ clusters_arg
         $ rows_arg $ ilp_arg $ ilp_seconds_arg $ svg_arg $ ascii_arg
+        $ cascade_arg $ deadline_arg $ work_budget_arg
         $ jobs_arg $ trace_arg $ profile_arg $ profile_csv_arg))
 
 (* ----- tune ------------------------------------------------------------- *)
@@ -475,9 +570,7 @@ let write_out out content =
   match out with
   | None -> print_string content
   | Some path ->
-    let oc = open_out path in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-        output_string oc content);
+    Fbb_util.Atomic_io.write_atomic ~path content;
     Printf.printf "written %s\n" path
 
 let with_trace path f =

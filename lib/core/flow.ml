@@ -62,6 +62,7 @@ let evaluate ?(cs = [ 2; 3 ]) ?(run_ilp = true) ?ilp_limits prepared ~beta =
                 leakage_nw = leak;
                 single_bb_leakage_nw = base;
                 savings_pct = Fbb_util.Stats.ratio_pct base leak;
+                complete = true;
               } )
         | _, _ -> None)
       refined

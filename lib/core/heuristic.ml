@@ -5,6 +5,7 @@ type result = {
   leakage_nw : float;
   single_bb_leakage_nw : float;
   savings_pct : float;
+  complete : bool;
 }
 
 let descents_c = Fbb_obs.Counter.make "heuristic.descents"
@@ -34,7 +35,7 @@ let criticality p =
     p.Problem.paths;
   ct
 
-let optimize ?(max_clusters = 2) p =
+let optimize ?(max_clusters = 2) ?(budget = Fbb_util.Budget.unlimited) p =
   if max_clusters < 1 then invalid_arg "Heuristic.optimize: C must be >= 1";
   Fbb_obs.Span.with_ ~name:"heuristic.optimize" @@ fun () ->
   match pass_one p with
@@ -44,6 +45,10 @@ let optimize ?(max_clusters = 2) p =
     let nlev = Problem.num_levels p in
     let single_bb = Solution.uniform p jopt in
     let single_bb_leakage_nw = Solution.leakage_nw p single_bb in
+    (* Flipped whenever the budget truncates a loop. Every intermediate
+       state of the descent/cover machinery is feasible, so a truncated
+       run still returns a valid (merely less optimized) assignment. *)
+    let complete = ref true in
     let finish levels =
       let leakage_nw = Solution.leakage_nw p levels in
       Some
@@ -55,6 +60,7 @@ let optimize ?(max_clusters = 2) p =
           single_bb_leakage_nw;
           savings_pct =
             Fbb_util.Stats.ratio_pct single_bb_leakage_nw leakage_nw;
+          complete = !complete;
         }
     in
     if jopt = 0 then finish single_bb
@@ -77,6 +83,13 @@ let optimize ?(max_clusters = 2) p =
         let locked = Array.make nrows false in
         let running = ref true in
         while !running do
+          (* One budget tick per descent round - sequential, so a work
+             budget truncates at the same round on every run. *)
+          if not (Fbb_util.Budget.tick budget) then begin
+            complete := false;
+            running := false
+          end
+          else begin
           let moved = ref false in
           Array.iter
             (fun r ->
@@ -97,6 +110,7 @@ let optimize ?(max_clusters = 2) p =
               end)
             ranked;
           if not !moved then running := false
+          end
         done;
         (Solution.Checker.levels checker, Solution.Checker.leakage_nw checker)
       in
@@ -170,12 +184,16 @@ let optimize ?(max_clusters = 2) p =
         | Some _ | None -> best := Some (levels, leak)
       in
       for start = jopt to nlev - 1 do
-        consider (descend (Solution.uniform p start))
+        if Fbb_util.Budget.ok budget then
+          consider (descend (Solution.uniform p start))
+        else complete := false
       done;
       for level = jopt to nlev - 1 do
-        match cover level with
-        | Some c -> consider (descend c)
-        | None -> ()
+        if Fbb_util.Budget.ok budget then
+          match cover level with
+          | Some c -> consider (descend c)
+          | None -> ()
+        else complete := false
       done;
       match !best with
       | Some (levels, _) -> finish levels

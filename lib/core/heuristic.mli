@@ -33,6 +33,10 @@ type result = {
   leakage_nw : float;
   single_bb_leakage_nw : float;  (** leakage with every row at [jopt] *)
   savings_pct : float;  (** of [levels] vs the Single BB baseline *)
+  complete : bool;
+      (** [false] when a [?budget] truncated the candidate sweep; the
+          assignment is still feasible and within the cluster budget,
+          just possibly less optimized than the full run's *)
 }
 
 val pass_one : Problem.t -> int option
@@ -41,6 +45,15 @@ val pass_one : Problem.t -> int option
 val criticality : Problem.t -> float array
 (** Per-row ranking coefficient [ct_i]; higher is more critical. *)
 
-val optimize : ?max_clusters:int -> Problem.t -> result option
+val optimize :
+  ?max_clusters:int -> ?budget:Fbb_util.Budget.t -> Problem.t -> result option
 (** Full two-pass run; [max_clusters] is the paper's C (default 2).
-    [None] exactly when {!pass_one} fails. *)
+    [None] exactly when {!pass_one} fails.
+
+    [budget] is ticked once per descent round and consulted between
+    candidate starts — all sequential loops, so a pure work budget
+    truncates at the same point on every run (bit-identical results at
+    any job count). Because the descent only ever holds feasible
+    states and the merge phase enforces C unconditionally, a truncated
+    run still returns a feasible within-budget assignment, flagged
+    [complete = false]. *)

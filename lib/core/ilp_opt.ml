@@ -8,6 +8,7 @@ type config = {
   limits : BB.limits;
   reduce : bool;
   strategy : strategy;
+  budget : Fbb_util.Budget.t;
 }
 
 let default_config =
@@ -16,6 +17,7 @@ let default_config =
     limits = BB.default_limits;
     reduce = true;
     strategy = Enumerate;
+    budget = Fbb_util.Budget.unlimited;
   }
 
 type result = {
@@ -173,7 +175,7 @@ let optimize_monolithic config ?warm_start p ~kept =
   let incumbent =
     Option.bind warm_start (warm_vector p ~max_clusters:config.max_clusters)
   in
-  let r = BB.solve ~limits:config.limits ?incumbent problem in
+  let r = BB.solve ~limits:config.limits ~budget:config.budget ?incumbent problem in
   let nrows = Problem.num_rows p in
   let nlev = Problem.num_levels p in
   let decode (x, _) =
@@ -304,7 +306,11 @@ let optimize_enumerate config ?warm_start p ~kept =
         Fbb_obs.Counter.incr subsets_considered_c;
         let elapsed = Fbb_obs.Clock.now_s () -. start in
         let remaining = config.limits.BB.max_seconds -. elapsed in
-        if remaining <= 0.0 then all_proved := false
+        (* One budget tick per subset in this sequential loop; the
+           shared budget is also handed to each inner B&B, which ticks
+           it per node at its own (sequential) wave fold. *)
+        if remaining <= 0.0 || not (Fbb_util.Budget.tick config.budget) then
+          all_proved := false
         else begin
           (* Cheap bound: even with every row at its cheapest subset level
              the incumbent must be beatable. *)
@@ -339,7 +345,7 @@ let optimize_enumerate config ?warm_start p ~kept =
                 max_seconds = remaining;
               }
             in
-            let r = BB.solve ~limits ?incumbent ?cutoff problem in
+            let r = BB.solve ~limits ~budget:config.budget ?incumbent ?cutoff problem in
             nodes := !nodes + r.BB.nodes;
             (match r.BB.status with
             | BB.Proved_optimal | BB.Proved_infeasible -> ()

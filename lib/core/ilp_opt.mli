@@ -28,10 +28,17 @@ type config = {
           enumerated subsets *)
   reduce : bool;  (** dominance-prune timing constraints (default true) *)
   strategy : strategy;
+  budget : Fbb_util.Budget.t;
+      (** cooperative budget: ticked once per enumerated subset and
+          threaded into every inner branch-and-bound solve (which ticks
+          it per node, sequentially). When it trips the solve stops at
+          the next check point and reports the best incumbent so far
+          with [timed_out = true]. *)
 }
 
 val default_config : config
-(** C = 2, default solver limits, reduction on, [Enumerate]. *)
+(** C = 2, default solver limits, reduction on, [Enumerate], unlimited
+    budget. *)
 
 type result = {
   levels : int array option;  (** best assignment found, if any *)

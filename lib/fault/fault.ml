@@ -1,0 +1,113 @@
+exception Injected of { site : string; ordinal : int }
+exception Transient of { site : string; ordinal : int }
+
+type site_state = {
+  evaluations : int Atomic.t;
+  injections : int Atomic.t;
+}
+
+type config = { rate : float; seed : int }
+
+let config : config option Atomic.t = Atomic.make None
+
+(* Pause depth > 0 suspends injection; nestable so a referee that
+   itself calls a paused helper stays paused. *)
+let pause_depth = Atomic.make 0
+
+let injected_c = Fbb_obs.Counter.make "fault.injected"
+let evaluated_c = Fbb_obs.Counter.make "fault.evaluated"
+
+let sites : (string, site_state) Hashtbl.t = Hashtbl.create 16
+let sites_mutex = Mutex.create ()
+
+let site_state name =
+  Mutex.protect sites_mutex (fun () ->
+      match Hashtbl.find_opt sites name with
+      | Some s -> s
+      | None ->
+        let s = { evaluations = Atomic.make 0; injections = Atomic.make 0 } in
+        Hashtbl.add sites name s;
+        s)
+
+let reset_sites () =
+  Mutex.protect sites_mutex (fun () -> Hashtbl.reset sites)
+
+let configure ~rate ~seed =
+  reset_sites ();
+  Atomic.set config (Some { rate = Float.max 0.0 (Float.min 1.0 rate); seed })
+
+let clear () =
+  reset_sites ();
+  Atomic.set config None
+
+let active () = Atomic.get config <> None && Atomic.get pause_depth = 0
+
+let with_paused f =
+  Atomic.incr pause_depth;
+  Fun.protect ~finally:(fun () -> Atomic.decr pause_depth) f
+
+(* splitmix64: the decision for (seed, site, ordinal) is a pure hash,
+   so a run is replayable from its rate/seed pair alone. *)
+let splitmix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let site_hash site =
+  String.fold_left
+    (fun acc c -> splitmix64 (Int64.add acc (Int64.of_int (Char.code c))))
+    1469598103934665603L site
+
+let decide ~seed ~site ~ordinal =
+  let z =
+    splitmix64
+      (Int64.add
+         (Int64.add (site_hash site) (Int64.of_int (seed * 0x9e3779b9)))
+         (Int64.of_int ordinal))
+  in
+  (* Map the top 53 bits to [0,1). *)
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let fire site =
+  match Atomic.get config with
+  | None -> false
+  | Some _ when Atomic.get pause_depth > 0 -> false
+  | Some { rate; seed } ->
+    let st = site_state site in
+    let ordinal = Atomic.fetch_and_add st.evaluations 1 in
+    Fbb_obs.Counter.incr evaluated_c;
+    let hit = decide ~seed ~site ~ordinal < rate in
+    if hit then begin
+      Atomic.incr st.injections;
+      Fbb_obs.Counter.incr injected_c
+    end;
+    hit
+
+let ordinal_of site = Atomic.get (site_state site).evaluations - 1
+
+let inject site =
+  if fire site then raise (Injected { site; ordinal = ordinal_of site })
+
+let inject_transient site =
+  if fire site then raise (Transient { site; ordinal = ordinal_of site })
+
+let is_transient = function Transient _ -> true | _ -> false
+
+let install_io_faults () =
+  Fbb_util.Atomic_io.set_transient_pred is_transient;
+  Fbb_util.Atomic_io.set_fault_hook
+    (Some
+       (fun phase _path ->
+         match phase with
+         | Fbb_util.Atomic_io.Write -> inject_transient "io.transient"
+         | Fbb_util.Atomic_io.Fsync | Fbb_util.Atomic_io.Rename -> ()))
+
+let stats () =
+  Mutex.protect sites_mutex (fun () ->
+      Hashtbl.fold
+        (fun name st acc ->
+          (name, Atomic.get st.evaluations, Atomic.get st.injections) :: acc)
+        sites [])
+  |> List.sort compare

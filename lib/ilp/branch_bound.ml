@@ -128,7 +128,11 @@ let explore p threshold node =
     let lp, free, fixed_cost = reduced_lp p node.fixed in
     match Fbb_obs.Span.with_ ~name:"bb.lp_bound" (fun () -> S.solve lp) with
     | S.Infeasible | S.Unbounded -> Lp_infeasible
-    | S.Pivot_limit -> Lp_pivot_limit
+    (* No budget is passed into these parallel LP solves (a shared
+       budget ticked from the pool would trip at scheduler-dependent
+       points), so [Budget_exhausted] cannot occur here; treat it like
+       a pivot limit - the subtree lost its bound - if it ever does. *)
+    | S.Pivot_limit | S.Budget_exhausted -> Lp_pivot_limit
     | S.Optimal { objective; solution } ->
       let total = objective +. fixed_cost in
       if total >= threshold -. 1e-9 then Bound_pruned
@@ -181,7 +185,8 @@ let rec take_batch n frontier =
    search, is identical at any parallelism level. *)
 let wave_width = 32
 
-let solve ?(limits = default_limits) ?incumbent ?cutoff p =
+let solve ?(limits = default_limits) ?(budget = Fbb_util.Budget.unlimited)
+    ?incumbent ?cutoff p =
   Fbb_obs.Span.with_ ~name:"bb.solve" @@ fun () ->
   let start = Fbb_obs.Clock.now_s () in
   let best = ref None in
@@ -204,6 +209,7 @@ let solve ?(limits = default_limits) ?incumbent ?cutoff p =
     if
       !nodes >= limits.max_nodes
       || Fbb_obs.Clock.now_s () -. start > limits.max_seconds
+      || Fbb_util.Budget.exhausted budget
     then begin
       hit_limit := true;
       running := false
@@ -218,6 +224,12 @@ let solve ?(limits = default_limits) ?incumbent ?cutoff p =
           ~f:(explore p t)
       in
       let batch_n = Array.length outcomes in
+      (* Budget is ticked here, in the sequential wave fold - one unit
+         per node expanded - never from inside the parallel LP solves,
+         so the wave at which a work budget trips is a pure function of
+         the search, identical at any job count. *)
+      if not (Fbb_util.Budget.tick ~cost:batch_n budget) then
+        hit_limit := true;
       nodes := !nodes + batch_n;
       Fbb_obs.Counter.add nodes_c batch_n;
       (* Fold the wave sequentially in node order: incumbent updates and

@@ -46,10 +46,19 @@ type result = {
 }
 
 val solve :
-  ?limits:limits -> ?incumbent:float array -> ?cutoff:float -> problem ->
-  result
+  ?limits:limits -> ?budget:Fbb_util.Budget.t -> ?incumbent:float array ->
+  ?cutoff:float -> problem -> result
 (** [incumbent], when given, must be a feasible 0/1 vector; it seeds the
     upper bound. Raises [Invalid_argument] if it is infeasible.
+
+    [budget] bounds the search cooperatively: it is consulted before
+    each wave and ticked once per expanded node {e in the sequential
+    wave fold} (never inside the parallel LP solves), so with a pure
+    work budget the set of explored nodes — and hence the incumbent —
+    is bit-identical at any job count. When the budget trips, the
+    search stops at the wave boundary and reports
+    [Feasible]/[Limit_reached] with the best incumbent found so far
+    (anytime semantics), exactly like the node or time limits.
 
     [cutoff] prunes any subtree whose LP bound is not strictly below it —
     useful when an external search already holds a solution of that

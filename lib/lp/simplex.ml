@@ -18,6 +18,7 @@ type outcome =
   | Infeasible
   | Unbounded
   | Pivot_limit
+  | Budget_exhausted
 
 let eps = 1e-8
 
@@ -29,8 +30,10 @@ let phase1_c = Fbb_obs.Counter.make "lp.phase1_pivots"
 let phase2_c = Fbb_obs.Counter.make "lp.phase2_pivots"
 let bland_c = Fbb_obs.Counter.make "lp.bland_engaged"
 let pivot_limit_c = Fbb_obs.Counter.make "lp.pivot_limit"
+let budget_stop_c = Fbb_obs.Counter.make "lp.budget_stops"
 
 exception Pivot_limit_hit
+exception Budget_hit
 
 let check problem x ~eps =
   let ok = ref true in
@@ -56,7 +59,7 @@ let check problem x ~eps =
 (* The tableau holds one row per constraint (upper bounds included as Le
    rows) plus the objective in row 0. Columns: structural variables, then
    slack/surplus, then artificials, then the RHS. *)
-let solve ?max_pivots problem =
+let solve ?max_pivots ?(budget = Fbb_util.Budget.unlimited) problem =
   let n = problem.num_vars in
   let bound_rows =
     match problem.upper with
@@ -130,6 +133,7 @@ let solve ?max_pivots problem =
   let pivot ~row ~col =
     incr pivots;
     if !pivots > max_pivots then raise Pivot_limit_hit;
+    if not (Fbb_util.Budget.tick budget) then raise Budget_hit;
     let prow = tab.(row) in
     let d = prow.(col) in
     for j = 0 to ncols do
@@ -282,11 +286,23 @@ let solve ?max_pivots problem =
   in
   Fbb_obs.Counter.incr solves_c;
   let outcome =
-    match run_phases () with
-    | o -> o
-    | exception Pivot_limit_hit ->
+    if Fbb_fault.Fault.fire "lp.pivot_limit" then begin
       Fbb_obs.Counter.incr pivot_limit_c;
       Pivot_limit
+    end
+    else if Fbb_util.Budget.exhausted budget then begin
+      Fbb_obs.Counter.incr budget_stop_c;
+      Budget_exhausted
+    end
+    else
+      match run_phases () with
+      | o -> o
+      | exception Pivot_limit_hit ->
+        Fbb_obs.Counter.incr pivot_limit_c;
+        Pivot_limit
+      | exception Budget_hit ->
+        Fbb_obs.Counter.incr budget_stop_c;
+        Budget_exhausted
   in
   Fbb_obs.Counter.add pivots_c !pivots;
   Fbb_obs.Counter.add phase1_c !phase1_pivots;

@@ -32,13 +32,29 @@ type outcome =
       (** the pivot budget ran out before either phase converged
           (numerically hostile instance); no conclusion about the
           problem can be drawn *)
+  | Budget_exhausted
+      (** the caller-supplied {!Fbb_util.Budget} tripped mid-solve; no
+          conclusion about the problem can be drawn *)
 
-val solve : ?max_pivots:int -> problem -> outcome
+val solve : ?max_pivots:int -> ?budget:Fbb_util.Budget.t -> problem -> outcome
 (** [max_pivots] defaults to a generous function of the problem size;
     exceeding it yields [Pivot_limit] (and bumps the [lp.pivot_limit]
     observability counter) so callers can degrade gracefully instead of
     crashing. Pivot, phase-split and Bland-engagement counts are
-    recorded on the [lp.*] counters of {!Fbb_obs.Counter}. *)
+    recorded on the [lp.*] counters of {!Fbb_obs.Counter}.
+
+    [budget] is ticked once per pivot (cost 1); when it trips the
+    solver abandons the tableau and returns {!Budget_exhausted}.
+    {b Determinism caveat:} ticking a shared budget from LP solves that
+    run inside the parallel pool makes the trip point depend on
+    scheduling — pass per-solve {!Fbb_util.Budget.sub} slices, or tick
+    only from sequential driver loops, when bit-identical results
+    across job counts matter.
+
+    The ["lp.pivot_limit"] fault-injection site is evaluated once per
+    solve; when it fires, the solver reports [Pivot_limit] immediately
+    without touching the tableau, exercising callers' degradation
+    paths. *)
 
 val check : problem -> float array -> eps:float -> bool
 (** Feasibility check of a candidate solution (used in tests and by the

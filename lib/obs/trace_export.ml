@@ -75,21 +75,33 @@ let parse_line line =
              })
       | ph -> Error (Printf.sprintf "unknown phase %S" ph)))
 
-let load path =
-  let ic = open_in path in
+let default_on_truncated msg = Printf.eprintf "%s\n%!" msg
+
+let load ?(on_truncated = default_on_truncated) path =
+  let lines =
+    In_channel.with_open_text path In_channel.input_lines |> Array.of_list
+  in
+  (* Index of the last non-blank line: a parse failure there is the
+     signature of a write cut short (crash or kill mid-append), so the
+     intact prefix is salvaged and the loss reported; a malformed line
+     with valid lines after it is real corruption and still fails. *)
+  let last = ref (-1) in
+  Array.iteri (fun i l -> if String.trim l <> "" then last := i) lines;
   let events = ref [] in
-  let line_no = ref 0 in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-  (try
-     while true do
-       let line = input_line ic in
-       incr line_no;
-       if String.trim line <> "" then
-         match parse_line line with
-         | Ok ev -> events := ev :: !events
-         | Error msg -> failwith (Printf.sprintf "%s:%d: %s" path !line_no msg)
-     done
-   with End_of_file -> ());
+  Array.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match parse_line line with
+        | Ok ev -> events := ev :: !events
+        | Error msg ->
+          let msg = Printf.sprintf "%s:%d: %s" path (i + 1) msg in
+          if i = !last then
+            on_truncated
+              (Printf.sprintf
+                 "%s (truncated final line; salvaged %d events)" msg
+                 (List.length !events))
+          else failwith msg)
+    lines;
   List.rev !events
 
 (* ----- Chrome trace_event --------------------------------------------- *)

@@ -8,9 +8,12 @@ val parse_line : string -> (Event.t, string) result
     absent, so traces recorded before those fields existed still
     convert. *)
 
-val load : string -> Event.t list
+val load : ?on_truncated:(string -> unit) -> string -> Event.t list
 (** Read a whole trace file; blank lines are skipped. Raises [Failure
-    "<path>:<line>: <msg>"] on the first malformed line. *)
+    "<path>:<line>: <msg>"] on a malformed line — {e except} when the
+    malformed line is the file's last non-blank line, the signature of
+    a writer killed mid-append: then the intact prefix is returned and
+    [on_truncated] (default: print to stderr) is told what was lost. *)
 
 val to_chrome : Event.t list -> Fbb_util.Json.t
 (** Chrome trace_event document: [{"traceEvents": [...]}] with spans

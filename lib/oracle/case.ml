@@ -161,10 +161,9 @@ let of_string s =
 let save ~dir c =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path = Filename.concat dir (name c ^ ".case") in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string c));
+  (* Atomic: a crash (or injected I/O fault) mid-save must never leave
+     a half-written repro in the corpus. *)
+  Fbb_util.Atomic_io.write_atomic ~path (to_string c);
   path
 
 let load path =

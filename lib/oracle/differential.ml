@@ -5,6 +5,8 @@ module Ilp = Fbb_core.Ilp_opt
 module Refine = Fbb_core.Refine
 module BB = Fbb_ilp.Branch_bound
 
+module Cascade = Fbb_core.Cascade
+
 type oracle_result = Checked of Oracle.verdict | Skipped
 
 type bb_run = {
@@ -27,6 +29,8 @@ let failed r = r.failures <> []
 
 let runs_c = Fbb_obs.Counter.make "differential.runs"
 let failures_c = Fbb_obs.Counter.make "differential.failures"
+let cascade_runs_c = Fbb_obs.Counter.make "differential.cascade_runs"
+let cascade_failures_c = Fbb_obs.Counter.make "differential.cascade_failures"
 
 let leak_tol v = 1e-9 *. Float.max 1.0 (Float.abs v)
 
@@ -38,6 +42,91 @@ let empty_outputs =
            timed_out = false };
     refine = None;
   }
+
+type cascade_report = {
+  c_case : Case.t;
+  c_result : Cascade.result option;  (* None: the whole cascade crashed *)
+  c_failures : string list;
+}
+
+let cascade_failed r = r.c_failures <> []
+
+(* Referee for the fault-injection fuzzer: the cascade runs with
+   whatever faults the caller configured live, while every ground-truth
+   computation (problem build, oracle, invariant checker) runs under
+   [Fault.with_paused] so injected faults can degrade the answer but
+   never corrupt the ruler it is measured with. A budget-truncated or
+   fault-degraded cascade may land on a worse stage; what it may never
+   do is return an unverified assignment, beat the oracle optimum, or
+   claim infeasibility on a feasible instance. *)
+let run_cascade ?(max_clusters = 2) ?budget case =
+  Fbb_obs.Counter.incr cascade_runs_c;
+  Fbb_obs.Span.with_ ~name:"differential.cascade" @@ fun () ->
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let finish c_result =
+    if !failures <> [] then Fbb_obs.Counter.incr cascade_failures_c;
+    { c_case = case; c_result; c_failures = List.rev !failures }
+  in
+  match Fbb_fault.Fault.with_paused (fun () -> Case.build case) with
+  | exception e ->
+    fail "build: %s" (Printexc.to_string e);
+    finish None
+  | p -> (
+    let c = max_clusters in
+    match Cascade.solve ~max_clusters:c ?budget p with
+    | exception e ->
+      (* The cascade's contract is to contain stage failures; an escape
+         is itself a finding. *)
+      fail "cascade: escaped exception %s" (Printexc.to_string e);
+      finish None
+    | r ->
+      Fbb_fault.Fault.with_paused (fun () ->
+          let msl = Problem.max_single_level p in
+          (match r.Cascade.outcome with
+          | Cascade.Infeasible ->
+            if msl <> None then
+              fail
+                "cascade: claims infeasible but a uniform feasible level \
+                 exists";
+            if Oracle.tractable ~max_clusters:c p then (
+              match Oracle.solve ~max_clusters:c p with
+              | Oracle.Optimal opt ->
+                fail
+                  "cascade: claims infeasible, oracle optimum is %.9f nW"
+                  opt.Oracle.leakage_nw
+              | Oracle.Infeasible -> ())
+          | Cascade.Solved { stage; levels; leakage_nw; optimal; _ } ->
+            if not (Cascade.verify p ~max_clusters:c levels) then
+              fail "cascade: accepted assignment fails independent sign-off";
+            List.iter (fun m -> fail "cascade: %s" m)
+              (Invariant.check ~max_clusters:c
+                 ~reported_leakage_nw:leakage_nw p ~levels);
+            if msl = None then
+              fail
+                "cascade: returned a solution although no uniform level is \
+                 feasible (stage %s)"
+                (Cascade.stage_name stage);
+            if Oracle.tractable ~max_clusters:c p then (
+              match Oracle.solve ~max_clusters:c p with
+              | Oracle.Infeasible ->
+                fail "cascade: solved an instance the oracle proves infeasible"
+              | Oracle.Optimal opt ->
+                let tol = leak_tol opt.Oracle.leakage_nw in
+                if leakage_nw < opt.Oracle.leakage_nw -. tol then
+                  fail
+                    "cascade: leakage %.9f nW beats the oracle optimum %.9f \
+                     nW"
+                    leakage_nw opt.Oracle.leakage_nw;
+                if
+                  optimal
+                  && Float.abs (leakage_nw -. opt.Oracle.leakage_nw) > tol
+                then
+                  fail
+                    "cascade: claims optimality at %.9f nW, oracle optimum \
+                     is %.9f nW"
+                    leakage_nw opt.Oracle.leakage_nw));
+          finish (Some r)))
 
 (* The oracle for a transformed problem, used by the metamorphic checks:
    same bounds as the primary solve, so tractability cannot diverge

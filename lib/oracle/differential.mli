@@ -56,3 +56,29 @@ val run : ?metamorphic:bool -> ?ilp_seconds:float -> Case.t -> report
     are reported as a single failure prefixed ["build:"]. *)
 
 val failed : report -> bool
+
+(** {2 Cascade referee}
+
+    Used by [fbbfuzz --faults]: the cascade under test runs with fault
+    injection live, while the problem build, the oracle and the
+    invariant checker run inside {!Fbb_fault.Fault.with_paused} —
+    faults may degrade the cascade to a later stage but can never
+    corrupt the ground truth it is judged against. *)
+
+type cascade_report = {
+  c_case : Case.t;
+  c_result : Fbb_core.Cascade.result option;
+      (** [None] when the cascade itself crashed — always a failure,
+          since containing stage crashes is the cascade's contract *)
+  c_failures : string list;  (** empty = all checks passed *)
+}
+
+val run_cascade :
+  ?max_clusters:int -> ?budget:Fbb_util.Budget.t -> Case.t -> cascade_report
+(** Checks, for [Solved]: the independent sign-off and invariant
+    checker accept the assignment, and on oracle-sized instances the
+    leakage never beats the oracle optimum (with equality required of
+    an optimality claim). For [Infeasible]: [max_single_level] is
+    [None] and the oracle agrees. *)
+
+val cascade_failed : cascade_report -> bool

@@ -3,6 +3,10 @@ module Problem = Fbb_core.Problem
 type optimum = { levels : int array; leakage_nw : float }
 type verdict = Optimal of optimum | Infeasible
 
+type bounded = Done of verdict | Out_of_budget of optimum option
+
+exception Budget_stop
+
 let default_max_rows = 8
 let default_max_leaves = 2_000_000
 
@@ -63,8 +67,7 @@ let leakage p assignment =
     assignment;
   !acc
 
-let solve ?(max_rows = default_max_rows) ?(max_leaves = default_max_leaves)
-    ?(max_clusters = 2) p =
+let solve_impl ~budget ~max_rows ~max_leaves ~max_clusters p =
   if max_clusters < 1 then invalid_arg "Oracle.solve: C must be >= 1";
   if not (tractable ~max_rows ~max_leaves ~max_clusters p) then
     invalid_arg "Oracle.solve: instance exceeds the brute-force bounds";
@@ -75,6 +78,9 @@ let solve ?(max_rows = default_max_rows) ?(max_leaves = default_max_leaves)
   let best = ref None in
   let consider assignment =
     Fbb_obs.Counter.incr leaves_c;
+    (* One tick per leaf in this strictly sequential walk, so a work
+       budget always stops at the same leaf. *)
+    if not (Fbb_util.Budget.tick budget) then raise Budget_stop;
     (* Safe pruning: leakage is a level-independent sum, so comparing it
        before the feasibility walk cannot change which assignments are
        optimal — equal-leakage ties still go to the first one visited. *)
@@ -110,9 +116,32 @@ let solve ?(max_rows = default_max_rows) ?(max_leaves = default_max_leaves)
       if !r < 0 then continue_ := false else digits.(!r) <- digits.(!r) + 1
     done
   in
-  for s = 1 to min max_clusters nlev do
-    subsets 0 s []
-  done;
-  match !best with
-  | Some (levels, leakage_nw) -> Optimal { levels; leakage_nw }
-  | None -> Infeasible
+  let truncated =
+    try
+      for s = 1 to min max_clusters nlev do
+        subsets 0 s []
+      done;
+      false
+    with Budget_stop -> true
+  in
+  let incumbent =
+    Option.map (fun (levels, leakage_nw) -> { levels; leakage_nw }) !best
+  in
+  if truncated then Out_of_budget incumbent
+  else
+    match incumbent with
+    | Some opt -> Done (Optimal opt)
+    | None -> Done Infeasible
+
+let solve ?(max_rows = default_max_rows) ?(max_leaves = default_max_leaves)
+    ?(max_clusters = 2) p =
+  match
+    solve_impl ~budget:Fbb_util.Budget.unlimited ~max_rows ~max_leaves
+      ~max_clusters p
+  with
+  | Done v -> v
+  | Out_of_budget _ -> assert false (* unlimited budgets never trip *)
+
+let solve_bounded ?(max_rows = default_max_rows)
+    ?(max_leaves = default_max_leaves) ?(max_clusters = 2) ~budget p =
+  solve_impl ~budget ~max_rows ~max_leaves ~max_clusters p

@@ -46,3 +46,17 @@ val solve :
 (** Exhaustive search ([max_clusters] defaults to 2). Raises
     [Invalid_argument] when the instance is not {!tractable} — callers
     are expected to gate on {!tractable} first. *)
+
+type bounded =
+  | Done of verdict  (** the enumeration ran to completion *)
+  | Out_of_budget of optimum option
+      (** the budget tripped mid-walk; carries the best feasible
+          assignment seen so far (an upper bound, {e not} a proven
+          optimum — and [None] proves nothing about feasibility) *)
+
+val solve_bounded :
+  ?max_rows:int -> ?max_leaves:int -> ?max_clusters:int ->
+  budget:Fbb_util.Budget.t -> Fbb_core.Problem.t -> bounded
+(** {!solve} under a cooperative {!Fbb_util.Budget}, ticked once per
+    enumerated leaf. The walk is strictly sequential, so a pure work
+    budget truncates at the same leaf on every run. *)

@@ -15,6 +15,18 @@
 
 let tasks_c = Fbb_obs.Counter.make "par.tasks"
 let batches_c = Fbb_obs.Counter.make "par.batches"
+let poisoned_c = Fbb_obs.Counter.make "par.poisoned"
+let retried_c = Fbb_obs.Counter.make "par.retried"
+
+exception Worker_error of { task : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_error { task; exn } ->
+      Some
+        (Printf.sprintf "Fbb_par.Pool.Worker_error(task %d: %s)" task
+           (Printexc.to_string exn))
+    | _ -> None)
 
 (* ----- utilization accounting ------------------------------------------ *)
 
@@ -231,10 +243,43 @@ let run_batch tasks =
 let chunk_size ?chunk n =
   match chunk with Some c -> max 1 c | None -> max 1 (n / 64)
 
+(* Chunk bodies run under the fault-injection sites and a bounded
+   transient-retry loop. A chunk that still fails is quarantined: its
+   error (with the chunk = task index) lands in the per-chunk slot,
+   every other chunk completes normally, and the join point re-raises
+   the lowest-indexed failure as [Worker_error] — so the caller learns
+   {e which} task died instead of losing the index, and the pool stays
+   serviceable. *)
+let max_task_attempts = 3
+
+let guarded errors k body =
+  let rec go attempt =
+    match
+      Fbb_fault.Fault.inject_transient "pool.transient";
+      Fbb_fault.Fault.inject "pool.worker";
+      body ()
+    with
+    | () -> ()
+    | exception e when Fbb_fault.Fault.is_transient e && attempt < max_task_attempts ->
+      Fbb_obs.Counter.incr retried_c;
+      (* Bounded deterministic backoff: a fixed spin growing with the
+         attempt ordinal - no clock, no scheduler dependence. *)
+      for _ = 0 to 100 * attempt do
+        Domain.cpu_relax ()
+      done;
+      go (attempt + 1)
+    | exception e ->
+      Fbb_obs.Counter.incr poisoned_c;
+      errors.(k) <- Some (e, Printexc.get_raw_backtrace ())
+  in
+  go 1
+
 let raise_first_error errors =
-  Array.iter
-    (function
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  Array.iteri
+    (fun k slot ->
+      match slot with
+      | Some (e, bt) ->
+        Printexc.raise_with_backtrace (Worker_error { task = k; exn = e }) bt
       | None -> ())
     errors
 
@@ -247,11 +292,10 @@ let parallel_map ?chunk a ~f =
     let out = Array.make nchunks None in
     let errors = Array.make nchunks None in
     let task k () =
-      let lo = k * c in
-      let len = min c (n - lo) in
-      match Array.init len (fun i -> f a.(lo + i)) with
-      | r -> out.(k) <- Some r
-      | exception e -> errors.(k) <- Some (e, Printexc.get_raw_backtrace ())
+      guarded errors k (fun () ->
+          let lo = k * c in
+          let len = min c (n - lo) in
+          out.(k) <- Some (Array.init len (fun i -> f a.(lo + i))))
     in
     run_batch (Array.init nchunks task);
     raise_first_error errors;
@@ -266,15 +310,12 @@ let parallel_for ?chunk ~n f =
     let nchunks = (n + c - 1) / c in
     let errors = Array.make nchunks None in
     let task k () =
-      let lo = k * c in
-      let hi = min n (lo + c) - 1 in
-      match
-        for i = lo to hi do
-          f i
-        done
-      with
-      | () -> ()
-      | exception e -> errors.(k) <- Some (e, Printexc.get_raw_backtrace ())
+      guarded errors k (fun () ->
+          let lo = k * c in
+          let hi = min n (lo + c) - 1 in
+          for i = lo to hi do
+            f i
+          done)
     in
     run_batch (Array.init nchunks task);
     raise_first_error errors
@@ -288,17 +329,14 @@ let parallel_reduce ?chunk ~n ~map ~combine init =
     let out = Array.make nchunks None in
     let errors = Array.make nchunks None in
     let task k () =
-      let lo = k * c in
-      let hi = min n (lo + c) - 1 in
-      match
-        let acc = ref (map lo) in
-        for i = lo + 1 to hi do
-          acc := combine !acc (map i)
-        done;
-        !acc
-      with
-      | v -> out.(k) <- Some v
-      | exception e -> errors.(k) <- Some (e, Printexc.get_raw_backtrace ())
+      guarded errors k (fun () ->
+          let lo = k * c in
+          let hi = min n (lo + c) - 1 in
+          let acc = ref (map lo) in
+          for i = lo + 1 to hi do
+            acc := combine !acc (map i)
+          done;
+          out.(k) <- Some !acc)
     in
     run_batch (Array.init nchunks task);
     raise_first_error errors;

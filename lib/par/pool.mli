@@ -23,10 +23,27 @@
     domain ever idles while work is pending and nesting cannot
     deadlock.
 
-    Exceptions raised by the mapped function are caught per chunk and
-    re-raised in the caller — deterministically the one from the
-    lowest-indexed failing chunk — after the whole batch has drained,
-    leaving the pool reusable. *)
+    {b Failure containment.} Exceptions raised by the mapped function
+    are caught per chunk, the chunk is quarantined (its slot never
+    merges; the [par.poisoned] counter ticks) while every other chunk
+    completes, and after the whole batch has drained the caller
+    receives — deterministically — the lowest-indexed failure wrapped
+    in {!Worker_error} carrying the failing task (= chunk) index and
+    the original exception, with the original backtrace. The pool
+    stays reusable after a failed batch.
+
+    Transient failures ({!Fbb_fault.Fault.Transient}, whether injected
+    at the ["pool.transient"] site or raised by the task itself) are
+    retried in place up to 3 attempts with a bounded deterministic
+    backoff before they poison the chunk; the ["pool.worker"] site
+    injects hard faults for resilience testing. Retried chunk bodies
+    re-run from the top, so tasks must stay idempotent — which the
+    disjoint-slot determinism contract already requires. *)
+
+exception Worker_error of { task : int; exn : exn }
+(** Raised at the join point of a batch whose [task]-th chunk failed;
+    [exn] is the original exception. The lowest failing index wins,
+    independent of scheduling. *)
 
 val set_jobs : int -> unit
 (** Override the pool size (clamped to [>= 1]). Takes effect at the

@@ -1,0 +1,67 @@
+type phase = Write | Fsync | Rename
+
+let phase_name = function
+  | Write -> "write"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+
+let fault_hook : (phase -> string -> unit) option ref = ref None
+let transient_pred : (exn -> bool) ref = ref (fun _ -> false)
+let retry_count = Atomic.make 0
+
+let set_fault_hook h = fault_hook := h
+let set_transient_pred p = transient_pred := p
+let retries () = Atomic.get retry_count
+
+let max_attempts = 3
+
+let hook phase path =
+  match !fault_hook with None -> () | Some h -> h phase path
+
+(* Distinct temp names per process and per call, so a crashed write
+   can never be half-overwritten by a concurrent one. *)
+let tmp_seq = Atomic.make 0
+
+let tmp_path path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_seq 1)
+
+let attempt ~path content =
+  let tmp = tmp_path path in
+  match
+    hook Write path;
+    let oc = open_out tmp in
+    (try output_string oc content
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    hook Fsync path;
+    flush oc;
+    (try Unix.fsync (Unix.descr_of_out_channel oc)
+     with Unix.Unix_error _ -> () (* durability is best-effort on odd FS *));
+    close_out oc;
+    hook Rename path;
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+    (* The destination is untouched; only the temp file needs removing.
+       A real crash would leave it behind, which is equally safe. *)
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let write_atomic ~path content =
+  let rec go attempts_left =
+    match attempt ~path content with
+    | () -> ()
+    | exception e when !transient_pred e && attempts_left > 1 ->
+      Atomic.incr retry_count;
+      (* Bounded deterministic backoff: no clock, just a fixed spin
+         that grows with the retry ordinal. *)
+      let ordinal = max_attempts - attempts_left in
+      for _ = 0 to 100 * (ordinal + 1) do
+        Domain.cpu_relax ()
+      done;
+      go (attempts_left - 1)
+  in
+  go max_attempts

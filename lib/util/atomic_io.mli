@@ -1,0 +1,44 @@
+(** Crash-safe file writes: write a temporary sibling, fsync it, then
+    atomically rename over the destination.
+
+    A reader therefore always sees either the complete previous
+    content or the complete new content — a crash (or an injected
+    fault) between any two steps leaves at worst a stray [*.tmp.*]
+    file next to the target, never a truncated or interleaved
+    destination. [bench.json], committed baselines, fuzz corpus and
+    repro case files all go through this path.
+
+    {b Fault hooks.} [Fbb_fault] (or a test) can install a hook that
+    runs at each phase; a hook that raises simulates a crash or a
+    transient I/O error at that exact point. Exceptions satisfying the
+    installed transient predicate are retried with a bounded,
+    deterministic backoff; anything else cleans up the temporary file
+    and propagates (the destination is untouched — that is the
+    crash-safety contract the kill-point test pins down). *)
+
+type phase =
+  | Write  (** after opening, before/while writing the temp file *)
+  | Fsync  (** after the temp file's content is complete *)
+  | Rename  (** immediately before the atomic rename *)
+
+val phase_name : phase -> string
+
+val set_fault_hook : (phase -> string -> unit) option -> unit
+(** Install (or clear) the hook, called as [hook phase dest_path] at
+    every phase of every atomic write. The hook may raise. *)
+
+val set_transient_pred : (exn -> bool) -> unit
+(** Which hook exceptions count as transient (retried, up to
+    {!max_attempts} total tries). Default: none. *)
+
+val max_attempts : int
+(** Total tries per write when transient faults keep firing (3). *)
+
+val write_atomic : path:string -> string -> unit
+(** [write_atomic ~path content] publishes [content] at [path]
+    atomically. Raises [Sys_error] on real I/O failure and re-raises
+    non-transient hook exceptions after deleting the temp file. *)
+
+val retries : unit -> int
+(** Process-wide count of transient-fault retries performed (for
+    tests and fault-injection reports). *)

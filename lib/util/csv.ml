@@ -99,8 +99,4 @@ let parse s =
   unquoted 0;
   List.rev !rows
 
-let save t ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render t))
+let save t ~path = Atomic_io.write_atomic ~path (render t)

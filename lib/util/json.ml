@@ -268,10 +268,9 @@ let to_string ?(indent = false) v =
   Buffer.contents buf
 
 let save ?indent v ~path =
-  let oc = open_out path in
-  output_string oc (to_string ?indent v);
-  output_char oc '\n';
-  close_out oc
+  (* Atomic (write-tmp-fsync-rename): bench records and baselines must
+     never be left half-written by a crash mid-save. *)
+  Atomic_io.write_atomic ~path (to_string ?indent v ^ "\n")
 
 let load path =
   let ic = open_in_bin path in

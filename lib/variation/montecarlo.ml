@@ -14,6 +14,7 @@ type t = {
   single_bb : strategy_stats;
   clustered : strategy_stats;
   mean_measured_slowdown_pct : float;
+  complete : bool;
 }
 
 let samples_c = Fbb_obs.Counter.make "mc.samples"
@@ -40,12 +41,12 @@ type die = {
 }
 
 let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
-    ?(guardband = 0.15) placement =
+    ?(guardband = 0.15) ?(budget = Fbb_util.Budget.unlimited) placement =
   Fbb_obs.Span.with_ ~name:"mc.run" @@ fun () ->
   let nl = P.netlist placement in
   let rng = Fbb_util.Rng.create ~seed in
   let nominal = Timing.analyze nl in
-  let budget = Timing.dcrit nominal +. 1e-6 in
+  let timing_budget = Timing.dcrit nominal +. 1e-6 in
   let leakage ~bias = Tuning.design_leakage nl ~bias in
   (* Seed-splitting: die [i]'s generator is the [i]-th split of the run
      seed, derived sequentially up front. Each die then draws only from
@@ -63,7 +64,7 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
     let reading = Sensor.in_situ_monitors ~nominal ~degraded in
     (* Strategy 1: ship as fabricated. *)
     let ship_as_is =
-      if Timing.dcrit degraded <= budget then
+      if Timing.dcrit degraded <= timing_budget then
         Some (leakage ~bias:(fun _ -> 0.0))
       else None
     in
@@ -86,7 +87,8 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
             if j >= Fbb_tech.Bias.count then None
             else begin
               let bias _ = Fbb_tech.Bias.voltage j in
-              if Timing.dcrit (Timing.analyze ~derate ~bias nl) <= budget then
+              if Timing.dcrit (Timing.analyze ~derate ~bias nl) <= timing_budget
+              then
                 Some (leakage ~bias)
               else close (j + 1)
             end
@@ -108,8 +110,29 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
   (* One die per task: dies are expensive (three STA runs plus the
      optimizer) and [samples] is small. Results come back positionally,
      so every downstream list and sum is in die order regardless of
-     which domain evaluated what. *)
-  let dies = Fbb_par.Pool.parallel_map ~chunk:1 die_rngs ~f:sample in
+     which domain evaluated what.
+
+     Dies go through the pool in fixed batches of [batch_size], with
+     one budget tick per batch between the (sequential) batch launches:
+     a truncated run evaluates exactly the first [k * batch_size] dies
+     - a prefix of the full run's die sequence, since the RNG streams
+     were split up front - so its statistics are a deterministic
+     function of the budget, not of scheduling. *)
+  let batch_size = 8 in
+  let batches = ref [] in
+  let processed = ref 0 in
+  let complete = ref true in
+  while !complete && !processed < samples do
+    if not (Fbb_util.Budget.tick budget) then complete := false
+    else begin
+      let n = min batch_size (samples - !processed) in
+      let batch = Array.sub die_rngs !processed n in
+      batches := Fbb_par.Pool.parallel_map ~chunk:1 batch ~f:sample :: !batches;
+      processed := !processed + n
+    end
+  done;
+  let dies = Array.concat (List.rev !batches) in
+  let evaluated = Array.length dies in
   let shipped select =
     Array.fold_left
       (fun acc d -> match select d with Some leak -> leak :: acc | None -> acc)
@@ -117,12 +140,13 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
   in
   let slowdowns = Array.map (fun d -> d.slowdown) dies in
   {
-    samples;
-    no_tuning = stats_of (shipped (fun d -> d.ship_as_is)) samples;
-    single_bb = stats_of (shipped (fun d -> d.ship_single)) samples;
-    clustered = stats_of (shipped (fun d -> d.ship_clustered)) samples;
+    samples = evaluated;
+    no_tuning = stats_of (shipped (fun d -> d.ship_as_is)) evaluated;
+    single_bb = stats_of (shipped (fun d -> d.ship_single)) evaluated;
+    clustered = stats_of (shipped (fun d -> d.ship_clustered)) evaluated;
     mean_measured_slowdown_pct =
       100.0
       *. Fbb_util.Stats.mean
            (Array.of_list (Array.fold_left (fun acc s -> s :: acc) [] slowdowns));
+    complete = !complete;
   }

@@ -21,11 +21,15 @@ type strategy_stats = {
 }
 
 type t = {
-  samples : int;
+  samples : int;  (** dies actually evaluated (= requested unless a
+                      budget truncated the run) *)
   no_tuning : strategy_stats;
   single_bb : strategy_stats;
   clustered : strategy_stats;
   mean_measured_slowdown_pct : float;
+  complete : bool;
+      (** [false] when [?budget] stopped the run early; statistics then
+          cover a deterministic prefix of the die sequence *)
 }
 
 val run :
@@ -34,7 +38,14 @@ val run :
   ?sigma:float ->
   ?max_clusters:int ->
   ?guardband:float ->
+  ?budget:Fbb_util.Budget.t ->
   Fbb_place.Placement.t ->
   t
 (** Defaults: 50 samples, sigma = 0.05 (relative delay variation),
-    C = 2, guardband 0.15. *)
+    C = 2, guardband 0.15, unlimited budget.
+
+    [budget] is ticked once per batch of 8 dies, between the sequential
+    batch launches (never inside the parallel map), so a work budget
+    truncates after the same whole batch at any job count; die RNG
+    streams are split up front, so a truncated run's dies are a strict
+    prefix of the full run's. *)

@@ -5,6 +5,7 @@ let () =
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("fault", Test_fault.suite);
       ("tech", Test_tech.suite);
       ("netlist", Test_netlist.suite);
       ("generators", Test_generators.suite);
@@ -14,6 +15,7 @@ let () =
       ("solvers", Test_solvers.suite);
       ("layout", Test_layout.suite);
       ("core", Test_core.suite);
+      ("cascade", Test_cascade.suite);
       ("variation", Test_variation.suite);
       ("integration", Test_integration.suite);
       ("oracle", Test_oracle.suite);

@@ -1,0 +1,133 @@
+(* Tests for the degradation cascade (Fbb_core.Cascade): stage
+   selection under loose/tight/zero budgets, the independent sign-off,
+   infeasibility proofs and fault-forced degradation. *)
+
+module Cascade = Fbb_core.Cascade
+module Budget = Fbb_util.Budget
+module Problem = Fbb_core.Problem
+
+let infeasible_problem () =
+  (* Slowdown beyond the deepest bias level's compensation range. *)
+  Fbb_core.Problem.build ~beta:0.6 (Lazy.force Tsupport.small_placement)
+
+let test_unlimited_budget_is_exact () =
+  let p = Tsupport.small_problem () in
+  match Cascade.solve p with
+  | {
+   Cascade.outcome = Cascade.Solved { stage; levels; optimal; gap_pct; _ };
+   exhausted;
+   _;
+  } ->
+    Alcotest.(check bool) "first stage wins" true (stage = Cascade.Ilp);
+    Alcotest.(check bool) "proved optimal" true optimal;
+    Alcotest.(check bool) "budget not exhausted" false exhausted;
+    Alcotest.(check bool) "independently signed off" true
+      (Cascade.verify p ~max_clusters:2 levels);
+    (match gap_pct with
+    | Some g -> Alcotest.(check bool) "gap non-negative" true (g >= 0.0)
+    | None -> ())
+  | { Cascade.outcome = Cascade.Infeasible; _ } ->
+    Alcotest.fail "feasible instance reported infeasible"
+
+let test_zero_budget_floor () =
+  let p = Tsupport.small_problem () in
+  match Cascade.solve ~budget:(Budget.create ~work:0 ()) p with
+  | { Cascade.outcome = Cascade.Solved { stage; levels; _ }; attempts; _ } ->
+    Alcotest.(check bool) "the single-bb floor answers" true
+      (stage = Cascade.Single_bb);
+    Alcotest.(check bool) "floor answer signed off" true
+      (Cascade.verify p ~max_clusters:2 levels);
+    (* The skipped stages are recorded as exhausted in the degradation
+       report, not silently dropped. *)
+    List.iter
+      (fun a ->
+        if a.Cascade.stage <> Cascade.Single_bb then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s reported exhausted"
+               (Cascade.stage_name a.Cascade.stage))
+            true
+            (a.Cascade.status = Cascade.Exhausted))
+      attempts
+  | _ -> Alcotest.fail "expected the single-bb floor to answer"
+
+let test_tight_budgets_stay_feasible () =
+  (* Whatever the budget, a feasible instance must yield a verified
+     feasible assignment - the anytime contract. *)
+  let p = Tsupport.small_problem () in
+  List.iter
+    (fun work ->
+      match Cascade.solve ~budget:(Budget.create ~work ()) p with
+      | { Cascade.outcome = Cascade.Solved { levels; _ }; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "signed off at work=%d" work)
+          true
+          (Cascade.verify p ~max_clusters:2 levels)
+      | { Cascade.outcome = Cascade.Infeasible; _ } ->
+        Alcotest.failf "feasible instance reported infeasible at work=%d" work)
+    [ 1; 10; 100; 1000 ]
+
+let test_infeasible_instance () =
+  let p = infeasible_problem () in
+  (match Cascade.solve p with
+  | { Cascade.outcome = Cascade.Infeasible; _ } -> ()
+  | _ -> Alcotest.fail "expected Infeasible");
+  (* Infeasibility is an exact proof (max_single_level = None), so it
+     must hold even when every budgeted stage is starved. *)
+  match Cascade.solve ~budget:(Budget.create ~work:0 ()) p with
+  | { Cascade.outcome = Cascade.Infeasible; _ } -> ()
+  | _ -> Alcotest.fail "expected Infeasible at zero budget"
+
+let test_verify_rejects_bad_assignments () =
+  let p = Tsupport.small_problem () in
+  let n = Problem.num_rows p in
+  Alcotest.(check bool) "wrong length" false
+    (Cascade.verify p ~max_clusters:2 (Array.make (n + 1) 0));
+  Alcotest.(check bool) "zero bias violates timing" false
+    (Cascade.verify p ~max_clusters:2 (Array.make n 0));
+  Alcotest.(check bool) "cluster budget enforced" false
+    (Cascade.verify p ~max_clusters:1 (Array.init n (fun i -> i mod 2)))
+
+let test_attempts_are_reported () =
+  let p = Tsupport.small_problem () in
+  let r = Cascade.solve p in
+  (* At least one attempt, ending in an accepted stage; work and time
+     are reported per attempt. *)
+  Alcotest.(check bool) "some attempt recorded" true (r.Cascade.attempts <> []);
+  Alcotest.(check bool) "one attempt accepted" true
+    (List.exists (fun a -> a.Cascade.status = Cascade.Accepted)
+       r.Cascade.attempts);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "work spent non-negative" true
+        (a.Cascade.work_spent >= 0);
+      Alcotest.(check bool) "elapsed non-negative" true
+        (a.Cascade.elapsed_s >= 0.0))
+    r.Cascade.attempts
+
+let test_fault_forced_degradation () =
+  (* With budget.exhaust firing on every stage entry, only the
+     budget-free floor remains - and its answer still passes the
+     independent sign-off. *)
+  let p = Tsupport.small_problem () in
+  Fbb_fault.Fault.configure ~rate:1.0 ~seed:1;
+  Fun.protect ~finally:Fbb_fault.Fault.clear (fun () ->
+      match Cascade.solve p with
+      | { Cascade.outcome = Cascade.Solved { stage; levels; _ }; _ } ->
+        Alcotest.(check bool) "only the floor remains" true
+          (stage = Cascade.Single_bb);
+        Alcotest.(check bool) "floor answer signed off" true
+          (Fbb_fault.Fault.with_paused (fun () ->
+               Cascade.verify p ~max_clusters:2 levels))
+      | _ -> Alcotest.fail "expected the floor to answer under faults")
+
+let suite =
+  [
+    ("unlimited budget is exact", `Quick, test_unlimited_budget_is_exact);
+    ("zero budget falls to the floor", `Quick, test_zero_budget_floor);
+    ("tight budgets stay feasible", `Quick, test_tight_budgets_stay_feasible);
+    ("infeasible instance", `Quick, test_infeasible_instance);
+    ("verify rejects bad assignments", `Quick,
+     test_verify_rejects_bad_assignments);
+    ("attempts are reported", `Quick, test_attempts_are_reported);
+    ("fault-forced degradation", `Quick, test_fault_forced_degradation);
+  ]

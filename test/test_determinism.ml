@@ -108,9 +108,80 @@ let test_differential_harness () =
         a.D.failures b.D.failures)
     cases
 
+(* ----- budget-bounded anytime runs -------------------------------------- *)
+
+module Budget = Fbb_util.Budget
+
+let test_budgeted_branch_bound () =
+  (* A work budget truncates the B&B at a deterministic wave boundary:
+     the anytime incumbent, node count and work consumed must be
+     bit-identical at any pool width. *)
+  let rng = Fbb_util.Rng.create ~seed:654 in
+  for i = 1 to 10 do
+    let p = random_problem rng in
+    let run jobs =
+      at_jobs jobs (fun () ->
+          let budget = Budget.create ~work:25 () in
+          let r = BB.solve ~budget p in
+          (r.BB.status, r.BB.best, r.BB.nodes, Budget.work_used budget))
+    in
+    let a = run 1 and b = run 4 in
+    check_eq
+      (Printf.sprintf "budgeted bb identical jobs=1 vs 4 (case %d)" i)
+      a b
+  done
+
+let test_budgeted_montecarlo () =
+  let pl = Lazy.force Tsupport.small_placement in
+  let run jobs =
+    at_jobs jobs (fun () ->
+        Fbb_variation.Montecarlo.run
+          ~budget:(Budget.create ~work:2 ())
+          ~seed:7 ~samples:64 ~sigma:0.05 pl)
+  in
+  let a = run 1 and b = run 4 in
+  check_eq "truncated mc records bit-identical jobs=1 vs 4" a b;
+  Alcotest.(check bool) "truncation engaged" false
+    a.Fbb_variation.Montecarlo.complete;
+  Alcotest.(check bool) "a strict prefix was evaluated" true
+    (a.Fbb_variation.Montecarlo.samples > 0
+    && a.Fbb_variation.Montecarlo.samples < 64)
+
+let test_cascade () =
+  (* The whole degradation cascade - stage choice, statuses and work
+     accounting - must be identical at any width, for every budget
+     regime (elapsed_s is wall clock and excluded). *)
+  let p = Tsupport.small_problem () in
+  List.iter
+    (fun work ->
+      let run jobs =
+        at_jobs jobs (fun () ->
+            let r =
+              Fbb_core.Cascade.solve ~budget:(Budget.create ~work ()) p
+            in
+            ( r.Fbb_core.Cascade.outcome,
+              r.Fbb_core.Cascade.exhausted,
+              List.map
+                (fun a ->
+                  ( a.Fbb_core.Cascade.stage,
+                    a.Fbb_core.Cascade.status,
+                    a.Fbb_core.Cascade.leakage_nw,
+                    a.Fbb_core.Cascade.work_spent ))
+                r.Fbb_core.Cascade.attempts ))
+      in
+      let a = run 1 and b = run 4 in
+      check_eq
+        (Printf.sprintf "cascade identical jobs=1 vs 4 (work=%d)" work)
+        a b)
+    [ 0; 5; 50; 5000 ]
+
 let suite =
   [
     Alcotest.test_case "montecarlo" `Quick test_montecarlo;
+    Alcotest.test_case "budgeted branch and bound" `Quick
+      test_budgeted_branch_bound;
+    Alcotest.test_case "budgeted montecarlo" `Quick test_budgeted_montecarlo;
+    Alcotest.test_case "cascade" `Quick test_cascade;
     Alcotest.test_case "branch and bound" `Quick test_branch_bound;
     Alcotest.test_case "reduce_paths" `Quick test_reduce_paths;
     Alcotest.test_case "ilp flow" `Quick test_ilp_flow;

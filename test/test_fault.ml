@@ -1,0 +1,118 @@
+(* Tests for the seeded deterministic fault-injection registry
+   (Fbb_fault): replayable decisions, the referee pause, exception
+   taxonomy and per-site statistics. *)
+
+module Fault = Fbb_fault.Fault
+
+let with_faults ~rate ~seed f =
+  Fault.configure ~rate ~seed;
+  Fun.protect ~finally:Fault.clear f
+
+let fires site n = List.init n (fun _ -> Fault.fire site)
+
+let test_inactive_by_default () =
+  Fault.clear ();
+  Alcotest.(check bool) "not active" false (Fault.active ());
+  Alcotest.(check bool) "never fires" false (Fault.fire "x");
+  (* Disabled sites are plain no-ops. *)
+  Fault.inject "x";
+  Fault.inject_transient "x"
+
+let test_rate_extremes () =
+  with_faults ~rate:1.0 ~seed:3 (fun () ->
+      Alcotest.(check bool) "rate 1 always fires" true
+        (List.for_all Fun.id (fires "s" 50)));
+  with_faults ~rate:0.0 ~seed:3 (fun () ->
+      Alcotest.(check bool) "rate 0 never fires" false
+        (List.exists Fun.id (fires "s" 50)))
+
+let test_decisions_replayable () =
+  (* The n-th evaluation of a site is a pure function of
+     (seed, site, n): reconfiguring with the same pair replays the
+     exact decision sequence. *)
+  let record () =
+    with_faults ~rate:0.3 ~seed:11 (fun () -> (fires "a" 200, fires "b" 200))
+  in
+  let a1, b1 = record () in
+  let a2, b2 = record () in
+  Alcotest.(check bool) "same (rate, seed) replays decisions" true
+    (a1 = a2 && b1 = b2);
+  Alcotest.(check bool) "sites decorrelated" true (a1 <> b1);
+  let a3 = with_faults ~rate:0.3 ~seed:12 (fun () -> fires "a" 200) in
+  Alcotest.(check bool) "seed changes decisions" true (a1 <> a3);
+  let hits = List.length (List.filter Fun.id a1) in
+  Alcotest.(check bool) "rate roughly respected" true (hits > 20 && hits < 140)
+
+let test_with_paused () =
+  with_faults ~rate:1.0 ~seed:1 (fun () ->
+      ignore (Fault.fire "p");
+      let before = Fault.stats () in
+      Fault.with_paused (fun () ->
+          Alcotest.(check bool) "inactive inside" false (Fault.active ());
+          Alcotest.(check bool) "no fire inside" false (Fault.fire "p");
+          Fault.with_paused (fun () ->
+              Alcotest.(check bool) "nestable" false (Fault.fire "p")));
+      Alcotest.(check bool) "counters frozen while paused" true
+        (Fault.stats () = before);
+      Alcotest.(check bool) "active again" true (Fault.active ());
+      Alcotest.(check bool) "fires again" true (Fault.fire "p"))
+
+let test_exceptions_and_stats () =
+  with_faults ~rate:1.0 ~seed:7 (fun () ->
+      (match Fault.inject "hard" with
+      | () -> Alcotest.fail "expected Injected"
+      | exception Fault.Injected { site = "hard"; ordinal = _ } -> ());
+      (match Fault.inject_transient "soft" with
+      | () -> Alcotest.fail "expected Transient"
+      | exception (Fault.Transient _ as e) ->
+        Alcotest.(check bool) "is_transient recognizes it" true
+          (Fault.is_transient e));
+      Alcotest.(check bool) "Injected is not transient" false
+        (Fault.is_transient (Fault.Injected { site = "x"; ordinal = 0 }));
+      let stats = Fault.stats () in
+      let entry site = List.find_opt (fun (s, _, _) -> s = site) stats in
+      Alcotest.(check bool) "hard site counted" true
+        (entry "hard" = Some ("hard", 1, 1));
+      Alcotest.(check bool) "soft site counted" true
+        (entry "soft" = Some ("soft", 1, 1)))
+
+let test_pool_contains_injected_faults () =
+  (* End to end through the pool: an injected hard fault surfaces as
+     Worker_error, a transient one is retried away — at any width. *)
+  let module Pool = Fbb_par.Pool in
+  let at_jobs n f =
+    let prev = Pool.jobs () in
+    Pool.set_jobs n;
+    Fun.protect ~finally:(fun () -> Pool.set_jobs prev) f
+  in
+  List.iter
+    (fun jobs ->
+      at_jobs jobs @@ fun () ->
+      with_faults ~rate:1.0 ~seed:5 (fun () ->
+          match Pool.parallel_map ~chunk:1 [| 1; 2; 3 |] ~f:succ with
+          | _ -> Alcotest.fail "expected Worker_error"
+          | exception Pool.Worker_error { task = 0; exn } ->
+            Alcotest.(check bool)
+              (Printf.sprintf "injected exn surfaces (jobs=%d)" jobs)
+              true
+              (match exn with
+              | Fault.Injected _ | Fault.Transient _ -> true
+              | _ -> false));
+      (* The pool must stay serviceable once injection is off. *)
+      with_faults ~rate:0.0 ~seed:5 (fun () ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "pool intact after faults (jobs=%d)" jobs)
+            [| 2; 3; 4 |]
+            (Pool.parallel_map ~chunk:1 [| 1; 2; 3 |] ~f:succ)))
+    [ 1; 4 ]
+
+let suite =
+  [
+    ("inactive by default", `Quick, test_inactive_by_default);
+    ("rate extremes", `Quick, test_rate_extremes);
+    ("decisions replayable", `Quick, test_decisions_replayable);
+    ("with_paused", `Quick, test_with_paused);
+    ("exceptions and stats", `Quick, test_exceptions_and_stats);
+    ("pool contains injected faults", `Quick,
+     test_pool_contains_injected_faults);
+  ]

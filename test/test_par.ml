@@ -62,16 +62,21 @@ let test_exception_propagates_and_pool_survives () =
     (fun jobs ->
       at_jobs jobs @@ fun () ->
       let input = Array.init 50 (fun i -> i) in
-      (* Two failing chunks; the one with the smallest chunk index wins,
-         independent of which domain hit it first. *)
+      (* Two failing chunks; the one with the smallest task index wins,
+         independent of which domain hit it first, and the join point
+         wraps the original exception in Worker_error carrying that
+         index. *)
       (match
          Pool.parallel_map ~chunk:1 input ~f:(fun i ->
              if i = 10 || i = 37 then raise (Boom i) else i)
        with
-      | _ -> Alcotest.fail "expected Boom"
-      | exception Boom i ->
+      | _ -> Alcotest.fail "expected Worker_error"
+      | exception Pool.Worker_error { task; exn = Boom i } ->
         Alcotest.(check int)
-          (Printf.sprintf "first failing chunk wins (jobs=%d)" jobs)
+          (Printf.sprintf "lowest failing task index wins (jobs=%d)" jobs)
+          10 task;
+        Alcotest.(check int)
+          (Printf.sprintf "original exception preserved (jobs=%d)" jobs)
           10 i);
       (* The pool must stay serviceable after a failed batch. *)
       Alcotest.(check (array int))
@@ -79,6 +84,33 @@ let test_exception_propagates_and_pool_survives () =
         (Array.map succ input)
         (Pool.parallel_map input ~f:succ))
     widths
+
+let test_worker_error_in_for_and_reduce () =
+  (* Every combinator funnels through the same containment: reduce and
+     for report Worker_error too, with the failing task index. *)
+  List.iter
+    (fun jobs ->
+      at_jobs jobs @@ fun () ->
+      (match
+         Pool.parallel_for ~chunk:1 ~n:20 (fun i ->
+             if i = 7 then raise (Boom i))
+       with
+      | () -> Alcotest.fail "expected Worker_error"
+      | exception Pool.Worker_error { task; exn = Boom 7 } ->
+        Alcotest.(check int)
+          (Printf.sprintf "for reports task (jobs=%d)" jobs)
+          7 task);
+      match
+        Pool.parallel_reduce ~chunk:1 ~n:20
+          ~map:(fun i -> if i = 13 then raise (Boom i) else i)
+          ~combine:( + ) 0
+      with
+      | _ -> Alcotest.fail "expected Worker_error"
+      | exception Pool.Worker_error { task; exn = Boom 13 } ->
+        Alcotest.(check int)
+          (Printf.sprintf "reduce reports task (jobs=%d)" jobs)
+          13 task)
+    [ 1; 4 ]
 
 (* ----- parallel_for ----------------------------------------------------- *)
 
@@ -167,6 +199,8 @@ let suite =
     Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
     Alcotest.test_case "exception propagation and reuse" `Quick
       test_exception_propagates_and_pool_survives;
+    Alcotest.test_case "worker error in for and reduce" `Quick
+      test_worker_error_in_for_and_reduce;
     Alcotest.test_case "for covers every index once" `Quick
       test_for_covers_every_index_once;
     Alcotest.test_case "reduce sum" `Quick test_reduce_sum;

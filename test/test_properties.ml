@@ -82,7 +82,8 @@ let qcheck_tests =
           Array.iteri (fun i c -> star_obj := !star_obj +. (c *. xstar.(i))) minimize;
           objective <= !star_obj +. 1e-6
           && S.check problem solution ~eps:1e-6
-        | S.Infeasible | S.Unbounded | S.Pivot_limit -> false);
+        | S.Infeasible | S.Unbounded | S.Pivot_limit | S.Budget_exhausted ->
+          false);
     Test.make ~name:"checker agrees with meets_timing on random assignments"
       ~count:30
       (int_range 1 1_000_000)

@@ -17,6 +17,7 @@ let expect_opt name problem expected_obj =
   | S.Infeasible -> Alcotest.failf "%s: infeasible" name
   | S.Unbounded -> Alcotest.failf "%s: unbounded" name
   | S.Pivot_limit -> Alcotest.failf "%s: pivot limit" name
+  | S.Budget_exhausted -> Alcotest.failf "%s: budget exhausted" name
 
 let test_lp_max_basic () =
   (* max 3x+2y st x+y<=4, x+3y<=6 -> 12 at (4,0) *)
@@ -41,13 +42,13 @@ let test_lp_infeasible () =
       (lp 1 [ 1.0 ] [ c [ (0, 1.0) ] S.Le 1.0; c [ (0, 1.0) ] S.Ge 2.0 ])
   with
   | S.Infeasible -> ()
-  | S.Optimal _ | S.Unbounded | S.Pivot_limit ->
+  | S.Optimal _ | S.Unbounded | S.Pivot_limit | S.Budget_exhausted ->
     Alcotest.fail "expected infeasible"
 
 let test_lp_unbounded () =
   match S.solve (lp 1 [ -1.0 ] []) with
   | S.Unbounded -> ()
-  | S.Optimal _ | S.Infeasible | S.Pivot_limit ->
+  | S.Optimal _ | S.Infeasible | S.Pivot_limit | S.Budget_exhausted ->
     Alcotest.fail "expected unbounded"
 
 let test_lp_upper_bounds () =
@@ -201,7 +202,7 @@ let test_lp_pivot_limit () =
   let before = Fbb_obs.Counter.read limit_c in
   (match S.solve ~max_pivots:0 p with
   | S.Pivot_limit -> ()
-  | S.Optimal _ | S.Infeasible | S.Unbounded ->
+  | S.Optimal _ | S.Infeasible | S.Unbounded | S.Budget_exhausted ->
     Alcotest.fail "expected pivot limit");
   Alcotest.(check int) "lp.pivot_limit counter bumped" (before + 1)
     (Fbb_obs.Counter.read limit_c);

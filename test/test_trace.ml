@@ -203,6 +203,39 @@ let test_stats_balance () =
   Alcotest.(check bool) "truncated trace reported unbalanced" true
     (contains ~needle:"never closed" bad)
 
+let test_trace_truncated_final_line_salvaged () =
+  let path = record_trace () in
+  let intact = Obs.Trace_export.load path in
+  (* Simulate a writer killed mid-append: a half-written final line. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"ph\":\"C\",\"na";
+  close_out oc;
+  let told = ref None in
+  let events =
+    Obs.Trace_export.load ~on_truncated:(fun m -> told := Some m) path
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "intact prefix salvaged" true (events = intact);
+  match !told with
+  | Some m ->
+    Alcotest.(check bool) "loss reported" true (contains ~needle:"truncated" m)
+  | None -> Alcotest.fail "on_truncated was not called"
+
+let test_trace_midfile_corruption_still_fails () =
+  (* A malformed line with valid lines after it is real corruption, not
+     a truncated tail - the lenient path must not forgive it. *)
+  let path = Filename.temp_file "fbb_trace" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"ph\":\"B\",\"name\":\"x\",\"ts\":0}\n";
+  output_string oc "garbage\n";
+  output_string oc "{\"ph\":\"E\",\"name\":\"x\",\"ts\":1,\"dur_s\":1}\n";
+  close_out oc;
+  (match Obs.Trace_export.load path with
+  | _ -> Alcotest.fail "mid-file corruption must fail"
+  | exception Failure m ->
+    Alcotest.(check bool) "error names the line" true (contains ~needle:":2:" m));
+  Sys.remove path
+
 (* ----- bench records ----------------------------------------------------- *)
 
 let gc0 =
@@ -330,6 +363,10 @@ let suite =
     ("folded self times", `Quick, test_folded_self_times);
     ("folded drops unclosed spans", `Quick, test_folded_drops_unclosed);
     ("stats balance check", `Quick, test_stats_balance);
+    ("truncated final line salvaged", `Quick,
+     test_trace_truncated_final_line_salvaged);
+    ("mid-file corruption still fails", `Quick,
+     test_trace_midfile_corruption_still_fails);
     ("benchfile round-trip", `Quick, test_benchfile_roundtrip);
     ("bench-compare ok/improve", `Quick, test_compare_ok_and_improve);
     ("bench-compare regression", `Quick, test_compare_regression);

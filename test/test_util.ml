@@ -165,6 +165,166 @@ let test_csv_parse_tricky () =
     (Fbb_util.Csv.Parse_error (1, "data after closing quote")) (fun () ->
       ignore (Fbb_util.Csv.parse "\"a\"b,c"))
 
+(* ----- Budget ----------------------------------------------------------- *)
+
+module Budget = Fbb_util.Budget
+
+let test_budget_unlimited () =
+  Alcotest.(check bool) "is_unlimited" true
+    (Budget.is_unlimited Budget.unlimited);
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "tick ok" true (Budget.tick Budget.unlimited)
+  done;
+  Alcotest.(check bool) "never exhausted" false
+    (Budget.exhausted Budget.unlimited);
+  Alcotest.(check bool) "no reason" true (Budget.reason Budget.unlimited = None);
+  (* The shared token never accumulates work: ticks are no-ops. *)
+  Alcotest.(check int) "work untouched" 0 (Budget.work_used Budget.unlimited);
+  Alcotest.(check bool) "sub of unlimited is unlimited" true
+    (Budget.is_unlimited (Budget.sub Budget.unlimited));
+  (* A fresh limitless token does accumulate (for reporting). *)
+  let fresh = Budget.create () in
+  Alcotest.(check bool) "fresh token is not the shared one" false
+    (Budget.is_unlimited fresh);
+  ignore (Budget.tick ~cost:7 fresh);
+  Alcotest.(check int) "fresh token counts work" 7 (Budget.work_used fresh)
+
+let test_budget_work_limit () =
+  let b = Budget.create ~work:10 () in
+  for i = 1 to 10 do
+    Alcotest.(check bool) (Printf.sprintf "tick %d ok" i) true (Budget.tick b)
+  done;
+  Alcotest.(check int) "work_used" 10 (Budget.work_used b);
+  Alcotest.(check (option int)) "remaining 0" (Some 0) (Budget.remaining_work b);
+  Alcotest.(check bool) "at the limit is not over it" false (Budget.exhausted b);
+  Alcotest.(check bool) "crossing tick fails" false (Budget.tick b);
+  (* Sticky: every later tick and query reports the same exhaustion. *)
+  Alcotest.(check bool) "sticky tick" false (Budget.tick b);
+  Alcotest.(check bool) "sticky ok" false (Budget.ok b);
+  Alcotest.(check bool) "exhausted" true (Budget.exhausted b);
+  Alcotest.(check bool) "reason is work" true (Budget.reason b = Some Budget.Work)
+
+let test_budget_zero_work () =
+  let b = Budget.create ~work:0 () in
+  Alcotest.(check bool) "zero-cost probe passes" true (Budget.ok b);
+  Alcotest.(check bool) "first real tick trips" false (Budget.tick b);
+  Alcotest.(check bool) "exhausted" true (Budget.exhausted b)
+
+let test_budget_deadline () =
+  let b = Budget.create ~deadline_s:0.0 () in
+  while Budget.elapsed_s b < 0.002 do
+    ()
+  done;
+  Alcotest.(check bool) "past-deadline tick fails" false (Budget.tick b);
+  Alcotest.(check bool) "reason is deadline" true
+    (Budget.reason b = Some Budget.Deadline);
+  (* A work-only budget never trips on time. *)
+  let w = Budget.create ~work:1_000_000 () in
+  Alcotest.(check bool) "work-only budget ignores the clock" true
+    (Budget.tick w)
+
+let test_budget_sub_and_consume () =
+  let parent = Budget.create ~work:100 () in
+  ignore (Budget.tick ~cost:60 parent);
+  let child = Budget.sub ~work_frac:0.5 parent in
+  Alcotest.(check (option int)) "child carved from remaining" (Some 20)
+    (Budget.remaining_work child);
+  (* Child ticks are an allowance, not an account: the parent is only
+     charged when the stage ends and consume() settles up. *)
+  ignore (Budget.tick ~cost:20 child);
+  Alcotest.(check int) "parent unchanged by child ticks" 60
+    (Budget.work_used parent);
+  Budget.consume parent (Budget.work_used child);
+  Alcotest.(check int) "consume settles the child's work" 80
+    (Budget.work_used parent);
+  ignore (Budget.tick ~cost:1000 parent);
+  Alcotest.(check bool) "parent over-consumed" true (Budget.exhausted parent);
+  let dead = Budget.sub parent in
+  Alcotest.(check bool) "exhausted parent yields exhausted child" false
+    (Budget.tick dead)
+
+(* ----- Atomic_io -------------------------------------------------------- *)
+
+module Aio = Fbb_util.Atomic_io
+
+exception Kill
+exception Flaky
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let with_hooks hook pred f =
+  Aio.set_fault_hook hook;
+  Aio.set_transient_pred pred;
+  Fun.protect
+    ~finally:(fun () ->
+      Aio.set_fault_hook None;
+      Aio.set_transient_pred (fun _ -> false))
+    f
+
+let test_atomic_write_kill_points () =
+  (* Simulate a crash at each phase of the protocol: the destination
+     must keep its previous content bit-for-bit and no temp file may
+     survive. *)
+  let dir = Filename.temp_file "fbb_aio" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "target.json" in
+  Aio.write_atomic ~path "previous";
+  List.iter
+    (fun phase ->
+      with_hooks
+        (Some (fun p _dest -> if p = phase then raise Kill))
+        (fun _ -> false)
+        (fun () ->
+          (match Aio.write_atomic ~path "next" with
+          | () ->
+            Alcotest.failf "write survived a %s kill" (Aio.phase_name phase)
+          | exception Kill -> ());
+          Alcotest.(check string)
+            (Printf.sprintf "intact after %s kill" (Aio.phase_name phase))
+            "previous" (read_file path);
+          Alcotest.(check (list string))
+            (Printf.sprintf "no temp litter after %s kill"
+               (Aio.phase_name phase))
+            [ "target.json" ]
+            (Array.to_list (Sys.readdir dir))))
+    [ Aio.Write; Aio.Fsync; Aio.Rename ];
+  Aio.write_atomic ~path "next";
+  Alcotest.(check string) "clean write goes through" "next" (read_file path);
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_atomic_write_transient_retry () =
+  let path = Filename.temp_file "fbb_aio" ".json" in
+  let fired = ref 0 in
+  with_hooks
+    (Some
+       (fun p _ ->
+         if p = Aio.Write && !fired < 2 then begin
+           incr fired;
+           raise Flaky
+         end))
+    (function Flaky -> true | _ -> false)
+    (fun () ->
+      let before = Aio.retries () in
+      Aio.write_atomic ~path "retried";
+      Alcotest.(check string) "content lands after retries" "retried"
+        (read_file path);
+      Alcotest.(check int) "both retries recorded" (before + 2)
+        (Aio.retries ()));
+  (* A transient that never stops exhausts max_attempts, re-raises, and
+     still leaves the previous content intact. *)
+  with_hooks
+    (Some (fun p _ -> if p = Aio.Write then raise Flaky))
+    (function Flaky -> true | _ -> false)
+    (fun () ->
+      match Aio.write_atomic ~path "never" with
+      | () -> Alcotest.fail "expected exhausted retries to raise"
+      | exception Flaky ->
+        Alcotest.(check string) "previous content intact" "retried"
+          (read_file path));
+  Sys.remove path
+
 let qcheck_tests =
   let open QCheck in
   (* Fields drawn from a charset biased towards the CSV metacharacters the
@@ -250,5 +410,12 @@ let suite =
     ("csv save", `Quick, test_csv_save);
     ("texttab align and rules", `Quick, test_texttab_align);
     ("texttab cells", `Quick, test_cells);
+    ("budget unlimited", `Quick, test_budget_unlimited);
+    ("budget work limit", `Quick, test_budget_work_limit);
+    ("budget zero work", `Quick, test_budget_zero_work);
+    ("budget deadline", `Quick, test_budget_deadline);
+    ("budget sub and consume", `Quick, test_budget_sub_and_consume);
+    ("atomic write kill points", `Quick, test_atomic_write_kill_points);
+    ("atomic write transient retry", `Quick, test_atomic_write_transient_retry);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -4,7 +4,7 @@
 DUNE ?= dune
 
 .PHONY: all build test bench bench-compare baseline fuzz fuzz-faults \
-  cascade-demo profile trace flame clean
+  cascade-demo profile trace flame top-demo clean
 
 all: build
 
@@ -57,6 +57,16 @@ trace: build
 	  -o fbbopt-trace.chrome.json
 	@echo "wrote fbbopt-trace.jsonl, fbbopt-profile.csv and"
 	@echo "fbbopt-trace.chrome.json (load the latter in ui.perfetto.dev)"
+
+# Live telemetry demo: serve a cascade workload with the sampler and
+# /metrics endpoint up, scrape it, and render one dashboard frame.
+top-demo: build
+	$(DUNE) exec bin/fbbopt.exe -- serve-metrics -d c5315 --port 9619 \
+	  --deadline-ms 100 --duration-s 8 --jobs 2 & \
+	sleep 3; \
+	$(DUNE) exec bin/fbbopt.exe -- scrape http://127.0.0.1:9619; \
+	$(DUNE) exec bin/fbbopt.exe -- top --once --url http://127.0.0.1:9619; \
+	wait
 
 flame: trace
 	$(DUNE) exec bin/fbbopt.exe -- trace flame fbbopt-trace.jsonl \

@@ -59,6 +59,15 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Serve live telemetry on $(docv) while fuzzing: a background sampler \
+     snapshots counters/gauges/span histograms into ring buffers and a \
+     $(b,GET /metrics) (Prometheus text) + $(b,GET /snapshot.json) endpoint \
+     exposes them (watch with $(b,fbbopt top))."
+  in
+  Arg.(value & opt (some int) None & info [ "telemetry" ] ~docv:"PORT" ~doc)
+
 let faults_arg =
   let doc =
     "Inject deterministic faults at rate $(b,RATE) with seed $(b,SEED) and \
@@ -324,7 +333,7 @@ let fault_fuzz_body ~cases ~seed ~shrink ~corpus ~repro_dir ~verbose ~rate
   end
 
 let fuzz cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds jobs
-    verbose trace faults =
+    verbose trace telemetry faults =
   Option.iter Fbb_par.Pool.set_jobs jobs;
   let corpus = load_corpus corpus_dir in
   let run () =
@@ -336,20 +345,45 @@ let fuzz cases seed shrink corpus_dir repro_dir metamorphic ilp_seconds jobs
       fuzz_body cases seed shrink corpus repro_dir metamorphic ilp_seconds
         verbose
   in
-  match trace with
-  | None -> run ()
-  | Some path ->
-    (* Same sink discipline as fbbopt: trace the whole run under one
-       root span, publish pool utilization while the sink is still
-       installed, and close (fsync) the file even if the run raises. *)
-    let jsonl = Fbb_obs.Jsonl.create path in
-    Fbb_obs.Sink.install (Fbb_obs.Jsonl.sink jsonl);
-    Fun.protect
-      ~finally:(fun () ->
-        Fbb_par.Pool.publish_utilization ();
-        Fbb_obs.Sink.clear ();
-        Fbb_obs.Jsonl.close jsonl)
-      (fun () -> Fbb_obs.Span.with_ ~name:"fbbfuzz.run" run)
+  let with_trace run =
+    match trace with
+    | None -> run ()
+    | Some path ->
+      (* Same sink discipline as fbbopt: trace the whole run under one
+         root span, publish pool utilization while the sink is still
+         installed, and close (fsync) the file even if the run raises. *)
+      let jsonl = Fbb_obs.Jsonl.create path in
+      Fbb_obs.Sink.install (Fbb_obs.Jsonl.sink jsonl);
+      Fun.protect
+        ~finally:(fun () ->
+          Fbb_par.Pool.publish_utilization ();
+          Fbb_obs.Sink.clear ();
+          Fbb_obs.Jsonl.close jsonl)
+        (fun () -> Fbb_obs.Span.with_ ~name:"fbbfuzz.run" run)
+  in
+  match telemetry with
+  | None -> with_trace run
+  | Some port -> (
+    (* Span histograms only record while a sink is installed; with no
+       --trace the null sink turns instrumentation on for the sampler. *)
+    if trace = None then Fbb_obs.Sink.install Fbb_obs.Sink.null;
+    let sampler = Fbb_obs.Telemetry.start () in
+    match Fbb_obs.Telemetry.serve ~port () with
+    | Error msg ->
+      Fbb_obs.Telemetry.stop sampler;
+      if trace = None then Fbb_obs.Sink.clear ();
+      Printf.eprintf "fbbfuzz: telemetry: %s\n%!" msg;
+      2
+    | Ok srv ->
+      Printf.eprintf "fbbfuzz: telemetry on http://127.0.0.1:%d/metrics\n%!"
+        (Fbb_obs.Telemetry.port srv);
+      Fun.protect
+        ~finally:(fun () ->
+          Fbb_par.Pool.publish_utilization ();
+          Fbb_obs.Telemetry.stop sampler;
+          Fbb_obs.Telemetry.shutdown srv;
+          if trace = None then Fbb_obs.Sink.clear ())
+        (fun () -> with_trace run))
 
 let () =
   let info =
@@ -362,6 +396,6 @@ let () =
     Term.(
       const fuzz $ cases_arg $ seed_arg $ shrink_arg $ corpus_dir_arg
       $ repro_dir_arg $ metamorphic_arg $ ilp_seconds_arg $ jobs_arg
-      $ verbose_arg $ trace_arg $ faults_arg)
+      $ verbose_arg $ trace_arg $ telemetry_arg $ faults_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

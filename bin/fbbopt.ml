@@ -8,7 +8,11 @@
      tune          - closed-loop post-silicon tuning simulation
      recover       - active leakage recovery with reverse body bias
      trace         - offline converters for recorded JSONL traces
-     bench-compare - diff two bench.json records, gate on regressions *)
+     bench-compare - diff two bench.json records, gate on regressions
+     serve-metrics - live /metrics + /snapshot.json endpoint, optionally
+                     driving a cascade workload (the fbbd seed)
+     top           - live TTY dashboard over a telemetry endpoint
+     scrape        - fetch + validate a telemetry endpoint (CI smoke) *)
 
 open Cmdliner
 
@@ -86,15 +90,31 @@ let profile_csv_arg =
   Arg.(
     value & opt (some string) None & info [ "profile-csv" ] ~docv:"FILE" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Serve live telemetry ($(b,GET /metrics) Prometheus text, \
+     $(b,GET /snapshot.json)) on 127.0.0.1:$(docv) for the duration of the \
+     command; 0 picks an ephemeral port. Scrape with $(b,fbbopt scrape) or \
+     watch with $(b,fbbopt top)."
+  in
+  Arg.(value & opt (some int) None & info [ "telemetry" ] ~docv:"PORT" ~doc)
+
+let telemetry_tick_arg =
+  let doc = "Telemetry sampler tick in milliseconds." in
+  Arg.(
+    value & opt float 500.0 & info [ "telemetry-tick-ms" ] ~docv:"MS" ~doc)
+
 module Obs_cli = struct
   type t = {
     aggregate : Fbb_obs.Aggregate.t option;
     jsonl : Fbb_obs.Jsonl.t option;
     profile : bool;
     profile_csv : string option;
+    telemetry : (Fbb_obs.Telemetry.sampler * Fbb_obs.Telemetry.server) option;
   }
 
-  let start ~trace ~profile ~profile_csv =
+  let start ?telemetry ?(telemetry_tick_ms = 500.0) ~trace ~profile
+      ~profile_csv () =
     let aggregate =
       if profile || profile_csv <> None then Some (Fbb_obs.Aggregate.create ())
       else None
@@ -108,15 +128,42 @@ module Obs_cli = struct
         ]
     in
     (match sinks with
-    | [] -> ()
+    | [] ->
+      (* Telemetry feeds on the span-duration histograms, which only
+         populate while a sink is installed — give it the null sink
+         rather than silently serving empty percentiles. *)
+      if telemetry <> None then Fbb_obs.Sink.install Fbb_obs.Sink.null
     | s :: rest ->
       Fbb_obs.Sink.install (List.fold_left Fbb_obs.Sink.tee s rest));
-    { aggregate; jsonl; profile; profile_csv }
+    let telemetry =
+      Option.map
+        (fun port ->
+          let sampler =
+            Fbb_obs.Telemetry.start ~tick_s:(telemetry_tick_ms /. 1000.0) ()
+          in
+          match Fbb_obs.Telemetry.serve ~port () with
+          | Error msg ->
+            Fbb_obs.Telemetry.stop sampler;
+            raise (Sys_error ("telemetry: " ^ msg))
+          | Ok srv ->
+            Printf.eprintf "telemetry: serving http://127.0.0.1:%d/metrics\n%!"
+              (Fbb_obs.Telemetry.port srv);
+            (sampler, srv))
+        telemetry
+    in
+    { aggregate; jsonl; profile; profile_csv; telemetry }
 
   let finish t =
     (* Pool utilization gauges must land while the sinks are still
-       installed so they reach the trace and the profile report. *)
+       installed so they reach the trace and the profile report; the
+       sampler's final pass (in [stop]) then captures them, and the
+       obs.telemetry.* gauges it sets, into the aggregate too. *)
     Fbb_par.Pool.publish_utilization ();
+    Option.iter
+      (fun (sampler, srv) ->
+        Fbb_obs.Telemetry.stop sampler;
+        Fbb_obs.Telemetry.shutdown srv)
+      t.telemetry;
     Fbb_obs.Sink.clear ();
     Option.iter Fbb_obs.Jsonl.close t.jsonl;
     Option.iter
@@ -129,13 +176,19 @@ module Obs_cli = struct
           t.profile_csv)
       t.aggregate
 
-  (* Run [f] under the requested sinks, wrapped in a top-level span so
-     the report's first line accounts for (nearly) the full wall clock. *)
-  let run ~span ~trace ~profile ~profile_csv f =
-    let t = start ~trace ~profile ~profile_csv in
+  (* Run [f] under the requested sinks as one traced request: a fresh
+     Context (so every span, including those on pool workers, carries
+     one trace id) wrapped in a top-level span so the report's first
+     line accounts for (nearly) the full wall clock. *)
+  let run ?telemetry ?telemetry_tick_ms ~span ~trace ~profile ~profile_csv f =
+    let t = start ?telemetry ?telemetry_tick_ms ~trace ~profile ~profile_csv () in
+    let ctx = Fbb_obs.Context.make () in
+    if trace <> None then
+      Printf.eprintf "trace id: %s\n%!" ctx.Fbb_obs.Context.trace;
     Fun.protect
       ~finally:(fun () -> finish t)
-      (fun () -> Fbb_obs.Span.with_ ~name:span f)
+      (fun () ->
+        Fbb_obs.Context.with_ ctx (fun () -> Fbb_obs.Span.with_ ~name:span f))
 end
 
 (* Savings against a zero/NaN baseline print as "-", not inf/nan. *)
@@ -412,12 +465,12 @@ let work_budget_arg =
 
 let optimize_cmd =
   let run d f b c r i s svg ascii cascade deadline_ms work jobs trace profile
-      profile_csv =
+      profile_csv telemetry telemetry_tick_ms =
     set_jobs jobs;
     let use_cascade = cascade || deadline_ms <> None || work <> None in
     match
-      Obs_cli.run ~span:"fbbopt.optimize" ~trace ~profile ~profile_csv
-        (fun () ->
+      Obs_cli.run ?telemetry ~telemetry_tick_ms ~span:"fbbopt.optimize" ~trace
+        ~profile ~profile_csv (fun () ->
           if use_cascade then
             optimize_cascade d f b c r ~deadline_ms ~work svg ascii
           else optimize d f b c r i s svg ascii)
@@ -434,7 +487,8 @@ let optimize_cmd =
         (const run $ design_arg $ bench_file_arg $ beta_arg $ clusters_arg
         $ rows_arg $ ilp_arg $ ilp_seconds_arg $ svg_arg $ ascii_arg
         $ cascade_arg $ deadline_arg $ work_budget_arg
-        $ jobs_arg $ trace_arg $ profile_arg $ profile_csv_arg))
+        $ jobs_arg $ trace_arg $ profile_arg $ profile_csv_arg
+        $ telemetry_arg $ telemetry_tick_arg))
 
 (* ----- tune ------------------------------------------------------------- *)
 
@@ -579,9 +633,22 @@ let with_trace path f =
   | exception Failure msg -> `Error (false, msg)
   | exception Sys_error msg -> `Error (false, msg)
 
+let trace_id_arg =
+  let doc =
+    "Keep only the span events stamped with this trace id (as printed by \
+     $(b,--trace) runs); process-global events (counters, gauges, histogram \
+     observations, GC samples) are dropped."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-id" ] ~docv:"ID" ~doc)
+
 let trace_convert_cmd =
-  let run path out =
+  let run path out trace_id =
     with_trace path @@ fun events ->
+    let events =
+      match trace_id with
+      | None -> events
+      | Some trace -> Fbb_obs.Trace_export.filter_trace ~trace events
+    in
     write_out out
       (Fbb_util.Json.to_string ~indent:false
          (Fbb_obs.Trace_export.to_chrome events))
@@ -591,7 +658,7 @@ let trace_convert_cmd =
        ~doc:
          "Convert a JSONL trace to Chrome trace_event JSON (load in \
           ui.perfetto.dev or chrome://tracing)")
-    Term.(ret (const run $ trace_file_arg $ out_arg))
+    Term.(ret (const run $ trace_file_arg $ out_arg $ trace_id_arg))
 
 let trace_flame_cmd =
   let run path out =
@@ -678,6 +745,313 @@ let bench_compare_cmd =
           missing/unreadable data")
     Term.(const run $ old_arg $ new_arg $ max_regress_arg)
 
+(* ----- serve-metrics ---------------------------------------------------- *)
+
+(* The fbbd seed: stand up the telemetry plane and (optionally) keep a
+   deadline-bounded cascade workload running under it, one traced
+   request per solve, until the duration elapses or SIGINT. *)
+
+let port_arg =
+  let doc = "TCP port to listen on (0 = ephemeral)." in
+  Arg.(value & opt int 9619 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let duration_arg =
+  let doc = "Stop after $(docv) seconds (0 = run until interrupted)." in
+  Arg.(value & opt float 0.0 & info [ "duration-s" ] ~docv:"S" ~doc)
+
+let serve_deadline_arg =
+  let doc = "Per-request cascade deadline in milliseconds." in
+  Arg.(value & opt float 200.0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let serve_metrics design file rows beta_pct clusters ~deadline_ms ~duration_s
+    ~port ~tick_ms =
+  (* Spans only record histograms while a sink is installed; the null
+     sink turns instrumentation on without writing anything. *)
+  Fbb_obs.Sink.install Fbb_obs.Sink.null;
+  let sampler = Fbb_obs.Telemetry.start ~tick_s:(tick_ms /. 1000.0) () in
+  let* srv =
+    match Fbb_obs.Telemetry.serve ~port () with
+    | Ok srv -> Ok srv
+    | Error msg ->
+      Fbb_obs.Telemetry.stop sampler;
+      Fbb_obs.Sink.clear ();
+      Error msg
+  in
+  Printf.printf "serving http://127.0.0.1:%d/metrics (tick %.0f ms)\n%!"
+    (Fbb_obs.Telemetry.port srv) tick_ms;
+  let deadline = Float.max 0.0 deadline_ms /. 1000.0 in
+  let stop_at =
+    if duration_s > 0.0 then Some (Fbb_obs.Clock.now_s () +. duration_s)
+    else None
+  in
+  let keep_going () =
+    match stop_at with
+    | Some t -> Fbb_obs.Clock.now_s () < t
+    | None -> true
+  in
+  let result =
+    match (design, file) with
+    | None, None ->
+      (* No workload: serve whatever the registries already hold. *)
+      while keep_going () do
+        Unix.sleepf 0.2
+      done;
+      Ok ()
+    | _ ->
+      let* pl = load_placement ~design ~file ~rows in
+      report_placement pl;
+      let p = Fbb_core.Problem.build ~beta:(beta_pct /. 100.0) pl in
+      Printf.printf
+        "workload: cascade (C=%d) every request, deadline %.0f ms\n%!" clusters
+        deadline_ms;
+      let requests = Fbb_obs.Counter.make "serve.requests" in
+      while keep_going () do
+        Fbb_obs.Counter.incr requests;
+        Fbb_obs.Context.with_ (Fbb_obs.Context.make ()) (fun () ->
+            Fbb_obs.Span.with_ ~name:"serve.request" (fun () ->
+                ignore
+                  (Fbb_core.Cascade.solve ~max_clusters:clusters
+                     ~budget:(Fbb_util.Budget.create ~deadline_s:deadline ())
+                     p)))
+      done;
+      Ok ()
+  in
+  Fbb_obs.Telemetry.shutdown srv;
+  Fbb_obs.Telemetry.stop sampler;
+  Fbb_par.Pool.publish_utilization ();
+  Fbb_obs.Sink.clear ();
+  result
+
+let serve_metrics_cmd =
+  let run d f r b c deadline_ms duration_s port tick_ms jobs =
+    set_jobs jobs;
+    match serve_metrics d f r b c ~deadline_ms ~duration_s ~port ~tick_ms with
+    | Ok () -> `Ok ()
+    | Error m -> `Error (false, m)
+    | exception Sys_error m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "serve-metrics"
+       ~doc:
+         "Serve live telemetry (GET /metrics Prometheus text, GET \
+          /snapshot.json), optionally driving a deadline-bounded cascade \
+          workload — the seed of the fbbd service")
+    Term.(
+      ret
+        (const run $ design_arg $ bench_file_arg $ rows_arg $ beta_arg
+        $ clusters_arg $ serve_deadline_arg $ duration_arg $ port_arg
+        $ telemetry_tick_arg $ jobs_arg))
+
+(* ----- top -------------------------------------------------------------- *)
+
+let url_arg =
+  let doc = "Base URL of a telemetry endpoint." in
+  Arg.(
+    value
+    & opt string "http://127.0.0.1:9619"
+    & info [ "u"; "url" ] ~docv:"URL" ~doc)
+
+(* One dashboard frame from a /snapshot.json document: a header line
+   plus a Texttab of every series with min/last/max and a sparkline. *)
+let render_snapshot ~spark_width j =
+  let module J = Fbb_util.Json in
+  let module T = Fbb_util.Texttab in
+  let buf = Buffer.create 4096 in
+  let gauges = Option.value (J.member_obj "gauges" j) ~default:[] in
+  let gauge name =
+    Option.bind (List.assoc_opt name gauges) J.to_num
+  in
+  Printf.bprintf buf "fbbopt top — ts %.1f  sampler ticks %s  overhead %s\n"
+    (Option.value (J.member_num "ts_unix" j) ~default:Float.nan)
+    (match gauge "obs.telemetry.ticks" with
+    | Some v -> Printf.sprintf "%.0f" v
+    | None -> "-")
+    (match gauge "obs.telemetry.overhead_pct" with
+    | Some v -> Printf.sprintf "%.3f%%" v
+    | None -> "-");
+  let series = Option.value (J.member_obj "series" j) ~default:[] in
+  if series = [] then Buffer.add_string buf "(no series yet)\n"
+  else begin
+    let tab =
+      T.create
+        ~headers:
+          [ "series"; "min"; "last"; "max";
+            Printf.sprintf "last %d ticks" spark_width ]
+    in
+    T.set_align tab 4 T.Left;
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | J.Arr pts ->
+          let vals =
+            List.filter_map
+              (function
+                | J.Arr [ _; J.Num v ] -> Some v
+                | J.Arr [ _; J.Null ] -> Some Float.nan
+                | _ -> None)
+              pts
+          in
+          let finite = List.filter Float.is_finite vals in
+          let fold f init = List.fold_left f init finite in
+          let mn = if finite = [] then Float.nan else fold Float.min Float.infinity in
+          let mx = if finite = [] then Float.nan else fold Float.max Float.neg_infinity in
+          let last =
+            match List.rev vals with [] -> Float.nan | v :: _ -> v
+          in
+          T.add_row tab
+            [
+              name;
+              T.cell_f ~digits:4 mn;
+              T.cell_f ~digits:4 last;
+              T.cell_f ~digits:4 mx;
+              T.sparkline ~width:spark_width (Array.of_list vals);
+            ]
+        | _ -> ())
+      series;
+    Buffer.add_string buf (T.render tab)
+  end;
+  Buffer.contents buf
+
+let top_cmd =
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single frame and exit (for scripts and CI).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Refresh interval.")
+  in
+  let width_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "spark-width" ] ~docv:"N" ~doc:"Sparkline window in ticks.")
+  in
+  let run url once interval_ms spark_width =
+    let fetch () =
+      match Fbb_obs.Telemetry.http_get (url ^ "/snapshot.json") with
+      | Error _ as e -> e
+      | Ok body -> (
+        match Fbb_util.Json.parse_opt body with
+        | Some j -> Ok j
+        | None -> Error (url ^ "/snapshot.json: malformed JSON"))
+    in
+    if once then
+      match fetch () with
+      | Ok j ->
+        print_string (render_snapshot ~spark_width j);
+        `Ok ()
+      | Error m -> `Error (false, m)
+    else begin
+      (* Live mode: clear-and-redraw until the endpoint goes away or
+         the user interrupts. *)
+      let rec loop misses =
+        if misses > 5 then
+          `Error (false, url ^ ": endpoint unreachable, giving up")
+        else begin
+          (match fetch () with
+          | Ok j ->
+            print_string ("\027[2J\027[H" ^ render_snapshot ~spark_width j)
+          | Error m -> Printf.printf "(%s)\n%!" m);
+          Unix.sleepf (Float.max 0.05 (interval_ms /. 1000.0));
+          match fetch () with
+          | Ok _ -> loop 0
+          | Error _ -> loop (misses + 1)
+        end
+      in
+      loop 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live TTY dashboard over a telemetry endpoint: every series with \
+          sparklines, refreshed in place")
+    Term.(ret (const run $ url_arg $ once_arg $ interval_arg $ width_arg))
+
+(* ----- scrape ----------------------------------------------------------- *)
+
+let scrape_cmd =
+  let pos_url_arg =
+    let doc = "Base URL of a telemetry endpoint." in
+    Arg.(
+      value
+      & pos 0 string "http://127.0.0.1:9619"
+      & info [] ~docv:"URL" ~doc)
+  in
+  let max_overhead_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "max-overhead-pct" ] ~docv:"PCT"
+          ~doc:
+            "Fail when the endpoint's self-reported sampler overhead \
+             (obs.telemetry.overhead_pct) exceeds $(docv) percent.")
+  in
+  let run url max_overhead =
+    let module J = Fbb_util.Json in
+    let ( let* ) = Result.bind in
+    match
+      let* metrics = Fbb_obs.Telemetry.http_get (url ^ "/metrics") in
+      let* () =
+        Result.map_error
+          (fun e -> Printf.sprintf "/metrics is not valid Prometheus text: %s" e)
+          (Fbb_obs.Promtext.validate metrics)
+      in
+      let* body = Fbb_obs.Telemetry.http_get (url ^ "/snapshot.json") in
+      let* j =
+        Option.to_result
+          ~none:"/snapshot.json is not well-formed JSON"
+          (J.parse_opt body)
+      in
+      let* () =
+        match J.member_str "schema" j with
+        | Some "fbb-telemetry-1" -> Ok ()
+        | Some s -> Error (Printf.sprintf "unexpected snapshot schema %S" s)
+        | None -> Error "snapshot has no \"schema\""
+      in
+      let overhead =
+        Option.bind
+          (Option.bind (J.member_obj "gauges" j)
+             (List.assoc_opt "obs.telemetry.overhead_pct"))
+          J.to_num
+      in
+      let* () =
+        match overhead with
+        | Some pct when pct > max_overhead ->
+          Error
+            (Printf.sprintf "sampler overhead %.3f%% exceeds budget %.1f%%" pct
+               max_overhead)
+        | Some _ | None -> Ok ()
+      in
+      let metric_lines =
+        String.split_on_char '\n' metrics
+        |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+        |> List.length
+      in
+      let series =
+        match J.member_obj "series" j with Some s -> List.length s | None -> 0
+      in
+      Ok
+        (Printf.printf
+           "scrape ok: %d metric sample(s), %d series, sampler overhead %s\n"
+           metric_lines series
+           (match overhead with
+           | Some pct -> Printf.sprintf "%.3f%%" pct
+           | None -> "n/a"))
+    with
+    | Ok () -> `Ok ()
+    | Error m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:
+         "Fetch /metrics and /snapshot.json from a telemetry endpoint, \
+          validate both formats and the sampler's overhead budget; exits \
+          non-zero on any failure (the CI smoke check)")
+    Term.(ret (const run $ pos_url_arg $ max_overhead_arg))
+
 (* ----- main ------------------------------------------------------------- *)
 
 let () =
@@ -696,4 +1070,7 @@ let () =
             recover_cmd;
             trace_cmd;
             bench_compare_cmd;
+            serve_metrics_cmd;
+            top_cmd;
+            scrape_cmd;
           ]))

@@ -134,7 +134,14 @@ let histogram t name = Hashtbl.find_opt t.hists name
 
 let span_percentiles t name =
   Option.map
-    (fun h -> (Histogram.p50 h, Histogram.p90 h, Histogram.p99 h))
+    (fun h ->
+      (* percentile_opt, so an empty histogram (possible when replaying
+         a filtered or truncated trace) yields NaN cells that Texttab
+         renders as "-", never a fake 0. *)
+      let p q =
+        Option.value (Histogram.percentile_opt h q) ~default:Float.nan
+      in
+      (p 0.50, p 0.90, p 0.99))
     (Hashtbl.find_opt t.hists name)
 
 let gc_stat t name = Option.map ( ! ) (Hashtbl.find_opt t.gc name)

@@ -31,6 +31,10 @@ type t = {
   jobs : int;
   experiments : (string * float) list;  (** name, wall seconds *)
   counters : (string * int) list;
+  gauges : (string * float) list;
+      (** informational gauge values, e.g. the [obs.telemetry.*]
+          overhead of the telemetry plane during the run; empty in
+          records written before telemetry existed *)
   spans : (string * span_stat) list;
   gc : Gcprof.sample;  (** whole-process totals at record time *)
   pool : pool_stat list;
@@ -40,6 +44,7 @@ val make :
   jobs:int ->
   experiments:(string * float) list ->
   counters:(string * int) list ->
+  ?gauges:(string * float) list ->
   pool:(string * float * float * int) list ->
   Aggregate.t ->
   t
@@ -47,7 +52,8 @@ val make :
     percentiles come from the aggregate, GC totals from
     [Gc.quick_stat] at call time, [pool] from
     [Fbb_par.Pool.utilization ()] (passed in because [fbb_par] depends
-    on this library, not the other way around). *)
+    on this library, not the other way around). [gauges] defaults to
+    empty. *)
 
 val to_json : t -> Fbb_util.Json.t
 val of_json : Fbb_util.Json.t -> (t, string) result
@@ -59,7 +65,9 @@ val load : string -> (t, string) result
     them into exit code 2. *)
 
 type verdict = {
-  key : string;  (** ["exp:<name>"], ["gc:minor_words"], ["counter:<name>"] *)
+  key : string;
+      (** ["exp:<name>"], ["gc:minor_words"], ["counter:<name>"],
+          ["gauge:<name>"] *)
   old_v : float;
   new_v : float;
   change_pct : float;  (** +10.0 = new is 10% bigger; [infinity] from 0 *)

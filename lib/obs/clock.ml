@@ -8,3 +8,9 @@ let epoch_ns = Monotonic_clock.now ()
 let now_ns () = Int64.sub (Monotonic_clock.now ()) epoch_ns
 
 let now_s () = Int64.to_float (now_ns ()) /. 1e9
+
+(* Wall-clock time, for artifacts that leave the process: telemetry
+   snapshots and Prometheus exposition are correlated with other hosts'
+   data, where "seconds since our process started" means nothing. Spans
+   stay on the monotonic clock above. *)
+let now_unix () = Unix.gettimeofday ()

@@ -9,3 +9,9 @@ val now_ns : unit -> int64
 
 val now_s : unit -> float
 (** Seconds since process epoch. *)
+
+val now_unix : unit -> float
+(** Wall-clock seconds since the Unix epoch ([Unix.gettimeofday]).
+    Only for data that leaves the process — telemetry snapshots,
+    Prometheus exposition — never for span timestamps or durations,
+    which must survive wall-clock adjustments. *)

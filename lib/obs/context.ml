@@ -1,0 +1,57 @@
+(* Request/trace contexts. A context names the logical request a piece
+   of work belongs to — a trace id plus the span that was innermost when
+   the context was minted — and rides in domain-local storage so that
+   instrumentation can read it without threading an argument through
+   every call. [Pool.run_batch] captures the submitting domain's context
+   and re-establishes it around each task on the worker domains, so
+   spans emitted from parallel sections carry the originating request's
+   trace id even though they run elsewhere.
+
+   Trace ids only need to be unique within the artifacts one process
+   emits plus cheap to mint from any domain: pid + atomic counter. They
+   are deliberately strings, so a daemon fronting several processes can
+   also accept externally supplied ids untouched. *)
+
+type t = { trace : string; parent_span : string }
+
+let seq = Atomic.make 0
+
+let fresh_trace () =
+  Printf.sprintf "t%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add seq 1)
+
+(* The calling domain's active context. A [ref] in DLS, not a DLS value
+   per context, so save/restore is two writes. *)
+let key = Domain.DLS.new_key (fun () -> ref None)
+
+(* Stack of open span names on this domain, maintained by [Span.with_]
+   whenever a sink is installed. [make] reads the top as the parent
+   span, giving "which phase issued this request" for free. *)
+let span_stack_key = Domain.DLS.new_key (fun () -> ref [])
+
+let current () = !(Domain.DLS.get key)
+
+let trace_id () =
+  match current () with Some c -> c.trace | None -> ""
+
+let innermost_span () =
+  match !(Domain.DLS.get span_stack_key) with [] -> "" | s :: _ -> s
+
+let make ?trace () =
+  let trace = match trace with Some id -> id | None -> fresh_trace () in
+  { trace; parent_span = innermost_span () }
+
+let with_opt ctx f =
+  let slot = Domain.DLS.get key in
+  let saved = !slot in
+  slot := ctx;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let with_ ctx f = with_opt (Some ctx) f
+
+let push_span name =
+  let st = Domain.DLS.get span_stack_key in
+  st := name :: !st
+
+let pop_span () =
+  let st = Domain.DLS.get span_stack_key in
+  match !st with [] -> () | _ :: rest -> st := rest

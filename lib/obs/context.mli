@@ -1,0 +1,48 @@
+(** Request/trace contexts.
+
+    A context identifies the logical request a piece of work belongs
+    to: a process-unique trace id plus the name of the span that was
+    innermost when the context was minted. It lives in domain-local
+    storage — {!Span.with_} stamps it onto every span event, and
+    [Pool] re-establishes the submitting domain's context around each
+    task it ships to a worker, so spans from parallel sections carry
+    the originating request's trace id. *)
+
+type t = {
+  trace : string;  (** process-unique request id, e.g. ["t4242-17"] *)
+  parent_span : string;
+      (** innermost open span when the context was minted; [""] at
+          top level *)
+}
+
+val make : ?trace:string -> unit -> t
+(** Mint a context. [?trace] accepts an externally supplied id (a
+    daemon fronting several processes); otherwise a fresh pid-scoped
+    id is generated. [parent_span] is read from the calling domain's
+    open-span stack. *)
+
+val with_ : t -> (unit -> 'a) -> 'a
+(** Run [f] with the given context current on this domain, restoring
+    the previous one afterwards (exception-safe). *)
+
+val with_opt : t option -> (unit -> 'a) -> 'a
+(** Like {!with_} but can also run [f] with {e no} context current —
+    the form [Pool] needs to reproduce the submitter's state, context
+    or not, on a worker domain. *)
+
+val current : unit -> t option
+(** The calling domain's active context, if any. *)
+
+val trace_id : unit -> string
+(** [current ()]'s trace id, or [""] when no context is active — the
+    exact value spans embed, so "no trace" never needs a sentinel. *)
+
+(** {2 Span-stack maintenance}
+
+    Called by {!Span.with_} while a sink is installed; not for general
+    use. The stack feeds [parent_span] in {!make}. *)
+
+val push_span : string -> unit
+val pop_span : unit -> unit
+val innermost_span : unit -> string
+(** Top of the calling domain's open-span stack, [""] when empty. *)

@@ -14,13 +14,20 @@
    the span's own domain. *)
 
 type t =
-  | Span_begin of { name : string; ts : float; depth : int; dom : int }
+  | Span_begin of {
+      name : string;
+      ts : float;
+      depth : int;
+      dom : int;
+      trace : string;  (* originating request's trace id; "" untraced *)
+    }
   | Span_end of {
       name : string;
       ts : float;
       dur_s : float;
       depth : int;
       dom : int;
+      trace : string;
     }
   | Counter_add of { name : string; delta : int; ts : float }
   | Gauge_set of { name : string; value : float; ts : float }
@@ -74,14 +81,19 @@ let escape s =
    observations, "M" GC samples) so a converter only has to rescale
    timestamps to microseconds. *)
 let to_json ev =
+  (* Untraced spans omit the field entirely, keeping old-trace tooling
+     and byte-for-byte output for non-request workloads unchanged. *)
+  let trace_field trace =
+    if trace = "" then "" else Printf.sprintf {|,"trace":"%s"|} (escape trace)
+  in
   match ev with
-  | Span_begin { name; ts; depth; dom } ->
-    Printf.sprintf {|{"ph":"B","name":"%s","ts":%.9f,"depth":%d,"dom":%d}|}
-      (escape name) ts depth dom
-  | Span_end { name; ts; dur_s; depth; dom } ->
+  | Span_begin { name; ts; depth; dom; trace } ->
+    Printf.sprintf {|{"ph":"B","name":"%s","ts":%.9f,"depth":%d,"dom":%d%s}|}
+      (escape name) ts depth dom (trace_field trace)
+  | Span_end { name; ts; dur_s; depth; dom; trace } ->
     Printf.sprintf
-      {|{"ph":"E","name":"%s","ts":%.9f,"dur_s":%.9f,"depth":%d,"dom":%d}|}
-      (escape name) ts dur_s depth dom
+      {|{"ph":"E","name":"%s","ts":%.9f,"dur_s":%.9f,"depth":%d,"dom":%d%s}|}
+      (escape name) ts dur_s depth dom (trace_field trace)
   | Counter_add { name; delta; ts } ->
     Printf.sprintf {|{"ph":"C","name":"%s","ts":%.9f,"delta":%d}|}
       (escape name) ts delta

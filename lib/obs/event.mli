@@ -11,13 +11,22 @@
     ([top_heap_words] is the absolute high-water mark). *)
 
 type t =
-  | Span_begin of { name : string; ts : float; depth : int; dom : int }
+  | Span_begin of {
+      name : string;
+      ts : float;
+      depth : int;
+      dom : int;
+      trace : string;
+          (** trace id of the originating request's {!Context}, [""]
+              when the span ran outside any traced request *)
+    }
   | Span_end of {
       name : string;
       ts : float;
       dur_s : float;
       depth : int;
       dom : int;
+      trace : string;
     }
   | Counter_add of { name : string; delta : int; ts : float }
   | Gauge_set of { name : string; value : float; ts : float }

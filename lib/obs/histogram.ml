@@ -150,6 +150,8 @@ let percentile t p =
     walk 0 0
   end
 
+let percentile_opt t p = if count t = 0 then None else Some (percentile t p)
+
 let p50 t = percentile t 0.50
 let p90 t = percentile t 0.90
 let p99 t = percentile t 0.99
@@ -179,6 +181,87 @@ let union a b =
   merge_into ~src:a ~dst:h;
   merge_into ~src:b ~dst:h;
   h
+
+let copy t =
+  let h = create t.name in
+  merge_into ~src:t ~dst:h;
+  h
+
+(* Interval view for the telemetry sampler: the distribution of what
+   happened between two cumulative snapshots of the same histogram.
+   Buckets and count are clamped at zero so a torn read of a live
+   [newer] never yields negative counts; sum diffs may be slightly off
+   under the same tear, and max is the cumulative max (a true interval
+   max is not recoverable from cumulative state), so the interval
+   percentile cap still holds. *)
+let interval_sub ~newer ~older =
+  let h = create newer.name in
+  Array.iteri
+    (fun i b ->
+      let d = Atomic.get b - Atomic.get older.buckets.(i) in
+      if d > 0 then Atomic.set h.buckets.(i) d)
+    newer.buckets;
+  Atomic.set h.count (max 0 (Atomic.get newer.count - Atomic.get older.count));
+  Atomic.set h.sum (Float.max 0.0 (Atomic.get newer.sum -. Atomic.get older.sum));
+  Atomic.set h.max (Atomic.get newer.max);
+  h
+
+(* ----- plain snapshots (telemetry sampler) ----------------------------- *)
+
+(* A sampler-owned copy with no atomics. [create]-based snapshots
+   ([copy]/[interval_sub]) allocate ~1k Atomic.t cells, which in OCaml
+   5.1 land on the shared major heap — under parallel load those
+   allocations contend with the workload's and a single copy costs
+   milliseconds. A plain int array is an ordinary allocation, so
+   snapshotting every active histogram each tick stays microseconds. *)
+type snapshot = {
+  snap_buckets : int array;
+  snap_count : int;
+  snap_sum : float;
+  snap_max : float;
+}
+
+let snapshot t =
+  {
+    snap_buckets = Array.init n_buckets (fun i -> Atomic.get t.buckets.(i));
+    snap_count = Atomic.get t.count;
+    snap_sum = Atomic.get t.sum;
+    snap_max = Atomic.get t.max;
+  }
+
+let snapshot_count s = s.snap_count
+
+(* Shared zero snapshot for "no previous tick": the cumulative state
+   then is the interval, matching [interval_sub]'s first-tick case. *)
+let zero_snapshot =
+  { snap_buckets = Array.make n_buckets 0; snap_count = 0; snap_sum = 0.0;
+    snap_max = 0.0 }
+
+let interval_count ?(since = zero_snapshot) newer =
+  let d = newer.snap_count - since.snap_count in
+  if d > 0 then d else 0
+
+let interval_percentile ?(since = zero_snapshot) newer p =
+  let n = interval_count ~since newer in
+  if n = 0 then None
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p *. float_of_int n)) in
+      if r < 1 then 1 else if r > n then n else r
+    in
+    let rec walk i cum =
+      if i >= n_buckets then Some newer.snap_max
+      else begin
+        let d = newer.snap_buckets.(i) - since.snap_buckets.(i) in
+        let cum = cum + if d > 0 then d else 0 in
+        if cum >= rank then
+          if i = n_buckets - 1 then Some newer.snap_max
+          else Some (Float.min (bucket_upper i) newer.snap_max)
+        else walk (i + 1) cum
+      end
+    in
+    walk 0 0
+  end
 
 let reset t =
   Array.iter (fun b -> Atomic.set b 0) t.buckets;

@@ -45,6 +45,11 @@ val percentile : t -> float -> float
     cumulative count reaches rank [ceil (p * count)], capped at the
     exact max. NaN when empty. *)
 
+val percentile_opt : t -> float -> float option
+(** Like {!percentile} but [None] when the histogram is empty, so
+    callers cannot mistake "no data" for a real latency. Dashboards
+    render the [None] case as "-". *)
+
 val p50 : t -> float
 val p90 : t -> float
 val p99 : t -> float
@@ -62,6 +67,48 @@ val union : t -> t -> t
 (** Fresh histogram holding the merge of both (named after the
     first). Associative and commutative on bucket counts, counts and
     maxes (float sums associate only approximately). *)
+
+val copy : t -> t
+(** Fresh free-standing snapshot of [t] (same name, not registered).
+    Safe on a live histogram, with the same torn-but-monotone snapshot
+    guarantee as {!merge_into}. *)
+
+val interval_sub : newer:t -> older:t -> t
+(** [interval_sub ~newer ~older] is the distribution of observations
+    made between the [older] and [newer] cumulative snapshots of one
+    histogram: bucket-wise and count differences clamped at zero.
+    [max] is carried over from [newer] (cumulative — a true interval
+    max is not recoverable), so interval percentiles remain capped by
+    a real observed value. *)
+
+(** {2 Plain snapshots}
+
+    Allocation-light interval readings for the telemetry sampler.
+    {!copy}/{!interval_sub} materialize full histograms (~1k [Atomic.t]
+    cells — shared-heap allocations that contend with a parallel
+    workload); a {!snapshot} is a plain array, so per-tick sampling of
+    every active histogram stays in the microseconds. *)
+
+type snapshot
+(** An immutable, atomics-free copy of a histogram's cumulative
+    state, owned by whoever took it. *)
+
+val snapshot : t -> snapshot
+(** Consistent-enough copy of a live histogram (same torn-but-monotone
+    guarantee as {!merge_into}). *)
+
+val snapshot_count : snapshot -> int
+(** Cumulative observation count at snapshot time — compare across
+    ticks to detect an idle histogram without touching its buckets. *)
+
+val interval_count : ?since:snapshot -> snapshot -> int
+(** Observations made between [since] and the newer snapshot (clamped
+    at zero). Without [since]: since process start. *)
+
+val interval_percentile : ?since:snapshot -> snapshot -> float -> float option
+(** Percentile of the observations made between [since] and the newer
+    snapshot, [None] when that interval is empty. Capped at the
+    newer snapshot's cumulative max, like {!interval_sub}. *)
 
 val reset : t -> unit
 val reset_all : unit -> unit

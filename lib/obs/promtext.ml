@@ -1,0 +1,196 @@
+(* Prometheus text exposition (format version 0.0.4) over the live
+   registries, plus a validator for the same format so CI can assert a
+   scrape is well-formed without a real Prometheus in the loop.
+
+   Rendering: counters become <name>_total counters, gauges plain
+   gauges, histograms summaries with p50/p90/p99 quantile lines (the
+   log-bucketed grid is ours, not Prometheus's, so summaries transport
+   the percentiles we already compute; _sum/_count still allow rate()
+   arithmetic server-side). Metric names pass through [metric_name],
+   which maps every character outside [a-zA-Z0-9_:] to '_' and prefixes
+   "fbb_", so "par.tasks" scrapes as fbb_par_tasks_total. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let metric_name name =
+  let b = Buffer.create (String.length name + 4) in
+  Buffer.add_string b "fbb_";
+  String.iter (fun c -> Buffer.add_char b (if is_name_char c then c else '_')) name;
+  Buffer.contents b
+
+(* Prometheus float syntax: decimal, NaN, +Inf, -Inf. %.17g round-trips
+   doubles exactly. *)
+let fmt_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+(* HELP text escaping per the exposition format: backslash and newline
+   only. Registry names can contain anything a span name can — a raw
+   newline would otherwise split the HELP line and corrupt the page. *)
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render () =
+  let b = Buffer.create 4096 in
+  let meta name typ help =
+    Buffer.add_string b
+      (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  let ts = metric_name "obs.scrape_time_unix_seconds" in
+  meta ts "gauge" "Wall-clock time at exposition.";
+  Buffer.add_string b (Printf.sprintf "%s %s\n" ts (fmt_float (Clock.now_unix ())));
+  List.iter
+    (fun (name, total) ->
+      let n = metric_name name ^ "_total" in
+      meta n "counter" (Printf.sprintf "Cumulative count of %s." name);
+      Buffer.add_string b (Printf.sprintf "%s %d\n" n total))
+    (Counter.totals ());
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      meta n "gauge" (Printf.sprintf "Last value of gauge %s." name);
+      Buffer.add_string b (Printf.sprintf "%s %s\n" n (fmt_float v)))
+    (Counter.Gauge.values ());
+  List.iter
+    (fun h ->
+      if Histogram.count h > 0 then begin
+        let name = Histogram.name h in
+        let n = metric_name name ^ "_seconds" in
+        meta n "summary" (Printf.sprintf "Distribution of %s durations." name);
+        List.iter
+          (fun (q, p) ->
+            match Histogram.percentile_opt h p with
+            | None -> ()
+            | Some v ->
+              Buffer.add_string b
+                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n q (fmt_float v)))
+          [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ];
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum %s\n" n (fmt_float (Histogram.sum h)));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (Histogram.count h))
+      end)
+    (Histogram.registered ());
+  Buffer.contents b
+
+(* ----- validator -------------------------------------------------------- *)
+
+(* Line-oriented checker for the exposition format: comment lines must
+   be well-formed HELP/TYPE when they claim to be, sample lines must be
+   <name>[{labels}] <value> [<timestamp>]. Returns the first offence
+   with its 1-based line number. *)
+
+let known_types = [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]
+
+let valid_name s =
+  String.length s > 0
+  && (let c = s.[0] in not (c >= '0' && c <= '9'))
+  && String.for_all is_name_char s
+
+let valid_value s =
+  match s with
+  | "NaN" | "+Inf" | "-Inf" | "Inf" -> true
+  | _ -> ( match float_of_string_opt s with Some _ -> true | None -> false)
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let check_comment line =
+  match split_ws line with
+  | "#" :: "TYPE" :: name :: [ typ ] ->
+    if not (valid_name name) then Error ("bad metric name in TYPE: " ^ name)
+    else if not (List.mem typ known_types) then
+      Error ("unknown metric type: " ^ typ)
+    else Ok ()
+  | "#" :: "TYPE" :: _ -> Error "TYPE line needs exactly a name and a type"
+  | "#" :: "HELP" :: name :: _ ->
+    if valid_name name then Ok ()
+    else Error ("bad metric name in HELP: " ^ name)
+  | "#" :: "HELP" :: [] -> Error "HELP line needs a metric name"
+  | _ -> Ok () (* arbitrary comment *)
+
+(* Walk an optional {k="v",...} label block starting at [i] (just past
+   the opening brace); returns the index past the closing brace. *)
+let rec scan_labels line i =
+  let n = String.length line in
+  if i >= n then Error "unterminated label block"
+  else if line.[i] = '}' then Ok (i + 1)
+  else begin
+    let j = ref i in
+    while !j < n && is_name_char line.[!j] do incr j done;
+    if !j = i then Error "empty label name"
+    else if !j >= n || line.[!j] <> '=' then Error "label missing '='"
+    else if !j + 1 >= n || line.[!j + 1] <> '"' then
+      Error "label value must be quoted"
+    else begin
+      let k = ref (!j + 2) in
+      let closed = ref false in
+      while (not !closed) && !k < n do
+        if line.[!k] = '\\' then k := !k + 2
+        else if line.[!k] = '"' then closed := true
+        else incr k
+      done;
+      if not !closed then Error "unterminated label value"
+      else
+        let k = !k + 1 in
+        if k < n && line.[k] = ',' then scan_labels line (k + 1)
+        else if k < n && line.[k] = '}' then Ok (k + 1)
+        else Error "label block: expected ',' or '}'"
+    end
+  end
+
+let check_sample line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  if !i = 0 then Error "sample line must start with a metric name"
+  else if not (valid_name (String.sub line 0 !i)) then
+    Error "invalid metric name"
+  else begin
+    let after_labels =
+      if !i < n && line.[!i] = '{' then scan_labels line (!i + 1) else Ok !i
+    in
+    match after_labels with
+    | Error e -> Error e
+    | Ok j -> (
+      let rest = String.sub line j (n - j) in
+      match split_ws rest with
+      | [ value ] ->
+        if valid_value value then Ok () else Error ("bad value: " ^ value)
+      | [ value; timestamp ] ->
+        if not (valid_value value) then Error ("bad value: " ^ value)
+        else if int_of_string_opt timestamp = None then
+          Error ("bad timestamp: " ^ timestamp)
+        else Ok ()
+      | [] -> Error "sample line has no value"
+      | _ -> Error "trailing tokens after value and timestamp")
+  end
+
+let validate text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      let verdict =
+        if line = "" then Ok ()
+        else if line.[0] = '#' then check_comment line
+        else check_sample line
+      in
+      match verdict with
+      | Ok () -> go (lineno + 1) rest
+      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go 1 lines

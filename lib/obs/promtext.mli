@@ -1,0 +1,25 @@
+(** Prometheus text exposition (format 0.0.4) over the live
+    registries, and a validator for the same format.
+
+    Counters render as [<name>_total] counters, gauges as gauges, and
+    non-empty registry histograms as summaries carrying p50/p90/p99
+    quantiles plus [_sum]/[_count]. Metric names are sanitized by
+    {!metric_name}. *)
+
+val metric_name : string -> string
+(** Map a registry name to a legal Prometheus metric name: every
+    character outside [[a-zA-Z0-9_:]] becomes ['_'] and the result is
+    prefixed ["fbb_"] (e.g. ["par.tasks"] → ["fbb_par_tasks"]). *)
+
+val render : unit -> string
+(** The full exposition page for the current registry state. Always
+    includes [fbb_obs_scrape_time_unix_seconds]; empty histograms are
+    skipped. *)
+
+val validate : string -> (unit, string) result
+(** Check a text page against the exposition format: HELP/TYPE comment
+    shape, metric-name syntax, label-block syntax, float values
+    (including [NaN]/[+Inf]/[-Inf]) and optional integer timestamps.
+    [Error] carries the first offending 1-based line number. Used by
+    [fbbopt scrape] and the CI smoke test in place of a real
+    Prometheus. *)

@@ -1,0 +1,89 @@
+(* Time-series ring buffers: the last [cap] (timestamp, value) samples
+   of one metric, written by the single telemetry sampler thread and
+   read lock-free by scrapers and the [fbbopt top] dashboard.
+
+   The ring is a pair of plain float arrays plus an atomic monotone
+   write cursor. The writer fills the slot and then publishes it by
+   bumping [head]; a reader snapshots [head] and walks backwards. A
+   reader racing the writer can see the oldest slot(s) of its snapshot
+   already overwritten with newer samples - a torn read across the
+   ring, never within the atomic cursor - which for a dashboard means
+   one transiently out-of-order point at the seam. We accept that: the
+   alternative is a lock on every scrape of every series.
+
+   Timestamps are wall-clock ([Clock.now_unix]) because series leave
+   the process through /snapshot.json. *)
+
+type t = {
+  name : string;
+  cap : int;
+  ts : float array;
+  v : float array;
+  head : int Atomic.t;  (* total samples ever pushed, next slot = head mod cap *)
+}
+
+let default_cap = 240
+
+let create ?(cap = default_cap) name =
+  if cap <= 0 then invalid_arg "Series.create: cap must be positive";
+  {
+    name;
+    cap;
+    ts = Array.make cap 0.0;
+    v = Array.make cap 0.0;
+    head = Atomic.make 0;
+  }
+
+let name t = t.name
+let capacity t = t.cap
+let length t = min (Atomic.get t.head) t.cap
+
+let push t ~ts v =
+  let h = Atomic.get t.head in
+  let i = h mod t.cap in
+  t.ts.(i) <- ts;
+  t.v.(i) <- v;
+  Atomic.set t.head (h + 1)
+
+let points t =
+  let h = Atomic.get t.head in
+  let n = min h t.cap in
+  Array.init n (fun k ->
+      let i = (h - n + k) mod t.cap in
+      (t.ts.(i), t.v.(i)))
+
+let values t = Array.map snd (points t)
+
+let last t =
+  let h = Atomic.get t.head in
+  if h = 0 then None
+  else
+    let i = (h - 1) mod t.cap in
+    Some (t.ts.(i), t.v.(i))
+
+(* ----- registry (same discipline as Counter / Histogram) --------------- *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+let order : t list ref = ref []
+
+let make ?cap name =
+  Mutex.lock registry_mutex;
+  let s =
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+      let s = create ?cap name in
+      Hashtbl.add registry name s;
+      order := s :: !order;
+      s
+  in
+  Mutex.unlock registry_mutex;
+  s
+
+let reset t =
+  Atomic.set t.head 0
+
+let reset_all () = Hashtbl.iter (fun _ s -> reset s) registry
+
+let registered () = List.rev !order

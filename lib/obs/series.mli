@@ -1,0 +1,44 @@
+(** Time-series ring buffers of telemetry samples.
+
+    A series holds the last [cap] (wall-clock timestamp, value) samples
+    of one metric. The telemetry sampler is the single writer; readers
+    (the /snapshot.json endpoint, [fbbopt top]) are lock-free and may
+    observe one transiently out-of-order point at the ring seam while a
+    push is in flight — acceptable for dashboards, and the documented
+    price of scrapes that never block the sampler. *)
+
+type t
+
+val create : ?cap:int -> string -> t
+(** Free-standing ring (not registered); [cap] defaults to 240
+    samples — 2 minutes of history at the default 500 ms tick. *)
+
+val make : ?cap:int -> string -> t
+(** Registry series: idempotent and thread-safe per name, like
+    [Counter.make]. [cap] applies only on first creation. *)
+
+val name : t -> string
+val capacity : t -> int
+
+val length : t -> int
+(** Number of samples currently held, at most [capacity]. *)
+
+val push : t -> ts:float -> float -> unit
+(** Append one sample, evicting the oldest when full. Single-writer:
+    only the telemetry sampler should push to a registered series. *)
+
+val points : t -> (float * float) array
+(** Held samples, oldest first. NaN values mean "no data this tick"
+    (e.g. an interval percentile of an idle histogram) and render as
+    gaps. *)
+
+val values : t -> float array
+(** [points] without the timestamps. *)
+
+val last : t -> (float * float) option
+(** Most recent sample, if any. *)
+
+val reset : t -> unit
+val reset_all : unit -> unit
+val registered : unit -> t list
+(** Registry series in first-registration order. *)

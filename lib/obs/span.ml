@@ -29,15 +29,21 @@ let with_ ~name f =
     let d = !depth in
     depth := d + 1;
     let dom = (Domain.self () :> int) in
+    (* The trace id travels in the domain-local Context (re-established
+       on workers by Pool), so spans from parallel sections attach to
+       the request that spawned them. *)
+    let trace = Context.trace_id () in
+    Context.push_span name;
     let gc0 = if Gcprof.enabled () then Some (Gcprof.sample ()) else None in
     let t0 = Clock.now_s () in
-    Sink.emit (Event.Span_begin { name; ts = t0; depth = d; dom });
+    Sink.emit (Event.Span_begin { name; ts = t0; depth = d; dom; trace });
     let finish () =
       Counter.flush_pending ();
       let t1 = Clock.now_s () in
       depth := d;
+      Context.pop_span ();
       let dur_s = t1 -. t0 in
-      Sink.emit (Event.Span_end { name; ts = t1; dur_s; depth = d; dom });
+      Sink.emit (Event.Span_end { name; ts = t1; dur_s; depth = d; dom; trace });
       Histogram.record (Histogram.make name) dur_s;
       Option.iter (Gcprof.emit_span_delta ~name ~ts:t1) gc0
     in

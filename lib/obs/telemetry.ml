@@ -1,0 +1,432 @@
+(* The live telemetry plane: a background sampler that turns the
+   cumulative registries (counters, gauges, histograms) into Series
+   rings of per-tick readings, and a hand-rolled HTTP/1.0 endpoint
+   exposing both as Prometheus text and JSON. This is the monitor half
+   of a monitor/decide/actuate loop, and the seed of the fbbd daemon.
+
+   Sampler design: one domain, one pass per tick. A pass reads every
+   registry (lock-free snapshots), pushes per-tick counter deltas,
+   gauge values and interval histogram percentiles (diffing a kept
+   plain Histogram.snapshot of each cumulative histogram, no atomics)
+   into registry Series, then updates its own cost accounting as
+   obs.telemetry.* gauges — the plane observes itself with the same
+   primitives it offers everyone else, and bench records carry those
+   gauges so bench-compare tracks the cost of telemetry over time.
+
+   The sampler never touches solver state and the solvers never wait
+   on the sampler, so enabling telemetry cannot perturb results: the
+   determinism suite runs the cascade with a live sampler at jobs 1
+   and 4 and demands bit-identical outcomes.
+
+   Server design: a listener thread accepting one connection at a
+   time. Scrapes are rare (seconds apart) and responses are small
+   (tens of KB); serial handling keeps the whole server at ~100 lines
+   with no connection bookkeeping. Shutdown wakes the accept loop with
+   a self-connection, the portable trick for blocking accept(2). *)
+
+(* ----- sampler ---------------------------------------------------------- *)
+
+(* The periodic sampler runs on its own domain, not a systhread: a
+   thread would share the main domain's runtime lock, so a pass's wall
+   clock would mostly measure the solver holding the lock — inflating
+   busy_s by an order of magnitude and, worse, stealing mutator time
+   from the workload at every tick. A domain samples in true parallel
+   (passes only read atomic registry state), so busy_s is an honest
+   cost and the solvers never wait on telemetry. *)
+type sampler = {
+  tick_s : float;
+  lock : Mutex.t;  (* serializes passes: the domain vs. sample_now *)
+  prev_counters : (string, int) Hashtbl.t;
+  prev_hists : (string, Histogram.snapshot) Hashtbl.t;
+  started_s : float;  (* monotonic, denominator of the overhead ratio *)
+  mutable busy_s : float;
+  mutable ticks : int;
+  stop : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+let g_ticks = lazy (Counter.Gauge.make "obs.telemetry.ticks")
+let g_busy = lazy (Counter.Gauge.make "obs.telemetry.busy_s")
+let g_overhead = lazy (Counter.Gauge.make "obs.telemetry.overhead_pct")
+
+let create ?(tick_s = 0.5) () =
+  if not (tick_s > 0.0) then invalid_arg "Telemetry.create: tick_s must be > 0";
+  {
+    tick_s;
+    lock = Mutex.create ();
+    prev_counters = Hashtbl.create 32;
+    prev_hists = Hashtbl.create 32;
+    started_s = Clock.now_s ();
+    busy_s = 0.0;
+    ticks = 0;
+    stop = Atomic.make false;
+    domain = None;
+  }
+
+let sample_now s =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) @@ fun () ->
+  let t0 = Clock.now_s () in
+  let now = Clock.now_unix () in
+  let totals = Counter.totals () in
+  List.iter
+    (fun (name, total) ->
+      let prev =
+        match Hashtbl.find_opt s.prev_counters name with
+        | Some p -> p
+        | None -> 0
+      in
+      Hashtbl.replace s.prev_counters name total;
+      Series.push (Series.make ("counter." ^ name)) ~ts:now
+        (float_of_int (total - prev)))
+    totals;
+  List.iter
+    (fun (name, v) -> Series.push (Series.make ("gauge." ^ name)) ~ts:now v)
+    (Counter.Gauge.values ());
+  List.iter
+    (fun h ->
+      let count = Histogram.count h in
+      if count > 0 then begin
+        let name = Histogram.name h in
+        let push_tick p50 p99 rate =
+          Series.push (Series.make ("hist." ^ name ^ ".p50_s")) ~ts:now p50;
+          Series.push (Series.make ("hist." ^ name ^ ".p99_s")) ~ts:now p99;
+          Series.push (Series.make ("hist." ^ name ^ ".rate")) ~ts:now rate
+        in
+        match Hashtbl.find_opt s.prev_hists name with
+        | Some older when Histogram.snapshot_count older = count ->
+          (* Cumulative count is monotone, so an unchanged count means
+             no new observations: record the idle tick without paying
+             for a snapshot. NaN = "idle this tick", which Series
+             readers render as a gap and Texttab as "-", never as a
+             fake 0-latency. This skip is what keeps the sampler's
+             steady-state cost proportional to the {e active}
+             histograms, not the registry size. *)
+          push_tick Float.nan Float.nan 0.0
+        | prev ->
+          let snap = Histogram.snapshot h in
+          Hashtbl.replace s.prev_hists name snap;
+          let pct p =
+            match Histogram.interval_percentile ?since:prev snap p with
+            | Some v -> v
+            | None -> Float.nan
+          in
+          push_tick (pct 0.50) (pct 0.99)
+            (float_of_int (Histogram.interval_count ?since:prev snap))
+      end)
+    (Histogram.registered ());
+  s.ticks <- s.ticks + 1;
+  s.busy_s <- s.busy_s +. (Clock.now_s () -. t0);
+  Counter.Gauge.set (Lazy.force g_ticks) (float_of_int s.ticks);
+  Counter.Gauge.set (Lazy.force g_busy) s.busy_s;
+  let elapsed = Clock.now_s () -. s.started_s in
+  if elapsed > 0.0 then
+    Counter.Gauge.set (Lazy.force g_overhead) (100.0 *. s.busy_s /. elapsed)
+
+(* Sleep in short slices so [stop] is honored promptly even with a
+   multi-second tick. *)
+let rec run_loop s next =
+  if not (Atomic.get s.stop) then begin
+    let now = Clock.now_s () in
+    if now >= next then begin
+      sample_now s;
+      run_loop s (Clock.now_s () +. s.tick_s)
+    end
+    else begin
+      Unix.sleepf (Float.min 0.05 (next -. now));
+      run_loop s next
+    end
+  end
+
+let start ?tick_s () =
+  let s = create ?tick_s () in
+  s.domain <-
+    Some (Domain.spawn (fun () -> run_loop s (Clock.now_s () +. s.tick_s)));
+  s
+
+let stop s =
+  Atomic.set s.stop true;
+  (match s.domain with Some d -> Domain.join d | None -> ());
+  s.domain <- None;
+  (* Final pass so even runs shorter than one tick leave a complete
+     set of series and obs.telemetry.* gauges behind. *)
+  sample_now s
+
+let overhead_pct s =
+  let elapsed = Clock.now_s () -. s.started_s in
+  if elapsed > 0.0 then 100.0 *. s.busy_s /. elapsed else 0.0
+
+(* ----- snapshot --------------------------------------------------------- *)
+
+let snapshot_json () =
+  let module J = Fbb_util.Json in
+  let num_or_null v = if Float.is_finite v then J.Num v else J.Null in
+  let hist_entry h =
+    let pct p =
+      match Histogram.percentile_opt h p with
+      | Some v -> J.Num v
+      | None -> J.Null
+    in
+    ( Histogram.name h,
+      J.Obj
+        [
+          ("count", J.Num (float_of_int (Histogram.count h)));
+          ("mean_s", num_or_null (Histogram.mean h));
+          ("p50_s", pct 0.50);
+          ("p90_s", pct 0.90);
+          ("p99_s", pct 0.99);
+          ("max_s", J.Num (Histogram.max_value h));
+        ] )
+  in
+  J.Obj
+    [
+      ("schema", J.Str "fbb-telemetry-1");
+      ("ts_unix", J.Num (Clock.now_unix ()));
+      ( "counters",
+        J.Obj
+          (List.map
+             (fun (n, v) -> (n, J.Num (float_of_int v)))
+             (Counter.totals ())) );
+      ( "gauges",
+        J.Obj (List.map (fun (n, v) -> (n, num_or_null v)) (Counter.Gauge.values ())) );
+      ( "histograms",
+        J.Obj
+          (Histogram.registered ()
+          |> List.filter (fun h -> Histogram.count h > 0)
+          |> List.map hist_entry) );
+      ( "series",
+        J.Obj
+          (List.map
+             (fun sr ->
+               ( Series.name sr,
+                 J.Arr
+                   (Series.points sr |> Array.to_list
+                   |> List.map (fun (ts, v) ->
+                          J.Arr [ J.Num ts; num_or_null v ])) ))
+             (Series.registered ())) );
+    ]
+
+(* ----- HTTP/1.0 server -------------------------------------------------- *)
+
+type server = {
+  sock : Unix.file_descr;
+  port : int;
+  sstop : bool Atomic.t;
+  mutable sthread : Thread.t option;
+}
+
+let scrapes = lazy (Counter.make "obs.telemetry.scrapes")
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let respond fd status ctype body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status ctype (String.length body)
+  in
+  write_all fd (head ^ body)
+
+(* Read until the blank line ending the request head (we never expect a
+   body on GET), bounded so a garbage client cannot balloon memory. *)
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then Buffer.contents buf
+    else
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        if
+          (* header terminator seen? *)
+          let rec find i =
+            if i + 3 >= String.length s then false
+            else if String.sub s i 4 = "\r\n\r\n" then true
+            else find (i + 1)
+          in
+          find 0
+        then s
+        else go ()
+      end
+  in
+  go ()
+
+let handle_conn fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+  let req = read_request fd in
+  let first_line =
+    match String.index_opt req '\r' with
+    | Some i -> String.sub req 0 i
+    | None -> req
+  in
+  match String.split_on_char ' ' first_line with
+  | "GET" :: path :: _ -> (
+    Counter.incr (Lazy.force scrapes);
+    match path with
+    | "/metrics" ->
+      respond fd "200 OK" "text/plain; version=0.0.4; charset=utf-8"
+        (Promtext.render ())
+    | "/snapshot.json" ->
+      respond fd "200 OK" "application/json"
+        (Fbb_util.Json.to_string (snapshot_json ()) ^ "\n")
+    | "/healthz" -> respond fd "200 OK" "text/plain" "ok\n"
+    | _ -> respond fd "404 Not Found" "text/plain" "not found\n")
+  | _ :: _ :: _ -> respond fd "405 Method Not Allowed" "text/plain" "GET only\n"
+  | _ -> respond fd "400 Bad Request" "text/plain" "bad request\n"
+
+let rec accept_loop sock sstop =
+  match Unix.accept sock with
+  | fd, _ ->
+    if Atomic.get sstop then (try Unix.close fd with _ -> ())
+    else begin
+      (try handle_conn fd with _ -> ());
+      (try Unix.close fd with _ -> ())
+    end;
+    if not (Atomic.get sstop) then accept_loop sock sstop
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    if not (Atomic.get sstop) then accept_loop sock sstop
+  | exception _ ->
+    (* Persistent accept failure: back off instead of spinning. *)
+    if not (Atomic.get sstop) then begin
+      Thread.delay 0.05;
+      accept_loop sock sstop
+    end
+
+let serve ?(addr = "127.0.0.1") ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+    Unix.listen sock 16
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with _ -> ());
+    Error (Printf.sprintf "bind %s:%d: %s" addr port (Unix.error_message e))
+  | () ->
+    let port =
+      (* port 0 asks the kernel for an ephemeral port; report the real one *)
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    let sstop = Atomic.make false in
+    let srv = { sock; port; sstop; sthread = None } in
+    srv.sthread <- Some (Thread.create (fun () -> accept_loop sock sstop) ());
+    Ok srv
+
+let port srv = srv.port
+
+let shutdown srv =
+  Atomic.set srv.sstop true;
+  (* Wake the blocking accept with a throwaway self-connection. *)
+  (try
+     let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close s with _ -> ())
+       (fun () ->
+         Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, srv.port)))
+   with _ -> ());
+  (match srv.sthread with Some t -> Thread.join t | None -> ());
+  srv.sthread <- None;
+  try Unix.close srv.sock with _ -> ()
+
+(* ----- HTTP/1.0 client -------------------------------------------------- *)
+
+let parse_url url =
+  let prefix = "http://" in
+  if not (String.length url > String.length prefix
+          && String.sub url 0 (String.length prefix) = prefix)
+  then Error (Printf.sprintf "unsupported url (want http://...): %s" url)
+  else begin
+    let rest =
+      String.sub url (String.length prefix)
+        (String.length url - String.length prefix)
+    in
+    let hostport, path =
+      match String.index_opt rest '/' with
+      | Some i ->
+        (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+      | None -> (rest, "/")
+    in
+    match String.index_opt hostport ':' with
+    | Some i -> (
+      let host = String.sub hostport 0 i in
+      let p = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+      match int_of_string_opt p with
+      | Some port -> Ok (host, port, path)
+      | None -> Error ("bad port in url: " ^ url))
+    | None -> Ok (hostport, 80, path)
+  end
+
+let read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let http_get ?(timeout_s = 5.0) url =
+  match parse_url url with
+  | Error _ as e -> e
+  | Ok (host, port, path) -> (
+    match
+      let addr =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+          Unix.connect fd (Unix.ADDR_INET (addr, port));
+          write_all fd
+            (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n"
+               path host);
+          read_all fd)
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" url (Unix.error_message e))
+    | exception Not_found -> Error ("unknown host: " ^ host)
+    | resp -> (
+      let head, body =
+        match
+          let rec find i =
+            if i + 3 >= String.length resp then None
+            else if String.sub resp i 4 = "\r\n\r\n" then Some i
+            else find (i + 1)
+          in
+          find 0
+        with
+        | Some i ->
+          ( String.sub resp 0 i,
+            String.sub resp (i + 4) (String.length resp - i - 4) )
+        | None -> (resp, "")
+      in
+      let status_line =
+        match String.index_opt head '\r' with
+        | Some i -> String.sub head 0 i
+        | None -> head
+      in
+      match String.split_on_char ' ' status_line with
+      | _ :: "200" :: _ -> Ok body
+      | _ :: code :: _ -> Error (Printf.sprintf "%s: HTTP %s" url code)
+      | _ -> Error (Printf.sprintf "%s: malformed response" url)))

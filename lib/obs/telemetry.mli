@@ -1,0 +1,75 @@
+(** The live telemetry plane: background sampler + HTTP exposition.
+
+    The sampler turns the cumulative registries into {!Series} rings of
+    per-tick readings — counter deltas ([counter.<name>]), gauge values
+    ([gauge.<name>]) and interval histogram percentiles computed by
+    merge-diffing cumulative snapshots ([hist.<name>.p50_s], [.p99_s],
+    [.rate]) — and publishes its own cost as [obs.telemetry.ticks],
+    [.busy_s] and [.overhead_pct] gauges. It only ever {e reads} solver
+    state, so enabling telemetry cannot change results (the determinism
+    suite enforces this).
+
+    The server is a minimal HTTP/1.0 endpoint (the seed of [fbbd])
+    serving [GET /metrics] (Prometheus text, {!Promtext}),
+    [GET /snapshot.json] (registries + series as JSON) and
+    [GET /healthz]. Connections are handled serially — scrape traffic,
+    not request traffic. *)
+
+(** {2 Sampler} *)
+
+type sampler
+
+val create : ?tick_s:float -> unit -> sampler
+(** A sampler with no thread — ticks only via {!sample_now}. For tests
+    and tools that want deterministic sampling points. [tick_s]
+    defaults to 0.5 and must be positive. *)
+
+val start : ?tick_s:float -> unit -> sampler
+(** [create] plus a background domain sampling every [tick_s] seconds.
+    A domain, not a systhread: passes run in true parallel with the
+    workload instead of contending for the main domain's runtime
+    lock, so telemetry never steals mutator time and its published
+    overhead is an honest measurement. *)
+
+val sample_now : sampler -> unit
+(** Run one sampling pass synchronously (serialized against the
+    background domain). *)
+
+val stop : sampler -> unit
+(** Stop and join the background domain (if any), then run one final
+    pass so short runs still publish complete series and overhead
+    gauges. *)
+
+val overhead_pct : sampler -> float
+(** Sampling cost so far as a percentage of the sampler's lifetime —
+    the same number published as the [obs.telemetry.overhead_pct]
+    gauge. *)
+
+val snapshot_json : unit -> Fbb_util.Json.t
+(** The full telemetry state — counters, gauges, histogram summaries,
+    series points — as one JSON document (schema ["fbb-telemetry-1"]).
+    Non-finite values (idle-tick percentiles) render as [null]. *)
+
+(** {2 HTTP server} *)
+
+type server
+
+val serve : ?addr:string -> port:int -> unit -> (server, string) result
+(** Bind [addr] (default ["127.0.0.1"]) and serve on [port] from a
+    background thread. [port = 0] picks an ephemeral port — read it
+    back with {!port}. [Error] carries the bind/listen failure. *)
+
+val port : server -> int
+
+val shutdown : server -> unit
+(** Stop accepting, wake and join the listener thread, close the
+    socket. Idempotent in effect; safe while a scrape is in flight. *)
+
+(** {2 HTTP client}
+
+    Enough HTTP/1.0 for [fbbopt top] and the test suite to scrape the
+    server without external tooling. *)
+
+val http_get : ?timeout_s:float -> string -> (string, string) result
+(** [http_get "http://host:port/path"] returns the response body of a
+    200, [Error] otherwise (connection failure, timeout, non-200). *)

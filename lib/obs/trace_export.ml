@@ -35,8 +35,8 @@ let parse_line line =
     | Some ph, Some name -> (
       let ts = Option.value (Json.member_num "ts" v) ~default:0.0 in
       let num k = Option.value (Json.member_num k v) ~default:0.0 in
-      (* depth/dom default to 0 so traces from before those fields
-         existed still convert. *)
+      (* depth/dom default to 0 and trace to "" so traces from before
+         those fields existed still convert. *)
       match ph with
       | "B" ->
         Ok
@@ -46,6 +46,7 @@ let parse_line line =
                ts;
                depth = int_field v "depth" ~default:0;
                dom = int_field v "dom" ~default:0;
+               trace = Option.value (Json.member_str "trace" v) ~default:"";
              })
       | "E" ->
         Ok
@@ -56,6 +57,7 @@ let parse_line line =
                dur_s = num "dur_s";
                depth = int_field v "depth" ~default:0;
                dom = int_field v "dom" ~default:0;
+               trace = Option.value (Json.member_str "trace" v) ~default:"";
              })
       | "C" ->
         Ok (Event.Counter_add { name; delta = int_field v "delta" ~default:0; ts })
@@ -104,6 +106,22 @@ let load ?(on_truncated = default_on_truncated) path =
     lines;
   List.rev !events
 
+(* ----- trace-id filter -------------------------------------------------- *)
+
+(* Restrict a stream to one request: keep the span events stamped with
+   [trace]. Counters, gauges, histogram observations and GC samples
+   are process-global (no trace id) and are dropped — a filtered trace
+   answers "what did this request do", not "what did the process do
+   meanwhile". *)
+let filter_trace ~trace events =
+  List.filter
+    (function
+      | Event.Span_begin { trace = t; _ } | Event.Span_end { trace = t; _ } ->
+        t = trace
+      | Event.Counter_add _ | Event.Gauge_set _ | Event.Hist_record _
+      | Event.Gc_sample _ -> false)
+    events
+
 (* ----- Chrome trace_event --------------------------------------------- *)
 
 let us ts = ts *. 1e6
@@ -127,9 +145,12 @@ let to_chrome events =
             @ rest)
         in
         match ev with
-        | Event.Span_begin { name; ts; depth; dom } ->
-          common "B" name ts dom
-            [ ("args", Json.Obj [ ("depth", Json.Num (float_of_int depth)) ]) ]
+        | Event.Span_begin { name; ts; depth; dom; trace } ->
+          let args = [ ("depth", Json.Num (float_of_int depth)) ] in
+          let args =
+            if trace = "" then args else ("trace", Json.Str trace) :: args
+          in
+          common "B" name ts dom [ ("args", Json.Obj args) ]
         | Event.Span_end { name; ts; dom; _ } -> common "E" name ts dom []
         | Event.Counter_add { name; delta; ts } ->
           let r =

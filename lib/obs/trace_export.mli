@@ -4,9 +4,9 @@
     [fbbopt trace convert|flame|stats]. *)
 
 val parse_line : string -> (Event.t, string) result
-(** Parse one JSONL trace line. [depth] and [dom] default to 0 when
-    absent, so traces recorded before those fields existed still
-    convert. *)
+(** Parse one JSONL trace line. [depth]/[dom] default to 0 and [trace]
+    to [""] when absent, so traces recorded before those fields
+    existed still convert. *)
 
 val load : ?on_truncated:(string -> unit) -> string -> Event.t list
 (** Read a whole trace file; blank lines are skipped. Raises [Failure
@@ -14,6 +14,12 @@ val load : ?on_truncated:(string -> unit) -> string -> Event.t list
     malformed line is the file's last non-blank line, the signature of
     a writer killed mid-append: then the intact prefix is returned and
     [on_truncated] (default: print to stderr) is told what was lost. *)
+
+val filter_trace : trace:string -> Event.t list -> Event.t list
+(** Restrict a stream to one request: span events whose trace id
+    equals [trace]. Process-global events (counters, gauges, histogram
+    observations, GC samples) carry no trace id and are dropped.
+    Backs [fbbopt trace convert --trace-id]. *)
 
 val to_chrome : Event.t list -> Fbb_util.Json.t
 (** Chrome trace_event document: [{"traceEvents": [...]}] with spans

@@ -188,12 +188,24 @@ let ensure_started size =
 
 (* Run every task (each must be exception-free: combinators catch into
    per-chunk slots) and return when all have completed, executing
-   queued tasks on the calling domain while waiting. *)
+   queued tasks on the calling domain while waiting.
+
+   The submitter's trace context is captured here and re-established
+   around each task, so spans opened inside a parallel section carry
+   the originating request's trace id no matter which domain — a
+   worker, the helping submitter, or another batch's submitter
+   draining the shared queue — actually runs the chunk. *)
 let run_batch tasks =
   let n = Array.length tasks in
   if n > 0 then begin
     Fbb_obs.Counter.incr batches_c;
     Fbb_obs.Counter.add tasks_c n;
+    let tasks =
+      match Fbb_obs.Context.current () with
+      | None -> tasks
+      | Some _ as ctx ->
+        Array.map (fun t () -> Fbb_obs.Context.with_opt ctx t) tasks
+    in
     let size = jobs () in
     ensure_started size;
     if size = 1 then begin

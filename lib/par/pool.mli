@@ -38,7 +38,14 @@
     backoff before they poison the chunk; the ["pool.worker"] site
     injects hard faults for resilience testing. Retried chunk bodies
     re-run from the top, so tasks must stay idempotent — which the
-    disjoint-slot determinism contract already requires. *)
+    disjoint-slot determinism contract already requires.
+
+    {b Trace propagation.} The submitting domain's
+    {!Fbb_obs.Context.t} (if any) is captured at batch submission and
+    re-established around every task, whichever domain executes it —
+    spans opened inside a parallel section carry the originating
+    request's trace id. Context is observability-only state, so this
+    does not affect the determinism guarantee. *)
 
 exception Worker_error of { task : int; exn : exn }
 (** Raised at the join point of a batch whose [task]-th chunk failed;

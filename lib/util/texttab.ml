@@ -78,3 +78,40 @@ let cell_pct ?(digits = 2) v =
   if Float.is_finite v then Printf.sprintf "%.*f" digits v else "-"
 
 let cell_i v = string_of_int v
+
+(* Unicode block-element sparkline of the last [width] values, scaled
+   to the finite min/max of that window; non-finite values (idle-tick
+   percentiles) render as U+2024 one-dot-leader. Emits exactly [width]
+   glyphs, each 3 bytes — the fill while the series warms up is U+2007
+   figure space — so a column of sparklines over the same window is
+   always [3 * width] bytes and [render]'s byte-length padding keeps
+   the table aligned. *)
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                      "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                      "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let spark_nan = "\xe2\x80\xa4" (* U+2024 one dot leader *)
+let spark_pad = "\xe2\x80\x87" (* U+2007 figure space *)
+
+let sparkline ?(width = 32) values =
+  let n = Array.length values in
+  let take = min n width in
+  let window = Array.sub values (n - take) take in
+  let finite = Array.to_list window |> List.filter Float.is_finite in
+  let lo = List.fold_left Float.min Float.infinity finite in
+  let hi = List.fold_left Float.max Float.neg_infinity finite in
+  let buf = Buffer.create (3 * width) in
+  for _ = take + 1 to width do
+    Buffer.add_string buf spark_pad
+  done;
+  Array.iter
+    (fun v ->
+      if not (Float.is_finite v) then Buffer.add_string buf spark_nan
+      else if hi <= lo then Buffer.add_string buf spark_levels.(0)
+      else begin
+        let lvl = int_of_float ((v -. lo) /. (hi -. lo) *. 7.99) in
+        let lvl = if lvl < 0 then 0 else if lvl > 7 then 7 else lvl in
+        Buffer.add_string buf spark_levels.(lvl)
+      end)
+    window;
+  Buffer.contents buf

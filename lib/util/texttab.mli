@@ -37,3 +37,12 @@ val cell_pct : ?digits:int -> float -> string
     ["-"]. *)
 
 val cell_i : int -> string
+
+val sparkline : ?width:int -> float array -> string
+(** Unicode block-element sparkline ("▁▂▅█") of the last [width]
+    (default 32) values, scaled to the window's finite min/max.
+    Non-finite values render as a dot leader; while the window is
+    still filling the left side is padded with figure spaces. The
+    result always holds exactly [width] glyphs of 3 bytes each, so a
+    column of sparklines stays byte- and display-aligned. Used by
+    [fbbopt top] for Series columns. *)

@@ -175,6 +175,55 @@ let test_cascade () =
         a b)
     [ 0; 5; 50; 5000 ]
 
+(* ----- live telemetry is read-only -------------------------------------- *)
+
+let test_cascade_with_telemetry () =
+  (* The telemetry plane only reads solver state, so running a traced
+     cascade under a live sampler + /metrics endpoint must not perturb
+     results: bit-identical at jobs 1 vs 4, telemetry on, against the
+     telemetry-off baseline. Work budgets (not wall deadlines) keep the
+     truncation point deterministic. *)
+  let p = Tsupport.small_problem () in
+  let solve () =
+    let r = Fbb_core.Cascade.solve ~budget:(Budget.create ~work:50 ()) p in
+    ( r.Fbb_core.Cascade.outcome,
+      r.Fbb_core.Cascade.exhausted,
+      List.map
+        (fun a ->
+          ( a.Fbb_core.Cascade.stage,
+            a.Fbb_core.Cascade.status,
+            a.Fbb_core.Cascade.leakage_nw,
+            a.Fbb_core.Cascade.work_spent ))
+        r.Fbb_core.Cascade.attempts )
+  in
+  let baseline = at_jobs 1 solve in
+  let with_telemetry jobs =
+    at_jobs jobs (fun () ->
+        let sampler = Fbb_obs.Telemetry.start ~tick_s:0.01 () in
+        match Fbb_obs.Telemetry.serve ~port:0 () with
+        | Error m -> Alcotest.failf "serve: %s" m
+        | Ok srv ->
+          Fun.protect ~finally:(fun () ->
+              Fbb_obs.Telemetry.shutdown srv;
+              Fbb_obs.Telemetry.stop sampler)
+          @@ fun () ->
+          Fbb_obs.Sink.with_installed Fbb_obs.Sink.null @@ fun () ->
+          Fbb_obs.Context.with_ (Fbb_obs.Context.make ()) @@ fun () ->
+          let r = solve () in
+          (* Scrape mid-session so the endpoint demonstrably served
+             while the solver ran. *)
+          let url =
+            Printf.sprintf "http://127.0.0.1:%d/metrics"
+              (Fbb_obs.Telemetry.port srv)
+          in
+          (match Fbb_obs.Telemetry.http_get url with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "live scrape failed: %s" m);
+          r)
+  in
+  check_eq "telemetry jobs=1 matches baseline" baseline (with_telemetry 1);
+  check_eq "telemetry jobs=4 matches baseline" baseline (with_telemetry 4)
+
 let suite =
   [
     Alcotest.test_case "montecarlo" `Quick test_montecarlo;
@@ -182,6 +231,8 @@ let suite =
       test_budgeted_branch_bound;
     Alcotest.test_case "budgeted montecarlo" `Quick test_budgeted_montecarlo;
     Alcotest.test_case "cascade" `Quick test_cascade;
+    Alcotest.test_case "cascade with live telemetry" `Quick
+      test_cascade_with_telemetry;
     Alcotest.test_case "branch and bound" `Quick test_branch_bound;
     Alcotest.test_case "reduce_paths" `Quick test_reduce_paths;
     Alcotest.test_case "ilp flow" `Quick test_ilp_flow;

@@ -313,7 +313,8 @@ let test_jsonl_roundtrip () =
 let test_event_json_escaping () =
   let j =
     Obs.Event.to_json
-      (Obs.Event.Span_begin { name = "q\"\\\n\t"; ts = 0.5; depth = 2; dom = 0 })
+      (Obs.Event.Span_begin
+         { name = "q\"\\\n\t"; ts = 0.5; depth = 2; dom = 0; trace = "" })
   in
   let fields = parse_flat j in
   match List.assoc_opt "name" fields with
@@ -530,6 +531,341 @@ let test_jsonl_valid_when_raising () =
   (* ...and both spans must have closed despite the raise. *)
   Alcotest.(check (list string)) "balanced despite raise" [] !stack
 
+(* ----- contexts --------------------------------------------------------- *)
+
+let test_context_scoping () =
+  Alcotest.(check (option pass)) "no context by default" None
+    (Obs.Context.current ());
+  Alcotest.(check string) "empty trace id by default" ""
+    (Obs.Context.trace_id ());
+  let a = Obs.Context.make () and b = Obs.Context.make () in
+  Alcotest.(check bool) "fresh ids are unique" true (a.trace <> b.trace);
+  let seen =
+    Obs.Context.with_ a (fun () ->
+        let outer = Obs.Context.trace_id () in
+        let inner = Obs.Context.with_ b (fun () -> Obs.Context.trace_id ()) in
+        (outer, inner, Obs.Context.trace_id ()))
+  in
+  Alcotest.(check (triple string string string)) "nesting restores"
+    (a.trace, b.trace, a.trace) seen;
+  Alcotest.(check string) "restored to none" "" (Obs.Context.trace_id ());
+  (try
+     Obs.Context.with_ a (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check string) "restored after raise" "" (Obs.Context.trace_id ())
+
+let test_context_parent_span () =
+  let sink, _ = recording () in
+  let parent =
+    Obs.Sink.with_installed sink (fun () ->
+        Obs.Span.with_ ~name:"outer" (fun () ->
+            Obs.Span.with_ ~name:"inner" (fun () ->
+                (Obs.Context.make ()).parent_span)))
+  in
+  Alcotest.(check string) "parent is the innermost open span" "inner" parent;
+  Alcotest.(check string) "span stack drained" "" (Obs.Context.innermost_span ());
+  Alcotest.(check string) "top-level parent is empty" ""
+    ((Obs.Context.make ()).parent_span)
+
+let test_spans_carry_trace () =
+  let sink, events = recording () in
+  let ctx = Obs.Context.make ~trace:"t-spans" () in
+  Obs.Sink.with_installed sink (fun () ->
+      Obs.Context.with_ ctx (fun () ->
+          Obs.Span.with_ ~name:"a" (fun () ->
+              Obs.Span.with_ ~name:"b" (fun () -> ())));
+      Obs.Span.with_ ~name:"after" (fun () -> ()));
+  let traces =
+    List.filter_map
+      (function
+        | Obs.Event.Span_begin { name; trace; _ }
+        | Obs.Event.Span_end { name; trace; _ } -> Some (name, trace)
+        | _ -> None)
+      (events ())
+  in
+  List.iter
+    (fun (name, trace) ->
+      Alcotest.(check string)
+        (Printf.sprintf "span %s trace" name)
+        (if name = "after" then "" else "t-spans")
+        trace)
+    traces
+
+let test_pool_propagates_context () =
+  (* Every span opened inside a parallel section — wherever it runs —
+     must carry the submitting request's trace id. *)
+  let sink, events = recording () in
+  let ctx = Obs.Context.make ~trace:"t-pool" () in
+  Fbb_par.Pool.set_jobs 4;
+  Obs.Sink.with_installed sink (fun () ->
+      Obs.Context.with_ ctx (fun () ->
+          Fbb_par.Pool.parallel_for ~chunk:1 ~n:16 (fun i ->
+              Obs.Span.with_ ~name:"task" (fun () ->
+                  ignore (Sys.opaque_identity i)))));
+  Fbb_par.Pool.set_jobs 1;
+  let spans =
+    List.filter_map
+      (function
+        | Obs.Event.Span_begin { name = "task"; trace; dom; _ } ->
+          Some (trace, dom)
+        | _ -> None)
+      (events ())
+  in
+  Alcotest.(check int) "all 16 task spans recorded" 16 (List.length spans);
+  List.iter
+    (fun (trace, dom) ->
+      Alcotest.(check string)
+        (Printf.sprintf "task span on domain %d is traced" dom)
+        "t-pool" trace)
+    spans
+
+(* ----- series ----------------------------------------------------------- *)
+
+let test_series_ring () =
+  let s = Obs.Series.create ~cap:4 (fresh "t.series") in
+  Alcotest.(check int) "empty" 0 (Obs.Series.length s);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "no last" None
+    (Obs.Series.last s);
+  for i = 1 to 3 do
+    Obs.Series.push s ~ts:(float_of_int i) (float_of_int (10 * i))
+  done;
+  Alcotest.(check int) "partial fill" 3 (Obs.Series.length s);
+  Alcotest.(check bool) "oldest first" true
+    (Obs.Series.points s = [| (1.0, 10.0); (2.0, 20.0); (3.0, 30.0) |]);
+  for i = 4 to 6 do
+    Obs.Series.push s ~ts:(float_of_int i) (float_of_int (10 * i))
+  done;
+  Alcotest.(check int) "capped" 4 (Obs.Series.length s);
+  Alcotest.(check bool) "wraparound evicts oldest" true
+    (Obs.Series.values s = [| 30.0; 40.0; 50.0; 60.0 |]);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "last"
+    (Some (6.0, 60.0)) (Obs.Series.last s);
+  Alcotest.(check bool) "zero cap rejected" true
+    (match Obs.Series.create ~cap:0 "t.bad" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_series_registry () =
+  let name = fresh "t.series.reg" in
+  let a = Obs.Series.make ~cap:8 name in
+  let b = Obs.Series.make name in
+  Obs.Series.push a ~ts:1.0 5.0;
+  Alcotest.(check int) "same underlying ring" 1 (Obs.Series.length b);
+  Alcotest.(check bool) "registered" true
+    (List.exists (fun s -> Obs.Series.name s = name) (Obs.Series.registered ()))
+
+(* ----- histogram snapshots ---------------------------------------------- *)
+
+let test_histogram_percentile_opt () =
+  let h = Obs.Histogram.create (fresh "t.hist.opt") in
+  Alcotest.(check (option (float 0.0))) "empty -> None" None
+    (Obs.Histogram.percentile_opt h 0.5);
+  Obs.Histogram.observe h 2.0;
+  Alcotest.(check bool) "non-empty -> Some" true
+    (Obs.Histogram.percentile_opt h 0.5 <> None)
+
+let test_histogram_interval_sub () =
+  let h = Obs.Histogram.create (fresh "t.hist.iv") in
+  Obs.Histogram.observe h 0.001;
+  Obs.Histogram.observe h 0.002;
+  let older = Obs.Histogram.copy h in
+  Alcotest.(check int) "copy is a snapshot" 2 (Obs.Histogram.count older);
+  Obs.Histogram.observe h 0.100;
+  Obs.Histogram.observe h 0.200;
+  let iv = Obs.Histogram.interval_sub ~newer:(Obs.Histogram.copy h) ~older in
+  Alcotest.(check int) "interval counts only new samples" 2
+    (Obs.Histogram.count iv);
+  (* The two new observations are 0.1 and 0.2: the interval median must
+     sit near them, far above the older millisecond samples. *)
+  (match Obs.Histogram.percentile_opt iv 0.99 with
+  | Some p -> Alcotest.(check bool) "interval p99 reflects new samples" true
+                (p > 0.05)
+  | None -> Alcotest.fail "interval histogram empty");
+  let empty_iv =
+    Obs.Histogram.interval_sub ~newer:(Obs.Histogram.copy h)
+      ~older:(Obs.Histogram.copy h)
+  in
+  Alcotest.(check int) "idle interval is empty" 0
+    (Obs.Histogram.count empty_iv)
+
+(* ----- telemetry sampler ------------------------------------------------ *)
+
+let test_sampler_series () =
+  let cname = fresh "t.tele.work" in
+  let gname = fresh "t.tele.level" in
+  let c = Obs.Counter.make cname in
+  let g = Obs.Counter.Gauge.make gname in
+  let s = Obs.Telemetry.create () in
+  Obs.Counter.add c 5;
+  Obs.Counter.Gauge.set g 2.5;
+  Obs.Telemetry.sample_now s;
+  Obs.Counter.add c 3;
+  Obs.Telemetry.sample_now s;
+  Obs.Telemetry.sample_now s;
+  let series name = Obs.Series.values (Obs.Series.make ("counter." ^ name)) in
+  let tail2 a =
+    let n = Array.length a in
+    if n < 2 then [||] else Array.sub a (n - 2) 2
+  in
+  (* First tick swallows the pre-existing total as its delta; the next
+     two see +3 and +0. *)
+  Alcotest.(check bool) "counter deltas per tick" true
+    (tail2 (series cname) = [| 3.0; 0.0 |]);
+  let gs = Obs.Series.values (Obs.Series.make ("gauge." ^ gname)) in
+  Alcotest.(check bool) "gauge sampled" true
+    (Array.length gs >= 3 && gs.(Array.length gs - 1) = 2.5);
+  Alcotest.(check bool) "sampler cost published" true
+    (List.mem_assoc "obs.telemetry.ticks" (Obs.Counter.Gauge.values ()));
+  Alcotest.(check bool) "overhead is a sane percentage" true
+    (let p = Obs.Telemetry.overhead_pct s in
+     p >= 0.0 && p <= 100.0)
+
+let test_sampler_histogram_interval () =
+  let hname = fresh "t.tele.lat" in
+  let h = Obs.Histogram.make hname in
+  let s = Obs.Telemetry.create () in
+  Obs.Histogram.observe h 0.010;
+  Obs.Histogram.observe h 0.010;
+  Obs.Telemetry.sample_now s;
+  Obs.Telemetry.sample_now s;
+  let p50 = Obs.Series.values (Obs.Series.make ("hist." ^ hname ^ ".p50_s")) in
+  let n = Array.length p50 in
+  Alcotest.(check bool) "active tick has a finite p50" true
+    (n >= 2 && Float.is_finite p50.(n - 2));
+  Alcotest.(check bool) "idle tick records NaN gap" true
+    (n >= 1 && Float.is_nan p50.(n - 1))
+
+(* ----- prometheus text -------------------------------------------------- *)
+
+let test_promtext_render_valid () =
+  let c = Obs.Counter.make (fresh "t.prom.hits") in
+  let g = Obs.Counter.Gauge.make (fresh "t.prom-gauge") in
+  Obs.Counter.add c 7;
+  Obs.Counter.Gauge.set g Float.nan;
+  let page = Obs.Promtext.render () in
+  (match Obs.Promtext.validate page with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "rendered page fails validation: %s\n%s" m page);
+  Alcotest.(check bool) "counter rendered as _total" true
+    (let needle = Obs.Promtext.metric_name (Obs.Counter.name c) ^ "_total 7" in
+     let nh = String.length page and nn = String.length needle in
+     let rec go i =
+       i + nn <= nh && (String.sub page i nn = needle || go (i + 1))
+     in
+     go 0);
+  Alcotest.(check string) "names sanitized and prefixed" "fbb_t_prom_gauge_1"
+    (Obs.Promtext.metric_name "t.prom-gauge_1")
+
+let test_promtext_validator_rejects () =
+  let bad page = Obs.Promtext.validate page = Ok () in
+  Alcotest.(check bool) "valid minimal page" true
+    (Obs.Promtext.validate "# HELP x y\n# TYPE x counter\nx 1\n" = Ok ());
+  Alcotest.(check bool) "bad metric name" false (bad "9name 1\n");
+  Alcotest.(check bool) "bad TYPE" false (bad "# TYPE x widget\nx 1\n");
+  Alcotest.(check bool) "bad value" false (bad "x one\n");
+  Alcotest.(check bool) "unterminated label block" false (bad "x{a=\"b\" 1\n");
+  Alcotest.(check bool) "labels ok" true
+    (bad "x{quantile=\"0.5\",le=\"+Inf\"} NaN 1700000000\n")
+
+(* ----- http endpoint ---------------------------------------------------- *)
+
+let test_metrics_endpoint () =
+  let c = Obs.Counter.make (fresh "t.http.hits") in
+  Obs.Counter.add c 3;
+  let s = Obs.Telemetry.create () in
+  Obs.Telemetry.sample_now s;
+  match Obs.Telemetry.serve ~port:0 () with
+  | Error m -> Alcotest.failf "serve: %s" m
+  | Ok srv ->
+    Fun.protect ~finally:(fun () -> Obs.Telemetry.shutdown srv) @@ fun () ->
+    let base = Printf.sprintf "http://127.0.0.1:%d" (Obs.Telemetry.port srv) in
+    (match Obs.Telemetry.http_get (base ^ "/metrics") with
+    | Error m -> Alcotest.failf "GET /metrics: %s" m
+    | Ok body -> (
+      match Obs.Promtext.validate body with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "/metrics invalid: %s" m));
+    (match Obs.Telemetry.http_get (base ^ "/snapshot.json") with
+    | Error m -> Alcotest.failf "GET /snapshot.json: %s" m
+    | Ok body -> (
+      match Fbb_util.Json.parse_opt body with
+      | None -> Alcotest.fail "/snapshot.json is not JSON"
+      | Some j ->
+        Alcotest.(check (option string)) "schema" (Some "fbb-telemetry-1")
+          (Fbb_util.Json.member_str "schema" j)));
+    (match Obs.Telemetry.http_get (base ^ "/healthz") with
+    | Ok body -> Alcotest.(check string) "healthz" "ok\n" body
+    | Error m -> Alcotest.failf "GET /healthz: %s" m);
+    Alcotest.(check bool) "unknown path is a 404" true
+      (match Obs.Telemetry.http_get (base ^ "/nope") with
+      | Error _ -> true
+      | Ok _ -> false);
+    (* Scrapes count themselves. *)
+    Alcotest.(check bool) "scrape counter ticked" true
+      (Obs.Counter.read (Obs.Counter.make "obs.telemetry.scrapes") >= 3)
+
+(* ----- sink swap under load --------------------------------------------- *)
+
+let test_sink_swap_under_load () =
+  (* Property: a base sink installed for the whole run observes a
+     balanced per-domain span stream even while a second domain
+     concurrently tees a scratch sink in and out (the live-attach
+     pattern a telemetry endpoint needs). Balance = every Span_end
+     matches the innermost open Span_begin of the same domain. *)
+  let base, events = recording () in
+  let stop = Atomic.make false in
+  Obs.Sink.with_installed base (fun () ->
+      let swapper =
+        Domain.spawn (fun () ->
+            let scratch = { Obs.Sink.emit = ignore; flush = ignore } in
+            while not (Atomic.get stop) do
+              (match Obs.Sink.installed () with
+              | Some cur -> Obs.Sink.install (Obs.Sink.tee cur scratch)
+              | None -> ());
+              Domain.cpu_relax ();
+              Obs.Sink.install base
+            done)
+      in
+      Fbb_par.Pool.set_jobs 4;
+      for _ = 1 to 50 do
+        Fbb_par.Pool.parallel_for ~chunk:1 ~n:8 (fun i ->
+            Obs.Span.with_ ~name:"swap.task" (fun () ->
+                Obs.Span.with_ ~name:"swap.leaf" (fun () ->
+                    ignore (Sys.opaque_identity i))))
+      done;
+      Atomic.set stop true;
+      Domain.join swapper;
+      Fbb_par.Pool.set_jobs 1);
+  let stacks = Hashtbl.create 8 in
+  let stack dom = try Hashtbl.find stacks dom with Not_found -> [] in
+  let balanced =
+    List.for_all
+      (function
+        | Obs.Event.Span_begin { name; dom; _ } ->
+          Hashtbl.replace stacks dom (name :: stack dom);
+          true
+        | Obs.Event.Span_end { name; dom; _ } -> (
+          match stack dom with
+          | top :: rest when top = name ->
+            Hashtbl.replace stacks dom rest;
+            true
+          | _ -> false)
+        | _ -> true)
+      (events ())
+  in
+  Alcotest.(check bool) "per-domain span streams stay balanced" true balanced;
+  Alcotest.(check bool) "all stacks drained" true
+    (Hashtbl.fold (fun _ s acc -> acc && s = []) stacks true);
+  let begins =
+    List.length
+      (List.filter
+         (function
+           | Obs.Event.Span_begin { name = "swap.task"; _ } -> true
+           | _ -> false)
+         (events ()))
+  in
+  Alcotest.(check int) "base sink saw every task span" 400 begins
+
 let suite =
   [
     ("span nesting", `Quick, test_span_nesting);
@@ -556,6 +892,20 @@ let suite =
     ("span emits gc sample", `Quick, test_span_emits_gc_sample);
     ("gc sampling toggle", `Quick, test_gc_sampling_toggle);
     ("jsonl valid when raising", `Quick, test_jsonl_valid_when_raising);
+    ("context scoping", `Quick, test_context_scoping);
+    ("context parent span", `Quick, test_context_parent_span);
+    ("spans carry trace id", `Quick, test_spans_carry_trace);
+    ("pool propagates context", `Quick, test_pool_propagates_context);
+    ("series ring buffer", `Quick, test_series_ring);
+    ("series registry", `Quick, test_series_registry);
+    ("histogram percentile_opt", `Quick, test_histogram_percentile_opt);
+    ("histogram interval_sub", `Quick, test_histogram_interval_sub);
+    ("sampler builds series", `Quick, test_sampler_series);
+    ("sampler histogram intervals", `Quick, test_sampler_histogram_interval);
+    ("promtext render validates", `Quick, test_promtext_render_valid);
+    ("promtext validator rejects", `Quick, test_promtext_validator_rejects);
+    ("metrics endpoint", `Quick, test_metrics_endpoint);
+    ("sink swap under load", `Quick, test_sink_swap_under_load);
   ]
   @ List.map
       (QCheck_alcotest.to_alcotest ~long:false)

@@ -104,7 +104,8 @@ let test_parse_line_errors () =
   match
     Obs.Trace_export.parse_line "{\"ph\":\"B\",\"name\":\"x\",\"ts\":1.5}"
   with
-  | Ok (Obs.Event.Span_begin { name = "x"; depth = 0; dom = 0; ts }) ->
+  | Ok (Obs.Event.Span_begin { name = "x"; depth = 0; dom = 0; trace = ""; ts })
+    ->
     Alcotest.(check (float 0.0)) "ts kept" 1.5 ts
   | _ -> Alcotest.fail "pre-dom trace line did not parse"
 
@@ -156,12 +157,14 @@ let test_chrome_integrates_counters () =
 let span_events =
   (* outer [0,1.0] containing child [0.1,0.5]: self times 0.6 / 0.4. *)
   [
-    Obs.Event.Span_begin { name = "outer"; ts = 0.0; depth = 0; dom = 0 };
-    Obs.Event.Span_begin { name = "child"; ts = 0.1; depth = 1; dom = 0 };
+    Obs.Event.Span_begin
+      { name = "outer"; ts = 0.0; depth = 0; dom = 0; trace = "" };
+    Obs.Event.Span_begin
+      { name = "child"; ts = 0.1; depth = 1; dom = 0; trace = "" };
     Obs.Event.Span_end
-      { name = "child"; ts = 0.5; dur_s = 0.4; depth = 1; dom = 0 };
+      { name = "child"; ts = 0.5; dur_s = 0.4; depth = 1; dom = 0; trace = "" };
     Obs.Event.Span_end
-      { name = "outer"; ts = 1.0; dur_s = 1.0; depth = 0; dom = 0 };
+      { name = "outer"; ts = 1.0; dur_s = 1.0; depth = 0; dom = 0; trace = "" };
   ]
 
 let test_folded_self_times () =
@@ -182,10 +185,15 @@ let test_folded_self_times () =
 let test_folded_drops_unclosed () =
   let truncated =
     [
-      Obs.Event.Span_begin { name = "outer"; ts = 0.0; depth = 0; dom = 0 };
-      Obs.Event.Span_begin { name = "child"; ts = 0.1; depth = 1; dom = 0 };
+      Obs.Event.Span_begin
+        { name = "outer"; ts = 0.0; depth = 0; dom = 0; trace = "" };
+      Obs.Event.Span_begin
+        { name = "child"; ts = 0.1; depth = 1; dom = 0; trace = "" };
       Obs.Event.Span_end
-        { name = "child"; ts = 0.5; dur_s = 0.4; depth = 1; dom = 0 };
+        {
+          name = "child"; ts = 0.5; dur_s = 0.4; depth = 1; dom = 0;
+          trace = "";
+        };
       (* outer never ends: trace cut short *)
     ]
   in
@@ -198,7 +206,10 @@ let test_stats_balance () =
     (contains ~needle:"span stream balanced" ok);
   let bad =
     Obs.Trace_export.stats
-      [ Obs.Event.Span_begin { name = "x"; ts = 0.0; depth = 0; dom = 0 } ]
+      [
+        Obs.Event.Span_begin
+          { name = "x"; ts = 0.0; depth = 0; dom = 0; trace = "" };
+      ]
   in
   Alcotest.(check bool) "truncated trace reported unbalanced" true
     (contains ~needle:"never closed" bad)
@@ -236,6 +247,69 @@ let test_trace_midfile_corruption_still_fails () =
     Alcotest.(check bool) "error names the line" true (contains ~needle:":2:" m));
   Sys.remove path
 
+(* ----- trace ids -------------------------------------------------------- *)
+
+let test_trace_id_roundtrip () =
+  (* A span recorded inside a Context carries its trace id through the
+     JSONL writer and back; untraced events keep the exact pre-trace
+     wire format (no "trace" key at all). *)
+  let path = Filename.temp_file "fbb_trace" ".jsonl" in
+  let writer = Obs.Jsonl.create path in
+  let ctx = Obs.Context.make ~trace:"t-test-1" () in
+  Obs.Sink.with_installed (Obs.Jsonl.sink writer) (fun () ->
+      Obs.Context.with_ ctx (fun () ->
+          Obs.Span.with_ ~name:"traced" (fun () -> ()));
+      Obs.Span.with_ ~name:"untraced" (fun () -> ()));
+  Obs.Jsonl.close writer;
+  let events = Obs.Trace_export.load path in
+  let raw = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  let trace_of name =
+    List.find_map
+      (function
+        | Obs.Event.Span_begin { name = n; trace; _ } when n = name ->
+          Some trace
+        | _ -> None)
+      events
+  in
+  Alcotest.(check (option string)) "traced span kept its id"
+    (Some "t-test-1") (trace_of "traced");
+  Alcotest.(check (option string)) "untraced span has empty id" (Some "")
+    (trace_of "untraced");
+  List.iter
+    (fun line ->
+      if contains ~needle:"untraced" line then
+        Alcotest.(check bool) "untraced line has no trace key" false
+          (contains ~needle:"\"trace\"" line))
+    (String.split_on_char '\n' raw)
+
+let test_filter_trace () =
+  let span ?(trace = "") name =
+    Obs.Event.Span_begin { name; ts = 0.0; depth = 0; dom = 0; trace }
+  in
+  let events =
+    [
+      span ~trace:"a" "x";
+      span ~trace:"b" "y";
+      span "z";
+      Obs.Event.Counter_add { name = "c"; delta = 1; ts = 0.0 };
+      Obs.Event.Span_end
+        { name = "x"; ts = 1.0; dur_s = 1.0; depth = 0; dom = 0; trace = "a" };
+    ]
+  in
+  let names evs =
+    List.filter_map
+      (function
+        | Obs.Event.Span_begin { name; _ } -> Some ("B" ^ name)
+        | Obs.Event.Span_end { name; _ } -> Some ("E" ^ name)
+        | _ -> Some "other")
+      evs
+  in
+  Alcotest.(check (list string)) "only trace a survives" [ "Bx"; "Ex" ]
+    (names (Obs.Trace_export.filter_trace ~trace:"a" events));
+  Alcotest.(check (list string)) "unknown trace filters everything" []
+    (names (Obs.Trace_export.filter_trace ~trace:"nope" events))
+
 (* ----- bench records ----------------------------------------------------- *)
 
 let gc0 =
@@ -247,11 +321,12 @@ let gc0 =
     top_heap_words = 0;
   }
 
-let bench ?(gc = gc0) experiments counters =
+let bench ?(gc = gc0) ?(gauges = []) experiments counters =
   {
     Obs.Benchfile.jobs = 2;
     experiments;
     counters;
+    gauges;
     spans = [];
     gc;
     pool = [];
@@ -332,6 +407,35 @@ let test_compare_gc_gate () =
        (Obs.Benchfile.compare ~max_regress_pct:25.0 (bench [] [])
           (bench ~gc:(gc 1e8) [] [])))
 
+let test_benchfile_gauges () =
+  (* fbb-bench-2 records carry telemetry self-cost gauges; they
+     round-trip, old records without them load with [], and compare
+     reports them informationally — never as a gated regression. *)
+  let t =
+    bench
+      ~gauges:[ ("obs.telemetry.overhead_pct", 0.8) ]
+      [ ("yield", 1.0) ] []
+  in
+  (match Obs.Benchfile.of_json (Obs.Benchfile.to_json t) with
+  | Ok t' -> Alcotest.(check bool) "gauges round-trip" true (t = t')
+  | Error m -> Alcotest.failf "round-trip failed: %s" m);
+  let t_nog = bench [ ("yield", 1.0) ] [] in
+  (match Obs.Benchfile.of_json (Obs.Benchfile.to_json t_nog) with
+  | Ok t' -> Alcotest.(check bool) "no-gauge record loads" true (t' = t_nog)
+  | Error m -> Alcotest.failf "no-gauge load failed: %s" m);
+  let worse =
+    bench
+      ~gauges:[ ("obs.telemetry.overhead_pct", 1.9) ]
+      [ ("yield", 1.0) ] []
+  in
+  let c = Obs.Benchfile.compare ~max_regress_pct:25.0 t worse in
+  Alcotest.(check bool) "gauge blow-up is informational, not a regression"
+    false (Obs.Benchfile.regressed c);
+  Alcotest.(check bool) "gauge verdict is reported" true
+    (List.exists
+       (fun v -> v.Obs.Benchfile.key = "gauge:obs.telemetry.overhead_pct")
+       c.Obs.Benchfile.verdicts)
+
 let test_benchfile_load_errors () =
   let is_err = function Error _ -> true | Ok _ -> false in
   let tmp content =
@@ -367,7 +471,10 @@ let suite =
      test_trace_truncated_final_line_salvaged);
     ("mid-file corruption still fails", `Quick,
      test_trace_midfile_corruption_still_fails);
+    ("trace id round-trip", `Quick, test_trace_id_roundtrip);
+    ("filter by trace id", `Quick, test_filter_trace);
     ("benchfile round-trip", `Quick, test_benchfile_roundtrip);
+    ("benchfile gauges informational", `Quick, test_benchfile_gauges);
     ("bench-compare ok/improve", `Quick, test_compare_ok_and_improve);
     ("bench-compare regression", `Quick, test_compare_regression);
     ("bench-compare missing key", `Quick, test_compare_missing_key);

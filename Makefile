@@ -3,8 +3,8 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench bench-compare baseline fuzz fuzz-faults \
-  cascade-demo profile trace flame top-demo clean
+.PHONY: all build test bench bench-scale bench-compare baseline fuzz \
+  fuzz-faults cascade-demo profile trace flame top-demo clean
 
 all: build
 
@@ -17,16 +17,25 @@ test: build
 bench: build
 	$(DUNE) exec bench/main.exe
 
+# The scaling axis behind the incremental-STA engine: MC yield recovery
+# on generated 1k/10k-gate modules. The exp.scale-*-mc spans isolate the
+# repeated-evaluation workload from fixture setup.
+bench-scale: build
+	FBB_SCALE_SAMPLES=8 $(DUNE) exec bench/main.exe -- --jobs 2 \
+	  scale-1k scale-10k
+
 # Diff a fresh smoke run against the committed baseline, with the same
 # configuration the baseline was recorded under (CI runs this too).
 bench-compare: build
-	FBB_MC_SAMPLES=10 $(DUNE) exec bench/main.exe -- --jobs 2 yield
+	FBB_MC_SAMPLES=10 FBB_SCALE_SAMPLES=4 $(DUNE) exec bench/main.exe -- \
+	  --jobs 2 yield scale-1k scale-10k
 	$(DUNE) exec bin/fbbopt.exe -- bench-compare \
 	  bench/baseline.json bench_out/bench.json --max-regress 25
 
 # Re-record the committed baseline (after a deliberate perf change).
 baseline: build
-	FBB_MC_SAMPLES=10 $(DUNE) exec bench/main.exe -- --jobs 2 yield
+	FBB_MC_SAMPLES=10 FBB_SCALE_SAMPLES=4 $(DUNE) exec bench/main.exe -- \
+	  --jobs 2 yield scale-1k scale-10k
 	cp bench_out/bench.json bench/baseline.json
 	@echo "bench/baseline.json updated - commit it with the change"
 

@@ -1,0 +1,72 @@
+(* Extension experiment (beyond the paper's design sizes): the scaling
+   grid behind the incremental-STA engine. Monte-Carlo yield recovery on
+   generated 1k/10k-gate random modules is the repository's most
+   repeated-evaluation-heavy workload: per die the single-level search
+   and the clustered closed loop used to re-run full STA per candidate
+   bias, now only the changed fan-out cones re-propagate. The per-size
+   experiments are registered separately ([scale-1k], [scale-10k]) so
+   bench-compare gates each wall-clock figure against the committed
+   baseline.
+
+   FBB_SCALE_SAMPLES (default 4) sets dies per instance; like
+   FBB_MC_SAMPLES, the count is part of the seed-split RNG layout, so
+   results are comparable only at equal counts. *)
+
+module T = Fbb_util.Texttab
+
+let total name =
+  match List.assoc_opt name (Fbb_obs.Counter.totals ()) with
+  | Some v -> v
+  | None -> 0
+
+let run_size ~label ~gates () =
+  let samples = Exp_common.env_int "FBB_SCALE_SAMPLES" 4 in
+  Exp_common.header
+    (Printf.sprintf
+       "Extension - scaling grid: %d-gate random module (%d dies)" gates
+       samples);
+  let analyses0 = total "sta.analyses" in
+  let updates0 = total "sta.incr_updates" in
+  let reprop0 = total "sta.nodes_repropagated" in
+  let nl = Fbb_netlist.Generators.random_module ~seed:2009 ~gates () in
+  let pl = Fbb_place.Placement.place nl in
+  (* The outer [exp.scale-*] span guards the whole experiment; this
+     nested span isolates the repeated-evaluation workload the
+     incremental engine targets from the one-time fixture setup
+     (netlist generation + placement) above, so bench-compare gates the
+     MC-recovery seconds on their own. *)
+  let mc =
+    Fbb_obs.Span.with_ ~name:(Printf.sprintf "exp.scale-%s-mc" label)
+    @@ fun () -> Fbb_variation.Montecarlo.run ~samples ~sigma:0.05 pl
+  in
+  let updates = total "sta.incr_updates" - updates0 in
+  let reprop = total "sta.nodes_repropagated" - reprop0 in
+  let tab =
+    T.create
+      ~headers:
+        [
+          "gates"; "rows"; "dies"; "clustered yield %"; "clustered mean uW";
+          "full STAs"; "incr updates"; "nodes/update";
+        ]
+  in
+  let open Fbb_variation.Montecarlo in
+  T.add_row tab
+    [
+      string_of_int (Fbb_netlist.Netlist.gate_count nl);
+      string_of_int (Fbb_place.Placement.num_rows pl);
+      string_of_int mc.samples;
+      T.cell_f ~digits:0 mc.clustered.yield_pct;
+      T.cell_f ~digits:3 (mc.clustered.mean_leakage_nw /. 1000.0);
+      string_of_int (total "sta.analyses" - analyses0);
+      string_of_int updates;
+      (if updates = 0 then "-"
+       else T.cell_f ~digits:1 (float_of_int reprop /. float_of_int updates));
+    ];
+  T.print tab;
+  print_endline
+    "reading: nodes/update is the mean re-propagated cone - the incremental\n\
+     engine's work per bias edit - against a full pass of every node per\n\
+     candidate before it."
+
+let run_1k () = run_size ~label:"1k" ~gates:1_000 ()
+let run_10k () = run_size ~label:"10k" ~gates:10_000 ()

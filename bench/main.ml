@@ -19,6 +19,10 @@ let experiments =
     ("area", "well-separation and utilization overheads", Exp_area.run);
     ("fig6", "placed c5315 layout with 2 vbs rails", Exp_fig6.run);
     ("yield", "extension: Monte-Carlo yield recovery", Exp_yield.run);
+    ("scale-1k", "extension: MC recovery on a 1k-gate module", Exp_scale.run_1k);
+    ( "scale-10k",
+      "extension: MC recovery on a 10k-gate module",
+      Exp_scale.run_10k );
     ("recovery", "extension: RBB active leakage recovery", Exp_recovery.run);
     ("speed", "bechamel micro-benchmarks", Exp_speed.run);
   ]

@@ -71,7 +71,9 @@ let optimize ?(max_clusters = 2) ?(budget = Fbb_util.Budget.unlimited) p =
       (* increasing criticality: least critical first *)
       Array.sort
         (fun a b ->
-          match compare ct.(a) ct.(b) with 0 -> compare a b | c -> c)
+          match Float.compare ct.(a) ct.(b) with
+          | 0 -> Int.compare a b
+          | c -> c)
         ranked;
       (* Descent pass (the paper's PassTwo): repeatedly move the
          least-critical rows one level down; a row whose move breaks

@@ -35,6 +35,13 @@ type result = {
    reduction while every row offers it at most as much raw delay: any x
    satisfying k' then satisfies k. Dropping implied constraints is
    lossless. *)
+(* (row, delay) pair view of a sparse row vector, for the cold
+   constraint-emission paths below. *)
+let pairs rv =
+  List.init
+    (Array.length rv.Problem.idx)
+    (fun i -> (rv.Problem.idx.(i), rv.Problem.coef.(i)))
+
 let subsets_considered_c = Fbb_obs.Counter.make "ilp.subsets_considered"
 let subsets_pruned_c = Fbb_obs.Counter.make "ilp.subsets_pruned"
 let constraints_dropped_c = Fbb_obs.Counter.make "ilp.constraints_dropped"
@@ -44,13 +51,16 @@ let reduce_paths p =
   let m = Problem.num_paths p in
   let delay_in k =
     let tbl = Hashtbl.create 8 in
-    Array.iter (fun (r, d) -> Hashtbl.replace tbl r d) p.Problem.path_rows.(k);
+    let rv = p.Problem.path_rows.(k) in
+    Array.iteri
+      (fun i r -> Hashtbl.replace tbl r rv.Problem.coef.(i))
+      rv.Problem.idx;
     tbl
   in
   let tables = Array.init m delay_in in
   let order = Array.init m (fun k -> k) in
   Array.sort
-    (fun a b -> compare p.Problem.required.(b) p.Problem.required.(a))
+    (fun a b -> Float.compare p.Problem.required.(b) p.Problem.required.(a))
     order;
   (* k' implies k when req(k') >= req(k) — guaranteed by the sort
      order — and k offers at least k's raw delay in every row of k''s
@@ -66,12 +76,16 @@ let reduce_paths p =
       let k = order.(i) in
       let tk = tables.(k) in
       let implied_by j =
-        Array.for_all
-          (fun (r, d') ->
-            match Hashtbl.find_opt tk r with
-            | Some d -> d >= d' -. 1e-9
-            | None -> false)
-          p.Problem.path_rows.(order.(j))
+        let rv = p.Problem.path_rows.(order.(j)) in
+        let n = Array.length rv.Problem.idx in
+        let rec all i =
+          i >= n
+          || (match Hashtbl.find_opt tk rv.Problem.idx.(i) with
+             | Some d -> d >= rv.Problem.coef.(i) -. 1e-9
+             | None -> false)
+             && all (i + 1)
+        in
+        all 0
       in
       let rec scan j = j < i && (implied_by j || scan (j + 1)) in
       dropped.(i) <- scan 0);
@@ -104,7 +118,7 @@ let formulate ?(reduce = true) ~max_clusters p =
     List.map
       (fun k ->
         let terms =
-          Array.to_list p.Problem.path_rows.(k)
+          pairs p.Problem.path_rows.(k)
           |> List.concat_map (fun (r, d) ->
                  List.filter_map
                    (fun j ->
@@ -230,7 +244,7 @@ let formulate_subset p ~kept ~subset =
     List.map
       (fun k ->
         let terms =
-          Array.to_list p.Problem.path_rows.(k)
+          pairs p.Problem.path_rows.(k)
           |> List.concat_map (fun (r, d) ->
                  List.filter_map
                    (fun q ->
@@ -298,7 +312,10 @@ let optimize_enumerate config ?warm_start p ~kept =
       subsets_of_size (Problem.num_levels p) config.max_clusters
       |> List.filter (fun s -> List.exists (fun j -> j >= jopt) s)
       |> List.map (fun s -> (floor_cost_of s, s))
-      |> List.sort compare
+      |> List.sort (fun (ca, sa) (cb, sb) ->
+             match Float.compare ca cb with
+             | 0 -> List.compare Int.compare sa sb
+             | c -> c)
       |> List.map snd
     in
     List.iter

@@ -4,6 +4,8 @@ module Paths = Fbb_sta.Paths
 module Device = Fbb_tech.Device
 module CL = Fbb_tech.Cell_library
 
+type rowvec = { idx : int array; coef : float array }
+
 type t = {
   placement : Placement.t;
   analysis : Timing.t;
@@ -14,21 +16,43 @@ type t = {
   row_leak : float array array;
   paths : Paths.path array;
   required : float array;
-  path_rows : (int * float) array array;
-  row_paths : (int * float) array array;
+  path_rows : rowvec array;
+  row_paths : rowvec array;
   nominal_slack : float array;
+  cache : Fbb_sta.Delay_cache.t option;
 }
 
 let num_rows t = Placement.num_rows t.placement
 let num_levels t = Array.length t.levels
 let num_paths t = Array.length t.paths
 
+(* Per-(row, level) leakage tables: one device-model evaluation per
+   level, then a multiply per gate ([leakage_nw] is
+   [leak_nw * leakage_factor], so the fold adds the same products in the
+   same order as the per-gate walk it replaces). Die-independent, so
+   repeated-build loops compute them once and pass them back in. *)
+let leak_tables placement ~levels =
+  let nl = Placement.netlist placement in
+  let lib = Fbb_netlist.Netlist.library nl in
+  let device = CL.device lib in
+  let leak_f =
+    Array.map (fun vbs -> Device.leakage_factor device ~vbs) levels
+  in
+  Array.init (Placement.num_rows placement) (fun r ->
+      let gates = Placement.row_gates placement r in
+      Array.map
+        (fun f ->
+          Array.fold_left
+            (fun acc g ->
+              acc +. ((Fbb_netlist.Netlist.cell nl g).CL.leak_nw *. f))
+            0.0 gates)
+        leak_f)
+
 (* All per-path tables are derived from the nominal analysis: a path's
    degraded delay is its nominal delay times (1 + beta), and forward bias
    scales every gate delay by the same level-dependent factor. *)
-let assemble ~placement ~analysis ~beta ~levels paths =
-  let nl = Placement.netlist placement in
-  let lib = Fbb_netlist.Netlist.library nl in
+let assemble ~placement ~analysis ~cache ~row_leak ~beta ~levels paths =
+  let lib = Fbb_netlist.Netlist.library (Placement.netlist placement) in
   let device = CL.device lib in
   let dcrit = Timing.dcrit analysis in
   let nrows = Placement.num_rows placement in
@@ -36,45 +60,73 @@ let assemble ~placement ~analysis ~beta ~levels paths =
     Array.map (fun vbs -> 1.0 -. Device.delay_factor device ~vbs) levels
   in
   let row_leak =
-    Array.init nrows (fun r ->
-        let gates = Placement.row_gates placement r in
-        Array.map
-          (fun vbs ->
-            Array.fold_left
-              (fun acc g ->
-                acc +. CL.leakage_nw lib (Fbb_netlist.Netlist.cell nl g) ~vbs)
-              0.0 gates)
-          levels)
+    match row_leak with
+    | Some tables -> tables
+    | None -> leak_tables placement ~levels
   in
   let required =
     Array.map (fun p -> (p.Paths.delay *. (1.0 +. beta)) -. dcrit) paths
   in
   let nominal_slack = Array.map (fun p -> dcrit -. p.Paths.delay) paths in
   let path_rows =
+    (* Scratch per-row accumulators reused across paths: resetting only
+       the touched rows keeps assembly O(total path gates) with no
+       hashtable traffic. Per-row sums add the same terms in the same
+       order as the hashtable walk this replaces. *)
+    let scratch = Array.make nrows 0.0 in
+    let seen = Array.make nrows false in
+    let touched = Array.make (max nrows 1) 0 in
     Array.map
       (fun p ->
-        let per_row = Hashtbl.create 16 in
+        let k = ref 0 in
         Array.iter
           (fun g ->
             let r = Placement.row_of placement g in
             if r >= 0 then begin
               let d = Timing.gate_delay analysis g *. (1.0 +. beta) in
-              Hashtbl.replace per_row r
-                (d +. Option.value ~default:0.0 (Hashtbl.find_opt per_row r))
+              if not seen.(r) then begin
+                seen.(r) <- true;
+                touched.(!k) <- r;
+                incr k
+              end;
+              scratch.(r) <- d +. scratch.(r)
             end)
           p.Paths.gates;
-        Hashtbl.fold (fun r d acc -> (r, d) :: acc) per_row []
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
-        |> Array.of_list)
+        let rows = Array.sub touched 0 !k in
+        Array.sort Int.compare rows;
+        let coef = Array.map (fun r -> scratch.(r)) rows in
+        Array.iter
+          (fun r ->
+            scratch.(r) <- 0.0;
+            seen.(r) <- false)
+          rows;
+        { idx = rows; coef })
       paths
   in
   let row_paths =
-    let acc = Array.make nrows [] in
-    Array.iteri
-      (fun k rows ->
-        Array.iter (fun (r, d) -> acc.(r) <- (k, d) :: acc.(r)) rows)
+    (* Transpose in two passes (count, then fill) so each row lands in
+       exactly-sized parallel arrays; per-row path order is ascending
+       [k], same as the list-append transpose it replaces. *)
+    let counts = Array.make nrows 0 in
+    Array.iter
+      (fun rv -> Array.iter (fun r -> counts.(r) <- counts.(r) + 1) rv.idx)
       path_rows;
-    Array.map (fun l -> Array.of_list (List.rev l)) acc
+    let out =
+      Array.init nrows (fun r ->
+          { idx = Array.make counts.(r) 0; coef = Array.make counts.(r) 0.0 })
+    in
+    let fill = Array.make nrows 0 in
+    Array.iteri
+      (fun k rv ->
+        Array.iteri
+          (fun i r ->
+            let o = out.(r) in
+            o.idx.(fill.(r)) <- k;
+            o.coef.(fill.(r)) <- rv.coef.(i);
+            fill.(r) <- fill.(r) + 1)
+          rv.idx)
+      path_rows;
+    out
   in
   {
     placement;
@@ -89,17 +141,36 @@ let assemble ~placement ~analysis ~beta ~levels paths =
     path_rows;
     row_paths;
     nominal_slack;
+    cache;
   }
 
-let build ?levels ~beta placement =
+let build ?cache ?analysis ?paths ?row_leak ?levels ~beta placement =
+  Fbb_obs.Span.with_ ~name:"problem.build" @@ fun () ->
   let levels =
     match levels with Some l -> l | None -> Fbb_tech.Bias.levels ()
   in
   if Array.length levels = 0 || levels.(0) <> 0.0 then
     invalid_arg "Problem.build: levels must start at 0 (no body bias)";
-  let analysis = Timing.analyze (Placement.netlist placement) in
-  let paths = Paths.violating analysis ~beta in
-  assemble ~placement ~analysis ~beta ~levels paths
+  let nl = Placement.netlist placement in
+  (match cache with
+  | Some c when not (Fbb_sta.Delay_cache.netlist c == nl) ->
+    invalid_arg "Problem.build: delay cache is for a different netlist"
+  | Some _ | None -> ());
+  let analysis =
+    match analysis with
+    | Some a ->
+      if not (Timing.netlist a == nl) then
+        invalid_arg "Problem.build: analysis is for a different netlist";
+      a
+    | None -> Timing.analyze ?cache nl
+  in
+  let paths =
+    match paths with
+    | Some through ->
+      Paths.violating_from through ~dcrit:(Timing.dcrit analysis) ~beta
+    | None -> Paths.violating analysis ~beta
+  in
+  assemble ~placement ~analysis ~cache ~row_leak ~beta ~levels paths
 
 let extend t extra =
   let seen = Hashtbl.create (Array.length t.paths * 2) in
@@ -120,8 +191,8 @@ let extend t extra =
   in
   if fresh = [] then t
   else
-    assemble ~placement:t.placement ~analysis:t.analysis ~beta:t.beta
-      ~levels:t.levels
+    assemble ~placement:t.placement ~analysis:t.analysis ~cache:t.cache
+      ~row_leak:(Some t.row_leak) ~beta:t.beta ~levels:t.levels
       (Array.append t.paths (Array.of_list fresh))
 
 let coefficient t ~path ~row ~level =
@@ -130,17 +201,20 @@ let coefficient t ~path ~row ~level =
     if lo > hi then 0.0
     else
       let mid = (lo + hi) / 2 in
-      let r, d = rows.(mid) in
-      if r = row then d *. t.reduction.(level)
+      let r = rows.idx.(mid) in
+      if r = row then rows.coef.(mid) *. t.reduction.(level)
       else if r < row then find (mid + 1) hi
       else find lo (mid - 1)
   in
-  find 0 (Array.length rows - 1)
+  find 0 (Array.length rows.idx - 1)
 
 let achieved t ~levels ~path =
-  Array.fold_left
-    (fun acc (r, d) -> acc +. (d *. t.reduction.(levels.(r))))
-    0.0 t.path_rows.(path)
+  let rows = t.path_rows.(path) in
+  let acc = ref 0.0 in
+  for i = 0 to Array.length rows.idx - 1 do
+    acc := !acc +. (rows.coef.(i) *. t.reduction.(levels.(rows.idx.(i))))
+  done;
+  !acc
 
 let timing_eps = 1e-9
 
@@ -148,12 +222,13 @@ let max_single_level t =
   let nrows = num_rows t in
   let feasible j =
     let levels = Array.make nrows j in
-    let ok = ref true in
-    Array.iteri
-      (fun k req ->
-        if achieved t ~levels ~path:k < req -. timing_eps then ok := false)
-      t.required;
-    !ok
+    let npaths = num_paths t in
+    let rec go k =
+      k >= npaths
+      || (achieved t ~levels ~path:k >= t.required.(k) -. timing_eps
+         && go (k + 1))
+    in
+    go 0
   in
   let rec search j =
     if j >= num_levels t then None

@@ -15,6 +15,11 @@
     Levels index the bias generator's voltages ({!Fbb_tech.Bias}), level 0
     being no body bias. *)
 
+type rowvec = { idx : int array; coef : float array }
+(** A sparse coefficient vector in struct-of-arrays form: [coef.(i)]
+    belongs to index [idx.(i)], [idx] ascending. Parallel flat arrays
+    keep the float payload unboxed in the optimizer inner loops. *)
+
 type t = {
   placement : Fbb_place.Placement.t;
   analysis : Fbb_sta.Timing.t;  (** the nominal STA the tables came from *)
@@ -26,15 +31,42 @@ type t = {
   row_leak : float array array;  (** [row_leak.(i).(j)]: leakage in nW *)
   paths : Fbb_sta.Paths.path array;  (** the violating set Pi *)
   required : float array;  (** [b_k] in ps, positive *)
-  path_rows : (int * float) array array;
-      (** per path: (row, degraded delay of the path's cells there) *)
-  row_paths : (int * float) array array;  (** transpose of [path_rows] *)
+  path_rows : rowvec array;
+      (** per path: degraded delay of the path's cells per row *)
+  row_paths : rowvec array;  (** transpose of [path_rows] *)
   nominal_slack : float array;  (** per path: [dcrit - pd], ps *)
+  cache : Fbb_sta.Delay_cache.t option;
+      (** the shared delay cache handed to {!build}, if any; consumers
+          ({!Refine}) reuse it for incremental sign-off contexts *)
 }
 
-val build : ?levels:float array -> beta:float -> Fbb_place.Placement.t -> t
+val leak_tables :
+  Fbb_place.Placement.t -> levels:float array -> float array array
+(** The [row_leak] table for a placement and level set. Die-independent:
+    repeated-build loops compute it once and pass it to {!build} via
+    [row_leak]. *)
+
+val build :
+  ?cache:Fbb_sta.Delay_cache.t ->
+  ?analysis:Fbb_sta.Timing.t ->
+  ?paths:Fbb_sta.Paths.path array ->
+  ?row_leak:float array array ->
+  ?levels:float array ->
+  beta:float ->
+  Fbb_place.Placement.t ->
+  t
 (** Runs nominal STA, extracts and prunes the path set, and assembles all
-    coefficient tables. [levels] defaults to the 11 generator voltages. *)
+    coefficient tables. [levels] defaults to the 11 generator voltages.
+
+    Repeated-build loops (Monte-Carlo recovery samples the same design at
+    many [beta]s) can skip the per-build STA, extraction and leakage
+    walks: [analysis] supplies a precomputed nominal analysis of the
+    placement's netlist, [paths] a pre-extracted [Paths.through_cell] set
+    of that analysis (re-screened here against [beta]), [row_leak] the
+    {!leak_tables} of the same placement and [levels], and [cache] a
+    shared {!Fbb_sta.Delay_cache} (used directly when [analysis] is
+    absent, and carried in the problem either way). Results are
+    bit-identical with or without them. *)
 
 val num_rows : t -> int
 val num_levels : t -> int

@@ -13,9 +13,13 @@ type t = {
   row_paths : (int * float) array array;
   row_leak : float array array;
   stretch : float array;
+  analysis : Timing.t;
+  base_paths : Paths.path array;
+  cache : Fbb_sta.Delay_cache.t;
 }
 
-let assemble ~placement ~analysis ~budget_ps ~levels paths =
+let assemble ~placement ~analysis ~cache ~base_paths ~budget_ps ~levels
+    ?row_leak paths =
   let nl = Placement.netlist placement in
   let lib = Fbb_netlist.Netlist.library nl in
   let device = CL.device lib in
@@ -25,20 +29,35 @@ let assemble ~placement ~analysis ~budget_ps ~levels paths =
   in
   let slack = Array.map (fun p -> budget_ps -. p.Paths.delay) paths in
   let path_rows =
+    (* Same scratch-accumulator scheme as [Problem.assemble]: touched-row
+       reset keeps this O(total path gates), identical per-row sums. *)
+    let scratch = Array.make nrows 0.0 in
+    let seen = Array.make nrows false in
+    let touched = Array.make (max nrows 1) 0 in
     Array.map
       (fun p ->
-        let per_row = Hashtbl.create 16 in
+        let k = ref 0 in
         Array.iter
           (fun g ->
             let r = Placement.row_of placement g in
-            if r >= 0 then
-              Hashtbl.replace per_row r
-                (Timing.gate_delay analysis g
-                +. Option.value ~default:0.0 (Hashtbl.find_opt per_row r)))
+            if r >= 0 then begin
+              if not seen.(r) then begin
+                seen.(r) <- true;
+                touched.(!k) <- r;
+                incr k
+              end;
+              scratch.(r) <- Timing.gate_delay analysis g +. scratch.(r)
+            end)
           p.Paths.gates;
-        Hashtbl.fold (fun r d acc -> (r, d) :: acc) per_row []
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
-        |> Array.of_list)
+        let rows = Array.sub touched 0 !k in
+        Array.sort Int.compare rows;
+        let out = Array.map (fun r -> (r, scratch.(r))) rows in
+        Array.iter
+          (fun r ->
+            scratch.(r) <- 0.0;
+            seen.(r) <- false)
+          rows;
+        out)
       paths
   in
   let row_paths =
@@ -49,26 +68,49 @@ let assemble ~placement ~analysis ~budget_ps ~levels paths =
       path_rows;
     Array.map (fun l -> Array.of_list (List.rev l)) acc
   in
+  (* Flat leakage: one device-model evaluation per RBB level, one
+     multiply per gate (same products, same fold order as the
+     [leakage_nw] walk it replaces). *)
   let row_leak =
-    Array.init nrows (fun r ->
-        let gates = Placement.row_gates placement r in
-        Array.map
-          (fun vbs ->
-            Array.fold_left
-              (fun acc g ->
-                acc +. CL.leakage_nw lib (Fbb_netlist.Netlist.cell nl g) ~vbs)
-              0.0 gates)
-          levels)
+    match row_leak with
+    | Some tables -> tables
+    | None ->
+      let leak_f =
+        Array.map (fun vbs -> Device.leakage_factor device ~vbs) levels
+      in
+      Array.init nrows (fun r ->
+          let gates = Placement.row_gates placement r in
+          Array.map
+            (fun f ->
+              Array.fold_left
+                (fun acc g ->
+                  acc +. ((Fbb_netlist.Netlist.cell nl g).CL.leak_nw *. f))
+                0.0 gates)
+            leak_f)
   in
-  { placement; budget_ps; levels; slack; path_rows; row_paths; row_leak; stretch }
+  {
+    placement;
+    budget_ps;
+    levels;
+    slack;
+    path_rows;
+    row_paths;
+    row_leak;
+    stretch;
+    analysis;
+    base_paths;
+    cache;
+  }
 
 let build ?(margin = 0.0) placement =
   if margin < 0.0 then invalid_arg "Recovery.build: negative margin";
-  let analysis = Timing.analyze (Placement.netlist placement) in
+  let cache = Fbb_sta.Delay_cache.create (Placement.netlist placement) in
+  let analysis = Timing.analyze ~cache (Placement.netlist placement) in
   let budget_ps = Timing.dcrit analysis *. (1.0 +. margin) in
   let levels = Fbb_tech.Bias.rbb_levels () in
-  assemble ~placement ~analysis ~budget_ps ~levels
-    (Paths.through_cell analysis)
+  let base_paths = Paths.through_cell analysis in
+  assemble ~placement ~analysis ~cache ~base_paths ~budget_ps ~levels
+    base_paths
 
 let eps = 1e-9
 
@@ -77,12 +119,14 @@ let stretched_over t ~levels ~path =
     (fun acc (r, d) -> acc +. (d *. t.stretch.(levels.(r))))
     0.0 t.path_rows.(path)
 
+(* Early exit: called per candidate move in sign-off loops. *)
 let meets_budget t levels =
-  let ok = ref true in
-  Array.iteri
-    (fun k s -> if stretched_over t ~levels ~path:k > s +. eps then ok := false)
-    t.slack;
-  !ok
+  let n = Array.length t.slack in
+  let rec go k =
+    k >= n
+    || (stretched_over t ~levels ~path:k <= t.slack.(k) +. eps && go (k + 1))
+  in
+  go 0
 
 let leakage_nw t levels =
   let acc = ref 0.0 in
@@ -162,7 +206,10 @@ let greedy t ~max_clusters =
   let ct = criticality t in
   let ranked = Array.init nrows (fun i -> i) in
   Array.sort
-    (fun a b -> match compare ct.(a) ct.(b) with 0 -> compare a b | c -> c)
+    (fun a b ->
+      match Float.compare ct.(a) ct.(b) with
+      | 0 -> Int.compare a b
+      | c -> c)
     ranked;
   (* Deepen reverse bias on the least-critical rows, one level per round,
      locking a row at its current depth once a further step breaks the
@@ -229,27 +276,45 @@ let greedy t ~max_clusters =
   in
   shrink levels
 
-let signoff t levels =
-  let placement = t.placement in
-  let nl = Placement.netlist placement in
-  let bias g =
-    let r = Placement.row_of placement g in
-    if r < 0 then 0.0 else t.levels.(levels.(r))
-  in
-  let biased = Timing.analyze ~bias nl in
-  let offenders =
+(* Same screen as [Refine]: the biased dcrit is the maximum through-cell
+   path delay, so a within-budget dcrit means no offenders without
+   extracting anything. *)
+let offenders_of t biased =
+  if Timing.dcrit biased <= t.budget_ps +. 1e-6 then [||]
+  else
     Paths.through_cell biased
     |> Array.to_list
     |> List.filter (fun p -> p.Paths.delay > t.budget_ps +. 1e-6)
     |> Array.of_list
+
+let row_bias t levels g =
+  let r = Placement.row_of t.placement g in
+  if r < 0 then 0.0 else t.levels.(levels.(r))
+
+let signoff t levels =
+  let biased =
+    Timing.analyze ~cache:t.cache ~bias:(row_bias t levels)
+      (Placement.netlist t.placement)
   in
+  let offenders = offenders_of t biased in
+  (Array.length offenders = 0, offenders)
+
+(* Sign-off through a reused incremental context: only the rows whose
+   level changed since the previous candidate re-propagate. *)
+let signoff_incr ctx t levels =
+  let biased = Timing.Incremental.set_bias ctx (row_bias t levels) in
+  let offenders = offenders_of t biased in
   (Array.length offenders = 0, offenders)
 
 let optimize ?(max_clusters = 2) ?(max_iterations = 8) t0 =
   let nrows = Placement.num_rows t0.placement in
   let nominal = leakage_nw t0 (Array.make nrows 0) in
-  let analysis = Timing.analyze (Placement.netlist t0.placement) in
-  let base = Paths.through_cell analysis in
+  let analysis = t0.analysis in
+  let base = t0.base_paths in
+  let ctx =
+    Timing.Incremental.create ~cache:t0.cache
+      (Placement.netlist t0.placement)
+  in
   (* Refinement: the constraint set holds per-cell longest paths of the
      NBB netlist; under non-uniform stretching another path can become the
      budget-breaker. Fold signoff offenders back in (accumulating across
@@ -260,7 +325,7 @@ let optimize ?(max_clusters = 2) ?(max_iterations = 8) t0 =
   Array.iter (fun p -> Hashtbl.replace extras p.Paths.gates p) base;
   let rec loop t iterations =
     let levels = greedy t ~max_clusters in
-    let clean, offenders = signoff t levels in
+    let clean, offenders = signoff_incr ctx t levels in
     if clean || iterations + 1 >= max_iterations then
       (levels, clean, iterations + 1)
     else begin
@@ -282,8 +347,9 @@ let optimize ?(max_clusters = 2) ?(max_iterations = 8) t0 =
           Hashtbl.fold (fun _ p acc -> p :: acc) extras [] |> Array.of_list
         in
         let t' =
-          assemble ~placement:t.placement ~analysis ~budget_ps:t.budget_ps
-            ~levels:t.levels union
+          assemble ~placement:t.placement ~analysis ~cache:t0.cache
+            ~base_paths:base ~budget_ps:t.budget_ps ~levels:t.levels
+            ~row_leak:t0.row_leak union
         in
         loop t' (iterations + 1)
       end

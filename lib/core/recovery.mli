@@ -23,6 +23,10 @@ type t = {
   row_paths : (int * float) array array;
   row_leak : float array array;  (** leakage (nW) per row and level *)
   stretch : float array;  (** per level: delay_factor - 1, >= 0 *)
+  analysis : Fbb_sta.Timing.t;  (** the nominal (NBB) STA *)
+  base_paths : Fbb_sta.Paths.path array;
+      (** [Paths.through_cell analysis] — the initial constraint set *)
+  cache : Fbb_sta.Delay_cache.t;  (** shared flat delay tables *)
 }
 
 val build : ?margin:float -> Fbb_place.Placement.t -> t

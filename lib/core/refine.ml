@@ -13,27 +13,56 @@ type outcome = {
 let iterations_c = Fbb_obs.Counter.make "refine.iterations"
 let constraints_added_c = Fbb_obs.Counter.make "refine.constraints_added"
 
+let row_bias p levels g =
+  let placement = p.Problem.placement in
+  let r = Placement.row_of placement g in
+  if r < 0 then 0.0 else p.Problem.levels.(levels.(r))
+
+(* The biased dcrit is the maximum per-cell longest-path delay (the
+   critical path is the through-cell path of its own cells), so a
+   within-budget dcrit proves the extraction would filter to nothing:
+   the clean sign-off — the common case — costs no path extraction. *)
+let offenders_of p biased =
+  let budget = p.Problem.dcrit +. 1e-6 in
+  if Timing.dcrit biased <= budget then (true, [||])
+  else
+    let offenders =
+      Paths.through_cell biased
+      |> Array.to_list
+      |> List.filter (fun path -> path.Paths.delay > budget)
+      |> Array.of_list
+    in
+    (Array.length offenders = 0, offenders)
+
 let signoff p ~levels =
   Fbb_obs.Span.with_ ~name:"refine.signoff" @@ fun () ->
-  let placement = p.Problem.placement in
-  let nl = Placement.netlist placement in
+  let nl = Placement.netlist p.Problem.placement in
   let beta = p.Problem.beta in
-  let bias g =
-    let r = Placement.row_of placement g in
-    if r < 0 then 0.0 else p.Problem.levels.(levels.(r))
+  let biased =
+    Timing.analyze ~derate:(fun _ -> 1.0 +. beta) ~bias:(row_bias p levels) nl
   in
-  let biased = Timing.analyze ~derate:(fun _ -> 1.0 +. beta) ~bias nl in
-  let budget = p.Problem.dcrit +. 1e-6 in
-  let offenders =
-    Paths.through_cell biased
-    |> Array.to_list
-    |> List.filter (fun path -> path.Paths.delay > budget)
-    |> Array.of_list
-  in
-  (Array.length offenders = 0, offenders)
+  offenders_of p biased
+
+(* Sign-off through the solve loop's reused incremental context: only
+   rows the solver moved since the previous iteration re-propagate. *)
+let signoff_incr ctx p ~levels =
+  Fbb_obs.Span.with_ ~name:"refine.signoff" @@ fun () ->
+  let biased = Timing.Incremental.set_bias ctx (row_bias p levels) in
+  offenders_of p biased
 
 let solve ?(max_iterations = 10) ~solver p0 =
   Fbb_obs.Span.with_ ~name:"refine.solve" @@ fun () ->
+  (* One context for the whole loop: [extend] keeps the placement, beta
+     and netlist, so the frozen derate stays valid across iterations.
+     The problem's delay cache (when its builder shared one) spares a
+     fresh table build here. *)
+  let ctx =
+    lazy
+      (let beta = p0.Problem.beta in
+       Timing.Incremental.create ?cache:p0.Problem.cache
+         ~derate:(fun _ -> 1.0 +. beta)
+         (Placement.netlist p0.Problem.placement))
+  in
   let rec loop p iterations added last =
     Fbb_obs.Counter.incr iterations_c;
     match solver p with
@@ -54,7 +83,7 @@ let solve ?(max_iterations = 10) ~solver p0 =
           }
     end
     | Some levels ->
-      let clean, offenders = signoff p ~levels in
+      let clean, offenders = signoff_incr (Lazy.force ctx) p ~levels in
       if clean || iterations + 1 >= max_iterations then
         Some
           {

@@ -2,19 +2,24 @@ let timing_eps = 1e-9
 
 let uniform p j = Array.make (Problem.num_rows p) j
 
+(* Early exit: sign-off loops call this per candidate, and one violated
+   path already decides the answer. *)
 let meets_timing p levels =
+  let req = p.Problem.required in
+  let n = Array.length req in
+  let k = ref 0 in
   let ok = ref true in
-  Array.iteri
-    (fun k req ->
-      if Problem.achieved p ~levels ~path:k < req -. timing_eps then
-        ok := false)
-    p.Problem.required;
+  while !ok && !k < n do
+    if Problem.achieved p ~levels ~path:!k < req.(!k) -. timing_eps then
+      ok := false;
+    incr k
+  done;
   !ok
 
 let leakage_nw p levels = Problem.total_leakage p ~levels
 
 let clusters_used levels =
-  List.sort_uniq compare (Array.to_list levels)
+  List.sort_uniq Int.compare (Array.to_list levels)
 
 let cluster_count levels = List.length (clusters_used levels)
 
@@ -68,17 +73,18 @@ module Checker = struct
       let delta =
         p.Problem.reduction.(level) -. p.Problem.reduction.(old_level)
       in
-      Array.iter
-        (fun (k, d) ->
-          let req = p.Problem.required.(k) in
-          let before = t.sigma.(k) in
-          let after = before +. (d *. delta) in
-          t.sigma.(k) <- after;
-          let was_bad = before < req -. timing_eps in
-          let is_bad = after < req -. timing_eps in
-          if was_bad && not is_bad then t.violations <- t.violations - 1
-          else if is_bad && not was_bad then t.violations <- t.violations + 1)
-        p.Problem.row_paths.(row);
+      let rp = p.Problem.row_paths.(row) in
+      for i = 0 to Array.length rp.Problem.idx - 1 do
+        let k = rp.Problem.idx.(i) in
+        let req = p.Problem.required.(k) in
+        let before = t.sigma.(k) in
+        let after = before +. (rp.Problem.coef.(i) *. delta) in
+        t.sigma.(k) <- after;
+        let was_bad = before < req -. timing_eps in
+        let is_bad = after < req -. timing_eps in
+        if was_bad && not is_bad then t.violations <- t.violations - 1
+        else if is_bad && not was_bad then t.violations <- t.violations + 1
+      done;
       t.leak <-
         t.leak
         +. Problem.row_leakage p ~row ~level

@@ -265,9 +265,11 @@ type comparison = {
 }
 
 (* Noise floors: a gated metric only regresses when it grew by the
-   relative threshold AND by an absolute margin that matters - 10 ms
-   of wall clock, a million words (~8 MB) of allocation. *)
-let seconds_floor = 0.010
+   relative threshold AND by an absolute margin that matters - 50 ms
+   of wall clock (shared runners routinely jitter sub-second
+   experiments by tens of ms), a million words (~8 MB) of
+   allocation. *)
+let seconds_floor = 0.050
 let words_floor = 1e6
 
 let change_pct ~old_v ~new_v =

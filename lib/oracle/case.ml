@@ -42,12 +42,31 @@ let truncate_paths p n =
     let take a = Array.map (fun k -> a.(k)) kept in
     let path_rows = take p.Problem.path_rows in
     let row_paths =
-      let acc = Array.make (Problem.num_rows p) [] in
-      Array.iteri
-        (fun k rows ->
-          Array.iter (fun (r, d) -> acc.(r) <- (k, d) :: acc.(r)) rows)
+      let nrows = Problem.num_rows p in
+      let counts = Array.make nrows 0 in
+      Array.iter
+        (fun rv ->
+          Array.iter (fun r -> counts.(r) <- counts.(r) + 1) rv.Problem.idx)
         path_rows;
-      Array.map (fun l -> Array.of_list (List.rev l)) acc
+      let out =
+        Array.init nrows (fun r ->
+            {
+              Problem.idx = Array.make counts.(r) 0;
+              coef = Array.make counts.(r) 0.0;
+            })
+      in
+      let fill = Array.make nrows 0 in
+      Array.iteri
+        (fun k rv ->
+          Array.iteri
+            (fun i r ->
+              let o = out.(r) in
+              o.Problem.idx.(fill.(r)) <- k;
+              o.Problem.coef.(fill.(r)) <- rv.Problem.coef.(i);
+              fill.(r) <- fill.(r) + 1)
+            rv.Problem.idx)
+        path_rows;
+      out
     in
     {
       p with

@@ -96,7 +96,15 @@ let signoff p ~levels =
     let r = Placement.row_of placement g in
     if r < 0 then 0.0 else p.Problem.levels.(levels.(r))
   in
-  let biased = Timing.analyze ~derate:(fun _ -> 1.0 +. beta) ~bias nl in
+  (* Deliberately routed through the incremental engine (base analysis
+     at NBB, then one batch edit to the assignment): every fuzz case
+     exercises the worklist propagation, refereed by the independent
+     table re-derivation in [check]. Bit-identical to a from-scratch
+     [Timing.analyze ~derate ~bias]. *)
+  let ctx =
+    Timing.Incremental.create ~derate:(fun _ -> 1.0 +. beta) nl
+  in
+  let biased = Timing.Incremental.set_bias ctx bias in
   let dcrit = Timing.dcrit biased in
   if dcrit <= p.Problem.dcrit +. 1e-6 then []
   else

@@ -51,10 +51,13 @@ let feasible p assignment =
   let k = ref 0 in
   while !ok && !k < m do
     let achieved = ref 0.0 in
-    Array.iter
-      (fun (r, d) ->
-        achieved := !achieved +. (d *. p.Problem.reduction.(assignment.(r))))
-      p.Problem.path_rows.(!k);
+    let rv = p.Problem.path_rows.(!k) in
+    for i = 0 to Array.length rv.Problem.idx - 1 do
+      achieved :=
+        !achieved
+        +. rv.Problem.coef.(i)
+           *. p.Problem.reduction.(assignment.(rv.Problem.idx.(i)))
+    done;
     if !achieved < p.Problem.required.(!k) -. 1e-9 then ok := false;
     incr k
   done;

@@ -1,0 +1,128 @@
+open Fbb_netlist
+module CL = Fbb_tech.Cell_library
+module Device = Fbb_tech.Device
+module Bias = Fbb_tech.Bias
+
+type t = {
+  nl : Netlist.t;
+  order : Netlist.id array;
+  rank : int array;
+  nominal_ps : float array;
+  leak_nw : float array;
+  fbb_vbs : float array;
+  fbb_delay : float array;
+  fbb_leak : float array;
+  rbb_vbs : float array;
+  rbb_delay : float array;
+  rbb_leak : float array;
+  outputs : Netlist.id array;
+  seq_gates : Netlist.id array;
+}
+
+let create nl =
+  let n = Netlist.size nl in
+  let device = CL.device (Netlist.library nl) in
+  let order = Netlist.topo_order nl in
+  let rank = Array.make n 0 in
+  Array.iteri (fun k i -> rank.(i) <- k) order;
+  let nominal_ps =
+    Array.init n (fun i ->
+        match Netlist.kind nl i with
+        | Netlist.Input | Netlist.Output -> 0.0
+        | Netlist.Gate c ->
+          let load = Array.length (Netlist.fanouts nl i) in
+          c.CL.intrinsic_ps +. (c.CL.load_ps *. float_of_int load))
+  in
+  let leak_nw =
+    Array.init n (fun i ->
+        match Netlist.kind nl i with
+        | Netlist.Input | Netlist.Output -> 0.0
+        | Netlist.Gate c -> c.CL.leak_nw)
+  in
+  let fbb_vbs = Bias.levels () in
+  let rbb_vbs = Bias.rbb_levels () in
+  let factors f vbs = Array.map (fun v -> f device ~vbs:v) vbs in
+  let seq_gates =
+    Array.of_list
+      (List.filter
+         (Netlist.is_sequential nl)
+         (Array.to_list (Netlist.gates nl)))
+  in
+  {
+    nl;
+    order;
+    rank;
+    nominal_ps;
+    leak_nw;
+    fbb_vbs;
+    fbb_delay = factors Device.delay_factor fbb_vbs;
+    fbb_leak = factors Device.leakage_factor fbb_vbs;
+    rbb_vbs;
+    rbb_delay = factors Device.delay_factor rbb_vbs;
+    rbb_leak = factors Device.leakage_factor rbb_vbs;
+    outputs = Netlist.outputs nl;
+    seq_gates;
+  }
+
+let netlist t = t.nl
+let topo_order t = t.order
+let rank t i = t.rank.(i)
+let nominal_ps t i = t.nominal_ps.(i)
+let leak_nw t i = t.leak_nw.(i)
+let outputs t = t.outputs
+let seq_gates t = t.seq_gates
+
+(* Probe a level table by exact float equality. [Bias.voltage]/
+   [Bias.rbb_voltage] results are bit-stable (pure float expressions on
+   constants), so any vbs that originated from a generator level hits;
+   anything else falls through to the device model, which computes the
+   same bits the table would have held. *)
+let probe vbs keys values =
+  let n = Array.length keys in
+  let rec go j =
+    if j >= n then None
+    else if keys.(j) = vbs then Some values.(j)
+    else go (j + 1)
+  in
+  go 0
+
+let delay_factor t vbs =
+  match probe vbs t.fbb_vbs t.fbb_delay with
+  | Some f -> f
+  | None -> (
+    match probe vbs t.rbb_vbs t.rbb_delay with
+    | Some f -> f
+    | None -> Device.delay_factor (CL.device (Netlist.library t.nl)) ~vbs)
+
+let leak_factor t vbs =
+  match probe vbs t.fbb_vbs t.fbb_leak with
+  | Some f -> f
+  | None -> (
+    match probe vbs t.rbb_vbs t.rbb_leak with
+    | Some f -> f
+    | None -> Device.leakage_factor (CL.device (Netlist.library t.nl)) ~vbs)
+
+let delay_ps t i ~vbs = t.nominal_ps.(i) *. delay_factor t vbs
+let leakage_nw t i ~vbs = t.leak_nw.(i) *. leak_factor t vbs
+
+let design_leakage t ~bias =
+  (* One-slot factor memo: bias assignments are uniform or row-wise in
+     practice, so consecutive gates usually share a voltage. (NaN never
+     matches, so a NaN bias just falls through to [leak_factor].) *)
+  let last_v = ref Float.nan in
+  let last_f = ref Float.nan in
+  Array.fold_left
+    (fun acc g ->
+      let v = bias g in
+      let f =
+        if v = !last_v then !last_f
+        else begin
+          let f = leak_factor t v in
+          last_v := v;
+          last_f := f;
+          f
+        end
+      in
+      acc +. (t.leak_nw.(g) *. f))
+    0.0
+    (Netlist.gates t.nl)

@@ -1,0 +1,70 @@
+(** Flat per-netlist delay and leakage tables.
+
+    [Timing.analyze] used to walk the cell library (and its alpha-power /
+    exponential device model) once per node per analysis; solver loops do
+    thousands of analyses over one netlist. A cache flattens everything
+    that depends only on the netlist into arrays indexed by node id:
+
+    - [nominal_ps]: each gate's unbiased, underated delay
+      [intrinsic + load_per_fanout * fanout] (0 for ports), so a biased
+      delay is [nominal_ps * delay_factor vbs * derate] — the same float
+      operations in the same association order as
+      [Cell_library.delay_ps], hence bit-identical;
+    - [leak_nw]: each gate's NBB leakage, so biased leakage is
+      [leak_nw * leak_factor vbs];
+    - per-bias-level factor tables over the generator's FBB and RBB
+      ranges, probed by exact float match ([Bias.voltage] results are
+      bit-stable), with a transparent fall-through to the device model
+      for off-grid voltages;
+    - the topological order, its inverse rank, and the endpoint sets
+      (primary outputs, sequential gates) that every pass re-derived.
+
+    A cache is immutable after [create] and safe to share across pool
+    domains. *)
+
+open Fbb_netlist
+
+type t
+
+val create : Netlist.t -> t
+val netlist : t -> Netlist.t
+
+val topo_order : t -> Netlist.id array
+(** Cached [Netlist.topo_order]. Do not mutate. *)
+
+val rank : t -> Netlist.id -> int
+(** Position of a node in {!topo_order}. *)
+
+val nominal_ps : t -> Netlist.id -> float
+(** Unbiased, underated delay of the node: [intrinsic_ps + load_ps *
+    fanout] for gates, 0 for ports. *)
+
+val leak_nw : t -> Netlist.id -> float
+(** NBB leakage of the node; 0 for ports. *)
+
+val delay_factor : t -> float -> float
+(** [Device.delay_factor] at the given [vbs]: a table lookup when [vbs]
+    is one of the generator's FBB/RBB level voltages, a direct model
+    evaluation otherwise. Bit-identical either way. *)
+
+val leak_factor : t -> float -> float
+(** [Device.leakage_factor], same contract as {!delay_factor}. *)
+
+val delay_ps : t -> Netlist.id -> vbs:float -> float
+(** [nominal_ps * delay_factor vbs]; bit-identical to
+    [Cell_library.delay_ps] at the node's fanout load. *)
+
+val leakage_nw : t -> Netlist.id -> vbs:float -> float
+(** [leak_nw * leak_factor vbs]; bit-identical to
+    [Cell_library.leakage_nw]. *)
+
+val outputs : t -> Netlist.id array
+(** Primary outputs (cached [Netlist.outputs]). Do not mutate. *)
+
+val seq_gates : t -> Netlist.id array
+(** Sequential gate instances, ascending ids. Do not mutate. *)
+
+val design_leakage : t -> bias:(Netlist.id -> float) -> float
+(** Total leakage over all gates under a bias assignment, folding gates
+    in ascending-id order (bit-identical to a [Cell_library.leakage_nw]
+    fold over [Netlist.gates]). *)

@@ -3,13 +3,19 @@ module CL = Fbb_tech.Cell_library
 
 let analyses_c = Fbb_obs.Counter.make "sta.analyses"
 let arrival_passes_c = Fbb_obs.Counter.make "sta.arrival_passes"
+let incr_updates_c = Fbb_obs.Counter.make "sta.incr_updates"
+let nodes_repropagated_c = Fbb_obs.Counter.make "sta.nodes_repropagated"
+let cache_hits_c = Fbb_obs.Counter.make "sta.cache_hits"
 
 type t = {
   nl : Netlist.t;
   delays : float array;  (* per node; 0 for ports *)
   arrivals : float array;  (* at node output; at D pin for outputs *)
   endpoint_arrivals : float array;  (* at D pin for flip-flops, else nan *)
-  requireds : float array;
+  requireds : float array Lazy.t;
+      (* eager (from_val) for scratch analyses so they stay shareable
+         across pool domains; lazy only on incremental views, which are
+         single-domain by contract *)
   dcrit : float;
 }
 
@@ -17,8 +23,8 @@ let netlist t = t.nl
 let gate_delay t i = t.delays.(i)
 let arrival t i = t.arrivals.(i)
 let dcrit t = t.dcrit
-let required t i = t.requireds.(i)
-let slack t i = t.requireds.(i) -. t.arrivals.(i)
+let required t i = (Lazy.force t.requireds).(i)
+let slack t i = required t i -. t.arrivals.(i)
 
 let is_endpoint t i =
   match Netlist.kind t.nl i with
@@ -26,22 +32,26 @@ let is_endpoint t i =
   | Netlist.Gate c -> CL.is_sequential c.CL.kind
   | Netlist.Input -> false
 
-let node_delay nl ~derate ~bias i =
-  match Netlist.kind nl i with
-  | Netlist.Input | Netlist.Output -> 0.0
-  | Netlist.Gate c ->
-    let load = Array.length (Netlist.fanouts nl i) in
-    CL.delay_ps (Netlist.library nl) c ~load ~vbs:(bias i) *. derate i
-
-let analyze ?(derate = fun _ -> 1.0) ?(bias = fun _ -> 0.0) nl =
-  Fbb_obs.Span.with_ ~name:"sta.analyze" @@ fun () ->
-  Fbb_obs.Counter.incr analyses_c;
+(* Forward pass over a cached netlist: per-node delays from the flat
+   nominal table ([nominal * factor * derate] is the same association
+   order as [Cell_library.delay_ps ... *. derate], hence bit-identical
+   to the per-query library walk it replaces), then arrivals, flip-flop
+   capture times and dcrit. *)
+let forward cache ~derate ~bias =
+  let nl = Delay_cache.netlist cache in
   let n = Netlist.size nl in
-  let order = Netlist.topo_order nl in
-  let delays = Array.init n (node_delay nl ~derate ~bias) in
+  let delays =
+    Array.init n (fun i ->
+        match Netlist.kind nl i with
+        | Netlist.Input | Netlist.Output -> 0.0
+        | Netlist.Gate _ ->
+          Delay_cache.nominal_ps cache i
+          *. Delay_cache.delay_factor cache (bias i)
+          *. derate i)
+  in
   let arrivals = Array.make n 0.0 in
   let endpoint_arrivals = Array.make n Float.nan in
-  (* Forward pass: launch at 0 from inputs, at clock-to-q from flip-flops. *)
+  (* Launch at 0 from inputs, at clock-to-q from flip-flops. *)
   Fbb_obs.Counter.incr arrival_passes_c;
   Array.iter
     (fun i ->
@@ -56,51 +66,71 @@ let analyze ?(derate = fun _ -> 1.0) ?(bias = fun _ -> 0.0) nl =
       | Netlist.Gate c ->
         if CL.is_sequential c.CL.kind then arrivals.(i) <- delays.(i)
         else arrivals.(i) <- fanin_arrival () +. delays.(i))
-    order;
+    (Delay_cache.topo_order cache);
   (* Flip-flop capture times need the full forward pass (feedback). *)
   Array.iter
-    (fun i ->
-      if Netlist.is_sequential nl i then
-        endpoint_arrivals.(i) <- arrivals.((Netlist.fanins nl i).(0)))
-    (Netlist.gates nl);
+    (fun i -> endpoint_arrivals.(i) <- arrivals.((Netlist.fanins nl i).(0)))
+    (Delay_cache.seq_gates cache);
   let dcrit = ref 0.0 in
   Array.iter
     (fun o -> dcrit := Float.max !dcrit arrivals.(o))
-    (Netlist.outputs nl);
+    (Delay_cache.outputs cache);
   Array.iter
-    (fun g ->
-      if Netlist.is_sequential nl g then
-        dcrit := Float.max !dcrit endpoint_arrivals.(g))
-    (Netlist.gates nl);
+    (fun g -> dcrit := Float.max !dcrit endpoint_arrivals.(g))
+    (Delay_cache.seq_gates cache);
   (* Fallback for netlists without endpoints. *)
   if !dcrit = 0.0 then Array.iter (fun a -> dcrit := Float.max !dcrit a) arrivals;
-  let dcrit = !dcrit in
-  (* Backward pass: required times against dcrit; a fanout into an endpoint
-     (port or flip-flop D pin) requires arrival by dcrit. *)
+  (delays, arrivals, endpoint_arrivals, !dcrit)
+
+(* Backward pass: required times against dcrit; a fanout into an endpoint
+   (port or flip-flop D pin) requires arrival by dcrit. *)
+let backward nl order delays dcrit =
+  let n = Netlist.size nl in
   let requireds = Array.make n dcrit in
-  let len = Array.length order in
-  let reverse = Array.init len (fun k -> order.(len - 1 - k)) in
-  Array.iter
-    (fun i ->
-      let fanouts = Netlist.fanouts nl i in
-      if Array.length fanouts > 0 then begin
-        let req = ref Float.infinity in
-        Array.iter
-          (fun fo ->
-            let r =
-              match Netlist.kind nl fo with
-              | Netlist.Output -> dcrit
-              | Netlist.Gate c ->
-                if CL.is_sequential c.CL.kind then dcrit
-                else requireds.(fo) -. delays.(fo)
-              | Netlist.Input -> dcrit
-            in
-            req := Float.min !req r)
-          fanouts;
-        requireds.(i) <- !req
-      end)
-    reverse;
-  { nl; delays; arrivals; endpoint_arrivals; requireds; dcrit }
+  for k = Array.length order - 1 downto 0 do
+    let i = order.(k) in
+    let fanouts = Netlist.fanouts nl i in
+    if Array.length fanouts > 0 then begin
+      let req = ref Float.infinity in
+      Array.iter
+        (fun fo ->
+          let r =
+            match Netlist.kind nl fo with
+            | Netlist.Output -> dcrit
+            | Netlist.Gate c ->
+              if CL.is_sequential c.CL.kind then dcrit
+              else requireds.(fo) -. delays.(fo)
+            | Netlist.Input -> dcrit
+          in
+          req := Float.min !req r)
+        fanouts;
+      requireds.(i) <- !req
+    end
+  done;
+  requireds
+
+let cache_for ?cache nl =
+  match cache with
+  | None -> Delay_cache.create nl
+  | Some c ->
+    if not (Delay_cache.netlist c == nl) then
+      invalid_arg "Timing: delay cache built for a different netlist";
+    c
+
+let analyze ?cache ?(derate = fun _ -> 1.0) ?(bias = fun _ -> 0.0) nl =
+  Fbb_obs.Span.with_ ~name:"sta.analyze" @@ fun () ->
+  Fbb_obs.Counter.incr analyses_c;
+  let cache = cache_for ?cache nl in
+  let delays, arrivals, endpoint_arrivals, dcrit = forward cache ~derate ~bias in
+  let requireds = backward nl (Delay_cache.topo_order cache) delays dcrit in
+  {
+    nl;
+    delays;
+    arrivals;
+    endpoint_arrivals;
+    requireds = Lazy.from_val requireds;
+    dcrit;
+  }
 
 let worst_endpoint t =
   let best = ref (-1) in
@@ -145,3 +175,261 @@ let critical_path t =
         back !best (i :: acc)
   in
   back start []
+
+module Incremental = struct
+  type ctx = {
+    cache : Delay_cache.t;
+    nl : Netlist.t;
+    derate : float array;  (* frozen at creation; per gate, 1.0 on ports *)
+    vbs : float array;  (* current bias per gate; 0 on ports *)
+    delays : float array;
+    arrivals : float array;
+    endpoint_arrivals : float array;
+    memo : (float, float) Hashtbl.t;  (* vbs -> delay factor *)
+    heap : int array;  (* binary min-heap of node ids, keyed by topo rank *)
+    mutable heap_len : int;
+    in_heap : bool array;
+    mutable dcrit : float;
+    mutable hits : int;  (* pending memo hits, flushed per update *)
+    mutable generation : int;
+  }
+
+  let cache ctx = ctx.cache
+  let netlist ctx = ctx.nl
+
+  (* A view is an ordinary [t] aliasing the context's arrays: valid until
+     the next update. Requireds are computed on demand; the generation
+     guard turns use-after-update of a stale view's requireds into a
+     loud error instead of silently wrong slacks. *)
+  let view ctx =
+    let gen = ctx.generation in
+    let requireds =
+      lazy
+        (if gen <> ctx.generation then
+           invalid_arg
+             "Timing.Incremental: stale analysis (context updated since)";
+         backward ctx.nl (Delay_cache.topo_order ctx.cache) ctx.delays
+           ctx.dcrit)
+    in
+    {
+      nl = ctx.nl;
+      delays = ctx.delays;
+      arrivals = ctx.arrivals;
+      endpoint_arrivals = ctx.endpoint_arrivals;
+      requireds;
+      dcrit = ctx.dcrit;
+    }
+
+  let analysis = view
+
+  let create ?cache ?(derate = fun _ -> 1.0) ?(bias = fun _ -> 0.0) nl =
+    Fbb_obs.Span.with_ ~name:"sta.incr_create" @@ fun () ->
+    let cache = cache_for ?cache nl in
+    let n = Netlist.size nl in
+    let derate_a =
+      Array.init n (fun i -> if Netlist.is_gate nl i then derate i else 1.0)
+    in
+    let vbs =
+      Array.init n (fun i -> if Netlist.is_gate nl i then bias i else 0.0)
+    in
+    let delays, arrivals, endpoint_arrivals, dcrit =
+      forward cache
+        ~derate:(fun i -> derate_a.(i))
+        ~bias:(fun i -> vbs.(i))
+    in
+    {
+      cache;
+      nl;
+      derate = derate_a;
+      vbs;
+      delays;
+      arrivals;
+      endpoint_arrivals;
+      memo = Hashtbl.create 31;
+      heap = Array.make (max n 1) 0;
+      heap_len = 0;
+      in_heap = Array.make n false;
+      dcrit;
+      hits = 0;
+      generation = 0;
+    }
+
+  let factor ctx v =
+    match Hashtbl.find_opt ctx.memo v with
+    | Some f ->
+      ctx.hits <- ctx.hits + 1;
+      f
+    | None ->
+      let f = Delay_cache.delay_factor ctx.cache v in
+      Hashtbl.add ctx.memo v f;
+      f
+
+  let push ctx i =
+    if not ctx.in_heap.(i) then begin
+      ctx.in_heap.(i) <- true;
+      let h = ctx.heap in
+      let rank = Delay_cache.rank ctx.cache in
+      let k = ref ctx.heap_len in
+      ctx.heap_len <- ctx.heap_len + 1;
+      h.(!k) <- i;
+      let continue = ref true in
+      while !continue && !k > 0 do
+        let parent = (!k - 1) / 2 in
+        if rank h.(parent) > rank h.(!k) then begin
+          let tmp = h.(parent) in
+          h.(parent) <- h.(!k);
+          h.(!k) <- tmp;
+          k := parent
+        end
+        else continue := false
+      done
+    end
+
+  let pop ctx =
+    let h = ctx.heap in
+    let rank = Delay_cache.rank ctx.cache in
+    let top = h.(0) in
+    ctx.heap_len <- ctx.heap_len - 1;
+    h.(0) <- h.(ctx.heap_len);
+    let k = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !k) + 1 in
+      let r = l + 1 in
+      let smallest = ref !k in
+      if l < ctx.heap_len && rank h.(l) < rank h.(!smallest) then smallest := l;
+      if r < ctx.heap_len && rank h.(r) < rank h.(!smallest) then smallest := r;
+      if !smallest <> !k then begin
+        let tmp = h.(!smallest) in
+        h.(!smallest) <- h.(!k);
+        h.(!k) <- tmp;
+        k := !smallest
+      end
+      else continue := false
+    done;
+    ctx.in_heap.(top) <- false;
+    top
+
+  (* Dense fallback: when the seeded worklist already spans most of the
+     design (a uniform or near-uniform bias edit), heap discipline costs
+     more than it saves — recompute every arrival in one topological
+     sweep instead. Per-node expressions are the same as [forward]'s and
+     the sparse drain's, so both paths land on identical bits. *)
+  let dense ctx =
+    let nl = ctx.nl in
+    for k = 0 to ctx.heap_len - 1 do
+      ctx.in_heap.(ctx.heap.(k)) <- false
+    done;
+    ctx.heap_len <- 0;
+    Fbb_obs.Counter.incr arrival_passes_c;
+    Array.iter
+      (fun i ->
+        let fanin_arrival () =
+          Array.fold_left
+            (fun acc f -> Float.max acc ctx.arrivals.(f))
+            0.0 (Netlist.fanins nl i)
+        in
+        match Netlist.kind nl i with
+        | Netlist.Input -> ctx.arrivals.(i) <- 0.0
+        | Netlist.Output -> ctx.arrivals.(i) <- fanin_arrival ()
+        | Netlist.Gate c ->
+          if CL.is_sequential c.CL.kind then ctx.arrivals.(i) <- ctx.delays.(i)
+          else ctx.arrivals.(i) <- fanin_arrival () +. ctx.delays.(i))
+      (Delay_cache.topo_order ctx.cache);
+    Array.iter
+      (fun i ->
+        ctx.endpoint_arrivals.(i) <- ctx.arrivals.((Netlist.fanins nl i).(0)))
+      (Delay_cache.seq_gates ctx.cache);
+    Netlist.size nl
+
+  (* Drain the worklist in topological-rank order. A popped node's
+     fanins are all final (their ranks are smaller, so they were popped
+     first), so one recomputation per node suffices. The early cut: if
+     the recomputed arrival carries the same bits, the fan-out cone is
+     untouched. Arrivals are sums/maxes of non-negative finite delays,
+     so [<>] equality here is bit equality. *)
+  let drain ctx =
+    let nl = ctx.nl in
+    let popped = ref 0 in
+    while ctx.heap_len > 0 do
+      let i = pop ctx in
+      incr popped;
+      let a =
+        let fanin_arrival () =
+          Array.fold_left
+            (fun acc f -> Float.max acc ctx.arrivals.(f))
+            0.0 (Netlist.fanins nl i)
+        in
+        match Netlist.kind nl i with
+        | Netlist.Input -> 0.0
+        | Netlist.Output -> fanin_arrival ()
+        | Netlist.Gate c ->
+          if CL.is_sequential c.CL.kind then ctx.delays.(i)
+          else fanin_arrival () +. ctx.delays.(i)
+      in
+      if a <> ctx.arrivals.(i) then begin
+        ctx.arrivals.(i) <- a;
+        Array.iter
+          (fun fo ->
+            (* A flip-flop's launch arrival is its own clock-to-q: the
+               edge stops here, only its capture time tracks us. *)
+            if Netlist.is_sequential nl fo then
+              ctx.endpoint_arrivals.(fo) <- a
+            else push ctx fo)
+          (Netlist.fanouts nl i)
+      end
+    done;
+    !popped
+
+  let propagate ctx =
+    let popped =
+      if 4 * ctx.heap_len >= Netlist.size ctx.nl then dense ctx
+      else drain ctx
+    in
+    Fbb_obs.Counter.add nodes_repropagated_c popped;
+    Fbb_obs.Counter.add cache_hits_c ctx.hits;
+    ctx.hits <- 0;
+    (* dcrit over the tracked endpoints, same fold as the scratch pass. *)
+    let d = ref 0.0 in
+    Array.iter
+      (fun o -> d := Float.max !d ctx.arrivals.(o))
+      (Delay_cache.outputs ctx.cache);
+    Array.iter
+      (fun g -> d := Float.max !d ctx.endpoint_arrivals.(g))
+      (Delay_cache.seq_gates ctx.cache);
+    if !d = 0.0 then
+      Array.iter (fun a -> d := Float.max !d a) ctx.arrivals;
+    ctx.dcrit <- !d
+
+  let update ctx edits =
+    Fbb_obs.Span.with_ ~name:"sta.incr_update" @@ fun () ->
+    Fbb_obs.Counter.incr incr_updates_c;
+    ctx.generation <- ctx.generation + 1;
+    List.iter
+      (fun (g, v) ->
+        if Netlist.is_gate ctx.nl g && ctx.vbs.(g) <> v then begin
+          ctx.vbs.(g) <- v;
+          let d =
+            Delay_cache.nominal_ps ctx.cache g *. factor ctx v
+            *. ctx.derate.(g)
+          in
+          if d <> ctx.delays.(g) then begin
+            ctx.delays.(g) <- d;
+            push ctx g
+          end
+        end)
+      edits;
+    propagate ctx;
+    view ctx
+
+  let set_bias ctx bias =
+    let edits = ref [] in
+    Array.iter
+      (fun g ->
+        let v = bias g in
+        if v <> ctx.vbs.(g) then edits := (g, v) :: !edits)
+      (Netlist.gates ctx.nl);
+    update ctx !edits
+
+  let set_uniform ctx v = set_bias ctx (fun _ -> v)
+end

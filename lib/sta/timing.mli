@@ -17,13 +17,16 @@ open Fbb_netlist
 type t
 
 val analyze :
+  ?cache:Delay_cache.t ->
   ?derate:(Netlist.id -> float) ->
   ?bias:(Netlist.id -> float) ->
   Netlist.t ->
   t
 (** Run STA. [bias] gives each gate's body-bias voltage (default: NBB
     everywhere); [derate] multiplies each gate's delay (default 1.0,
-    e.g. [fun _ -> 1.05] for a 5 % uniform slowdown). *)
+    e.g. [fun _ -> 1.05] for a 5 % uniform slowdown). [cache] reuses a
+    {!Delay_cache} built for this same netlist (one is built internally
+    otherwise); results are bit-identical either way. *)
 
 val netlist : t -> Netlist.t
 
@@ -52,3 +55,54 @@ val critical_path : t -> Netlist.id list
 
 val worst_endpoint : t -> Netlist.id
 (** Endpoint with the latest arrival. *)
+
+(** Incremental re-analysis.
+
+    A context snapshots one analysis (arrays of delays, arrivals and
+    tracked endpoint arrivals) and, per batch of bias edits, recomputes
+    only the changed gates' delays and re-propagates arrivals through
+    their fan-out cones: a binary-heap worklist ordered by topological
+    rank guarantees each affected node is recomputed exactly once, and
+    propagation cuts off as soon as a node's recomputed arrival carries
+    the same bits as before. [dcrit] is maintained from the tracked
+    endpoint arrivals. Every view returned is bit-identical to a
+    from-scratch {!analyze} under the same derate and bias — the
+    determinism suite and the oracle referee rely on this.
+
+    Contexts are mutable and single-domain; the shared immutable pieces
+    live in the {!Delay_cache}. Views alias the context's arrays: a view
+    is valid until the next [update]/[set_bias] on its context (reading
+    a stale view's requireds raises; arrivals of stale views are simply
+    the newer state). Counters: [sta.incr_updates] (update batches),
+    [sta.nodes_repropagated] (worklist pops — the cone size actually
+    touched), [sta.cache_hits] (delay-factor memo hits). *)
+module Incremental : sig
+  type ctx
+
+  val create :
+    ?cache:Delay_cache.t ->
+    ?derate:(Netlist.id -> float) ->
+    ?bias:(Netlist.id -> float) ->
+    Netlist.t ->
+    ctx
+  (** Run the base analysis. [derate] is frozen for the context's
+      lifetime; [bias] is the starting assignment (default NBB). *)
+
+  val analysis : ctx -> t
+  (** View of the current state (valid until the next update). *)
+
+  val update : ctx -> (Netlist.id * float) list -> t
+  (** Apply a batch of [(gate, vbs)] edits and re-propagate. Edits to
+      ports or to a gate's current voltage are no-ops. Returns the
+      updated view. *)
+
+  val set_bias : ctx -> (Netlist.id -> float) -> t
+  (** Diff the assignment against the current one and {!update} with
+      the changed gates. *)
+
+  val set_uniform : ctx -> float -> t
+  (** [set_bias] with the same voltage on every gate. *)
+
+  val cache : ctx -> Delay_cache.t
+  val netlist : ctx -> Netlist.t
+end

@@ -45,9 +45,19 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
   Fbb_obs.Span.with_ ~name:"mc.run" @@ fun () ->
   let nl = P.netlist placement in
   let rng = Fbb_util.Rng.create ~seed in
-  let nominal = Timing.analyze nl in
+  (* Shared per-run state, all immutable: the flat delay tables, the
+     nominal analysis and its path set (so per-die problem builds skip
+     STA and extraction), and the NBB leakage every die would otherwise
+     recompute. Safe across pool domains. *)
+  let cache = Fbb_sta.Delay_cache.create nl in
+  let nominal = Timing.analyze ~cache nl in
+  let through = Fbb_sta.Paths.through_cell nominal in
+  let row_leak =
+    Fbb_core.Problem.leak_tables placement ~levels:(Fbb_tech.Bias.levels ())
+  in
   let timing_budget = Timing.dcrit nominal +. 1e-6 in
-  let leakage ~bias = Tuning.design_leakage nl ~bias in
+  let leakage ~bias = Fbb_sta.Delay_cache.design_leakage cache ~bias in
+  let nbb_leakage = leakage ~bias:(fun _ -> 0.0) in
   (* Seed-splitting: die [i]'s generator is the [i]-th split of the run
      seed, derived sequentially up front. Each die then draws only from
      its own stream, so the sampled corners are a function of
@@ -60,13 +70,18 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
     let corner = Models.die_to_die die_rng ~sigma:(sigma /. 2.0) in
     let within = Models.spatially_correlated die_rng ~sigma placement in
     let derate g = corner *. within g in
-    let degraded = Timing.analyze ~derate nl in
+    (* One incremental context per die (contexts are single-domain;
+       this one lives and dies on whichever pool worker runs the die):
+       base analysis is the degraded-at-NBB timing, and both the
+       single-level search and the clustered closed loop drive its bias
+       instead of re-analyzing from scratch. *)
+    let ctx = Timing.Incremental.create ~cache ~derate nl in
+    let degraded = Timing.Incremental.analysis ctx in
     let reading = Sensor.in_situ_monitors ~nominal ~degraded in
+    let dcrit_degraded = Timing.dcrit degraded in
     (* Strategy 1: ship as fabricated. *)
     let ship_as_is =
-      if Timing.dcrit degraded <= timing_budget then
-        Some (leakage ~bias:(fun _ -> 0.0))
-      else None
+      if dcrit_degraded <= timing_budget then Some nbb_leakage else None
     in
     (* Strategy 2: one die-wide voltage. Uses the same sensing, guardband
        and PassOne selection the clustered loop gets (an exact
@@ -79,24 +94,29 @@ let run ?(seed = 2009) ?(samples = 50) ?(sigma = 0.05) ?(max_clusters = 2)
       if measured <= 0.0 then Some 0
       else
         Fbb_core.Problem.max_single_level
-          (Fbb_core.Problem.build ~beta:measured placement)
+          (Fbb_core.Problem.build ~cache ~analysis:nominal ~paths:through
+             ~row_leak ~beta:measured placement)
     in
     let ship_single =
       Option.bind jopt (fun j0 ->
           let rec close j =
             if j >= Fbb_tech.Bias.count then None
             else begin
-              let bias _ = Fbb_tech.Bias.voltage j in
-              if Timing.dcrit (Timing.analyze ~derate ~bias nl) <= timing_budget
-              then
-                Some (leakage ~bias)
+              let v = Fbb_tech.Bias.voltage j in
+              if
+                Timing.dcrit (Timing.Incremental.set_uniform ctx v)
+                <= timing_budget
+              then Some (leakage ~bias:(fun _ -> v))
               else close (j + 1)
             end
           in
           close j0)
     in
     (* Strategy 3: the clustering optimizer in its closed loop. *)
-    let o = Tuning.compensate ~max_clusters ~guardband placement ~derate in
+    let o =
+      Tuning.compensate ~max_clusters ~guardband ~nominal ~paths:through
+        ~row_leak ~ctx placement ~derate
+    in
     let ship_clustered =
       if o.Tuning.timing_closed then begin
         Fbb_obs.Counter.incr shipped_c;

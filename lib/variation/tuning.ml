@@ -28,12 +28,26 @@ let design_leakage nl ~bias =
 let compensations_c = Fbb_obs.Counter.make "tuning.compensations"
 
 let compensate ?(max_clusters = 2) ?(sensor = In_situ) ?(guardband = 0.1)
-    ?(resolution = 0.01) placement ~derate =
+    ?(resolution = 0.01) ?nominal ?paths ?row_leak ?ctx placement ~derate =
   Fbb_obs.Span.with_ ~name:"tuning.compensate" @@ fun () ->
   Fbb_obs.Counter.incr compensations_c;
   let nl = P.netlist placement in
-  let nominal = Timing.analyze nl in
-  let degraded = Timing.analyze ~derate nl in
+  let ctx =
+    match ctx with
+    | Some c ->
+      if not (Timing.Incremental.netlist c == nl) then
+        invalid_arg "Tuning.compensate: context is for a different netlist";
+      c
+    | None -> Timing.Incremental.create ~derate nl
+  in
+  let cache = Timing.Incremental.cache ctx in
+  let nominal =
+    match nominal with Some a -> a | None -> Timing.analyze ~cache nl
+  in
+  (* The context may arrive with bias applied (e.g. the Monte-Carlo
+     single-level search just drove it); reset to NBB to read the
+     uncompensated degradation. *)
+  let degraded = Timing.Incremental.set_uniform ctx 0.0 in
   let reading =
     match sensor with
     | Replica -> Sensor.critical_path_replica ~nominal ~degraded
@@ -44,7 +58,9 @@ let compensate ?(max_clusters = 2) ?(sensor = In_situ) ?(guardband = 0.1)
   let measured_beta = raw_beta *. (1.0 +. guardband) in
   let dcrit_nominal = Timing.dcrit nominal in
   let dcrit_degraded = Timing.dcrit degraded in
-  let nominal_leakage_nw = design_leakage nl ~bias:(fun _ -> 0.0) in
+  let nominal_leakage_nw =
+    Fbb_sta.Delay_cache.design_leakage cache ~bias:(fun _ -> 0.0)
+  in
   let no_compensation () =
     {
       measured_beta;
@@ -62,7 +78,10 @@ let compensate ?(max_clusters = 2) ?(sensor = In_situ) ?(guardband = 0.1)
   in
   if measured_beta <= 0.0 then no_compensation ()
   else begin
-    let problem = Fbb_core.Problem.build ~beta:measured_beta placement in
+    let problem =
+      Fbb_core.Problem.build ~cache ~analysis:nominal ?paths ?row_leak
+        ~beta:measured_beta placement
+    in
     match Fbb_core.Refine.heuristic ~max_clusters problem with
     | None ->
       (* Compensation impossible even at full bias. *)
@@ -73,7 +92,7 @@ let compensate ?(max_clusters = 2) ?(sensor = In_situ) ?(guardband = 0.1)
         let row = P.row_of placement g in
         if row < 0 then 0.0 else Fbb_tech.Bias.voltage levels.(row)
       in
-      let compensated = Timing.analyze ~derate ~bias nl in
+      let compensated = Timing.Incremental.set_bias ctx bias in
       let dcrit_compensated = Timing.dcrit compensated in
       {
         measured_beta;
@@ -81,7 +100,7 @@ let compensate ?(max_clusters = 2) ?(sensor = In_situ) ?(guardband = 0.1)
         alarms_before = reading.Sensor.alarms;
         levels = Some levels;
         clusters = Fbb_core.Solution.cluster_count levels;
-        leakage_nw = design_leakage nl ~bias;
+        leakage_nw = Fbb_sta.Delay_cache.design_leakage cache ~bias;
         nominal_leakage_nw;
         dcrit_nominal;
         dcrit_degraded;

@@ -35,10 +35,24 @@ val compensate :
   ?sensor:sensor_kind ->
   ?guardband:float ->
   ?resolution:float ->
+  ?nominal:Fbb_sta.Timing.t ->
+  ?paths:Fbb_sta.Paths.path array ->
+  ?row_leak:float array array ->
+  ?ctx:Fbb_sta.Timing.Incremental.ctx ->
   Fbb_place.Placement.t ->
   derate:(Fbb_netlist.Netlist.id -> float) ->
   outcome
 (** One tuning shot. [guardband] (default 0.1) inflates the measured
     slowdown to cover sensing error and non-uniformity; [resolution]
     (default 0.01) quantizes the sensor reading; [sensor] defaults to
-    [In_situ]. *)
+    [In_situ].
+
+    Repeated-shot loops (Monte-Carlo runs one shot per sampled die on
+    one design) can share work across shots: [nominal] is the
+    precomputed NBB analysis, [paths] its [Paths.through_cell] set (for
+    the per-shot problem build), [row_leak] the placement's
+    {!Fbb_core.Problem.leak_tables} at the default generator levels, and
+    [ctx] an incremental STA context created with this shot's [derate] —
+    its bias is driven here (reset to NBB first), replacing the two
+    from-scratch degraded/compensated analyses. Outcomes are
+    bit-identical with or without them. *)

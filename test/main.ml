@@ -11,6 +11,7 @@ let () =
       ("generators", Test_generators.suite);
       ("verilog", Test_verilog.suite);
       ("sta", Test_sta.suite);
+      ("incremental", Test_incremental.suite);
       ("place", Test_place.suite);
       ("solvers", Test_solvers.suite);
       ("layout", Test_layout.suite);

@@ -1,0 +1,127 @@
+(* Equivalence of Timing.Incremental with from-scratch analysis.
+
+   The incremental engine's contract is *bit* identity, not epsilon
+   closeness: after any sequence of bias edits, every view (arrivals,
+   requireds, slacks, gate delays, dcrit) must carry exactly the bits a
+   fresh [Timing.analyze] under the same assignment would produce. These
+   properties drive random edit sequences — single-gate nudges (sparse
+   heap drain), wide batches and uniform sweeps (dense fallback), port
+   edits and revert-to-same no-ops — over generated netlists, with and
+   without a derate, and compare against scratch runs field by field
+   with [=] on floats. *)
+
+module N = Fbb_netlist.Netlist
+module T = Fbb_sta.Timing
+
+(* Exact comparison of every public view over every node. *)
+let bit_identical nl incr scratch =
+  let n = N.size nl in
+  let ok = ref (T.dcrit incr = T.dcrit scratch) in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let id = !i in
+    if
+      T.arrival incr id <> T.arrival scratch id
+      || T.gate_delay incr id <> T.gate_delay scratch id
+      || T.required incr id <> T.required scratch id
+      || T.slack incr id <> T.slack scratch id
+      || T.is_endpoint incr id <> T.is_endpoint scratch id
+    then ok := false;
+    i := !i + 1
+  done;
+  !ok
+
+(* One randomized edit step against a mutable bias assignment. Steps are
+   chosen to exercise both propagation regimes: small batches stay on
+   the heap path, [Uniform] and [Wide] trip the dense full-sweep
+   fallback, [Noop] re-sends current voltages (must touch nothing). *)
+let apply_step rng nl bias ctx =
+  let levels = Fbb_tech.Bias.levels () in
+  let pick_level () = levels.(Fbb_util.Rng.int rng (Array.length levels)) in
+  let gates = N.gates nl in
+  let pick_gate () = gates.(Fbb_util.Rng.int rng (Array.length gates)) in
+  match Fbb_util.Rng.int rng 5 with
+  | 0 ->
+    (* single-gate edit: the sparse cone case *)
+    let g = pick_gate () in
+    let v = pick_level () in
+    bias.(g) <- v;
+    T.Incremental.update ctx [ (g, v) ]
+  | 1 ->
+    (* small batch, possibly with overlapping cones *)
+    let k = 1 + Fbb_util.Rng.int rng 4 in
+    let edits =
+      List.init k (fun _ ->
+          let g = pick_gate () in
+          let v = pick_level () in
+          bias.(g) <- v;
+          (g, v))
+    in
+    T.Incremental.update ctx edits
+  | 2 ->
+    (* wide batch over ~half the gates: dense fallback territory *)
+    let edits =
+      Array.to_list gates
+      |> List.filter_map (fun g ->
+             if Fbb_util.Rng.int rng 2 = 0 then begin
+               let v = pick_level () in
+               bias.(g) <- v;
+               Some (g, v)
+             end
+             else None)
+    in
+    T.Incremental.update ctx edits
+  | 3 ->
+    (* uniform sweep: every gate changes at once *)
+    let v = pick_level () in
+    Array.iter (fun g -> bias.(g) <- v) gates;
+    T.Incremental.set_uniform ctx v
+  | _ ->
+    (* no-ops: current voltages re-sent, plus an edit aimed at a port *)
+    let g = pick_gate () in
+    let port = (N.inputs nl).(0) in
+    T.Incremental.update ctx [ (g, bias.(g)); (port, 0.4) ]
+
+let run_equivalence ~derate ~gates (seed, steps) =
+  let nl = Fbb_netlist.Generators.random_module ~seed ~gates () in
+  let cache = Fbb_sta.Delay_cache.create nl in
+  let bias = Array.make (N.size nl) 0.0 in
+  let ctx = T.Incremental.create ~cache ?derate nl in
+  let rng = Fbb_util.Rng.create ~seed:(seed lxor 0x5ca1ab1e) in
+  let all_ok = ref true in
+  for _ = 1 to steps do
+    let view = apply_step rng nl bias ctx in
+    let scratch =
+      T.analyze ~cache ?derate ~bias:(fun id -> bias.(id)) nl
+    in
+    if not (bit_identical nl view scratch) then all_ok := false
+  done;
+  !all_ok
+
+let qcheck_tests =
+  let open QCheck in
+  let seeded = pair (int_range 1 1_000_000) (int_range 1 6) in
+  [
+    Test.make ~name:"incremental bit-identical to scratch (no derate)"
+      ~count:8 seeded
+      (run_equivalence ~derate:None ~gates:200);
+    Test.make ~name:"incremental bit-identical to scratch (derated)" ~count:6
+      seeded
+      (run_equivalence
+         ~derate:(Some (fun g -> 1.0 +. (0.001 *. float_of_int (g mod 7))))
+         ~gates:150);
+    Test.make ~name:"set_bias diff equals explicit batch" ~count:6
+      (int_range 1 1_000_000)
+      (fun seed ->
+        let nl = Fbb_netlist.Generators.random_module ~seed ~gates:180 () in
+        let cache = Fbb_sta.Delay_cache.create nl in
+        let levels = Fbb_tech.Bias.levels () in
+        let assign id = levels.(id mod Array.length levels) in
+        let a = T.Incremental.create ~cache nl in
+        let va = T.Incremental.set_bias a assign in
+        let scratch = T.analyze ~cache ~bias:assign nl in
+        bit_identical nl va scratch);
+  ]
+
+let suite =
+  List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

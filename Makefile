@@ -4,7 +4,7 @@
 DUNE ?= dune
 
 .PHONY: all build test bench bench-scale bench-compare baseline fuzz \
-  fuzz-faults cascade-demo profile trace flame top-demo clean
+  fuzz-faults cascade-demo profile trace flame top-demo serve-demo clean
 
 all: build
 
@@ -27,15 +27,15 @@ bench-scale: build
 # Diff a fresh smoke run against the committed baseline, with the same
 # configuration the baseline was recorded under (CI runs this too).
 bench-compare: build
-	FBB_MC_SAMPLES=10 FBB_SCALE_SAMPLES=4 $(DUNE) exec bench/main.exe -- \
-	  --jobs 2 yield scale-1k scale-10k
+	FBB_MC_SAMPLES=10 FBB_SCALE_SAMPLES=4 FBB_SERVE_REQUESTS=48 \
+	  $(DUNE) exec bench/main.exe -- --jobs 2 yield scale-1k scale-10k serve
 	$(DUNE) exec bin/fbbopt.exe -- bench-compare \
 	  bench/baseline.json bench_out/bench.json --max-regress 25
 
 # Re-record the committed baseline (after a deliberate perf change).
 baseline: build
-	FBB_MC_SAMPLES=10 FBB_SCALE_SAMPLES=4 $(DUNE) exec bench/main.exe -- \
-	  --jobs 2 yield scale-1k scale-10k
+	FBB_MC_SAMPLES=10 FBB_SCALE_SAMPLES=4 FBB_SERVE_REQUESTS=48 \
+	  $(DUNE) exec bench/main.exe -- --jobs 2 yield scale-1k scale-10k serve
 	cp bench_out/bench.json bench/baseline.json
 	@echo "bench/baseline.json updated - commit it with the change"
 
@@ -75,6 +75,20 @@ top-demo: build
 	sleep 3; \
 	$(DUNE) exec bin/fbbopt.exe -- scrape http://127.0.0.1:9619; \
 	$(DUNE) exec bin/fbbopt.exe -- top --once --url http://127.0.0.1:9619; \
+	wait
+
+# fbbd demo: run the daemon with live metrics, send a ping, a solve and
+# a stats request, then drive a short closed-loop load run against it.
+serve-demo: build
+	$(DUNE) exec bin/fbbd.exe -- serve --port 9620 --metrics-port 9621 \
+	  --duration-s 20 --jobs 2 & \
+	sleep 3; \
+	$(DUNE) exec bin/fbbd.exe -- request --port 9620 --op ping --id demo; \
+	$(DUNE) exec bin/fbbd.exe -- request --port 9620 --gen 11,400,6 \
+	  --work 100000 --id demo-solve; \
+	$(DUNE) exec bin/fbbd.exe -- load --port 9620 -c 4 -n 24 \
+	  --gen 11,400,6 --work 50000; \
+	$(DUNE) exec bin/fbbd.exe -- request --port 9620 --op stats --id demo; \
 	wait
 
 flame: trace

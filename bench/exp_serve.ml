@@ -1,0 +1,69 @@
+(* Extension experiment: the fbbd serving axis. Stand up an in-process
+   server on an ephemeral port, drive it with the deterministic
+   closed-loop load generator (fixed seed, work-budgeted requests over
+   a two-netlist mix so the same-key batcher actually batches), and
+   report throughput and latency percentiles. The harness wraps this
+   in the gated [exp.serve] span, and the per-request [serve.request]
+   span statistics (p50/p90/p99) ride into bench.json's span section,
+   so a serving-latency regression shows up in bench-compare next to
+   the solver timings.
+
+   FBB_SERVE_REQUESTS (default 48) scales the script length; the
+   request script is a pure function of (seed, connections, requests),
+   so records are comparable only at equal counts. *)
+
+module T = Fbb_util.Texttab
+
+let run () =
+  let requests = Exp_common.env_int "FBB_SERVE_REQUESTS" 48 in
+  Exp_common.header
+    (Printf.sprintf "Extension - fbbd serving axis (%d requests)" requests);
+  let config =
+    { Fbb_serve.Server.default_config with port = 0; queue_capacity = 256 }
+  in
+  match Fbb_serve.Server.start ~config () with
+  | Error msg -> Printf.printf "serve: cannot start server: %s\n" msg
+  | Ok server ->
+    Fun.protect ~finally:(fun () -> Fbb_serve.Server.stop server) @@ fun () ->
+    let cfg =
+      {
+        (Fbb_serve.Loadgen.default ~port:(Fbb_serve.Server.port server)) with
+        connections = 4;
+        requests;
+        seed = 2009;
+        workloads =
+          [
+            Fbb_serve.Protocol.Generated { seed = 11; gates = 300; rows = 6 };
+            Fbb_serve.Protocol.Generated { seed = 12; gates = 400; rows = 6 };
+          ];
+        work_budget = Some 20_000;
+      }
+    in
+    (match Fbb_serve.Loadgen.run cfg with
+    | Error msg -> Printf.printf "serve: loadgen: %s\n" msg
+    | Ok r ->
+      let tab =
+        T.create
+          ~headers:
+            [
+              "requests"; "solved"; "rejected"; "errors"; "req/s"; "p50 ms";
+              "p90 ms"; "p99 ms"; "max ms";
+            ]
+      in
+      T.add_row tab
+        [
+          string_of_int r.sent;
+          string_of_int r.solved;
+          string_of_int r.rejected;
+          string_of_int r.errors;
+          T.cell_f ~digits:1 r.throughput_rps;
+          T.cell_f ~digits:1 r.p50_ms;
+          T.cell_f ~digits:1 r.p90_ms;
+          T.cell_f ~digits:1 r.p99_ms;
+          T.cell_f ~digits:1 r.max_ms;
+        ];
+      T.print tab;
+      print_endline
+        "reading: closed-loop latency over 4 connections against the \n\
+         in-process daemon - queue wait plus cascade service time; the \n\
+         per-request span percentiles land in bench.json's span section.")

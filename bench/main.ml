@@ -24,6 +24,7 @@ let experiments =
       "extension: MC recovery on a 10k-gate module",
       Exp_scale.run_10k );
     ("recovery", "extension: RBB active leakage recovery", Exp_recovery.run);
+    ("serve", "extension: fbbd closed-loop serving latency", Exp_serve.run);
     ("speed", "bechamel micro-benchmarks", Exp_speed.run);
   ]
 

@@ -1,0 +1,359 @@
+(* fbbd: the concurrent bias-optimization daemon and its client tools.
+
+   Subcommands:
+     serve   - run the daemon (line-delimited JSON over TCP), optionally
+               with a live /metrics telemetry endpoint and injected
+               faults at the serve.accept / serve.read sites
+     request - send one request (solve, ping or stats) and print the
+               response line
+     load    - closed-loop deterministic load generator; exits non-zero
+               on protocol errors or a breached p99 gate *)
+
+open Cmdliner
+module Serve = Fbb_serve
+module P = Fbb_serve.Protocol
+
+(* ----- shared arguments ------------------------------------------------- *)
+
+let port_arg ~default =
+  let doc = "Daemon TCP port (0 = ephemeral when serving)." in
+  Arg.(value & opt int default & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let design_arg =
+  let doc = "Built-in benchmark workload (see $(b,fbbopt list))." in
+  Arg.(value & opt (some string) None & info [ "d"; "design" ] ~docv:"NAME" ~doc)
+
+let gen_arg =
+  let doc = "Generated workload: seed, gate count and row count." in
+  Arg.(
+    value
+    & opt (some (t3 ~sep:',' int int int)) None
+    & info [ "gen" ] ~docv:"SEED,GATES,ROWS" ~doc)
+
+let workload ~design ~gen =
+  match (design, gen) with
+  | Some _, Some _ -> Error "--design and --gen are mutually exclusive"
+  | Some name, None -> Ok (P.Benchmark name)
+  | None, Some (seed, gates, rows) -> Ok (P.Generated { seed; gates; rows })
+  | None, None -> Ok (P.Generated { seed = 11; gates = 400; rows = 6 })
+
+let beta_arg =
+  let doc = "Slowdown coefficient in percent (the paper's beta)." in
+  Arg.(value & opt float 5.0 & info [ "b"; "beta" ] ~docv:"PCT" ~doc)
+
+let clusters_arg =
+  let doc = "Cluster budget C (distinct bias levels incl. NBB)." in
+  Arg.(value & opt int 4 & info [ "C"; "clusters" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Per-request wall deadline in milliseconds (measured from \
+             admission)." in
+  Arg.(
+    value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let work_arg =
+  let doc = "Per-request deterministic work-tick budget." in
+  Arg.(value & opt (some int) None & info [ "work" ] ~docv:"TICKS" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Width of the parallel domain pool (default: $(b,FBB_JOBS), else the \
+     machine's available cores). Payloads are bit-identical at any width."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let set_jobs = Option.iter Fbb_par.Pool.set_jobs
+
+(* ----- serve ------------------------------------------------------------ *)
+
+let metrics_port_arg =
+  let doc =
+    "Also serve live telemetry ($(b,GET /metrics), $(b,GET /snapshot.json), \
+     $(b,GET /healthz)) on 127.0.0.1:$(docv); 0 picks an ephemeral port."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+
+let queue_cap_arg =
+  let doc = "Admission queue capacity; requests beyond it are shed with a \
+             typed overload reject." in
+  Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N" ~doc)
+
+let batch_max_arg =
+  let doc = "Max same-netlist requests sharing one prepared problem context." in
+  Arg.(value & opt int 16 & info [ "batch-max" ] ~docv:"N" ~doc)
+
+let duration_arg =
+  let doc = "Drain and exit after $(docv) seconds (0 = run until SIGINT)." in
+  Arg.(value & opt float 0.0 & info [ "duration-s" ] ~docv:"S" ~doc)
+
+let faults_arg =
+  let doc =
+    "Inject deterministic faults at rate $(b,RATE) with seed $(b,SEED) at \
+     the $(b,serve.accept) and $(b,serve.read) sites: affected \
+     connections/requests degrade to typed rejects, the daemon stays live."
+  in
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' float int)) None
+    & info [ "faults" ] ~docv:"RATE,SEED" ~doc)
+
+let interrupted = ref false
+
+let serve port metrics_port queue_cap batch_max default_deadline_ms
+    default_work duration_s faults jobs =
+  set_jobs jobs;
+  (match faults with
+  | Some (rate, seed) -> Fbb_fault.Fault.configure ~rate ~seed
+  | None -> ());
+  let telemetry =
+    match metrics_port with
+    | None -> Ok None
+    | Some mp -> (
+      (* Spans only record histograms while a sink is installed. *)
+      Fbb_obs.Sink.install Fbb_obs.Sink.null;
+      let sampler = Fbb_obs.Telemetry.start () in
+      match Fbb_obs.Telemetry.serve ~port:mp () with
+      | Ok srv -> Ok (Some (sampler, srv))
+      | Error msg ->
+        Fbb_obs.Telemetry.stop sampler;
+        Fbb_obs.Sink.clear ();
+        Error msg)
+  in
+  match telemetry with
+  | Error msg -> Error msg
+  | Ok telemetry -> (
+    let config =
+      {
+        Serve.Server.default_config with
+        port;
+        queue_capacity = queue_cap;
+        batch_max;
+        default_deadline_ms;
+        default_work;
+      }
+    in
+    match Serve.Server.start ~config () with
+    | Error msg ->
+      (match telemetry with
+      | Some (sampler, srv) ->
+        Fbb_obs.Telemetry.shutdown srv;
+        Fbb_obs.Telemetry.stop sampler;
+        Fbb_obs.Sink.clear ()
+      | None -> ());
+      Error msg
+    | Ok server ->
+      Printf.printf "fbbd listening on 127.0.0.1:%d (queue %d, batch %d, \
+                     jobs %d)\n%!"
+        (Serve.Server.port server) queue_cap batch_max (Fbb_par.Pool.jobs ());
+      (match telemetry with
+      | Some (_, srv) ->
+        Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!"
+          (Fbb_obs.Telemetry.port srv)
+      | None -> ());
+      let handle = Sys.Signal_handle (fun _ -> interrupted := true) in
+      let prev_int = Sys.signal Sys.sigint handle in
+      let prev_term = Sys.signal Sys.sigterm handle in
+      let stop_at =
+        if duration_s > 0.0 then Some (Fbb_obs.Clock.now_s () +. duration_s)
+        else None
+      in
+      let keep_going () =
+        (not !interrupted)
+        &&
+        match stop_at with
+        | Some t -> Fbb_obs.Clock.now_s () < t
+        | None -> true
+      in
+      while keep_going () do
+        Unix.sleepf 0.1
+      done;
+      Printf.printf "fbbd: draining...\n%!";
+      Serve.Server.stop server;
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigterm prev_term;
+      let s = Serve.Server.stats server in
+      Printf.printf "fbbd: served %d, shed %d\n%!" s.P.served s.P.shed;
+      if Fbb_fault.Fault.active () then begin
+        Printf.printf "fault stats (injected/evaluated):\n%!";
+        List.iter
+          (fun (site, evals, injections) ->
+            Printf.printf "  %-16s %d/%d\n%!" site injections evals)
+          (Fbb_fault.Fault.stats ());
+        Fbb_fault.Fault.clear ()
+      end;
+      (match telemetry with
+      | Some (sampler, srv) ->
+        Fbb_obs.Telemetry.shutdown srv;
+        Fbb_obs.Telemetry.stop sampler;
+        Fbb_obs.Sink.clear ()
+      | None -> ());
+      Ok ())
+
+let serve_cmd =
+  let run port metrics queue_cap batch_max deadline work duration faults jobs =
+    match
+      serve port metrics queue_cap batch_max deadline work duration faults jobs
+    with
+    | Ok () -> `Ok ()
+    | Error m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the bias-optimization daemon: line-delimited JSON requests \
+          over TCP, multiplexed over the domain pool through the anytime \
+          cascade, with admission control and same-netlist batching")
+    Term.(
+      ret
+        (const run $ port_arg ~default:9620 $ metrics_port_arg $ queue_cap_arg
+        $ batch_max_arg $ deadline_arg $ work_arg $ duration_arg $ faults_arg
+        $ jobs_arg))
+
+(* ----- request ---------------------------------------------------------- *)
+
+let op_arg =
+  let doc = "Request kind: $(b,solve), $(b,ping) or $(b,stats)." in
+  Arg.(
+    value
+    & opt (enum [ ("solve", `Solve); ("ping", `Ping); ("stats", `Stats) ])
+        `Solve
+    & info [ "op" ] ~docv:"OP" ~doc)
+
+let id_arg =
+  let doc = "Request id echoed on the response." in
+  Arg.(value & opt string "cli" & info [ "id" ] ~docv:"ID" ~doc)
+
+let request port op id design gen beta_pct clusters deadline_ms work =
+  let ( let* ) = Result.bind in
+  let* req =
+    match op with
+    | `Ping -> Ok (P.Ping { id })
+    | `Stats -> Ok (P.Stats { id })
+    | `Solve ->
+      let* workload = workload ~design ~gen in
+      Ok
+        (P.Solve
+           {
+             id;
+             workload;
+             beta = beta_pct /. 100.0;
+             max_clusters = clusters;
+             deadline_ms;
+             work_budget = work;
+           })
+  in
+  let* client = Serve.Client.connect ~port () in
+  let result = Serve.Client.rpc client req in
+  Serve.Client.close client;
+  let* resp = result in
+  print_endline (P.encode_response resp);
+  match resp with
+  | P.Rejected _ -> Error "request rejected"
+  | P.Solved _ | P.Infeasible _ | P.Pong _ | P.Stats_reply _ -> Ok ()
+
+let request_cmd =
+  let run port op id design gen beta clusters deadline work =
+    match request port op id design gen beta clusters deadline work with
+    | Ok () -> `Ok ()
+    | Error m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one request to a running daemon and print the response line")
+    Term.(
+      ret
+        (const run $ port_arg ~default:9620 $ op_arg $ id_arg $ design_arg
+        $ gen_arg $ beta_arg $ clusters_arg $ deadline_arg $ work_arg))
+
+(* ----- load ------------------------------------------------------------- *)
+
+let connections_arg =
+  let doc = "Concurrent closed-loop connections." in
+  Arg.(value & opt int 4 & info [ "c"; "connections" ] ~docv:"N" ~doc)
+
+let requests_arg =
+  let doc = "Total requests across all connections." in
+  Arg.(value & opt int 40 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc =
+    "Per-connection mean arrival rate in Hz (exponential gaps, \
+     deterministic from --seed); 0 sends back-to-back."
+  in
+  Arg.(value & opt float 0.0 & info [ "rate-hz" ] ~docv:"HZ" ~doc)
+
+let seed_arg =
+  let doc = "Load-script seed: same seed, same request script." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let max_p99_arg =
+  let doc = "Exit non-zero when the observed p99 exceeds $(docv) ms." in
+  Arg.(value & opt (some float) None & info [ "max-p99-ms" ] ~docv:"MS" ~doc)
+
+let json_arg =
+  let doc = "Print the report as one JSON object." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let load port connections requests rate_hz seed design gen beta_pct clusters
+    deadline_ms work max_p99_ms json =
+  let ( let* ) = Result.bind in
+  let* wl = workload ~design ~gen in
+  let cfg =
+    {
+      (Serve.Loadgen.default ~port) with
+      connections;
+      requests;
+      rate_hz;
+      seed;
+      workloads = [ wl ];
+      beta = beta_pct /. 100.0;
+      max_clusters = clusters;
+      deadline_ms;
+      work_budget = work;
+    }
+  in
+  let* report = Serve.Loadgen.run cfg in
+  if json then
+    print_endline (Fbb_util.Json.to_string (Serve.Loadgen.report_to_json report))
+  else Format.printf "%a@." Serve.Loadgen.pp_report report;
+  let* () =
+    if report.Serve.Loadgen.errors > 0 then
+      Error (Printf.sprintf "%d protocol/transport errors" report.errors)
+    else Ok ()
+  in
+  match max_p99_ms with
+  | Some gate when report.Serve.Loadgen.p99_ms > gate ->
+    Error (Printf.sprintf "p99 %.1f ms exceeds gate %.1f ms" report.p99_ms gate)
+  | _ -> Ok ()
+
+let load_cmd =
+  let run port conns reqs rate seed design gen beta clusters deadline work gate
+      json =
+    match
+      load port conns reqs rate seed design gen beta clusters deadline work
+        gate json
+    with
+    | Ok () -> `Ok ()
+    | Error m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Closed-loop deterministic load generator: exponential arrivals \
+          from a seeded RNG, latency percentiles from the histogram plane; \
+          exits non-zero on protocol errors or a breached p99 gate")
+    Term.(
+      ret
+        (const run $ port_arg ~default:9620 $ connections_arg $ requests_arg
+        $ rate_arg $ seed_arg $ design_arg $ gen_arg $ beta_arg $ clusters_arg
+        $ deadline_arg $ work_arg $ max_p99_arg $ json_arg))
+
+(* ----- main ------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "fbbd" ~version:"1.0.0"
+      ~doc:"Concurrent bias-optimization service over the anytime cascade"
+  in
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; request_cmd; load_cmd ]))

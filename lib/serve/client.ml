@@ -1,0 +1,37 @@
+type t = {
+  fd : Unix.file_descr;
+  reader : Protocol.reader;
+  mutable closed : bool;
+}
+
+let connect ?(addr = "127.0.0.1") ~port () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | fd -> (
+    match
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port))
+    with
+    | () -> Ok { fd; reader = Protocol.reader fd; closed = false }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "connect %s:%d: %s" addr port (Unix.error_message e)))
+
+let send t req =
+  if t.closed then Error "connection closed"
+  else Protocol.write_frame t.fd (Protocol.encode_request req)
+
+let recv t =
+  if t.closed then Error "connection closed"
+  else
+    match Protocol.read_frame t.reader with
+    | Error e -> Error (Protocol.read_error_to_string e)
+    | Ok line -> Protocol.decode_response line
+
+let rpc t req = Result.bind (send t req) (fun () -> recv t)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

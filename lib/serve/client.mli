@@ -1,0 +1,24 @@
+(** A blocking fbbd client connection.
+
+    Thin wrapper over {!Protocol}: one TCP connection, synchronous
+    send/receive. {!rpc} is the common path — one request, one
+    response. Note that a server batching by netlist answers pipelined
+    [Solve] requests {e out of order} (responses carry the request id
+    for exactly this reason); callers that pipeline must match on
+    {!Protocol.response_id} themselves via {!send}/{!recv}. *)
+
+type t
+
+val connect : ?addr:string -> port:int -> unit -> (t, string) result
+(** TCP connect; [addr] defaults to 127.0.0.1. *)
+
+val send : t -> Protocol.request -> (unit, string) result
+val recv : t -> (Protocol.response, string) result
+(** Next response frame; read errors and undecodable frames come back
+    as [Error] (the server never sends either). *)
+
+val rpc : t -> Protocol.request -> (Protocol.response, string) result
+(** {!send} then {!recv}. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,199 @@
+module Rng = Fbb_util.Rng
+module Json = Fbb_util.Json
+module Clock = Fbb_obs.Clock
+module Histogram = Fbb_obs.Histogram
+
+type config = {
+  addr : string;
+  port : int;
+  connections : int;
+  requests : int;
+  rate_hz : float;
+  seed : int;
+  workloads : Protocol.workload list;
+  beta : float;
+  max_clusters : int;
+  deadline_ms : float option;
+  work_budget : int option;
+}
+
+let default ~port =
+  {
+    addr = "127.0.0.1";
+    port;
+    connections = 4;
+    requests = 40;
+    rate_hz = 0.0;
+    seed = 1;
+    workloads = [ Protocol.Generated { seed = 11; gates = 400; rows = 6 } ];
+    beta = 0.05;
+    max_clusters = 4;
+    deadline_ms = None;
+    work_budget = Some 200_000;
+  }
+
+type report = {
+  sent : int;
+  solved : int;
+  infeasible : int;
+  rejected : int;
+  overload : int;
+  errors : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+}
+
+type tally = {
+  c_sent : int Atomic.t;
+  c_solved : int Atomic.t;
+  c_infeasible : int Atomic.t;
+  c_rejected : int Atomic.t;
+  c_overload : int Atomic.t;
+  c_errors : int Atomic.t;
+  hist : Histogram.t;  (* free-standing: one per run, not registered *)
+}
+
+let incr a = Atomic.incr a
+
+(* Worker [w] owns global request indices w, w+connections, ... so the
+   script is a deterministic function of the config alone. *)
+let worker cfg tally w =
+  let rng = Rng.create ~seed:(cfg.seed + (0x9e3779b9 * (w + 1))) in
+  let nwl = List.length cfg.workloads in
+  let issue client k =
+    let g = w + (k * cfg.connections) in
+    if cfg.rate_hz > 0.0 then begin
+      let u = Rng.uniform rng in
+      Thread.delay (-.log (1.0 -. u) /. cfg.rate_hz)
+    end;
+    let id = Printf.sprintf "w%d-%d" w k in
+    let req =
+      Protocol.Solve
+        {
+          id;
+          workload = List.nth cfg.workloads (g mod nwl);
+          beta = cfg.beta;
+          max_clusters = cfg.max_clusters;
+          deadline_ms = cfg.deadline_ms;
+          work_budget = cfg.work_budget;
+        }
+    in
+    incr tally.c_sent;
+    let t0 = Clock.now_s () in
+    match Client.rpc client req with
+    | Error _ -> incr tally.c_errors
+    | Ok resp ->
+      Histogram.observe tally.hist (Clock.now_s () -. t0);
+      if Protocol.response_id resp <> id then incr tally.c_errors
+      else (
+        match resp with
+        | Protocol.Solved _ -> incr tally.c_solved
+        | Protocol.Infeasible _ -> incr tally.c_infeasible
+        | Protocol.Rejected { reject; _ } ->
+          incr tally.c_rejected;
+          (match reject with
+          | Protocol.Overload _ -> incr tally.c_overload
+          | _ -> ())
+        | Protocol.Pong _ | Protocol.Stats_reply _ -> incr tally.c_errors)
+  in
+  let mine = ref [] in
+  let k = ref 0 in
+  while (!k * cfg.connections) + w < cfg.requests do
+    mine := !k :: !mine;
+    Stdlib.incr k
+  done;
+  let mine = List.rev !mine in
+  if mine <> [] then begin
+    match Client.connect ~addr:cfg.addr ~port:cfg.port () with
+    | Error _ ->
+      (* A refused connection costs this worker its whole share. *)
+      List.iter
+        (fun _ ->
+          incr tally.c_sent;
+          incr tally.c_errors)
+        mine
+    | Ok client ->
+      List.iter (fun k -> try issue client k with _ -> incr tally.c_errors) mine;
+      Client.close client
+  end
+
+let run cfg =
+  if cfg.requests <= 0 then Error "requests must be > 0"
+  else if cfg.connections <= 0 then Error "connections must be > 0"
+  else if cfg.workloads = [] then Error "at least one workload required"
+  else begin
+    let tally =
+      {
+        c_sent = Atomic.make 0;
+        c_solved = Atomic.make 0;
+        c_infeasible = Atomic.make 0;
+        c_rejected = Atomic.make 0;
+        c_overload = Atomic.make 0;
+        c_errors = Atomic.make 0;
+        hist = Histogram.create "loadgen.latency_s";
+      }
+    in
+    let t0 = Clock.now_s () in
+    let threads =
+      List.init cfg.connections (fun w ->
+          Thread.create (fun () -> worker cfg tally w) ())
+    in
+    List.iter Thread.join threads;
+    let elapsed_s = Float.max 1e-9 (Clock.now_s () -. t0) in
+    let ms p =
+      match Histogram.percentile_opt tally.hist p with
+      | Some s -> s *. 1000.0
+      | None -> 0.0
+    in
+    let mean_ms =
+      if Histogram.count tally.hist = 0 then 0.0
+      else Histogram.mean tally.hist *. 1000.0
+    in
+    Ok
+      {
+        sent = Atomic.get tally.c_sent;
+        solved = Atomic.get tally.c_solved;
+        infeasible = Atomic.get tally.c_infeasible;
+        rejected = Atomic.get tally.c_rejected;
+        overload = Atomic.get tally.c_overload;
+        errors = Atomic.get tally.c_errors;
+        elapsed_s;
+        throughput_rps = float_of_int (Atomic.get tally.c_sent) /. elapsed_s;
+        p50_ms = ms 0.50;
+        p90_ms = ms 0.90;
+        p99_ms = ms 0.99;
+        mean_ms;
+        max_ms = Histogram.max_value tally.hist *. 1000.0;
+      }
+  end
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("sent", Json.Num (float_of_int r.sent));
+      ("solved", Json.Num (float_of_int r.solved));
+      ("infeasible", Json.Num (float_of_int r.infeasible));
+      ("rejected", Json.Num (float_of_int r.rejected));
+      ("overload", Json.Num (float_of_int r.overload));
+      ("errors", Json.Num (float_of_int r.errors));
+      ("elapsed_s", Json.Num r.elapsed_s);
+      ("throughput_rps", Json.Num r.throughput_rps);
+      ("p50_ms", Json.Num r.p50_ms);
+      ("p90_ms", Json.Num r.p90_ms);
+      ("p99_ms", Json.Num r.p99_ms);
+      ("mean_ms", Json.Num r.mean_ms);
+      ("max_ms", Json.Num r.max_ms);
+    ]
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "sent %d  solved %d  infeasible %d  rejected %d (overload %d)  errors %d@\n\
+     elapsed %.2fs  %.1f req/s  latency p50 %.1fms  p90 %.1fms  p99 %.1fms  \
+     mean %.1fms  max %.1fms"
+    r.sent r.solved r.infeasible r.rejected r.overload r.errors r.elapsed_s
+    r.throughput_rps r.p50_ms r.p90_ms r.p99_ms r.mean_ms r.max_ms

@@ -1,0 +1,54 @@
+(** Closed-loop load generator for fbbd.
+
+    [connections] worker threads each hold one connection and issue
+    [Solve] requests one at a time (closed loop: a worker never has
+    two requests in flight). Arrivals are Poisson-ish: each worker
+    draws exponential inter-arrival gaps at [rate_hz] from its own
+    deterministic {!Fbb_util.Rng} stream, so a given [(seed,
+    connections, requests)] triple always produces the same request
+    script — ids, workloads, budgets and ordering per worker — which
+    is what lets the bench axis and the CI smoke gate on its numbers.
+
+    Latencies (send → response) land in a {!Fbb_obs.Histogram}; the
+    report carries its p50/p90/p99, mean and max. *)
+
+type config = {
+  addr : string;
+  port : int;
+  connections : int;  (** worker threads, one connection each *)
+  requests : int;  (** total, spread round-robin across workers *)
+  rate_hz : float;  (** per-worker mean arrival rate; 0 = no pacing *)
+  seed : int;
+  workloads : Protocol.workload list;  (** per-request round-robin mix *)
+  beta : float;
+  max_clusters : int;
+  deadline_ms : float option;
+  work_budget : int option;
+}
+
+val default : port:int -> config
+(** 4 connections, 40 requests, unpaced, seed 1, one small generated
+    workload, beta 0.05, 4 clusters, work budget 200k. *)
+
+type report = {
+  sent : int;
+  solved : int;
+  infeasible : int;
+  rejected : int;  (** typed rejects of any kind *)
+  overload : int;  (** the [Overload] subset of [rejected] *)
+  errors : int;  (** transport failures and undecodable frames *)
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+}
+
+val run : config -> (report, string) result
+(** [Error] only on configuration nonsense (no requests, no
+    workloads); per-request failures are counted, never raised. *)
+
+val report_to_json : report -> Fbb_util.Json.t
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,389 @@
+(* Wire protocol for fbbd: one JSON document per line. See the mli for
+   the contract; the shape of every document is pinned by the QCheck
+   round-trip suite in test/test_serve.ml. *)
+
+module J = Fbb_util.Json
+
+type workload =
+  | Benchmark of string
+  | Generated of { seed : int; gates : int; rows : int }
+
+let workload_key = function
+  | Benchmark name -> "bench:" ^ String.lowercase_ascii name
+  | Generated { seed; gates; rows } ->
+    Printf.sprintf "gen:%d:%d:%d" seed gates rows
+
+type solve = {
+  id : string;
+  workload : workload;
+  beta : float;
+  max_clusters : int;
+  deadline_ms : float option;
+  work_budget : int option;
+}
+
+type request =
+  | Solve of solve
+  | Ping of { id : string }
+  | Stats of { id : string }
+
+type attempt = {
+  stage : string;
+  status : string;
+  leakage_nw : float option;
+  work : int;
+}
+
+type reject =
+  | Overload of { retry_after_ms : float }
+  | Shutting_down
+  | Bad_request of string
+  | Faulted of string
+
+type stats_payload = {
+  queue_depth : int;
+  in_flight : int;
+  served : int;
+  shed : int;
+  draining : bool;
+}
+
+type response =
+  | Solved of {
+      id : string;
+      stage : string;
+      levels : int array;
+      leakage_nw : float;
+      gap_pct : float option;
+      optimal : bool;
+      exhausted : bool;
+      attempts : attempt list;
+      elapsed_ms : float;
+    }
+  | Infeasible of { id : string; elapsed_ms : float }
+  | Rejected of { id : string; reject : reject }
+  | Pong of { id : string }
+  | Stats_reply of { id : string; stats : stats_payload }
+
+let response_id = function
+  | Solved { id; _ }
+  | Infeasible { id; _ }
+  | Rejected { id; _ }
+  | Pong { id }
+  | Stats_reply { id; _ } -> id
+
+(* ----- encoding --------------------------------------------------------- *)
+
+let num_i i = J.Num (float_of_int i)
+
+let opt_field name conv = function
+  | None -> []
+  | Some v -> [ (name, conv v) ]
+
+let workload_fields = function
+  | Benchmark name -> [ ("design", J.Str name) ]
+  | Generated { seed; gates; rows } ->
+    [
+      ( "gen",
+        J.Obj
+          [ ("seed", num_i seed); ("gates", num_i gates); ("rows", num_i rows) ]
+      );
+    ]
+
+let request_to_json = function
+  | Solve s ->
+    J.Obj
+      ([ ("op", J.Str "solve"); ("id", J.Str s.id) ]
+      @ workload_fields s.workload
+      @ [ ("beta", J.Num s.beta); ("clusters", num_i s.max_clusters) ]
+      @ opt_field "deadline_ms" (fun v -> J.Num v) s.deadline_ms
+      @ opt_field "work_budget" num_i s.work_budget)
+  | Ping { id } -> J.Obj [ ("op", J.Str "ping"); ("id", J.Str id) ]
+  | Stats { id } -> J.Obj [ ("op", J.Str "stats"); ("id", J.Str id) ]
+
+let attempt_to_json (a : attempt) =
+  J.Obj
+    ([ ("stage", J.Str a.stage); ("status", J.Str a.status) ]
+    @ opt_field "leakage_nw" (fun v -> J.Num v) a.leakage_nw
+    @ [ ("work", num_i a.work) ])
+
+let reject_fields = function
+  | Overload { retry_after_ms } ->
+    [ ("reason", J.Str "overload"); ("retry_after_ms", J.Num retry_after_ms) ]
+  | Shutting_down -> [ ("reason", J.Str "shutting_down") ]
+  | Bad_request msg -> [ ("reason", J.Str "bad_request"); ("message", J.Str msg) ]
+  | Faulted msg -> [ ("reason", J.Str "fault"); ("message", J.Str msg) ]
+
+let response_to_json = function
+  | Solved r ->
+    J.Obj
+      ([
+         ("id", J.Str r.id);
+         ("status", J.Str "solved");
+         ("stage", J.Str r.stage);
+         ("levels", J.Arr (Array.to_list (Array.map num_i r.levels)));
+         ("leakage_nw", J.Num r.leakage_nw);
+       ]
+      @ opt_field "gap_pct" (fun v -> J.Num v) r.gap_pct
+      @ [
+          ("optimal", J.Bool r.optimal);
+          ("exhausted", J.Bool r.exhausted);
+          ("attempts", J.Arr (List.map attempt_to_json r.attempts));
+          ("elapsed_ms", J.Num r.elapsed_ms);
+        ])
+  | Infeasible { id; elapsed_ms } ->
+    J.Obj
+      [
+        ("id", J.Str id);
+        ("status", J.Str "infeasible");
+        ("elapsed_ms", J.Num elapsed_ms);
+      ]
+  | Rejected { id; reject } ->
+    J.Obj
+      ([ ("id", J.Str id); ("status", J.Str "rejected") ] @ reject_fields reject)
+  | Pong { id } -> J.Obj [ ("id", J.Str id); ("status", J.Str "pong") ]
+  | Stats_reply { id; stats } ->
+    J.Obj
+      [
+        ("id", J.Str id);
+        ("status", J.Str "stats");
+        ("queue_depth", num_i stats.queue_depth);
+        ("in_flight", num_i stats.in_flight);
+        ("served", num_i stats.served);
+        ("shed", num_i stats.shed);
+        ("draining", J.Bool stats.draining);
+      ]
+
+let encode_request r = J.to_string (request_to_json r)
+let encode_response r = J.to_string (response_to_json r)
+
+(* ----- decoding --------------------------------------------------------- *)
+
+(* Decoders thread a [(v, string) result] monad; every missing or
+   ill-typed field is an [Error], never an exception. *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str name j =
+  let* v = field name j in
+  match J.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S must be a string" name)
+
+let num name j =
+  let* v = field name j in
+  match J.to_num v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S must be a number" name)
+
+let int_field name j =
+  let* f = num name j in
+  if Float.is_integer f && Float.abs f <= 1e15 then Ok (int_of_float f)
+  else Error (Printf.sprintf "field %S must be an integer" name)
+
+let bool_field name j =
+  let* v = field name j in
+  match v with
+  | J.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let opt decode name j =
+  match J.member name j with
+  | None -> Ok None
+  | Some _ -> Result.map Option.some (decode name j)
+
+let workload_of_json j =
+  match (J.member "design" j, J.member "gen" j) with
+  | Some (J.Str name), None -> Ok (Benchmark name)
+  | None, Some g ->
+    let* seed = int_field "seed" g in
+    let* gates = int_field "gates" g in
+    let* rows = int_field "rows" g in
+    Ok (Generated { seed; gates; rows })
+  | Some _, None -> Error "field \"design\" must be a string"
+  | None, None -> Error "request needs a \"design\" or \"gen\" workload"
+  | Some _, Some _ -> Error "pass either \"design\" or \"gen\", not both"
+
+let decode_request line =
+  match J.parse_opt line with
+  | None -> Error "malformed JSON"
+  | Some j -> (
+    let* op = str "op" j in
+    let* id = str "id" j in
+    match op with
+    | "ping" -> Ok (Ping { id })
+    | "stats" -> Ok (Stats { id })
+    | "solve" ->
+      let* workload = workload_of_json j in
+      let* beta = num "beta" j in
+      let* max_clusters = int_field "clusters" j in
+      let* deadline_ms = opt num "deadline_ms" j in
+      let* work_budget = opt int_field "work_budget" j in
+      Ok (Solve { id; workload; beta; max_clusters; deadline_ms; work_budget })
+    | op -> Error (Printf.sprintf "unknown op %S" op))
+
+let attempt_of_json j =
+  let* stage = str "stage" j in
+  let* status = str "status" j in
+  let* leakage_nw = opt num "leakage_nw" j in
+  let* work = int_field "work" j in
+  Ok { stage; status; leakage_nw; work }
+
+let attempts_of_json j =
+  let* v = field "attempts" j in
+  match v with
+  | J.Arr items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* a = attempt_of_json item in
+        Ok (a :: acc))
+      (Ok []) items
+    |> Result.map List.rev
+  | _ -> Error "field \"attempts\" must be an array"
+
+let levels_of_json j =
+  let* v = field "levels" j in
+  match v with
+  | J.Arr items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match J.to_num item with
+        | Some f when Float.is_integer f -> Ok (int_of_float f :: acc)
+        | _ -> Error "field \"levels\" must hold integers")
+      (Ok []) items
+    |> Result.map (fun l -> Array.of_list (List.rev l))
+  | _ -> Error "field \"levels\" must be an array"
+
+let reject_of_json j =
+  let* reason = str "reason" j in
+  match reason with
+  | "overload" ->
+    let* retry_after_ms = num "retry_after_ms" j in
+    Ok (Overload { retry_after_ms })
+  | "shutting_down" -> Ok Shutting_down
+  | "bad_request" ->
+    let* msg = str "message" j in
+    Ok (Bad_request msg)
+  | "fault" ->
+    let* msg = str "message" j in
+    Ok (Faulted msg)
+  | r -> Error (Printf.sprintf "unknown reject reason %S" r)
+
+let decode_response line =
+  match J.parse_opt line with
+  | None -> Error "malformed JSON"
+  | Some j -> (
+    let* id = str "id" j in
+    let* status = str "status" j in
+    match status with
+    | "pong" -> Ok (Pong { id })
+    | "rejected" ->
+      let* reject = reject_of_json j in
+      Ok (Rejected { id; reject })
+    | "infeasible" ->
+      let* elapsed_ms = num "elapsed_ms" j in
+      Ok (Infeasible { id; elapsed_ms })
+    | "stats" ->
+      let* queue_depth = int_field "queue_depth" j in
+      let* in_flight = int_field "in_flight" j in
+      let* served = int_field "served" j in
+      let* shed = int_field "shed" j in
+      let* draining = bool_field "draining" j in
+      Ok
+        (Stats_reply
+           { id; stats = { queue_depth; in_flight; served; shed; draining } })
+    | "solved" ->
+      let* stage = str "stage" j in
+      let* levels = levels_of_json j in
+      let* leakage_nw = num "leakage_nw" j in
+      let* gap_pct = opt num "gap_pct" j in
+      let* optimal = bool_field "optimal" j in
+      let* exhausted = bool_field "exhausted" j in
+      let* attempts = attempts_of_json j in
+      let* elapsed_ms = num "elapsed_ms" j in
+      Ok
+        (Solved
+           {
+             id;
+             stage;
+             levels;
+             leakage_nw;
+             gap_pct;
+             optimal;
+             exhausted;
+             attempts;
+             elapsed_ms;
+           })
+    | s -> Error (Printf.sprintf "unknown status %S" s))
+
+(* ----- framing ---------------------------------------------------------- *)
+
+let default_max_frame = 1 lsl 20
+
+type read_error = Closed | Truncated | Oversized of int | Io of string
+
+let read_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated -> "truncated frame (EOF mid-line)"
+  | Oversized limit -> Printf.sprintf "frame exceeds %d bytes" limit
+  | Io msg -> "i/o error: " ^ msg
+
+type reader = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  buf : Buffer.t;  (* bytes read but not yet returned *)
+  chunk : Bytes.t;
+}
+
+let reader ?(max_frame = default_max_frame) fd =
+  { fd; max_frame; buf = Buffer.create 512; chunk = Bytes.create 4096 }
+
+(* Pull the first complete line out of [buf], leaving the rest. *)
+let take_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+    Some (String.sub s 0 i)
+
+let rec read_frame r =
+  match take_line r with
+  | Some line ->
+    if String.length line > r.max_frame then Error (Oversized r.max_frame)
+    else Ok line
+  | None ->
+    if Buffer.length r.buf > r.max_frame then Error (Oversized r.max_frame)
+    else begin
+      match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+      | 0 -> if Buffer.length r.buf = 0 then Error Closed else Error Truncated
+      | n ->
+        Buffer.add_subbytes r.buf r.chunk 0 n;
+        read_frame r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_frame r
+      | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+      | exception Sys_error msg -> Error (Io msg)
+    end
+
+let write_frame fd line =
+  let s = line ^ "\n" in
+  let n = String.length s in
+  let rec go off =
+    if off >= n then Ok ()
+    else begin
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | exception Sys_error msg -> Error msg
+    end
+  in
+  go 0

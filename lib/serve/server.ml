@@ -1,0 +1,631 @@
+(* The fbbd daemon core. Thread layout:
+
+     accept thread ──spawns──> one reader thread per connection
+                                   │ admission (bounded queue)
+                                   v
+                            solver thread ── batches ──> Cascade.solve
+                                                          (lib/par pool)
+
+   Readers only parse, admit and answer ping/stats; every solve runs on
+   the single solver thread, which multiplexes the domain pool that the
+   cascade stages fan out on. One solver thread is deliberate: the pool
+   already saturates the machine for a single request, a second
+   concurrent solve would only fight it for domains, and the strict
+   admission order makes latency accounting and the drain barrier
+   trivial. Concurrency lives at the edges (readers/writers), parallelism
+   in the pool.
+
+   Responses are written by whichever thread produced them (reader for
+   rejects and ping/stats, solver for solve payloads) under a
+   per-connection write mutex, so frames never interleave. A request's
+   payload is a pure function of (workload, beta, clusters, work
+   budget): batching, queue order and pool width cannot change it — the
+   determinism suite replays a script at jobs 1 vs 4 and demands
+   bit-identical payloads per request id. *)
+
+module P = Protocol
+module Budget = Fbb_util.Budget
+module Clock = Fbb_obs.Clock
+module Counter = Fbb_obs.Counter
+module Histogram = Fbb_obs.Histogram
+module Span = Fbb_obs.Span
+module Fault = Fbb_fault.Fault
+
+type config = {
+  addr : string;
+  port : int;
+  queue_capacity : int;
+  batch_max : int;
+  max_frame : int;
+  prepared_cap : int;
+  max_gates : int;
+  default_deadline_ms : float option;
+  default_work : int option;
+}
+
+let default_config =
+  {
+    addr = "127.0.0.1";
+    port = 9620;
+    queue_capacity = 64;
+    batch_max = 16;
+    max_frame = P.default_max_frame;
+    prepared_cap = 8;
+    max_gates = 50_000;
+    default_deadline_ms = None;
+    default_work = None;
+  }
+
+(* ----- counters / histograms ------------------------------------------- *)
+
+let c_requests = lazy (Counter.make "serve.requests")
+let c_solved = lazy (Counter.make "serve.solved")
+let c_infeasible = lazy (Counter.make "serve.infeasible")
+let c_shed_overload = lazy (Counter.make "serve.shed.overload")
+let c_shed_draining = lazy (Counter.make "serve.shed.draining")
+let c_bad_request = lazy (Counter.make "serve.bad_request")
+let c_protocol_errors = lazy (Counter.make "serve.protocol_errors")
+let c_fault_accept = lazy (Counter.make "serve.faults.accept")
+let c_fault_read = lazy (Counter.make "serve.faults.read")
+let c_request_faults = lazy (Counter.make "serve.request_faults")
+let c_batches = lazy (Counter.make "serve.batches")
+let c_batched = lazy (Counter.make "serve.batched")
+let c_prepares = lazy (Counter.make "serve.prepares")
+let c_prepared_hits = lazy (Counter.make "serve.prepared_hits")
+let h_latency = lazy (Histogram.make "serve.latency")
+let h_queue_wait = lazy (Histogram.make "serve.queue_wait")
+
+(* ----- connections ------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t;  (* serializes writes; also guards [closed] *)
+  mutable closed : bool;
+}
+
+(* [closed] guards against the fd-reuse hazard: once the reader closes
+   the descriptor the OS may recycle its number, so every later write
+   or shutdown must first check the flag under the same lock. *)
+let close_conn conn =
+  Mutex.protect conn.wlock @@ fun () ->
+  if not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let shutdown_conn conn =
+  Mutex.protect conn.wlock @@ fun () ->
+  if not conn.closed then
+    try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let respond conn resp =
+  let line = P.encode_response resp in
+  Mutex.protect conn.wlock @@ fun () ->
+  if not conn.closed then
+    (* A peer that hung up mid-response is not an error worth acting
+       on: the reader thread sees the close on its side. *)
+    ignore (P.write_frame conn.fd line)
+
+(* ----- prepared problem contexts ---------------------------------------- *)
+
+(* Everything about a netlist that every request for it re-uses: the
+   placement, the flat delay/leakage tables, the nominal analysis, the
+   extracted per-cell longest path set and the per-row leakage tables.
+   [Problem.build] with these in hand skips STA, extraction and the
+   leakage walks — the same amortization Monte-Carlo uses per die —
+   and documents the results as bit-identical with or without them. *)
+type prepared = {
+  placement : Fbb_place.Placement.t;
+  cache : Fbb_sta.Delay_cache.t;
+  analysis : Fbb_sta.Timing.t;
+  paths : Fbb_sta.Paths.path array;
+  row_leak : float array array;
+}
+
+let build_placement = function
+  | P.Benchmark name ->
+    let spec = Fbb_netlist.Benchmarks.find name in
+    let nl = spec.Fbb_netlist.Benchmarks.generate () in
+    Fbb_place.Placement.place ~target_rows:spec.Fbb_netlist.Benchmarks.rows nl
+  | P.Generated { seed; gates; rows } ->
+    let nl = Fbb_netlist.Generators.random_module ~seed ~gates () in
+    Fbb_place.Placement.place ~target_rows:rows nl
+
+let prepare workload =
+  Span.with_ ~name:"serve.prepare" @@ fun () ->
+  Counter.incr (Lazy.force c_prepares);
+  let placement = build_placement workload in
+  let nl = Fbb_place.Placement.netlist placement in
+  let cache = Fbb_sta.Delay_cache.create nl in
+  let analysis = Fbb_sta.Timing.analyze ~cache nl in
+  let paths = Fbb_sta.Paths.through_cell analysis in
+  let row_leak =
+    Fbb_core.Problem.leak_tables placement ~levels:(Fbb_tech.Bias.levels ())
+  in
+  { placement; cache; analysis; paths; row_leak }
+
+(* ----- server state ----------------------------------------------------- *)
+
+type job = { solve : P.solve; conn : conn; admitted_s : float }
+
+type t = {
+  cfg : config;
+  sock : Unix.file_descr;
+  port : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;  (* queue gained work, or stopping *)
+  idle : Condition.t;  (* queue and in-flight both empty *)
+  mutable queue : job list;  (* FIFO; depth tracked separately *)
+  mutable depth : int;
+  mutable in_flight : int;
+  mutable served : int;
+  mutable shed : int;
+  mutable draining : bool;
+  mutable stopping : bool;
+  mutable mean_service_s : float;  (* EWMA feeding the retry-after hint *)
+  prepared : (string, prepared) Hashtbl.t;
+  mutable lru : string list;  (* most recent first *)
+  mutable conns : conn list;
+  mutable threads : Thread.t list;  (* reader threads, for the final join *)
+  mutable accept_thread : Thread.t option;
+  mutable solver_thread : Thread.t option;
+}
+
+let port t = t.port
+
+let stats t : P.stats_payload =
+  Mutex.protect t.lock @@ fun () ->
+  {
+    P.queue_depth = t.depth;
+    in_flight = t.in_flight;
+    served = t.served;
+    shed = t.shed;
+    draining = t.draining || t.stopping;
+  }
+
+(* ----- validation ------------------------------------------------------- *)
+
+let validate cfg (s : P.solve) =
+  if not (Float.is_finite s.beta) || s.beta <= 0.0 || s.beta > 1.0 then
+    Error "beta must be in (0, 1]"
+  else if s.max_clusters < 1 then Error "clusters must be >= 1"
+  else if
+    match s.deadline_ms with
+    | Some d -> (not (Float.is_finite d)) || d < 0.0
+    | None -> false
+  then Error "deadline_ms must be a finite number >= 0"
+  else if (match s.work_budget with Some w -> w < 0 | None -> false) then
+    Error "work_budget must be >= 0"
+  else
+    match s.workload with
+    | P.Benchmark name -> (
+      match Fbb_netlist.Benchmarks.find name with
+      | _ -> Ok ()
+      | exception Not_found ->
+        Error (Printf.sprintf "unknown benchmark %S" name))
+    | P.Generated { seed = _; gates; rows } ->
+      if gates < 8 || gates > cfg.max_gates then
+        Error (Printf.sprintf "gates must be in [8, %d]" cfg.max_gates)
+      else if rows < 2 || rows > 4096 then Error "rows must be in [2, 4096]"
+      else Ok ()
+
+(* ----- admission -------------------------------------------------------- *)
+
+let retry_after_ms t =
+  (* Rough clearing time for the backlog ahead of the shed request:
+     depth plus the in-flight batch, at the recent mean service time
+     (floored so a cold server still hints a real backoff). *)
+  let per = Float.max 0.002 t.mean_service_s in
+  float_of_int (t.depth + t.in_flight + 1) *. per *. 1000.0
+
+let admit t conn (s : P.solve) =
+  Counter.incr (Lazy.force c_requests);
+  match validate t.cfg s with
+  | Error msg ->
+    Counter.incr (Lazy.force c_bad_request);
+    respond conn (P.Rejected { id = s.id; reject = P.Bad_request msg })
+  | Ok () ->
+    let verdict =
+      Mutex.protect t.lock @@ fun () ->
+      if t.draining || t.stopping then begin
+        t.shed <- t.shed + 1;
+        `Shed_draining
+      end
+      else if t.depth >= t.cfg.queue_capacity then begin
+        t.shed <- t.shed + 1;
+        `Shed_overload (retry_after_ms t)
+      end
+      else begin
+        t.queue <- t.queue @ [ { solve = s; conn; admitted_s = Clock.now_s () } ];
+        t.depth <- t.depth + 1;
+        Condition.signal t.nonempty;
+        `Admitted
+      end
+    in
+    (match verdict with
+    | `Admitted -> ()
+    | `Shed_draining ->
+      Counter.incr (Lazy.force c_shed_draining);
+      respond conn (P.Rejected { id = s.id; reject = P.Shutting_down })
+    | `Shed_overload retry_after_ms ->
+      Counter.incr (Lazy.force c_shed_overload);
+      respond conn
+        (P.Rejected { id = s.id; reject = P.Overload { retry_after_ms } }))
+
+(* ----- the solver thread ------------------------------------------------ *)
+
+let status_str = function
+  | Fbb_core.Cascade.Accepted -> "accepted"
+  | Fbb_core.Cascade.No_candidate -> "no_candidate"
+  | Fbb_core.Cascade.Rejected -> "rejected"
+  | Fbb_core.Cascade.Exhausted -> "exhausted"
+  | Fbb_core.Cascade.Crashed m -> "crashed: " ^ m
+
+let find_prepared t key workload =
+  (* Solver-thread-only state: no lock. *)
+  match Hashtbl.find_opt t.prepared key with
+  | Some p ->
+    Counter.incr (Lazy.force c_prepared_hits);
+    t.lru <- key :: List.filter (fun k -> k <> key) t.lru;
+    Ok p
+  | None -> (
+    match prepare workload with
+    | exception exn -> Error (Printexc.to_string exn)
+    | p ->
+      Hashtbl.replace t.prepared key p;
+      t.lru <- key :: List.filter (fun k -> k <> key) t.lru;
+      (match List.filteri (fun i _ -> i >= t.cfg.prepared_cap) t.lru with
+      | [] -> ()
+      | evicted ->
+        List.iter (Hashtbl.remove t.prepared) evicted;
+        t.lru <- List.filteri (fun i _ -> i < t.cfg.prepared_cap) t.lru);
+      Ok p)
+
+let solve_one t prep (job : job) =
+  let s = job.solve in
+  let t0 = Clock.now_s () in
+  let waited = t0 -. job.admitted_s in
+  Histogram.observe (Lazy.force h_queue_wait) waited;
+  let deadline_ms =
+    match s.deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
+  in
+  let work =
+    match s.work_budget with Some _ as w -> w | None -> t.cfg.default_work
+  in
+  let budget =
+    match (deadline_ms, work) with
+    | None, None -> Budget.unlimited
+    | d, w ->
+      (* The deadline is measured from admission: a request that waited
+         in the queue arrives here with only its remainder (possibly
+         zero — the cascade's single-BB floor still returns a
+         signed-off anytime answer). *)
+      Budget.create
+        ?deadline_s:
+          (Option.map (fun ms -> Float.max 0.0 ((ms /. 1000.0) -. waited)) d)
+        ?work:w ()
+  in
+  let trace = if s.id = "" then None else Some ("req:" ^ s.id) in
+  let resp =
+    Fbb_obs.Context.with_ (Fbb_obs.Context.make ?trace ()) @@ fun () ->
+    Span.with_ ~name:"serve.request" @@ fun () ->
+    match
+      let problem =
+        Fbb_core.Problem.build ~cache:prep.cache ~analysis:prep.analysis
+          ~paths:prep.paths ~row_leak:prep.row_leak ~beta:s.beta prep.placement
+      in
+      Fbb_core.Cascade.solve ~max_clusters:s.max_clusters ~budget problem
+    with
+    | exception exn ->
+      (* The cascade already contains stage crashes; anything escaping
+         here (problem build, injected pool faults at the join point)
+         degrades this one request, never the server. *)
+      Counter.incr (Lazy.force c_request_faults);
+      P.Rejected { id = s.id; reject = P.Faulted (Printexc.to_string exn) }
+    | r -> (
+      let elapsed_ms = (Clock.now_s () -. t0) *. 1000.0 in
+      let attempts =
+        List.map
+          (fun (a : Fbb_core.Cascade.attempt) ->
+            {
+              P.stage = Fbb_core.Cascade.stage_name a.stage;
+              status = status_str a.status;
+              leakage_nw = a.leakage_nw;
+              work = a.work_spent;
+            })
+          r.Fbb_core.Cascade.attempts
+      in
+      match r.Fbb_core.Cascade.outcome with
+      | Fbb_core.Cascade.Infeasible ->
+        Counter.incr (Lazy.force c_infeasible);
+        P.Infeasible { id = s.id; elapsed_ms }
+      | Fbb_core.Cascade.Solved { stage; levels; leakage_nw; gap_pct; optimal }
+        ->
+        Counter.incr (Lazy.force c_solved);
+        P.Solved
+          {
+            id = s.id;
+            stage = Fbb_core.Cascade.stage_name stage;
+            levels;
+            leakage_nw;
+            gap_pct;
+            optimal;
+            exhausted = r.Fbb_core.Cascade.exhausted;
+            attempts;
+            elapsed_ms;
+          })
+  in
+  let total_s = Clock.now_s () -. job.admitted_s in
+  Histogram.observe (Lazy.force h_latency) total_s;
+  (* EWMA of pure service time, the retry-after hint's unit. The
+     accounting lands before the response is written, so a client that
+     queries stats right after its reply always sees itself served. *)
+  let service_s = Clock.now_s () -. t0 in
+  Mutex.protect t.lock (fun () ->
+      t.served <- t.served + 1;
+      t.in_flight <- t.in_flight - 1;
+      t.mean_service_s <-
+        (if t.mean_service_s = 0.0 then service_s
+         else (0.8 *. t.mean_service_s) +. (0.2 *. service_s)));
+  respond job.conn resp
+
+(* Head-of-queue batch: the oldest job plus every queued job sharing
+   its netlist key, up to [batch_max], others left in order. *)
+let pop_batch t =
+  match t.queue with
+  | [] -> None
+  | head :: rest ->
+    let key = P.workload_key head.solve.P.workload in
+    let batch, kept =
+      List.fold_left
+        (fun (batch, kept) job ->
+          if
+            List.length batch < t.cfg.batch_max
+            && P.workload_key job.solve.P.workload = key
+          then (job :: batch, kept)
+          else (batch, job :: kept))
+        ([ head ], []) rest
+    in
+    let batch = List.rev batch and kept = List.rev kept in
+    t.queue <- kept;
+    t.depth <- List.length kept;
+    t.in_flight <- List.length batch;
+    Some (key, batch)
+
+let rec solver_loop t =
+  Mutex.lock t.lock;
+  while t.queue = [] && not t.stopping do
+    Condition.wait t.nonempty t.lock
+  done;
+  let popped = pop_batch t in
+  Mutex.unlock t.lock;
+  match popped with
+  | None -> ()  (* stopping with an empty queue *)
+  | Some (key, batch) ->
+    let n = List.length batch in
+    if n > 1 then begin
+      Counter.incr (Lazy.force c_batches);
+      Counter.add (Lazy.force c_batched) (n - 1)
+    end;
+    (match find_prepared t key (List.hd batch).solve.P.workload with
+    | Ok prep -> List.iter (solve_one t prep) batch
+    | Error msg ->
+      (* The workload passed validation but failed to build (e.g. a
+         degenerate generated netlist): every batch member gets the
+         same typed answer. *)
+      List.iter
+        (fun (job : job) ->
+          Counter.incr (Lazy.force c_bad_request);
+          Mutex.protect t.lock (fun () ->
+              t.served <- t.served + 1;
+              t.in_flight <- t.in_flight - 1);
+          respond job.conn
+            (P.Rejected
+               { id = job.solve.P.id; reject = P.Bad_request ("build: " ^ msg) }))
+        batch);
+    Mutex.protect t.lock (fun () ->
+        if t.queue = [] && t.in_flight = 0 then Condition.broadcast t.idle);
+    solver_loop t
+
+(* ----- connection reader ------------------------------------------------ *)
+
+let request_id = function
+  | Ok (P.Solve { id; _ }) | Ok (P.Ping { id }) | Ok (P.Stats { id }) -> id
+  | Error _ -> ""
+
+let handle_conn t conn =
+  let reader = P.reader ~max_frame:t.cfg.max_frame conn.fd in
+  let rec loop () =
+    match P.read_frame reader with
+    | Error P.Closed | Error (P.Io _) -> ()
+    | Error P.Truncated ->
+      (* The peer shut its write side mid-frame; it may still read, so
+         answer before hanging up. *)
+      Counter.incr (Lazy.force c_protocol_errors);
+      respond conn
+        (P.Rejected { id = ""; reject = P.Bad_request "truncated frame" })
+    | Error (P.Oversized limit) ->
+      (* Line framing cannot re-synchronize after an over-long frame:
+         answer and close. *)
+      Counter.incr (Lazy.force c_protocol_errors);
+      respond conn
+        (P.Rejected
+           {
+             id = "";
+             reject =
+               P.Bad_request (Printf.sprintf "frame exceeds %d bytes" limit);
+           })
+    | Ok line ->
+      (if Fault.fire "serve.read" then begin
+         (* Injected read fault: this request degrades to a typed
+            reject; the connection and the server live on. *)
+         Counter.incr (Lazy.force c_fault_read);
+         respond conn
+           (P.Rejected
+              {
+                id = request_id (P.decode_request line);
+                reject = P.Faulted "injected serve.read fault";
+              })
+       end
+       else
+         match P.decode_request line with
+         | Error msg ->
+           Counter.incr (Lazy.force c_protocol_errors);
+           respond conn (P.Rejected { id = ""; reject = P.Bad_request msg })
+         | Ok (P.Ping { id }) -> respond conn (P.Pong { id })
+         | Ok (P.Stats { id }) ->
+           respond conn (P.Stats_reply { id; stats = stats t })
+         | Ok (P.Solve s) -> admit t conn s);
+      loop ()
+  in
+  (try loop () with _ -> ());
+  close_conn conn
+
+let handle_poisoned t conn =
+  let reader = P.reader ~max_frame:t.cfg.max_frame conn.fd in
+  (try
+     match P.read_frame reader with
+     | Ok line ->
+       respond conn
+         (P.Rejected
+            {
+              id = request_id (P.decode_request line);
+              reject = P.Faulted "injected serve.accept fault";
+            })
+     | Error _ -> ()
+   with _ -> ());
+  close_conn conn
+
+(* ----- accept loop ------------------------------------------------------ *)
+
+let stopping t = Mutex.protect t.lock (fun () -> t.stopping)
+
+let rec accept_loop t =
+  match Unix.accept t.sock with
+  | fd, _ ->
+    if stopping t then (try Unix.close fd with Unix.Unix_error _ -> ())
+    else begin
+      (* An accept-faulted connection still answers its first frame —
+         with a typed reject — before closing: writing the reject
+         eagerly at accept would race the peer's request against the
+         close (the RST can eat the greeting), and a fault that
+         degrades to a lost write is indistinguishable from a crash. *)
+      let poisoned = Fault.fire "serve.accept" in
+      if poisoned then Counter.incr (Lazy.force c_fault_accept);
+      let conn = { fd; wlock = Mutex.create (); closed = false } in
+      let th =
+        Thread.create
+          (fun () ->
+            if poisoned then handle_poisoned t conn else handle_conn t conn)
+          ()
+      in
+      Mutex.protect t.lock (fun () ->
+          t.conns <- conn :: t.conns;
+          t.threads <- th :: t.threads)
+    end;
+    if not (stopping t) then accept_loop t
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    if not (stopping t) then accept_loop t
+  | exception _ ->
+    if not (stopping t) then begin
+      Thread.delay 0.05;
+      accept_loop t
+    end
+
+(* ----- lifecycle -------------------------------------------------------- *)
+
+let start ?(config = default_config) () =
+  (* A peer that disappears between frames must error the write, not
+     deliver SIGPIPE to the whole daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock
+      (Unix.ADDR_INET (Unix.inet_addr_of_string config.addr, config.port));
+    Unix.listen sock 64
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "bind %s:%d: %s" config.addr config.port
+         (Unix.error_message e))
+  | () ->
+    let port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> config.port
+    in
+    let t =
+      {
+        cfg = config;
+        sock;
+        port;
+        lock = Mutex.create ();
+        nonempty = Condition.create ();
+        idle = Condition.create ();
+        queue = [];
+        depth = 0;
+        in_flight = 0;
+        served = 0;
+        shed = 0;
+        draining = false;
+        stopping = false;
+        mean_service_s = 0.0;
+        prepared = Hashtbl.create 8;
+        lru = [];
+        conns = [];
+        threads = [];
+        accept_thread = None;
+        solver_thread = None;
+      }
+    in
+    t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+    t.solver_thread <- Some (Thread.create (fun () -> solver_loop t) ());
+    Ok t
+
+let drain t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  while t.depth > 0 || t.in_flight > 0 do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+(* Wake the blocking accept(2) with a throwaway self-connection — the
+   same portable trick Telemetry.shutdown uses. *)
+let wake_accept t =
+  try
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port)))
+  with _ -> ()
+
+let stop t =
+  drain t;
+  let already =
+    Mutex.protect t.lock @@ fun () ->
+    let was = t.stopping in
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    was
+  in
+  if not already then begin
+    wake_accept t;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    t.accept_thread <- None;
+    (match t.solver_thread with Some th -> Thread.join th | None -> ());
+    t.solver_thread <- None;
+    let conns, threads =
+      Mutex.protect t.lock (fun () -> (t.conns, t.threads))
+    in
+    List.iter shutdown_conn conns;
+    List.iter Thread.join threads;
+    List.iter close_conn conns;
+    Mutex.protect t.lock (fun () ->
+        t.conns <- [];
+        t.threads <- []);
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,79 @@
+(** fbbd: the concurrent bias-optimization service over the cascade.
+
+    A server listens on TCP for line-delimited JSON {!Protocol}
+    requests and multiplexes them over the {!Fbb_par.Pool} domain pool
+    through {!Fbb_core.Cascade.solve}:
+
+    - an {b accept} thread takes connections and spawns one reader
+      thread per connection (the peer count is bounded by the OS, not
+      the server — connections are cheap, requests are admitted);
+    - {b admission control}: [Solve] requests enter a bounded queue;
+      at capacity the request is shed immediately with a typed
+      [Rejected Overload] carrying a retry-after hint derived from the
+      queue depth and the recent mean service time. A draining server
+      sheds with [Shutting_down];
+    - a single {b solver} thread drains the queue in {b batches}: the
+      head request plus every queued request with the same
+      {!Protocol.workload_key} (up to [batch_max]) share one prepared
+      problem context — placement, {!Fbb_sta.Delay_cache}, nominal
+      analysis, extracted path set, leakage tables — so same-netlist
+      traffic amortizes the expensive pre-processing exactly like the
+      Monte-Carlo inner loop does. Batching is an {e amortization},
+      never a semantic: response payloads are bit-identical whether a
+      request was batched or solved alone, which the determinism suite
+      enforces;
+    - each request runs under its own {!Fbb_util.Budget} (wall
+      deadline measured from admission, so queue wait counts; work
+      ticks verbatim) inside a per-request {!Fbb_obs.Context} and a
+      [serve.request] span. A request past its deadline still returns
+      the cascade's anytime floor — a signed-off [Solved] payload —
+      never a timeout error.
+
+    Faults: the ["serve.accept"] site poisons a new connection — its
+    first frame is answered with a typed [Rejected Faulted], then the
+    connection closes; the ["serve.read"] site degrades one request to
+    [Rejected Faulted]. Neither ever kills the server, and solver
+    crashes are contained per request the same way.
+
+    Observability: [serve.*] counters (requests, solved, infeasible,
+    shed, protocol_errors, faults, batches, batched) plus the
+    [serve.latency] and [serve.queue_wait] histograms feed the
+    {!Fbb_obs.Telemetry} plane, so a daemon started with a metrics
+    port exposes live p50/p99 on [GET /metrics]. *)
+
+type config = {
+  addr : string;  (** bind address, default 127.0.0.1 *)
+  port : int;  (** 0 picks an ephemeral port *)
+  queue_capacity : int;
+      (** admission bound; 0 sheds every request (useful in tests) *)
+  batch_max : int;  (** max requests per same-netlist batch *)
+  max_frame : int;  (** per-line protocol bound, bytes *)
+  prepared_cap : int;  (** prepared-context LRU size (netlist keys) *)
+  max_gates : int;  (** [Generated] workload admission bound *)
+  default_deadline_ms : float option;
+      (** applied when a request carries no budget of its own *)
+  default_work : int option;
+}
+
+val default_config : config
+(** port 9620, queue 64, batch 16, 1 MiB frames, 8 prepared contexts,
+    50k gates, no default budgets. *)
+
+type t
+
+val start : ?config:config -> unit -> (t, string) result
+(** Bind, listen and spawn the accept + solver threads. [Error] on
+    bind failure. Installs a [SIGPIPE] ignore (a dead peer must error
+    the write, not kill the daemon). *)
+
+val port : t -> int
+val stats : t -> Protocol.stats_payload
+
+val drain : t -> unit
+(** Graceful drain: stop admitting ([Solve] requests are shed with
+    [Shutting_down]; ping/stats still answer), then block until the
+    queue and the in-flight batch are empty. Idempotent. *)
+
+val stop : t -> unit
+(** {!drain}, then shut every connection down, close the listener and
+    join all threads. Idempotent; the server is unusable afterwards. *)

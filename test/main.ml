@@ -21,6 +21,7 @@ let () =
       ("integration", Test_integration.suite);
       ("oracle", Test_oracle.suite);
       ("determinism", Test_determinism.suite);
+      ("serve", Test_serve.suite);
       ("properties", Test_properties.suite);
       ("trace", Test_trace.suite);
     ]

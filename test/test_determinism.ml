@@ -175,6 +175,18 @@ let test_cascade () =
         a b)
     [ 0; 5; 50; 5000 ]
 
+(* ----- the serving plane ------------------------------------------------ *)
+
+let test_serve_script () =
+  (* End to end through fbbd: a fixed request script over a live
+     server — admission, same-netlist batching, budgeted cascade —
+     must yield bit-identical response payloads per request id at any
+     pool width (elapsed_ms, the only wall-clock field, is zeroed by
+     the canonicalizer). *)
+  let a = Test_serve.script_replay ~jobs:1 () in
+  let b = Test_serve.script_replay ~jobs:4 () in
+  check_eq "serve script payloads bit-identical jobs=1 vs 4" a b
+
 (* ----- live telemetry is read-only -------------------------------------- *)
 
 let test_cascade_with_telemetry () =
@@ -233,6 +245,7 @@ let suite =
     Alcotest.test_case "cascade" `Quick test_cascade;
     Alcotest.test_case "cascade with live telemetry" `Quick
       test_cascade_with_telemetry;
+    Alcotest.test_case "serve script replay" `Quick test_serve_script;
     Alcotest.test_case "branch and bound" `Quick test_branch_bound;
     Alcotest.test_case "reduce_paths" `Quick test_reduce_paths;
     Alcotest.test_case "ilp flow" `Quick test_ilp_flow;

@@ -106,6 +106,87 @@ let test_pool_contains_injected_faults () =
             (Pool.parallel_map ~chunk:1 [| 1; 2; 3 |] ~f:succ)))
     [ 1; 4 ]
 
+let test_serve_fault_storm () =
+  (* A seeded fault storm at the serve.accept / serve.read sites: every
+     request still gets exactly one typed response (degraded to
+     Rejected Faulted when a site fires), the daemon never dies, and
+     the telemetry /healthz endpoint keeps answering throughout. *)
+  let module Server = Fbb_serve.Server in
+  let module Client = Fbb_serve.Client in
+  let module P = Fbb_serve.Protocol in
+  let config =
+    { Server.default_config with port = 0; queue_capacity = 16; batch_max = 4 }
+  in
+  let sampler = Fbb_obs.Telemetry.start ~tick_s:0.05 () in
+  match Fbb_obs.Telemetry.serve ~port:0 () with
+  | Error m -> Alcotest.failf "telemetry: %s" m
+  | Ok tsrv ->
+    Fun.protect ~finally:(fun () ->
+        Fbb_obs.Telemetry.shutdown tsrv;
+        Fbb_obs.Telemetry.stop sampler)
+    @@ fun () ->
+    (* The server starts before injection goes live so its own bind
+       isn't the thing being faulted — the sites under test are per
+       connection and per frame. *)
+    (match Server.start ~config () with
+    | Error m -> Alcotest.failf "server start: %s" m
+    | Ok srv ->
+      Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+      let healthz () =
+        let url =
+          Printf.sprintf "http://127.0.0.1:%d/healthz"
+            (Fbb_obs.Telemetry.port tsrv)
+        in
+        match Fault.with_paused (fun () -> Fbb_obs.Telemetry.http_get url) with
+        | Ok _ -> ()
+        | Error m -> Alcotest.failf "healthz during storm: %s" m
+      in
+      let solved = ref 0 and faulted = ref 0 and other = ref 0 in
+      with_faults ~rate:0.3 ~seed:9 (fun () ->
+          for i = 1 to 30 do
+            (* Fresh connection per request: every accept and every
+               read evaluates its fault site. *)
+            match Client.connect ~port:(Server.port srv) () with
+            | Error m -> Alcotest.failf "connect (storm %d): %s" i m
+            | Ok c ->
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              let req =
+                P.Solve
+                  {
+                    id = Printf.sprintf "storm-%d" i;
+                    workload = P.Generated { seed = 5; gates = 80; rows = 3 };
+                    beta = 0.05;
+                    max_clusters = 3;
+                    deadline_ms = None;
+                    work_budget = Some 2_000;
+                  }
+              in
+              (match Client.rpc c req with
+              | Ok (P.Solved _) -> incr solved
+              | Ok (P.Rejected { reject = P.Faulted _; _ }) -> incr faulted
+              | Ok r ->
+                incr other;
+                Alcotest.failf "unexpected response %s" (P.encode_response r)
+              | Error m ->
+                Alcotest.failf "request %d escaped the typed protocol: %s" i m);
+              if i mod 10 = 0 then healthz ()
+          done);
+      Alcotest.(check int) "every request answered" 30
+        (!solved + !faulted + !other);
+      Alcotest.(check bool) "storm degraded some requests" true (!faulted > 0);
+      Alcotest.(check bool) "server still solved through the storm" true
+        (!solved > 0);
+      (* Injection off: the daemon is fully serviceable afterwards. *)
+      match Client.connect ~port:(Server.port srv) () with
+      | Error m -> Alcotest.failf "connect after storm: %s" m
+      | Ok c ->
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        (match Client.rpc c (P.Ping { id = "after" }) with
+        | Ok (P.Pong { id = "after" }) -> ()
+        | Ok r ->
+          Alcotest.failf "expected pong, got %s" (P.encode_response r)
+        | Error m -> Alcotest.failf "ping after storm: %s" m))
+
 let suite =
   [
     ("inactive by default", `Quick, test_inactive_by_default);
@@ -115,4 +196,5 @@ let suite =
     ("exceptions and stats", `Quick, test_exceptions_and_stats);
     ("pool contains injected faults", `Quick,
      test_pool_contains_injected_faults);
+    ("serve fault storm", `Quick, test_serve_fault_storm);
   ]

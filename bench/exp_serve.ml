@@ -25,6 +25,16 @@ let run () =
   | Error msg -> Printf.printf "serve: cannot start server: %s\n" msg
   | Ok server ->
     Fun.protect ~finally:(fun () -> Fbb_serve.Server.stop server) @@ fun () ->
+    (* Record flights like the production daemon does — teed onto the
+       harness's aggregate sink, so the gated [exp.serve] span keeps
+       its statistics and prices the recorder's overhead too. *)
+    Fbb_obs.Flight.clear ();
+    let flight_sink =
+      match Fbb_obs.Sink.installed () with
+      | None -> Fbb_obs.Flight.sink ()
+      | Some base -> Fbb_obs.Sink.tee base (Fbb_obs.Flight.sink ())
+    in
+    Fbb_obs.Sink.with_installed flight_sink @@ fun () ->
     let cfg =
       {
         (Fbb_serve.Loadgen.default ~port:(Fbb_serve.Server.port server)) with

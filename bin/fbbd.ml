@@ -2,12 +2,16 @@
 
    Subcommands:
      serve   - run the daemon (line-delimited JSON over TCP), optionally
-               with a live /metrics telemetry endpoint and injected
-               faults at the serve.accept / serve.read sites
+               with a live telemetry endpoint (/metrics, /requests,
+               /slo.json, ...) and injected faults at the serve.accept /
+               serve.read sites
      request - send one request (solve, ping or stats) and print the
                response line
      load    - closed-loop deterministic load generator; exits non-zero
-               on protocol errors or a breached p99 gate *)
+               on protocol errors, a breached p99 gate or (--slo) a
+               breached SLO burn rate
+     tail    - live request log: follow the daemon's flight recorder
+               over its telemetry endpoint *)
 
 open Cmdliner
 module Serve = Fbb_serve
@@ -69,10 +73,67 @@ let set_jobs = Option.iter Fbb_par.Pool.set_jobs
 let metrics_port_arg =
   let doc =
     "Also serve live telemetry ($(b,GET /metrics), $(b,GET /snapshot.json), \
-     $(b,GET /healthz)) on 127.0.0.1:$(docv); 0 picks an ephemeral port."
+     $(b,GET /requests), $(b,GET /request/<trace-id>.json), \
+     $(b,GET /slo.json), $(b,GET /healthz)) on 127.0.0.1:$(docv); 0 picks an \
+     ephemeral port. Enables the request flight recorder."
   in
   Arg.(
     value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+
+let slo_p99_arg =
+  let doc =
+    "Latency threshold for the default $(b,latency_p99) SLO: a telemetry \
+     tick is bad when the per-tick serve.latency p99 exceeds $(docv) ms."
+  in
+  Arg.(value & opt float 5000.0 & info [ "slo-p99-ms" ] ~docv:"MS" ~doc)
+
+(* Default objectives for the daemon: tick-level p99 latency, shed
+   rate and error rate, each on the standard 5m/1h window pair. The
+   burn limits mean "breached when >2x the budgeted bad fraction is
+   sustained across both windows". *)
+let register_default_slos ~p99_ms =
+  let open Fbb_obs.Slo in
+  register
+    {
+      slo_name = "latency_p99";
+      kind =
+        Latency_p
+          {
+            series = "hist.serve.latency.p99_s";
+            threshold_s = p99_ms /. 1000.0;
+          };
+      target = 0.9;
+      windows = default_windows;
+      burn_limit = 2.0;
+    };
+  register
+    {
+      slo_name = "shed_rate";
+      kind =
+        Ratio
+          {
+            bad =
+              [ "counter.serve.shed.overload"; "counter.serve.shed.draining" ];
+            total = "counter.serve.requests";
+          };
+      target = 0.9;
+      windows = default_windows;
+      burn_limit = 2.0;
+    };
+  register
+    {
+      slo_name = "error_rate";
+      kind =
+        Ratio
+          {
+            bad =
+              [ "counter.serve.request_faults"; "counter.serve.protocol_errors" ];
+            total = "counter.serve.requests";
+          };
+      target = 0.99;
+      windows = default_windows;
+      burn_limit = 2.0;
+    }
 
 let queue_cap_arg =
   let doc = "Admission queue capacity; requests beyond it are shed with a \
@@ -101,7 +162,7 @@ let faults_arg =
 let interrupted = ref false
 
 let serve port metrics_port queue_cap batch_max default_deadline_ms
-    default_work duration_s faults jobs =
+    default_work duration_s faults slo_p99_ms jobs =
   set_jobs jobs;
   (match faults with
   | Some (rate, seed) -> Fbb_fault.Fault.configure ~rate ~seed
@@ -110,8 +171,11 @@ let serve port metrics_port queue_cap batch_max default_deadline_ms
     match metrics_port with
     | None -> Ok None
     | Some mp -> (
-      (* Spans only record histograms while a sink is installed. *)
-      Fbb_obs.Sink.install Fbb_obs.Sink.null;
+      (* Spans only fire while a sink is installed; the flight
+         recorder's sink both enables them and captures each request's
+         tree for /requests and /request/<id>.json. *)
+      Fbb_obs.Sink.install (Fbb_obs.Flight.sink ());
+      register_default_slos ~p99_ms:slo_p99_ms;
       let sampler = Fbb_obs.Telemetry.start () in
       match Fbb_obs.Telemetry.serve ~port:mp () with
       | Ok srv -> Ok (Some (sampler, srv))
@@ -191,9 +255,11 @@ let serve port metrics_port queue_cap batch_max default_deadline_ms
       Ok ())
 
 let serve_cmd =
-  let run port metrics queue_cap batch_max deadline work duration faults jobs =
+  let run port metrics queue_cap batch_max deadline work duration faults
+      slo_p99 jobs =
     match
-      serve port metrics queue_cap batch_max deadline work duration faults jobs
+      serve port metrics queue_cap batch_max deadline work duration faults
+        slo_p99 jobs
     with
     | Ok () -> `Ok ()
     | Error m -> `Error (false, m)
@@ -208,7 +274,7 @@ let serve_cmd =
       ret
         (const run $ port_arg ~default:9620 $ metrics_port_arg $ queue_cap_arg
         $ batch_max_arg $ deadline_arg $ work_arg $ duration_arg $ faults_arg
-        $ jobs_arg))
+        $ slo_p99_arg $ jobs_arg))
 
 (* ----- request ---------------------------------------------------------- *)
 
@@ -295,8 +361,51 @@ let json_arg =
   let doc = "Print the report as one JSON object." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let slo_url_arg =
+  let doc =
+    "After the run, fetch $(docv)/slo.json from the daemon's telemetry \
+     endpoint and exit non-zero when any objective's burn rate is breached."
+  in
+  Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"URL" ~doc)
+
+(* Fetch /slo.json and fold it into a pass/fail verdict listing the
+   breached objectives by name. *)
+let slo_gate base_url =
+  let module J = Fbb_util.Json in
+  let url =
+    let base =
+      let n = String.length base_url in
+      if n > 0 && base_url.[n - 1] = '/' then String.sub base_url 0 (n - 1)
+      else base_url
+    in
+    base ^ "/slo.json"
+  in
+  match Fbb_obs.Telemetry.http_get url with
+  | Error msg -> Error ("slo gate: " ^ msg)
+  | Ok body -> (
+    match J.parse_opt body with
+    | None -> Error "slo gate: malformed /slo.json"
+    | Some j -> (
+      match (J.member "ok" j, J.member_arr "objectives" j) with
+      | Some (J.Bool true), Some _ -> Ok ()
+      | Some (J.Bool false), Some objectives ->
+        let breached =
+          List.filter_map
+            (fun o ->
+              match (J.member "ok" o, J.member_str "name" o) with
+              | Some (J.Bool false), Some name ->
+                Some
+                  (Printf.sprintf "%s (burn fast %.2f / slow %.2f)" name
+                     (Option.value ~default:Float.nan (J.member_num "burn_fast" o))
+                     (Option.value ~default:Float.nan (J.member_num "burn_slow" o)))
+              | _ -> None)
+            objectives
+        in
+        Error ("slo gate breached: " ^ String.concat ", " breached)
+      | _ -> Error "slo gate: /slo.json missing ok/objectives"))
+
 let load port connections requests rate_hz seed design gen beta_pct clusters
-    deadline_ms work max_p99_ms json =
+    deadline_ms work max_p99_ms json slo_url =
   let ( let* ) = Result.bind in
   let* wl = workload ~design ~gen in
   let cfg =
@@ -322,17 +431,21 @@ let load port connections requests rate_hz seed design gen beta_pct clusters
       Error (Printf.sprintf "%d protocol/transport errors" report.errors)
     else Ok ()
   in
-  match max_p99_ms with
-  | Some gate when report.Serve.Loadgen.p99_ms > gate ->
-    Error (Printf.sprintf "p99 %.1f ms exceeds gate %.1f ms" report.p99_ms gate)
-  | _ -> Ok ()
+  let* () =
+    match max_p99_ms with
+    | Some gate when report.Serve.Loadgen.p99_ms > gate ->
+      Error
+        (Printf.sprintf "p99 %.1f ms exceeds gate %.1f ms" report.p99_ms gate)
+    | _ -> Ok ()
+  in
+  match slo_url with Some url -> slo_gate url | None -> Ok ()
 
 let load_cmd =
   let run port conns reqs rate seed design gen beta clusters deadline work gate
-      json =
+      json slo =
     match
       load port conns reqs rate seed design gen beta clusters deadline work
-        gate json
+        gate json slo
     with
     | Ok () -> `Ok ()
     | Error m -> `Error (false, m)
@@ -342,12 +455,108 @@ let load_cmd =
        ~doc:
          "Closed-loop deterministic load generator: exponential arrivals \
           from a seeded RNG, latency percentiles from the histogram plane; \
-          exits non-zero on protocol errors or a breached p99 gate")
+          exits non-zero on protocol errors, a breached p99 gate or a \
+          breached SLO burn rate (--slo)")
     Term.(
       ret
         (const run $ port_arg ~default:9620 $ connections_arg $ requests_arg
         $ rate_arg $ seed_arg $ design_arg $ gen_arg $ beta_arg $ clusters_arg
-        $ deadline_arg $ work_arg $ max_p99_arg $ json_arg))
+        $ deadline_arg $ work_arg $ max_p99_arg $ json_arg $ slo_url_arg))
+
+(* ----- tail ------------------------------------------------------------- *)
+
+let tail_url_arg =
+  let doc = "Base URL of the daemon's telemetry endpoint." in
+  Arg.(
+    value
+    & opt string "http://127.0.0.1:9621"
+    & info [ "url" ] ~docv:"URL" ~doc)
+
+let tail_interval_arg =
+  let doc = "Poll interval in milliseconds." in
+  Arg.(value & opt int 500 & info [ "interval-ms" ] ~docv:"MS" ~doc)
+
+let tail_once_arg =
+  let doc = "Print the current index once and exit (no following)." in
+  Arg.(value & flag & info [ "once" ] ~doc)
+
+(* Follow the flight recorder: poll /requests and print every entry
+   with a sequence number above the last one seen. The recorder's seq
+   is process-monotone, so eviction never replays an old entry. *)
+let tail url interval_ms once =
+  let ( let* ) = Result.bind in
+  let module J = Fbb_util.Json in
+  let base =
+    let n = String.length url in
+    if n > 0 && url.[n - 1] = '/' then String.sub url 0 (n - 1) else url
+  in
+  let print_entry e =
+    let num name = Option.value ~default:0.0 (J.member_num name e) in
+    let str name = Option.value ~default:"" (J.member_str name e) in
+    let exhausted =
+      match J.member "exhausted" e with Some (J.Bool true) -> " exhausted" | _ -> ""
+    in
+    let detail = match str "detail" with "" -> "" | d -> " " ^ d in
+    Printf.printf "#%-5d %-24s %-10s%s  wait %6.1fms  total %8.1fms%s\n%!"
+      (int_of_float (num "seq"))
+      (str "trace") (str "outcome") detail (num "queue_wait_ms")
+      (num "latency_ms") exhausted
+  in
+  let last_seq = ref 0 in
+  let poll () =
+    match Fbb_obs.Telemetry.http_get (base ^ "/requests") with
+    | Error msg -> Error msg
+    | Ok body -> (
+      match Option.bind (J.parse_opt body) (J.member_arr "requests") with
+      | None -> Error "malformed /requests index"
+      | Some entries ->
+        (* The index is newest-first; replay the new tail oldest-first. *)
+        let fresh =
+          List.filter
+            (fun e ->
+              match J.member_num "seq" e with
+              | Some s -> int_of_float s > !last_seq
+              | None -> false)
+            entries
+          |> List.rev
+        in
+        List.iter
+          (fun e ->
+            print_entry e;
+            match J.member_num "seq" e with
+            | Some s -> last_seq := max !last_seq (int_of_float s)
+            | None -> ())
+          fresh;
+        Ok ())
+  in
+  if once then poll ()
+  else begin
+    (* Transient fetch failures (daemon restarting, scrape timeout) are
+       survivable when following; only the first poll is load-bearing. *)
+    let* () = poll () in
+    let stop = ref false in
+    let handle = Sys.Signal_handle (fun _ -> stop := true) in
+    let prev = Sys.signal Sys.sigint handle in
+    while not !stop do
+      Unix.sleepf (float_of_int (max 50 interval_ms) /. 1000.0);
+      match poll () with Ok () | Error _ -> ()
+    done;
+    Sys.set_signal Sys.sigint prev;
+    Ok ()
+  end
+
+let tail_cmd =
+  let run url interval once =
+    match tail url interval once with
+    | Ok () -> `Ok ()
+    | Error m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Live request log: follow a running daemon's flight recorder over \
+          its telemetry endpoint, one line per served/shed request")
+    Term.(ret (const run $ tail_url_arg $ tail_interval_arg $ tail_once_arg))
 
 (* ----- main ------------------------------------------------------------- *)
 
@@ -356,4 +565,4 @@ let () =
     Cmd.info "fbbd" ~version:"1.0.0"
       ~doc:"Concurrent bias-optimization service over the anytime cascade"
   in
-  exit (Cmd.eval (Cmd.group info [ serve_cmd; request_cmd; load_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; request_cmd; load_cmd; tail_cmd ]))

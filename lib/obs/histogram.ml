@@ -28,12 +28,23 @@ let octaves = max_exp - min_exp
    Values beyond the top octave clamp into the last bucket. *)
 let n_buckets = 1 + (octaves * sub)
 
+(* An exemplar is one immutable block: the bucket's last writer swaps
+   the whole pointer with a single atomic store, so a concurrent reader
+   sees either the previous exemplar or the new one, never a trace id
+   from one observation paired with the value of another. *)
+type exemplar = { ex_trace : string; ex_value : float; ex_ts : float }
+
 type t = {
   name : string;
   buckets : int Atomic.t array;
   count : int Atomic.t;
   sum : float Atomic.t;
   max : float Atomic.t;
+  (* Allocated by [enable_exemplars]; [None] costs observe nothing.
+     The field is plain mutable: enable before concurrent observation
+     starts (a racing observer may miss the array and skip its
+     exemplar, never corrupt one). *)
+  mutable exemplars : exemplar option Atomic.t array option;
 }
 
 let create name =
@@ -43,6 +54,7 @@ let create name =
     count = Atomic.make 0;
     sum = Atomic.make 0.0;
     max = Atomic.make 0.0;
+    exemplars = None;
   }
 
 let name t = t.name
@@ -103,11 +115,33 @@ let rec cas_max cell x =
   let old = Atomic.get cell in
   if x > old && not (Atomic.compare_and_set cell old x) then cas_max cell x
 
-let observe t v =
-  ignore (Atomic.fetch_and_add t.buckets.(bucket_of_value v) 1);
+let enable_exemplars t =
+  Mutex.lock registry_mutex;
+  (if t.exemplars = None then
+     t.exemplars <- Some (Array.init n_buckets (fun _ -> Atomic.make None)));
+  Mutex.unlock registry_mutex
+
+let exemplars_enabled t = t.exemplars <> None
+
+let observe ?exemplar t v =
+  let bi = bucket_of_value v in
+  ignore (Atomic.fetch_and_add t.buckets.(bi) 1);
   ignore (Atomic.fetch_and_add t.count 1);
   cas_add t.sum v;
-  cas_max t.max v
+  cas_max t.max v;
+  match (exemplar, t.exemplars) with
+  | Some trace, Some arr when trace <> "" ->
+    (* Last-writer-wins: a plain atomic store of one immutable block. *)
+    Atomic.set arr.(bi)
+      (Some { ex_trace = trace; ex_value = v; ex_ts = Clock.now_unix () })
+  | _ -> ()
+
+let exemplar_of_bucket t i =
+  match t.exemplars with
+  | None -> None
+  | Some arr -> if i >= 0 && i < n_buckets then Atomic.get arr.(i) else None
+
+let exemplar_for t v = exemplar_of_bucket t (bucket_of_value v)
 
 let record t v =
   observe t v;
@@ -267,7 +301,10 @@ let reset t =
   Array.iter (fun b -> Atomic.set b 0) t.buckets;
   Atomic.set t.count 0;
   Atomic.set t.sum 0.0;
-  Atomic.set t.max 0.0
+  Atomic.set t.max 0.0;
+  match t.exemplars with
+  | None -> ()
+  | Some arr -> Array.iter (fun c -> Atomic.set c None) arr
 
 let reset_all () = Hashtbl.iter (fun _ h -> reset h) registry
 

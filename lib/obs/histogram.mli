@@ -24,10 +24,41 @@ val make : string -> t
 
 val name : t -> string
 
-val observe : t -> float -> unit
+val observe : ?exemplar:string -> t -> float -> unit
 (** Record one value (lock-free; no event). Zero, negative and NaN
     values land in the dedicated bottom bucket and count toward
-    [count] but not [max]. *)
+    [count] but not [max]. [?exemplar] attaches a trace id to the
+    value's bucket when {!enable_exemplars} has been called
+    (last-writer-wins; ignored otherwise, and when [""]). *)
+
+(** {2 Exemplars}
+
+    Each bucket can remember the trace id of the last observation that
+    landed in it, so a scraped percentile links back to one concrete
+    request. An exemplar is a single immutable block swapped with one
+    atomic store: concurrent writers race by whole exemplars — a
+    reader can never see the trace id of one observation with the
+    value of another. *)
+
+type exemplar = { ex_trace : string; ex_value : float; ex_ts : float }
+
+val enable_exemplars : t -> unit
+(** Allocate the per-bucket exemplar slots (idempotent). Call before
+    concurrent observation starts: a racing observer may skip its
+    exemplar while the array appears, never corrupt one. *)
+
+val exemplars_enabled : t -> bool
+
+val exemplar_of_bucket : t -> int -> exemplar option
+(** The bucket's current exemplar ([None] out of range, when disabled,
+    or when nothing traced landed there yet). *)
+
+val exemplar_for : t -> float -> exemplar option
+(** Exemplar of the bucket that value [v] falls into. *)
+
+val bucket_upper : int -> float
+(** Inclusive upper edge of bucket [i] on the log-linear grid (0.0 for
+    the zero/negative bucket) — the [le] edge {!Promtext} renders. *)
 
 val record : t -> float -> unit
 (** [observe] plus an {!Event.Hist_record} emission when a sink is

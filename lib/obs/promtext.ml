@@ -43,6 +43,19 @@ let escape_help s =
     s;
   Buffer.contents b
 
+(* Label-value escaping additionally covers the double quote (trace
+   ids are client-supplied request ids — anything can be in them). *)
+let escape_label s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let render () =
   let b = Buffer.create 4096 in
   let meta name typ help =
@@ -70,15 +83,44 @@ let render () =
       if Histogram.count h > 0 then begin
         let name = Histogram.name h in
         let n = metric_name name ^ "_seconds" in
-        meta n "summary" (Printf.sprintf "Distribution of %s durations." name);
-        List.iter
-          (fun (q, p) ->
-            match Histogram.percentile_opt h p with
-            | None -> ()
-            | Some v ->
+        if Histogram.exemplars_enabled h then begin
+          (* Exemplar-enabled histograms expose their buckets (only the
+             non-empty ones — the log-linear grid has ~1k) so each
+             [le] edge can carry its last trace id in OpenMetrics
+             exemplar syntax: a scraped p99 links to one request. *)
+          meta n "histogram" (Printf.sprintf "Distribution of %s durations." name);
+          let cum = ref 0 in
+          List.iter
+            (fun (i, c) ->
+              cum := !cum + c;
+              let ex =
+                match Histogram.exemplar_of_bucket h i with
+                | None -> ""
+                | Some e ->
+                  Printf.sprintf " # {trace_id=\"%s\"} %s %s"
+                    (escape_label e.Histogram.ex_trace)
+                    (fmt_float e.Histogram.ex_value)
+                    (fmt_float e.Histogram.ex_ts)
+              in
               Buffer.add_string b
-                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n q (fmt_float v)))
-          [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ];
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d%s\n" n
+                   (fmt_float (Histogram.bucket_upper i))
+                   !cum ex))
+            (Histogram.nonzero_buckets h);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Histogram.count h))
+        end
+        else begin
+          meta n "summary" (Printf.sprintf "Distribution of %s durations." name);
+          List.iter
+            (fun (q, p) ->
+              match Histogram.percentile_opt h p with
+              | None -> ()
+              | Some v ->
+                Buffer.add_string b
+                  (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n q (fmt_float v)))
+            [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ]
+        end;
         Buffer.add_string b
           (Printf.sprintf "%s_sum %s\n" n (fmt_float (Histogram.sum h)));
         Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (Histogram.count h))
@@ -108,19 +150,21 @@ let valid_value s =
 let split_ws s =
   String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
 
+(* A comment line is either a HELP/TYPE declaration (whose metric name
+   the caller tracks for duplicate-block detection) or free text. *)
 let check_comment line =
   match split_ws line with
   | "#" :: "TYPE" :: name :: [ typ ] ->
     if not (valid_name name) then Error ("bad metric name in TYPE: " ^ name)
     else if not (List.mem typ known_types) then
       Error ("unknown metric type: " ^ typ)
-    else Ok ()
+    else Ok (`Type name)
   | "#" :: "TYPE" :: _ -> Error "TYPE line needs exactly a name and a type"
   | "#" :: "HELP" :: name :: _ ->
-    if valid_name name then Ok ()
+    if valid_name name then Ok (`Help name)
     else Error ("bad metric name in HELP: " ^ name)
   | "#" :: "HELP" :: [] -> Error "HELP line needs a metric name"
-  | _ -> Ok () (* arbitrary comment *)
+  | _ -> Ok `Other (* arbitrary comment *)
 
 (* Walk an optional {k="v",...} label block starting at [i] (just past
    the opening brace); returns the index past the closing brace. *)
@@ -152,6 +196,34 @@ let rec scan_labels line i =
     end
   end
 
+(* OpenMetrics exemplar suffix: " # {labels} value [timestamp]",
+   starting at index [i] (just past the '#'). Only metrics made of
+   counting samples may carry one, which the caller enforces. *)
+let check_exemplar line i =
+  let n = String.length line in
+  let i = ref i in
+  while !i < n && line.[!i] = ' ' do incr i done;
+  if !i >= n || line.[!i] <> '{' then Error "exemplar needs a {label} set"
+  else
+    match scan_labels line (!i + 1) with
+    | Error e -> Error ("exemplar " ^ e)
+    | Ok j -> (
+      match split_ws (String.sub line j (n - j)) with
+      | [ value ] ->
+        if valid_value value then Ok ()
+        else Error ("bad exemplar value: " ^ value)
+      | [ value; timestamp ] ->
+        if not (valid_value value) then Error ("bad exemplar value: " ^ value)
+        else if float_of_string_opt timestamp = None then
+          Error ("bad exemplar timestamp: " ^ timestamp)
+        else Ok ()
+      | [] -> Error "exemplar has no value"
+      | _ -> Error "trailing tokens after exemplar value and timestamp")
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and ln = String.length s in
+  ln >= ls && String.sub s (ln - ls) ls = suffix
+
 let check_sample line =
   let n = String.length line in
   let i = ref 0 in
@@ -160,33 +232,66 @@ let check_sample line =
   else if not (valid_name (String.sub line 0 !i)) then
     Error "invalid metric name"
   else begin
+    let mname = String.sub line 0 !i in
     let after_labels =
       if !i < n && line.[!i] = '{' then scan_labels line (!i + 1) else Ok !i
     in
     match after_labels with
     | Error e -> Error e
     | Ok j -> (
-      let rest = String.sub line j (n - j) in
-      match split_ws rest with
-      | [ value ] ->
-        if valid_value value then Ok () else Error ("bad value: " ^ value)
-      | [ value; timestamp ] ->
-        if not (valid_value value) then Error ("bad value: " ^ value)
-        else if int_of_string_opt timestamp = None then
-          Error ("bad timestamp: " ^ timestamp)
-        else Ok ()
-      | [] -> Error "sample line has no value"
-      | _ -> Error "trailing tokens after value and timestamp")
+      (* A '#' after the label block opens an exemplar section: values
+         and timestamps cannot contain one. *)
+      let rest_end =
+        match String.index_from_opt line j '#' with Some k -> k | None -> n
+      in
+      let exemplar =
+        if rest_end = n then Ok ()
+        else if not (ends_with ~suffix:"_bucket" mname
+                     || ends_with ~suffix:"_total" mname)
+        then Error "exemplar on a non-counting sample"
+        else check_exemplar line (rest_end + 1)
+      in
+      match exemplar with
+      | Error e -> Error e
+      | Ok () -> (
+        let rest = String.sub line j (rest_end - j) in
+        match split_ws rest with
+        | [ value ] ->
+          if valid_value value then Ok () else Error ("bad value: " ^ value)
+        | [ value; timestamp ] ->
+          if not (valid_value value) then Error ("bad value: " ^ value)
+          else if int_of_string_opt timestamp = None then
+            Error ("bad timestamp: " ^ timestamp)
+          else Ok ()
+        | [] -> Error "sample line has no value"
+        | _ -> Error "trailing tokens after value and timestamp"))
   end
 
 let validate text =
   let lines = String.split_on_char '\n' text in
+  (* One HELP and one TYPE block per metric name: a page where two
+     registry names sanitize to the same metric would otherwise pass
+     per-line checks while confusing every real scraper. *)
+  let seen_help = Hashtbl.create 64 and seen_type = Hashtbl.create 64 in
+  let note tbl what name =
+    if Hashtbl.mem tbl name then
+      Error (Printf.sprintf "duplicate %s block for metric %s" what name)
+    else begin
+      Hashtbl.add tbl name ();
+      Ok ()
+    end
+  in
   let rec go lineno = function
     | [] -> Ok ()
     | line :: rest -> (
       let verdict =
         if line = "" then Ok ()
-        else if line.[0] = '#' then check_comment line
+        else if line.[0] = '#' then
+          match check_comment line with
+          | Error e -> Error e
+          | Ok (`Help name) -> note seen_help "HELP" name
+          | Ok (`Type name) -> note seen_type "TYPE" name
+          | Ok `Other -> Ok ()
         else check_sample line
       in
       match verdict with

@@ -1,9 +1,15 @@
-(** Prometheus text exposition (format 0.0.4) over the live
-    registries, and a validator for the same format.
+(** Prometheus text exposition (format 0.0.4, plus OpenMetrics
+    exemplars) over the live registries, and a validator for the same
+    format.
 
     Counters render as [<name>_total] counters, gauges as gauges, and
     non-empty registry histograms as summaries carrying p50/p90/p99
-    quantiles plus [_sum]/[_count]. Metric names are sanitized by
+    quantiles plus [_sum]/[_count]. Histograms with
+    {!Histogram.enable_exemplars} render instead as histograms: one
+    [_bucket{le="..."}] line per non-empty bucket (cumulative counts),
+    each carrying its last trace id in OpenMetrics exemplar syntax
+    ([... # {trace_id="..."} value ts]) so a scraped percentile links
+    to one concrete request. Metric names are sanitized by
     {!metric_name}. *)
 
 val metric_name : string -> string
@@ -18,8 +24,11 @@ val render : unit -> string
 
 val validate : string -> (unit, string) result
 (** Check a text page against the exposition format: HELP/TYPE comment
-    shape, metric-name syntax, label-block syntax, float values
-    (including [NaN]/[+Inf]/[-Inf]) and optional integer timestamps.
-    [Error] carries the first offending 1-based line number. Used by
-    [fbbopt scrape] and the CI smoke test in place of a real
-    Prometheus. *)
+    shape (at most one HELP and one TYPE block per metric name, so a
+    sanitization collision between two registry names is caught),
+    metric-name syntax, label-block syntax, float values (including
+    [NaN]/[+Inf]/[-Inf]), optional integer timestamps, and OpenMetrics
+    exemplar sections ([# {labels} value [ts]]; only legal on
+    [_bucket]/[_total] samples). [Error] carries the first offending
+    1-based line number. Used by [fbbopt scrape] and the CI smoke test
+    in place of a real Prometheus. *)

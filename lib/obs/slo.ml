@@ -1,0 +1,184 @@
+(* Declarative service-level objectives evaluated as multi-window burn
+   rates over the telemetry Series rings.
+
+   An objective names a target fraction of "good" outcomes (e.g.
+   99.9% of requests under 250 ms) and two windows, fast and slow
+   (default 5 m / 1 h). Each window's burn rate is
+
+       burn = bad_fraction / (1 - target)
+
+   i.e. how many times faster than the error budget allows the service
+   is currently burning it: 1.0 exactly consumes the budget over the
+   SLO period, 14.4 is the classic "page now" fast-burn threshold. An
+   objective is breached only when BOTH windows exceed [burn_limit] —
+   the fast window makes the alert responsive, the slow window keeps a
+   single bad tick from paging (the standard multi-window multi-burn
+   construction).
+
+   Two kinds of objective cover the daemon's needs:
+
+   - [Latency_p]: over a per-tick percentile series (e.g.
+     "hist.serve.latency.p99_s"), a tick is bad when its value exceeds
+     the threshold. Idle ticks (NaN) do not count either way.
+   - [Ratio]: over per-tick counter-delta series, bad_fraction is
+     (sum of bad deltas) / (sum of total deltas) across the window —
+     e.g. shed.overload over requests.
+
+   Evaluation runs inside the telemetry sampler's pass (one walk of
+   each referenced ring per tick — microseconds) and publishes
+   slo.<name>.burn_fast / .burn_slow / .ok gauges, so the objectives
+   surface through every existing pane: /metrics, /snapshot.json and
+   the /slo.json endpoint this module renders.
+
+   Windows clamp to the ring history: Series keep the last [cap]
+   samples (2 minutes at the default tick and cap), so a 1 h window
+   over a young or small ring evaluates what is actually there. That
+   errs toward alerting late, never toward inventing data. *)
+
+type windows = { fast_s : float; slow_s : float }
+
+let default_windows = { fast_s = 300.0; slow_s = 3600.0 }
+
+type kind =
+  | Latency_p of { series : string; threshold_s : float }
+  | Ratio of { bad : string list; total : string }
+
+type objective = {
+  slo_name : string;
+  kind : kind;
+  target : float;  (* good fraction in [0, 1) *)
+  windows : windows;
+  burn_limit : float;
+}
+
+type status = {
+  objective : objective;
+  burn_fast : float;
+  burn_slow : float;
+  ok : bool;
+}
+
+(* ----- registry ---------------------------------------------------------- *)
+
+let lock = Mutex.create ()
+let objectives : objective list ref = ref []  (* registration order *)
+
+let register o =
+  if not (o.target >= 0.0 && o.target < 1.0) then
+    invalid_arg "Slo.register: target must be in [0, 1)";
+  if not (o.burn_limit > 0.0) then
+    invalid_arg "Slo.register: burn_limit must be > 0";
+  Mutex.protect lock @@ fun () ->
+  objectives :=
+    List.filter (fun x -> x.slo_name <> o.slo_name) !objectives @ [ o ]
+
+let clear () = Mutex.protect lock @@ fun () -> objectives := []
+let registered () = Mutex.protect lock @@ fun () -> !objectives
+
+(* ----- evaluation -------------------------------------------------------- *)
+
+(* Points of [series] within the last [w] seconds of [now]; the empty
+   array when the series does not exist yet. *)
+let window_points name ~now ~w =
+  let s = Series.make name in
+  Series.points s
+  |> Array.to_list
+  |> List.filter (fun (ts, _) -> ts >= now -. w)
+
+let bad_fraction kind ~now ~w =
+  match kind with
+  | Latency_p { series; threshold_s } ->
+    let pts =
+      window_points series ~now ~w
+      |> List.filter (fun (_, v) -> not (Float.is_nan v))
+    in
+    let n = List.length pts in
+    if n = 0 then 0.0
+    else begin
+      let bad =
+        List.length (List.filter (fun (_, v) -> v > threshold_s) pts)
+      in
+      float_of_int bad /. float_of_int n
+    end
+  | Ratio { bad; total } ->
+    let sum name =
+      window_points name ~now ~w
+      |> List.fold_left
+           (fun acc (_, v) -> if Float.is_nan v then acc else acc +. v)
+           0.0
+    in
+    let t = sum total in
+    if t <= 0.0 then 0.0
+    else List.fold_left (fun acc n -> acc +. sum n) 0.0 bad /. t
+
+let burn_rate o ~now ~w =
+  let budget = 1.0 -. o.target in
+  bad_fraction o.kind ~now ~w /. budget
+
+let evaluate ?now o =
+  let now = match now with Some t -> t | None -> Clock.now_unix () in
+  let burn_fast = burn_rate o ~now ~w:o.windows.fast_s in
+  let burn_slow = burn_rate o ~now ~w:o.windows.slow_s in
+  let ok = not (burn_fast > o.burn_limit && burn_slow > o.burn_limit) in
+  { objective = o; burn_fast; burn_slow; ok }
+
+let publish st =
+  let set suffix v =
+    Counter.Gauge.set
+      (Counter.Gauge.make ("slo." ^ st.objective.slo_name ^ suffix))
+      v
+  in
+  set ".burn_fast" st.burn_fast;
+  set ".burn_slow" st.burn_slow;
+  set ".ok" (if st.ok then 1.0 else 0.0)
+
+let evaluate_all ?now () =
+  let os = registered () in
+  let statuses = List.map (fun o -> evaluate ?now o) os in
+  List.iter publish statuses;
+  statuses
+
+(* ----- JSON -------------------------------------------------------------- *)
+
+module J = Fbb_util.Json
+
+let kind_json = function
+  | Latency_p { series; threshold_s } ->
+    J.Obj
+      [
+        ("kind", J.Str "latency_percentile");
+        ("series", J.Str series);
+        ("threshold_s", J.Num threshold_s);
+      ]
+  | Ratio { bad; total } ->
+    J.Obj
+      [
+        ("kind", J.Str "ratio");
+        ("bad", J.Arr (List.map (fun n -> J.Str n) bad));
+        ("total", J.Str total);
+      ]
+
+let status_json st =
+  let o = st.objective in
+  J.Obj
+    [
+      ("name", J.Str o.slo_name);
+      ("objective", kind_json o.kind);
+      ("target", J.Num o.target);
+      ("fast_window_s", J.Num o.windows.fast_s);
+      ("slow_window_s", J.Num o.windows.slow_s);
+      ("burn_limit", J.Num o.burn_limit);
+      ("burn_fast", J.Num st.burn_fast);
+      ("burn_slow", J.Num st.burn_slow);
+      ("ok", J.Bool st.ok);
+    ]
+
+let to_json ?now () =
+  let statuses = evaluate_all ?now () in
+  J.Obj
+    [
+      ("schema", J.Str "fbb-slo-1");
+      ("ts_unix", J.Num (Clock.now_unix ()));
+      ("ok", J.Bool (List.for_all (fun st -> st.ok) statuses));
+      ("objectives", J.Arr (List.map status_json statuses));
+    ]

@@ -1,0 +1,66 @@
+(** Declarative SLOs evaluated as multi-window burn rates.
+
+    An objective states a target good-fraction (e.g. 0.999) over some
+    signal and is evaluated over a fast and a slow window (default
+    5 m / 1 h) of the telemetry {!Series} rings:
+
+    {v burn = bad_fraction / (1 - target) v}
+
+    — how many times faster than budget the service is burning its
+    error allowance. An objective is breached only when {e both}
+    windows exceed [burn_limit] (the standard multi-window multi-burn
+    alert: responsive via the fast window, flap-free via the slow
+    one). Windows clamp to the history a ring actually holds.
+
+    {!evaluate_all} runs inside the telemetry sampler pass and
+    publishes [slo.<name>.burn_fast] / [.burn_slow] / [.ok] gauges;
+    {!to_json} backs the telemetry server's [/slo.json] and the
+    [fbbd load --slo] gate. *)
+
+type windows = { fast_s : float; slow_s : float }
+
+val default_windows : windows
+(** 300 s fast / 3600 s slow. *)
+
+type kind =
+  | Latency_p of { series : string; threshold_s : float }
+      (** A tick is bad when the percentile series (e.g.
+          ["hist.serve.latency.p99_s"]) exceeds the threshold; NaN
+          (idle) ticks count neither way. *)
+  | Ratio of { bad : string list; total : string }
+      (** Sum of the bad counter-delta series over the window divided
+          by the sum of the total series (0 when the total is 0). *)
+
+type objective = {
+  slo_name : string;
+  kind : kind;
+  target : float;  (** good fraction in [0, 1) *)
+  windows : windows;
+  burn_limit : float;  (** breach when both windows burn faster *)
+}
+
+type status = {
+  objective : objective;
+  burn_fast : float;
+  burn_slow : float;
+  ok : bool;
+}
+
+val register : objective -> unit
+(** Add or replace (by name). Raises [Invalid_argument] on a target
+    outside [0, 1) or a non-positive burn limit. *)
+
+val clear : unit -> unit
+val registered : unit -> objective list
+
+val evaluate : ?now:float -> objective -> status
+(** Evaluate one objective against the current rings; [?now] (unix
+    seconds) pins the window edge for tests. *)
+
+val evaluate_all : ?now:float -> unit -> status list
+(** Evaluate every registered objective and publish the [slo.*]
+    gauges. Called by the telemetry sampler each tick. *)
+
+val to_json : ?now:float -> unit -> Fbb_util.Json.t
+(** Schema ["fbb-slo-1"]: evaluates everything and renders one status
+    object per objective plus a top-level all-ok flag. *)

@@ -115,6 +115,10 @@ let sample_now s =
             (float_of_int (Histogram.interval_count ?since:prev snap))
       end)
     (Histogram.registered ());
+  (* Burn rates read the rings just pushed, so objectives see this
+     tick's data; publishing gauges here means the next tick's pass
+     (and any scrape in between) carries fresh slo.* values. *)
+  ignore (Slo.evaluate_all ~now ());
   s.ticks <- s.ticks + 1;
   s.busy_s <- s.busy_s +. (Clock.now_s () -. t0);
   Counter.Gauge.set (Lazy.force g_ticks) (float_of_int s.ticks);
@@ -261,6 +265,49 @@ let read_request fd =
   in
   go ()
 
+(* %XX-decode a path component: trace ids are client-supplied request
+   ids, which a careful client will percent-encode. *)
+let percent_decode s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some h, Some l ->
+          Buffer.add_char b (Char.chr ((h * 16) + l));
+          go (i + 3)
+        | _ ->
+          Buffer.add_char b s.[i];
+          go (i + 1)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents b
+
+(* /request/<trace-id>.json → the trace id, if the path has that shape. *)
+let request_path_trace path =
+  let prefix = "/request/" and suffix = ".json" in
+  let lp = String.length prefix and ls = String.length suffix in
+  let n = String.length path in
+  if
+    n > lp + ls
+    && String.sub path 0 lp = prefix
+    && String.sub path (n - ls) ls = suffix
+  then Some (percent_decode (String.sub path lp (n - lp - ls)))
+  else None
+
 let handle_conn fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
@@ -281,7 +328,22 @@ let handle_conn fd =
       respond fd "200 OK" "application/json"
         (Fbb_util.Json.to_string (snapshot_json ()) ^ "\n")
     | "/healthz" -> respond fd "200 OK" "text/plain" "ok\n"
-    | _ -> respond fd "404 Not Found" "text/plain" "not found\n")
+    | "/requests" ->
+      respond fd "200 OK" "application/json"
+        (Fbb_util.Json.to_string (Flight.index_json ()) ^ "\n")
+    | "/slo.json" ->
+      respond fd "200 OK" "application/json"
+        (Fbb_util.Json.to_string (Slo.to_json ()) ^ "\n")
+    | path -> (
+      match request_path_trace path with
+      | Some trace -> (
+        match Flight.record_json trace with
+        | Some j ->
+          respond fd "200 OK" "application/json"
+            (Fbb_util.Json.to_string j ^ "\n")
+        | None ->
+          respond fd "404 Not Found" "text/plain" "no such request\n")
+      | None -> respond fd "404 Not Found" "text/plain" "not found\n"))
   | _ :: _ :: _ -> respond fd "405 Method Not Allowed" "text/plain" "GET only\n"
   | _ -> respond fd "400 Bad Request" "text/plain" "bad request\n"
 

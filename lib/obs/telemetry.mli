@@ -9,9 +9,15 @@
     state, so enabling telemetry cannot change results (the determinism
     suite enforces this).
 
+    Each pass also evaluates the registered {!Slo} objectives over the
+    rings it just pushed, publishing [slo.*] burn-rate gauges.
+
     The server is a minimal HTTP/1.0 endpoint (the seed of [fbbd])
     serving [GET /metrics] (Prometheus text, {!Promtext}),
-    [GET /snapshot.json] (registries + series as JSON) and
+    [GET /snapshot.json] (registries + series as JSON),
+    [GET /requests] and [GET /request/<trace-id>.json] (the {!Flight}
+    recorder's index and full records; the trace id may be
+    percent-encoded), [GET /slo.json] ({!Slo.to_json}) and
     [GET /healthz]. Connections are handled serially — scrape traffic,
     not request traffic. *)
 

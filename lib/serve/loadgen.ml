@@ -38,14 +38,23 @@ type report = {
   infeasible : int;
   rejected : int;
   overload : int;
+  shed : int;
   errors : int;
   elapsed_s : float;
   throughput_rps : float;
+  shed_rate : float;
   p50_ms : float;
   p90_ms : float;
   p99_ms : float;
   mean_ms : float;
   max_ms : float;
+  retry_p50_ms : float;
+  retry_p90_ms : float;
+  retry_p99_ms : float;
+  retry_max_ms : float;
+  queue_p50_ms : float option;
+  queue_p90_ms : float option;
+  queue_p99_ms : float option;
 }
 
 type tally = {
@@ -54,8 +63,10 @@ type tally = {
   c_infeasible : int Atomic.t;
   c_rejected : int Atomic.t;
   c_overload : int Atomic.t;
+  c_shed : int Atomic.t;
   c_errors : int Atomic.t;
   hist : Histogram.t;  (* free-standing: one per run, not registered *)
+  retry_hist : Histogram.t;  (* server retry-after hints, in seconds *)
 }
 
 let incr a = Atomic.incr a
@@ -97,7 +108,11 @@ let worker cfg tally w =
         | Protocol.Rejected { reject; _ } ->
           incr tally.c_rejected;
           (match reject with
-          | Protocol.Overload _ -> incr tally.c_overload
+          | Protocol.Overload { retry_after_ms } ->
+            incr tally.c_overload;
+            incr tally.c_shed;
+            Histogram.observe tally.retry_hist (retry_after_ms /. 1000.0)
+          | Protocol.Shutting_down -> incr tally.c_shed
           | _ -> ())
         | Protocol.Pong _ | Protocol.Stats_reply _ -> incr tally.c_errors)
   in
@@ -134,8 +149,10 @@ let run cfg =
         c_infeasible = Atomic.make 0;
         c_rejected = Atomic.make 0;
         c_overload = Atomic.make 0;
+        c_shed = Atomic.make 0;
         c_errors = Atomic.make 0;
         hist = Histogram.create "loadgen.latency_s";
+        retry_hist = Histogram.create "loadgen.retry_after_s";
       }
     in
     let t0 = Clock.now_s () in
@@ -145,55 +162,103 @@ let run cfg =
     in
     List.iter Thread.join threads;
     let elapsed_s = Float.max 1e-9 (Clock.now_s () -. t0) in
-    let ms p =
-      match Histogram.percentile_opt tally.hist p with
+    (* One stats round-trip after the run: the server-side queue-wait
+       percentiles the client cannot measure (admission → dequeue). *)
+    let queue_stats =
+      match Client.connect ~addr:cfg.addr ~port:cfg.port () with
+      | Error _ -> None
+      | Ok client ->
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            match Client.rpc client (Protocol.Stats { id = "loadgen-stats" }) with
+            | Ok (Protocol.Stats_reply { stats; _ }) -> Some stats
+            | Ok _ | Error _ -> None)
+    in
+    let ms_of h p =
+      match Histogram.percentile_opt h p with
       | Some s -> s *. 1000.0
       | None -> 0.0
     in
+    let ms p = ms_of tally.hist p in
     let mean_ms =
       if Histogram.count tally.hist = 0 then 0.0
       else Histogram.mean tally.hist *. 1000.0
     in
+    let sent = Atomic.get tally.c_sent in
     Ok
       {
-        sent = Atomic.get tally.c_sent;
+        sent;
         solved = Atomic.get tally.c_solved;
         infeasible = Atomic.get tally.c_infeasible;
         rejected = Atomic.get tally.c_rejected;
         overload = Atomic.get tally.c_overload;
+        shed = Atomic.get tally.c_shed;
         errors = Atomic.get tally.c_errors;
         elapsed_s;
-        throughput_rps = float_of_int (Atomic.get tally.c_sent) /. elapsed_s;
+        throughput_rps = float_of_int sent /. elapsed_s;
+        shed_rate =
+          float_of_int (Atomic.get tally.c_shed) /. float_of_int (max 1 sent);
         p50_ms = ms 0.50;
         p90_ms = ms 0.90;
         p99_ms = ms 0.99;
         mean_ms;
         max_ms = Histogram.max_value tally.hist *. 1000.0;
+        retry_p50_ms = ms_of tally.retry_hist 0.50;
+        retry_p90_ms = ms_of tally.retry_hist 0.90;
+        retry_p99_ms = ms_of tally.retry_hist 0.99;
+        retry_max_ms = Histogram.max_value tally.retry_hist *. 1000.0;
+        queue_p50_ms = Option.bind queue_stats (fun s -> s.Protocol.queue_p50_ms);
+        queue_p90_ms = Option.bind queue_stats (fun s -> s.Protocol.queue_p90_ms);
+        queue_p99_ms = Option.bind queue_stats (fun s -> s.Protocol.queue_p99_ms);
       }
   end
 
 let report_to_json r =
+  let opt name = function
+    | None -> []
+    | Some v -> [ (name, Json.Num v) ]
+  in
   Json.Obj
-    [
-      ("sent", Json.Num (float_of_int r.sent));
-      ("solved", Json.Num (float_of_int r.solved));
-      ("infeasible", Json.Num (float_of_int r.infeasible));
-      ("rejected", Json.Num (float_of_int r.rejected));
-      ("overload", Json.Num (float_of_int r.overload));
-      ("errors", Json.Num (float_of_int r.errors));
-      ("elapsed_s", Json.Num r.elapsed_s);
-      ("throughput_rps", Json.Num r.throughput_rps);
-      ("p50_ms", Json.Num r.p50_ms);
-      ("p90_ms", Json.Num r.p90_ms);
-      ("p99_ms", Json.Num r.p99_ms);
-      ("mean_ms", Json.Num r.mean_ms);
-      ("max_ms", Json.Num r.max_ms);
-    ]
+    ([
+       ("sent", Json.Num (float_of_int r.sent));
+       ("solved", Json.Num (float_of_int r.solved));
+       ("infeasible", Json.Num (float_of_int r.infeasible));
+       ("rejected", Json.Num (float_of_int r.rejected));
+       ("overload", Json.Num (float_of_int r.overload));
+       ("shed", Json.Num (float_of_int r.shed));
+       ("errors", Json.Num (float_of_int r.errors));
+       ("elapsed_s", Json.Num r.elapsed_s);
+       ("throughput_rps", Json.Num r.throughput_rps);
+       ("shed_rate", Json.Num r.shed_rate);
+       ("p50_ms", Json.Num r.p50_ms);
+       ("p90_ms", Json.Num r.p90_ms);
+       ("p99_ms", Json.Num r.p99_ms);
+       ("mean_ms", Json.Num r.mean_ms);
+       ("max_ms", Json.Num r.max_ms);
+       ("retry_p50_ms", Json.Num r.retry_p50_ms);
+       ("retry_p90_ms", Json.Num r.retry_p90_ms);
+       ("retry_p99_ms", Json.Num r.retry_p99_ms);
+       ("retry_max_ms", Json.Num r.retry_max_ms);
+     ]
+    @ opt "queue_p50_ms" r.queue_p50_ms
+    @ opt "queue_p90_ms" r.queue_p90_ms
+    @ opt "queue_p99_ms" r.queue_p99_ms)
 
 let pp_report fmt r =
   Format.fprintf fmt
     "sent %d  solved %d  infeasible %d  rejected %d (overload %d)  errors %d@\n\
-     elapsed %.2fs  %.1f req/s  latency p50 %.1fms  p90 %.1fms  p99 %.1fms  \
-     mean %.1fms  max %.1fms"
+     elapsed %.2fs  %.1f req/s  shed rate %.1f%%  latency p50 %.1fms  \
+     p90 %.1fms  p99 %.1fms  mean %.1fms  max %.1fms"
     r.sent r.solved r.infeasible r.rejected r.overload r.errors r.elapsed_s
-    r.throughput_rps r.p50_ms r.p90_ms r.p99_ms r.mean_ms r.max_ms
+    r.throughput_rps (100.0 *. r.shed_rate) r.p50_ms r.p90_ms r.p99_ms
+    r.mean_ms r.max_ms;
+  if r.overload > 0 then
+    Format.fprintf fmt
+      "@\nretry-after p50 %.0fms  p90 %.0fms  p99 %.0fms  max %.0fms"
+      r.retry_p50_ms r.retry_p90_ms r.retry_p99_ms r.retry_max_ms;
+  match (r.queue_p50_ms, r.queue_p90_ms, r.queue_p99_ms) with
+  | Some p50, Some p90, Some p99 ->
+    Format.fprintf fmt "@\nserver queue wait p50 %.1fms  p90 %.1fms  p99 %.1fms"
+      p50 p90 p99
+  | _ -> ()

@@ -36,14 +36,28 @@ type report = {
   infeasible : int;
   rejected : int;  (** typed rejects of any kind *)
   overload : int;  (** the [Overload] subset of [rejected] *)
+  shed : int;  (** [Overload] + [Shutting_down] rejects *)
   errors : int;  (** transport failures and undecodable frames *)
   elapsed_s : float;
   throughput_rps : float;
+  shed_rate : float;  (** [shed / max 1 sent] *)
   p50_ms : float;
   p90_ms : float;
   p99_ms : float;
   mean_ms : float;
   max_ms : float;
+  retry_p50_ms : float;
+      (** distribution of the server's [Overload] retry-after hints;
+          0 when nothing was shed for overload *)
+  retry_p90_ms : float;
+  retry_p99_ms : float;
+  retry_max_ms : float;
+  queue_p50_ms : float option;
+      (** server-side queue-wait percentiles from one final [Stats]
+          round-trip; [None] when the server was unreachable or had
+          dequeued nothing *)
+  queue_p90_ms : float option;
+  queue_p99_ms : float option;
 }
 
 val run : config -> (report, string) result

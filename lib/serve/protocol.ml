@@ -46,6 +46,9 @@ type stats_payload = {
   served : int;
   shed : int;
   draining : bool;
+  queue_p50_ms : float option;  (* lifetime queue-wait percentiles; *)
+  queue_p90_ms : float option;  (* None until something was dequeued *)
+  queue_p99_ms : float option;
 }
 
 type response =
@@ -144,15 +147,18 @@ let response_to_json = function
   | Pong { id } -> J.Obj [ ("id", J.Str id); ("status", J.Str "pong") ]
   | Stats_reply { id; stats } ->
     J.Obj
-      [
-        ("id", J.Str id);
-        ("status", J.Str "stats");
-        ("queue_depth", num_i stats.queue_depth);
-        ("in_flight", num_i stats.in_flight);
-        ("served", num_i stats.served);
-        ("shed", num_i stats.shed);
-        ("draining", J.Bool stats.draining);
-      ]
+      ([
+         ("id", J.Str id);
+         ("status", J.Str "stats");
+         ("queue_depth", num_i stats.queue_depth);
+         ("in_flight", num_i stats.in_flight);
+         ("served", num_i stats.served);
+         ("shed", num_i stats.shed);
+         ("draining", J.Bool stats.draining);
+       ]
+      @ opt_field "queue_p50_ms" (fun v -> J.Num v) stats.queue_p50_ms
+      @ opt_field "queue_p90_ms" (fun v -> J.Num v) stats.queue_p90_ms
+      @ opt_field "queue_p99_ms" (fun v -> J.Num v) stats.queue_p99_ms)
 
 let encode_request r = J.to_string (request_to_json r)
 let encode_response r = J.to_string (response_to_json r)
@@ -296,9 +302,25 @@ let decode_response line =
       let* served = int_field "served" j in
       let* shed = int_field "shed" j in
       let* draining = bool_field "draining" j in
+      let* queue_p50_ms = opt num "queue_p50_ms" j in
+      let* queue_p90_ms = opt num "queue_p90_ms" j in
+      let* queue_p99_ms = opt num "queue_p99_ms" j in
       Ok
         (Stats_reply
-           { id; stats = { queue_depth; in_flight; served; shed; draining } })
+           {
+             id;
+             stats =
+               {
+                 queue_depth;
+                 in_flight;
+                 served;
+                 shed;
+                 draining;
+                 queue_p50_ms;
+                 queue_p90_ms;
+                 queue_p99_ms;
+               };
+           })
     | "solved" ->
       let* stage = str "stage" j in
       let* levels = levels_of_json j in

@@ -69,6 +69,11 @@ type stats_payload = {
   served : int;
   shed : int;
   draining : bool;
+  queue_p50_ms : float option;
+      (** queue-wait percentiles over the server's lifetime, [None]
+          until something has been dequeued *)
+  queue_p90_ms : float option;
+  queue_p99_ms : float option;
 }
 
 type response =

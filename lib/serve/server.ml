@@ -29,6 +29,7 @@ module Clock = Fbb_obs.Clock
 module Counter = Fbb_obs.Counter
 module Histogram = Fbb_obs.Histogram
 module Span = Fbb_obs.Span
+module Flight = Fbb_obs.Flight
 module Fault = Fbb_fault.Fault
 
 type config = {
@@ -72,8 +73,20 @@ let c_batches = lazy (Counter.make "serve.batches")
 let c_batched = lazy (Counter.make "serve.batched")
 let c_prepares = lazy (Counter.make "serve.prepares")
 let c_prepared_hits = lazy (Counter.make "serve.prepared_hits")
-let h_latency = lazy (Histogram.make "serve.latency")
-let h_queue_wait = lazy (Histogram.make "serve.queue_wait")
+(* Latency histograms carry per-bucket trace-id exemplars: a scraped
+   p99 bucket links straight to the flight-recorder entry of the last
+   request that landed in it. *)
+let h_latency =
+  lazy
+    (let h = Histogram.make "serve.latency" in
+     Histogram.enable_exemplars h;
+     h)
+
+let h_queue_wait =
+  lazy
+    (let h = Histogram.make "serve.queue_wait" in
+     Histogram.enable_exemplars h;
+     h)
 
 (* ----- connections ------------------------------------------------------ *)
 
@@ -174,6 +187,11 @@ type t = {
 let port t = t.port
 
 let stats t : P.stats_payload =
+  let pct p =
+    Option.map
+      (fun s -> s *. 1000.0)
+      (Histogram.percentile_opt (Lazy.force h_queue_wait) p)
+  in
   Mutex.protect t.lock @@ fun () ->
   {
     P.queue_depth = t.depth;
@@ -181,6 +199,9 @@ let stats t : P.stats_payload =
     served = t.served;
     shed = t.shed;
     draining = t.draining || t.stopping;
+    queue_p50_ms = pct 0.50;
+    queue_p90_ms = pct 0.90;
+    queue_p99_ms = pct 0.99;
   }
 
 (* ----- validation ------------------------------------------------------- *)
@@ -242,13 +263,25 @@ let admit t conn (s : P.solve) =
         `Admitted
       end
     in
+    (* Shed requests never reach the solver, so they are recorded here:
+       the flight recorder retains every one of them (a shed storm is
+       exactly what post-hoc debugging needs to see), with an empty
+       span tree since no work ran. *)
+    let record_shed reason =
+      if s.id <> "" then
+        Flight.finish ~trace:("req:" ^ s.id) ~req_id:s.id
+          ~outcome:(Flight.Shed reason) ~exhausted:false ~queue_wait_s:0.0
+          ~latency_s:0.0 ~stages:[] ~counters:[]
+    in
     (match verdict with
     | `Admitted -> ()
     | `Shed_draining ->
       Counter.incr (Lazy.force c_shed_draining);
+      record_shed "shutting_down";
       respond conn (P.Rejected { id = s.id; reject = P.Shutting_down })
     | `Shed_overload retry_after_ms ->
       Counter.incr (Lazy.force c_shed_overload);
+      record_shed "overload";
       respond conn
         (P.Rejected { id = s.id; reject = P.Overload { retry_after_ms } }))
 
@@ -281,11 +314,35 @@ let find_prepared t key workload =
         t.lru <- List.filteri (fun i _ -> i < t.cfg.prepared_cap) t.lru);
       Ok p)
 
+(* Counter deltas across one solve, attributed to that request in its
+   flight record. The solver thread is serial, so the diff of the
+   global totals brackets exactly this request's increments (plus any
+   concurrent reader-thread bumps — ping/stats counters, noted as
+   such); a per-request counter set would cost the hot path more than
+   this ambiguity is worth. *)
+let counter_deltas ~before ~after =
+  let prev = Hashtbl.create 16 in
+  List.iter (fun (n, v) -> Hashtbl.replace prev n v) before;
+  List.filter_map
+    (fun (n, v) ->
+      let d =
+        v - (match Hashtbl.find_opt prev n with Some p -> p | None -> 0)
+      in
+      if d <> 0 then Some (n, d) else None)
+    after
+
 let solve_one t prep (job : job) =
   let s = job.solve in
   let t0 = Clock.now_s () in
   let waited = t0 -. job.admitted_s in
-  Histogram.observe (Lazy.force h_queue_wait) waited;
+  let trace = if s.id = "" then None else Some ("req:" ^ s.id) in
+  Histogram.observe ?exemplar:trace (Lazy.force h_queue_wait) waited;
+  (match trace with
+  | Some tr -> Flight.begin_request ~trace:tr
+  | None -> ());
+  let counters_before =
+    match trace with Some _ -> Counter.totals () | None -> []
+  in
   let deadline_ms =
     match s.deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
   in
@@ -305,8 +362,7 @@ let solve_one t prep (job : job) =
           (Option.map (fun ms -> Float.max 0.0 ((ms /. 1000.0) -. waited)) d)
         ?work:w ()
   in
-  let trace = if s.id = "" then None else Some ("req:" ^ s.id) in
-  let resp =
+  let resp, flight_outcome, flight_exhausted, flight_stages =
     Fbb_obs.Context.with_ (Fbb_obs.Context.make ?trace ()) @@ fun () ->
     Span.with_ ~name:"serve.request" @@ fun () ->
     match
@@ -321,7 +377,11 @@ let solve_one t prep (job : job) =
          here (problem build, injected pool faults at the join point)
          degrades this one request, never the server. *)
       Counter.incr (Lazy.force c_request_faults);
-      P.Rejected { id = s.id; reject = P.Faulted (Printexc.to_string exn) }
+      let msg = Printexc.to_string exn in
+      ( P.Rejected { id = s.id; reject = P.Faulted msg },
+        Flight.Errored msg,
+        false,
+        [] )
     | r -> (
       let elapsed_ms = (Clock.now_s () -. t0) *. 1000.0 in
       let attempts =
@@ -335,28 +395,52 @@ let solve_one t prep (job : job) =
             })
           r.Fbb_core.Cascade.attempts
       in
+      let stages =
+        List.map
+          (fun (a : P.attempt) ->
+            {
+              Flight.st_stage = a.stage;
+              st_status = a.status;
+              st_work = a.work;
+              st_leakage_nw = a.leakage_nw;
+            })
+          attempts
+      in
+      let exhausted = r.Fbb_core.Cascade.exhausted in
       match r.Fbb_core.Cascade.outcome with
       | Fbb_core.Cascade.Infeasible ->
         Counter.incr (Lazy.force c_infeasible);
-        P.Infeasible { id = s.id; elapsed_ms }
+        (P.Infeasible { id = s.id; elapsed_ms }, Flight.Infeasible, exhausted,
+         stages)
       | Fbb_core.Cascade.Solved { stage; levels; leakage_nw; gap_pct; optimal }
         ->
         Counter.incr (Lazy.force c_solved);
-        P.Solved
-          {
-            id = s.id;
-            stage = Fbb_core.Cascade.stage_name stage;
-            levels;
-            leakage_nw;
-            gap_pct;
-            optimal;
-            exhausted = r.Fbb_core.Cascade.exhausted;
-            attempts;
-            elapsed_ms;
-          })
+        let stage = Fbb_core.Cascade.stage_name stage in
+        ( P.Solved
+            {
+              id = s.id;
+              stage;
+              levels;
+              leakage_nw;
+              gap_pct;
+              optimal;
+              exhausted;
+              attempts;
+              elapsed_ms;
+            },
+          Flight.Solved stage,
+          exhausted,
+          stages ))
   in
   let total_s = Clock.now_s () -. job.admitted_s in
-  Histogram.observe (Lazy.force h_latency) total_s;
+  Histogram.observe ?exemplar:trace (Lazy.force h_latency) total_s;
+  (match trace with
+  | Some tr ->
+    Flight.finish ~trace:tr ~req_id:s.id ~outcome:flight_outcome
+      ~exhausted:flight_exhausted ~queue_wait_s:waited ~latency_s:total_s
+      ~stages:flight_stages
+      ~counters:(counter_deltas ~before:counters_before ~after:(Counter.totals ()))
+  | None -> ());
   (* EWMA of pure service time, the retry-after hint's unit. The
      accounting lands before the response is written, so a client that
      queries stats right after its reply always sees itself served. *)

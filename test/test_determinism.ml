@@ -187,6 +187,25 @@ let test_serve_script () =
   let b = Test_serve.script_replay ~jobs:4 () in
   check_eq "serve script payloads bit-identical jobs=1 vs 4" a b
 
+let test_serve_script_recorded () =
+  (* The flight recorder is observation-only: replaying the script
+     with the recorder sink capturing every span must leave payloads
+     bit-identical to the recorder-off baseline at any pool width,
+     while still producing a record per solve. *)
+  let baseline = Test_serve.script_replay ~jobs:1 () in
+  let recorded jobs =
+    Fbb_obs.Flight.clear ();
+    Fbb_obs.Sink.with_installed (Fbb_obs.Flight.sink ()) @@ fun () ->
+    Test_serve.script_replay ~jobs ()
+  in
+  let a = recorded 1 in
+  check_eq "recorder-on payloads match baseline jobs=1" baseline a;
+  Alcotest.(check bool) "every solve recorded" true
+    (Fbb_obs.Flight.size () >= List.length baseline);
+  let b = recorded 4 in
+  check_eq "recorder-on payloads match baseline jobs=4" baseline b;
+  Fbb_obs.Flight.clear ()
+
 (* ----- live telemetry is read-only -------------------------------------- *)
 
 let test_cascade_with_telemetry () =
@@ -246,6 +265,8 @@ let suite =
     Alcotest.test_case "cascade with live telemetry" `Quick
       test_cascade_with_telemetry;
     Alcotest.test_case "serve script replay" `Quick test_serve_script;
+    Alcotest.test_case "serve script replay with flight recorder" `Quick
+      test_serve_script_recorded;
     Alcotest.test_case "branch and bound" `Quick test_branch_bound;
     Alcotest.test_case "reduce_paths" `Quick test_reduce_paths;
     Alcotest.test_case "ilp flow" `Quick test_ilp_flow;

@@ -767,6 +767,357 @@ let test_promtext_validator_rejects () =
   Alcotest.(check bool) "labels ok" true
     (bad "x{quantile=\"0.5\",le=\"+Inf\"} NaN 1700000000\n")
 
+(* ----- exemplars -------------------------------------------------------- *)
+
+let test_exemplar_basic () =
+  let h = Obs.Histogram.create (fresh "t.exem") in
+  Obs.Histogram.observe ~exemplar:"t-early" h 0.010;
+  Alcotest.(check bool) "disabled: no exemplar stored" true
+    (Obs.Histogram.exemplar_for h 0.010 = None);
+  Obs.Histogram.enable_exemplars h;
+  Obs.Histogram.enable_exemplars h;  (* idempotent *)
+  Obs.Histogram.observe ~exemplar:"t-1" h 0.010;
+  (match Obs.Histogram.exemplar_for h 0.010 with
+  | Some e ->
+    Alcotest.(check string) "trace id" "t-1" e.Obs.Histogram.ex_trace;
+    Alcotest.(check (float 1e-12)) "value" 0.010 e.Obs.Histogram.ex_value
+  | None -> Alcotest.fail "exemplar not recorded");
+  (* Untraced and empty-trace observations never clobber an exemplar. *)
+  Obs.Histogram.observe h 0.010;
+  Obs.Histogram.observe ~exemplar:"" h 0.010;
+  (match Obs.Histogram.exemplar_for h 0.010 with
+  | Some e -> Alcotest.(check string) "survives untraced" "t-1" e.ex_trace
+  | None -> Alcotest.fail "exemplar lost");
+  (* Last traced writer wins; other buckets are independent. *)
+  Obs.Histogram.observe ~exemplar:"t-2" h 0.010;
+  Obs.Histogram.observe ~exemplar:"t-big" h 10.0;
+  (match Obs.Histogram.exemplar_for h 0.010 with
+  | Some e -> Alcotest.(check string) "last writer wins" "t-2" e.ex_trace
+  | None -> Alcotest.fail "exemplar lost");
+  (match Obs.Histogram.exemplar_for h 10.0 with
+  | Some e -> Alcotest.(check string) "per-bucket slot" "t-big" e.ex_trace
+  | None -> Alcotest.fail "exemplar lost");
+  Obs.Histogram.reset h;
+  Alcotest.(check bool) "reset clears exemplars" true
+    (Obs.Histogram.exemplar_for h 0.010 = None)
+
+let test_exemplar_concurrent_writers () =
+  (* Multi-domain writers hammer one bucket, each with its own (trace,
+     value) pairing. Last-writer-wins is fine; a torn exemplar — the
+     trace id of one writer paired with another's value — is not. *)
+  let h = Obs.Histogram.create (fresh "t.exem.race") in
+  Obs.Histogram.enable_exemplars h;
+  let writers = 4 and rounds = 2_000 in
+  (* All values land in the same bucket (within one 6.25% grid step). *)
+  let value_of w = 1.0 +. (0.001 *. float_of_int w) in
+  let trace_of w = Printf.sprintf "writer-%d" w in
+  let torn = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          (match Obs.Histogram.exemplar_for h 1.0 with
+          | None -> ()
+          | Some e ->
+            let consistent =
+              List.exists
+                (fun w ->
+                  e.Obs.Histogram.ex_trace = trace_of w
+                  && Float.abs (e.ex_value -. value_of w) < 1e-12)
+                (List.init writers Fun.id)
+            in
+            if not consistent then Atomic.incr torn);
+          Domain.cpu_relax ()
+        done)
+  in
+  let doms =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for _ = 1 to rounds do
+              Obs.Histogram.observe ~exemplar:(trace_of w) h (value_of w)
+            done))
+  in
+  List.iter Domain.join doms;
+  Atomic.set stop true;
+  Domain.join reader;
+  Alcotest.(check int) "no torn exemplars" 0 (Atomic.get torn);
+  Alcotest.(check int) "no lost observations" (writers * rounds)
+    (Obs.Histogram.count h);
+  match Obs.Histogram.exemplar_for h 1.0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "final exemplar missing"
+
+let test_promtext_exemplar_render () =
+  let h = Obs.Histogram.make (fresh "t.prom.exem") in
+  Obs.Histogram.enable_exemplars h;
+  Obs.Histogram.observe ~exemplar:"req:abc" h 0.010;
+  Obs.Histogram.observe h 0.500;
+  let page = Obs.Promtext.render () in
+  (match Obs.Promtext.validate page with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "exemplar page fails validation: %s\n%s" m page);
+  let contains needle =
+    let nh = String.length page and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub page i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let n = Obs.Promtext.metric_name (Obs.Histogram.name h) ^ "_seconds" in
+  Alcotest.(check bool) "bucket exposition" true (contains (n ^ "_bucket{le=\""));
+  Alcotest.(check bool) "+Inf bucket closes the grid" true
+    (contains (n ^ "_bucket{le=\"+Inf\"} 2"));
+  Alcotest.(check bool) "exemplar rendered" true
+    (contains "# {trace_id=\"req:abc\"}");
+  Obs.Histogram.reset h
+
+(* ----- promtext adversarial pages --------------------------------------- *)
+
+let test_promtext_duplicate_blocks () =
+  let ok page = Obs.Promtext.validate page = Ok () in
+  Alcotest.(check bool) "duplicate HELP rejected" false
+    (ok "# HELP x a\n# TYPE x counter\nx 1\n# HELP x b\nx 2\n");
+  Alcotest.(check bool) "duplicate TYPE rejected" false
+    (ok "# TYPE x counter\nx 1\n# TYPE x gauge\nx 2\n");
+  Alcotest.(check bool) "distinct names fine" true
+    (ok "# HELP x a\n# TYPE x counter\nx 1\n# HELP y b\n# TYPE y gauge\ny 2\n");
+  (* The duplicate error names the offending line. *)
+  (match Obs.Promtext.validate "# HELP x a\n# HELP x b\n" with
+  | Error m ->
+    Alcotest.(check bool) "error carries line number" true
+      (String.length m >= 7 && String.sub m 0 7 = "line 2:")
+  | Ok () -> Alcotest.fail "duplicate HELP accepted")
+
+let test_promtext_exemplar_validation () =
+  let ok page = Obs.Promtext.validate page = Ok () in
+  Alcotest.(check bool) "exemplar on _bucket ok" true
+    (ok "x_bucket{le=\"0.1\"} 3 # {trace_id=\"t1\"} 0.05 1700000000.5\n");
+  Alcotest.(check bool) "exemplar on _total ok" true
+    (ok "x_total 3 # {trace_id=\"t1\"} 1\n");
+  Alcotest.(check bool) "exemplar on gauge sample rejected" false
+    (ok "x 3 # {trace_id=\"t1\"} 1\n");
+  Alcotest.(check bool) "exemplar needs labels" false (ok "x_total 3 # 1\n");
+  Alcotest.(check bool) "exemplar needs a value" false
+    (ok "x_total 3 # {trace_id=\"t1\"}\n");
+  Alcotest.(check bool) "bad exemplar value rejected" false
+    (ok "x_total 3 # {trace_id=\"t1\"} zap\n");
+  Alcotest.(check bool) "unterminated exemplar labels rejected" false
+    (ok "x_total 3 # {trace_id=\"t1\" 1\n");
+  Alcotest.(check bool) "trailing garbage rejected" false
+    (ok "x_total 3 # {trace_id=\"t1\"} 1 2 3\n")
+
+(* ----- flight recorder --------------------------------------------------- *)
+
+let flight_finish ?(outcome = Obs.Flight.Solved "ilp") ?(exhausted = false)
+    ?(latency_s = 0.010) ?(stages = []) ?(counters = []) trace =
+  Obs.Flight.finish ~trace ~req_id:trace ~outcome ~exhausted
+    ~queue_wait_s:0.001 ~latency_s ~stages ~counters
+
+let test_flight_record_roundtrip () =
+  Obs.Flight.clear ();
+  let trace = "req:rt-1" in
+  Obs.Flight.begin_request ~trace;
+  Obs.Sink.with_installed (Obs.Flight.sink ()) (fun () ->
+      Obs.Context.with_ (Obs.Context.make ~trace ()) (fun () ->
+          Obs.Span.with_ ~name:"serve.request" (fun () ->
+              Obs.Span.with_ ~name:"cascade.ilp" (fun () -> ());
+              Obs.Span.with_ ~name:"cascade.bb" (fun () -> ()))));
+  flight_finish trace
+    ~stages:
+      [
+        {
+          Obs.Flight.st_stage = "ilp";
+          st_status = "accepted";
+          st_work = 120;
+          st_leakage_nw = Some 42.5;
+        };
+      ]
+    ~counters:[ ("sta.nodes_repropagated", 17) ];
+  (match Obs.Flight.find trace with
+  | None -> Alcotest.fail "record not stored"
+  | Some r ->
+    Alcotest.(check string) "request id" trace r.Obs.Flight.req_id;
+    (match r.Obs.Flight.spans with
+    | [ root ] ->
+      Alcotest.(check string) "root span" "serve.request"
+        root.Obs.Flight.sp_name;
+      Alcotest.(check int) "children in begin order" 2
+        (List.length root.Obs.Flight.sp_children);
+      Alcotest.(check (list string)) "child names"
+        [ "cascade.ilp"; "cascade.bb" ]
+        (List.map (fun s -> s.Obs.Flight.sp_name) root.Obs.Flight.sp_children)
+    | spans -> Alcotest.failf "expected one root span, got %d" (List.length spans));
+    let j = Obs.Flight.to_json r in
+    Alcotest.(check (option string)) "record schema"
+      (Some "fbb-flight-record-1")
+      (Fbb_util.Json.member_str "schema" j);
+    Alcotest.(check (option (float 0.0))) "counter delta serialized" (Some 17.0)
+      (Option.bind
+         (Fbb_util.Json.member "counters" j)
+         (Fbb_util.Json.member_num "sta.nodes_repropagated")));
+  (* Untracked traces cost nothing and record nothing. *)
+  Alcotest.(check bool) "unknown trace is None" true
+    (Obs.Flight.find "req:never" = None);
+  let idx = Obs.Flight.index_json () in
+  Alcotest.(check (option string)) "index schema" (Some "fbb-flight-1")
+    (Fbb_util.Json.member_str "schema" idx);
+  Obs.Flight.clear ()
+
+let test_flight_eviction_retention () =
+  (* Under churn past the capacity, the slowest-K, every non-Solved and
+     every exhausted record must survive; fillers go FIFO. *)
+  Obs.Flight.clear ();
+  Obs.Flight.configure ~capacity:8 ~keep_slowest:2 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.configure ~capacity:512 ~keep_slowest:16 ();
+      Obs.Flight.clear ())
+  @@ fun () ->
+  flight_finish "req:slow-1" ~latency_s:9.0;
+  flight_finish "req:slow-2" ~latency_s:8.0;
+  flight_finish "req:shed-1" ~outcome:(Obs.Flight.Shed "overload")
+    ~latency_s:0.0;
+  flight_finish "req:err-1" ~outcome:(Obs.Flight.Errored "boom")
+    ~latency_s:0.002;
+  flight_finish "req:exh-1" ~exhausted:true ~latency_s:0.003;
+  for i = 1 to 40 do
+    flight_finish (Printf.sprintf "req:fill-%d" i) ~latency_s:0.001
+  done;
+  Alcotest.(check int) "ring stays bounded" 8 (Obs.Flight.size ());
+  List.iter
+    (fun tr ->
+      Alcotest.(check bool) (tr ^ " retained") true (Obs.Flight.find tr <> None))
+    [ "req:slow-1"; "req:slow-2"; "req:shed-1"; "req:err-1"; "req:exh-1" ];
+  (* FIFO among the unprotected fillers: the early ones are gone, the
+     ring's remainder is the newest fillers. *)
+  Alcotest.(check bool) "old filler evicted" true
+    (Obs.Flight.find "req:fill-1" = None);
+  Alcotest.(check bool) "newest filler retained" true
+    (Obs.Flight.find "req:fill-40" <> None);
+  (* seq stays monotone in the index (newest first). *)
+  let seqs = List.map (fun r -> r.Obs.Flight.seq) (Obs.Flight.index ()) in
+  Alcotest.(check bool) "index newest-first by seq" true
+    (List.sort (fun a b -> compare b a) seqs = seqs)
+
+let test_flight_protection_yields_at_cap () =
+  (* A pathological all-protected ring still respects the bound. *)
+  Obs.Flight.clear ();
+  Obs.Flight.configure ~capacity:4 ~keep_slowest:2 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.configure ~capacity:512 ~keep_slowest:16 ();
+      Obs.Flight.clear ())
+  @@ fun () ->
+  for i = 1 to 20 do
+    flight_finish
+      (Printf.sprintf "req:shed-%d" i)
+      ~outcome:(Obs.Flight.Shed "overload") ~latency_s:0.0
+  done;
+  Alcotest.(check int) "bounded even when all protected" 4
+    (Obs.Flight.size ());
+  Alcotest.(check bool) "newest survives" true
+    (Obs.Flight.find "req:shed-20" <> None)
+
+(* ----- slo burn rates ---------------------------------------------------- *)
+
+let test_slo_latency_burn () =
+  let sname = fresh "t.slo.p99" in
+  let s = Obs.Series.make sname in
+  let now = 10_000.0 in
+  (* 10 ticks: the 4 oldest non-idle ones breach the threshold, the 4
+     newest are healthy, 2 are idle (NaN). *)
+  for i = 1 to 10 do
+    let v =
+      if i <= 4 then 0.010 else if i <= 8 then 1.0 else Float.nan
+    in
+    Obs.Series.push s ~ts:(now -. float_of_int i) v
+  done;
+  let o =
+    {
+      Obs.Slo.slo_name = fresh "latency";
+      kind = Obs.Slo.Latency_p { series = sname; threshold_s = 0.5 };
+      target = 0.9;
+      windows = { Obs.Slo.fast_s = 60.0; slow_s = 3600.0 };
+      burn_limit = 2.0;
+    }
+  in
+  let st = Obs.Slo.evaluate ~now o in
+  (* bad_frac = 4/8 (NaN ticks excluded); burn = 0.5 / 0.1 = 5. *)
+  Alcotest.(check (float 1e-9)) "fast burn" 5.0 st.Obs.Slo.burn_fast;
+  Alcotest.(check (float 1e-9)) "slow burn" 5.0 st.Obs.Slo.burn_slow;
+  Alcotest.(check bool) "breached when both windows burn" false st.Obs.Slo.ok;
+  (* A short fast window holding only good ticks recovers [ok] (slow
+     window alone cannot breach). *)
+  let o2 =
+    { o with Obs.Slo.windows = { Obs.Slo.fast_s = 3.5; slow_s = 3600.0 } }
+  in
+  let st2 = Obs.Slo.evaluate ~now o2 in
+  Alcotest.(check (float 1e-9)) "clean fast window" 0.0 st2.Obs.Slo.burn_fast;
+  Alcotest.(check bool) "multi-window veto" true st2.Obs.Slo.ok
+
+let test_slo_ratio_and_gauges () =
+  let bad_name = fresh "t.slo.bad" and total_name = fresh "t.slo.total" in
+  let bad = Obs.Series.make bad_name and total = Obs.Series.make total_name in
+  let now = 20_000.0 in
+  for i = 1 to 10 do
+    let ts = now -. float_of_int i in
+    Obs.Series.push bad ~ts (if i <= 2 then 1.0 else 0.0);
+    Obs.Series.push total ~ts 4.0
+  done;
+  let oname = fresh "shed" in
+  Obs.Slo.register
+    {
+      Obs.Slo.slo_name = oname;
+      kind = Obs.Slo.Ratio { bad = [ bad_name ]; total = total_name };
+      target = 0.9;
+      windows = { Obs.Slo.fast_s = 60.0; slow_s = 3600.0 };
+      burn_limit = 2.0;
+    };
+  Fun.protect ~finally:Obs.Slo.clear @@ fun () ->
+  let statuses = Obs.Slo.evaluate_all ~now () in
+  (match List.find_opt (fun st -> st.Obs.Slo.objective.slo_name = oname) statuses with
+  | None -> Alcotest.fail "objective not evaluated"
+  | Some st ->
+    (* bad_frac = 2/40; burn = 0.05 / 0.1 = 0.5. *)
+    Alcotest.(check (float 1e-9)) "ratio burn" 0.5 st.Obs.Slo.burn_fast;
+    Alcotest.(check bool) "inside budget" true st.Obs.Slo.ok);
+  (* evaluate_all published the gauges. *)
+  let gauges = Obs.Counter.Gauge.values () in
+  Alcotest.(check bool) "burn gauge published" true
+    (List.mem_assoc ("slo." ^ oname ^ ".burn_fast") gauges);
+  Alcotest.(check (option (float 0.0))) "ok gauge is 1" (Some 1.0)
+    (List.assoc_opt ("slo." ^ oname ^ ".ok") gauges);
+  (* An empty ring burns nothing. *)
+  let empty =
+    Obs.Slo.evaluate ~now
+      {
+        Obs.Slo.slo_name = fresh "empty";
+        kind =
+          Obs.Slo.Ratio { bad = [ fresh "t.slo.none" ]; total = fresh "t.slo.no" };
+        target = 0.99;
+        windows = Obs.Slo.default_windows;
+        burn_limit = 2.0;
+      }
+  in
+  Alcotest.(check (float 1e-12)) "empty window burns 0" 0.0
+    empty.Obs.Slo.burn_fast;
+  Alcotest.(check bool) "empty window is ok" true empty.Obs.Slo.ok
+
+let test_slo_register_validation () =
+  let o =
+    {
+      Obs.Slo.slo_name = "bad";
+      kind = Obs.Slo.Latency_p { series = "x"; threshold_s = 1.0 };
+      target = 1.0;
+      windows = Obs.Slo.default_windows;
+      burn_limit = 2.0;
+    }
+  in
+  Alcotest.check_raises "target 1.0 rejected"
+    (Invalid_argument "Slo.register: target must be in [0, 1)") (fun () ->
+      Obs.Slo.register o);
+  Alcotest.check_raises "non-positive burn limit rejected"
+    (Invalid_argument "Slo.register: burn_limit must be > 0") (fun () ->
+      Obs.Slo.register { o with Obs.Slo.target = 0.9; burn_limit = 0.0 })
+
 (* ----- http endpoint ---------------------------------------------------- *)
 
 let test_metrics_endpoint () =
@@ -904,6 +1255,19 @@ let suite =
     ("sampler histogram intervals", `Quick, test_sampler_histogram_interval);
     ("promtext render validates", `Quick, test_promtext_render_valid);
     ("promtext validator rejects", `Quick, test_promtext_validator_rejects);
+    ("exemplar basic", `Quick, test_exemplar_basic);
+    ("exemplar concurrent writers", `Quick, test_exemplar_concurrent_writers);
+    ("promtext exemplar render", `Quick, test_promtext_exemplar_render);
+    ("promtext duplicate blocks", `Quick, test_promtext_duplicate_blocks);
+    ("promtext exemplar validation", `Quick,
+     test_promtext_exemplar_validation);
+    ("flight record round-trip", `Quick, test_flight_record_roundtrip);
+    ("flight eviction retention", `Quick, test_flight_eviction_retention);
+    ("flight bounded when all protected", `Quick,
+     test_flight_protection_yields_at_cap);
+    ("slo latency burn", `Quick, test_slo_latency_burn);
+    ("slo ratio and gauges", `Quick, test_slo_ratio_and_gauges);
+    ("slo register validation", `Quick, test_slo_register_validation);
     ("metrics endpoint", `Quick, test_metrics_endpoint);
     ("sink swap under load", `Quick, test_sink_swap_under_load);
   ]

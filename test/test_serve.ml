@@ -152,9 +152,25 @@ let gen_response =
        nat >>= fun served ->
        nat >>= fun shed ->
        bool >>= fun draining ->
+       option gen_finite >>= fun queue_p50_ms ->
+       option gen_finite >>= fun queue_p90_ms ->
+       option gen_finite >>= fun queue_p99_ms ->
        return
          (P.Stats_reply
-            { id; stats = { queue_depth; in_flight; served; shed; draining } }));
+            {
+              id;
+              stats =
+                {
+                  queue_depth;
+                  in_flight;
+                  served;
+                  shed;
+                  draining;
+                  queue_p50_ms;
+                  queue_p90_ms;
+                  queue_p99_ms;
+                };
+            }));
     ]
 
 let qcheck_tests =

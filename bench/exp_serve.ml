@@ -10,9 +10,86 @@
 
    FBB_SERVE_REQUESTS (default 48) scales the script length; the
    request script is a pure function of (seed, connections, requests),
-   so records are comparable only at equal counts. *)
+   so records are comparable only at equal counts.
+
+   A second pair of phases measures restart-to-first-Solved against a
+   persistent context store: [exp.serve-restart-cold] starts a daemon
+   on an empty store and times one solve (prepare + spill),
+   [exp.serve-restart-warm] restarts against the now-populated store
+   and times the same solve (load + verify, no rebuild). Warm beating
+   cold is the store's whole value proposition; bench-compare keeps
+   both honest. *)
 
 module T = Fbb_util.Texttab
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+(* One daemon lifetime against [dir]: start, solve once, stop. The
+   [exp.*] span covers bind through first [Solved] only — shutdown is
+   not part of the restart metric. Returns the span's wall time. *)
+let restart_once ~span ~dir =
+  let config =
+    {
+      Fbb_serve.Server.default_config with
+      port = 0;
+      store_dir = Some dir;
+    }
+  in
+  let t0 = Fbb_obs.Clock.now_s () in
+  let server =
+    Fbb_obs.Span.with_ ~name:span @@ fun () ->
+    match Fbb_serve.Server.start ~config () with
+    | Error msg -> Error msg
+    | Ok server -> (
+      let solve () =
+        match
+          Fbb_serve.Client.connect ~port:(Fbb_serve.Server.port server) ()
+        with
+        | Error msg -> Error msg
+        | Ok client ->
+          Fun.protect ~finally:(fun () -> Fbb_serve.Client.close client)
+          @@ fun () ->
+          Fbb_serve.Client.rpc client
+            (Fbb_serve.Protocol.Solve
+               {
+                 id = "restart";
+                 client = None;
+                 workload =
+                   Fbb_serve.Protocol.Generated
+                     { seed = 11; gates = 2_000; rows = 3 };
+                 beta = 0.05;
+                 max_clusters = 4;
+                 deadline_ms = None;
+                 (* A big netlist and a light budget: restart cost is
+                    context preparation (placement, delay cache, STA,
+                    path enumeration), which is what the store skips —
+                    not solve time, which both runs pay equally. *)
+                 work_budget = Some 2_000;
+               })
+      in
+      match solve () with
+      | Ok (Fbb_serve.Protocol.Solved _) -> Ok server
+      | Ok r ->
+        Fbb_serve.Server.stop server;
+        Error
+          ("unexpected restart response: "
+          ^ Fbb_serve.Protocol.encode_response r)
+      | Error msg ->
+        Fbb_serve.Server.stop server;
+        Error msg)
+  in
+  let elapsed_ms = (Fbb_obs.Clock.now_s () -. t0) *. 1000.0 in
+  Result.map
+    (fun server ->
+      Fbb_serve.Server.stop server;
+      elapsed_ms)
+    server
 
 let run () =
   let requests = Exp_common.env_int "FBB_SERVE_REQUESTS" 48 in
@@ -76,4 +153,33 @@ let run () =
       print_endline
         "reading: closed-loop latency over 4 connections against the \n\
          in-process daemon - queue wait plus cascade service time; the \n\
-         per-request span percentiles land in bench.json's span section.")
+         per-request span percentiles land in bench.json's span section.");
+    (* Restart-to-first-Solved, cold store then warm store. *)
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fbb-bench-store-%d" (Unix.getpid ()))
+    in
+    rm_rf dir;
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    match restart_once ~span:"exp.serve-restart-cold" ~dir with
+    | Error msg -> Printf.printf "serve: restart (cold): %s\n" msg
+    | Ok cold_ms -> (
+      match restart_once ~span:"exp.serve-restart-warm" ~dir with
+      | Error msg -> Printf.printf "serve: restart (warm): %s\n" msg
+      | Ok warm_ms ->
+        let tab =
+          T.create ~headers:[ "restart"; "first Solved ms"; "vs cold" ]
+        in
+        T.add_row tab [ "cold store"; T.cell_f ~digits:1 cold_ms; "1.00x" ];
+        T.add_row tab
+          [
+            "warm store";
+            T.cell_f ~digits:1 warm_ms;
+            Printf.sprintf "%.2fx" (warm_ms /. Float.max 1e-9 cold_ms);
+          ];
+        T.print tab;
+        print_endline
+          "reading: daemon start through first Solved response; warm loads \n\
+           the prepared context from the persistent store instead of \n\
+           rebuilding placement, delay caches and the path set.")

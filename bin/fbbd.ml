@@ -159,14 +159,72 @@ let faults_arg =
     & opt (some (pair ~sep:',' float int)) None
     & info [ "faults" ] ~docv:"RATE,SEED" ~doc)
 
+let fault_site_arg =
+  let doc =
+    "Override the injection rate at one fault site (repeatable), e.g. \
+     $(b,--fault-site serve.solver_crash=0.3). Overrides apply on top of \
+     $(b,--faults) and also alone (with the global rate at 0); the seed \
+     comes from $(b,--faults), default 1. The solver sites \
+     ($(b,serve.solver_crash), $(b,serve.solver_stall)) are healed by \
+     the watchdog: affected batches return typed $(b,Faulted) rejects \
+     and the solver restarts."
+  in
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string float) []
+    & info [ "fault-site" ] ~docv:"SITE=RATE" ~doc)
+
+let store_arg =
+  let doc =
+    "Persistent prepared-context store directory (created if missing): \
+     prepared problem contexts are spilled on build and reloaded after a \
+     restart, so a warm daemon reaches its first $(b,Solved) without \
+     rebuilding. Corrupt or version-skewed entries are discarded and \
+     rebuilt; store failures degrade to in-memory operation."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let idle_timeout_arg =
+  let doc =
+    "Evict a connection that parks a half-written frame for more than \
+     $(docv) seconds (slow-loris hygiene); unset disables eviction."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "idle-timeout-s" ] ~docv:"S" ~doc)
+
+let stall_threshold_arg =
+  let doc =
+    "Treat a solver heartbeat older than $(docv) seconds (with work in \
+     flight) as a stall: the watchdog fails the batch as typed \
+     $(b,Faulted) and restarts the solver. Unset disables stall \
+     detection (crash detection is always on)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stall-threshold-s" ] ~docv:"S" ~doc)
+
+let breaker_limit_arg =
+  let doc =
+    "Consecutive solver restarts (no completed request in between) that \
+     open the circuit breaker."
+  in
+  Arg.(value & opt int 5 & info [ "breaker-limit" ] ~docv:"N" ~doc)
+
 let interrupted = ref false
 
 let serve port metrics_port queue_cap batch_max default_deadline_ms
-    default_work duration_s faults slo_p99_ms jobs =
+    default_work duration_s faults fault_sites store_dir idle_timeout_s
+    stall_threshold_s breaker_limit slo_p99_ms jobs =
   set_jobs jobs;
   (match faults with
   | Some (rate, seed) -> Fbb_fault.Fault.configure ~rate ~seed
-  | None -> ());
+  | None ->
+    if fault_sites <> [] then Fbb_fault.Fault.configure ~rate:0.0 ~seed:1);
+  (* Site overrides must land after [configure] (it resets them). *)
+  List.iter
+    (fun (site, rate) -> Fbb_fault.Fault.set_site_rate site rate)
+    fault_sites;
   let telemetry =
     match metrics_port with
     | None -> Ok None
@@ -195,6 +253,10 @@ let serve port metrics_port queue_cap batch_max default_deadline_ms
         batch_max;
         default_deadline_ms;
         default_work;
+        store_dir;
+        idle_timeout_s;
+        stall_threshold_s;
+        breaker_limit;
       }
     in
     match Serve.Server.start ~config () with
@@ -256,10 +318,12 @@ let serve port metrics_port queue_cap batch_max default_deadline_ms
 
 let serve_cmd =
   let run port metrics queue_cap batch_max deadline work duration faults
-      slo_p99 jobs =
+      fault_sites store idle_timeout stall_threshold breaker_limit slo_p99
+      jobs =
     match
       serve port metrics queue_cap batch_max deadline work duration faults
-        slo_p99 jobs
+        fault_sites store idle_timeout stall_threshold breaker_limit slo_p99
+        jobs
     with
     | Ok () -> `Ok ()
     | Error m -> `Error (false, m)
@@ -269,12 +333,14 @@ let serve_cmd =
        ~doc:
          "Run the bias-optimization daemon: line-delimited JSON requests \
           over TCP, multiplexed over the domain pool through the anytime \
-          cascade, with admission control and same-netlist batching")
+          cascade, with per-tenant fair admission, same-netlist batching, \
+          a supervised solver and an optional persistent context store")
     Term.(
       ret
         (const run $ port_arg ~default:9620 $ metrics_port_arg $ queue_cap_arg
         $ batch_max_arg $ deadline_arg $ work_arg $ duration_arg $ faults_arg
-        $ slo_p99_arg $ jobs_arg))
+        $ fault_site_arg $ store_arg $ idle_timeout_arg $ stall_threshold_arg
+        $ breaker_limit_arg $ slo_p99_arg $ jobs_arg))
 
 (* ----- request ---------------------------------------------------------- *)
 
@@ -290,7 +356,27 @@ let id_arg =
   let doc = "Request id echoed on the response." in
   Arg.(value & opt string "cli" & info [ "id" ] ~docv:"ID" ~doc)
 
-let request port op id design gen beta_pct clusters deadline_ms work =
+let client_arg =
+  let doc =
+    "Tenant id sent with the request; the daemon's fair admission queues \
+     requests per tenant (absent: the connection is its own tenant)."
+  in
+  Arg.(value & opt (some string) None & info [ "client" ] ~docv:"TENANT" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry an $(b,Overload) reject up to $(docv) times with exponential \
+     backoff and jitter, honouring the server's retry-after hint."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let retry_budget_arg =
+  let doc = "Total backoff-sleep budget across retries, in milliseconds." in
+  Arg.(
+    value & opt float 1000.0 & info [ "retry-budget-ms" ] ~docv:"MS" ~doc)
+
+let request port op id client_id design gen beta_pct clusters deadline_ms work
+    retries retry_budget_ms =
   let ( let* ) = Result.bind in
   let* req =
     match op with
@@ -302,6 +388,7 @@ let request port op id design gen beta_pct clusters deadline_ms work =
         (P.Solve
            {
              id;
+             client = client_id;
              workload;
              beta = beta_pct /. 100.0;
              max_clusters = clusters;
@@ -310,17 +397,25 @@ let request port op id design gen beta_pct clusters deadline_ms work =
            })
   in
   let* client = Serve.Client.connect ~port () in
-  let result = Serve.Client.rpc client req in
+  let result, attempts =
+    Serve.Client.rpc_retry ~retries ~retry_budget_ms client req
+  in
   Serve.Client.close client;
   let* resp = result in
   print_endline (P.encode_response resp);
+  if attempts > 1 then
+    Printf.eprintf "fbbd request: %d attempts\n%!" attempts;
   match resp with
   | P.Rejected _ -> Error "request rejected"
   | P.Solved _ | P.Infeasible _ | P.Pong _ | P.Stats_reply _ -> Ok ()
 
 let request_cmd =
-  let run port op id design gen beta clusters deadline work =
-    match request port op id design gen beta clusters deadline work with
+  let run port op id client design gen beta clusters deadline work retries
+      budget =
+    match
+      request port op id client design gen beta clusters deadline work retries
+        budget
+    with
     | Ok () -> `Ok ()
     | Error m -> `Error (false, m)
   in
@@ -329,8 +424,9 @@ let request_cmd =
        ~doc:"Send one request to a running daemon and print the response line")
     Term.(
       ret
-        (const run $ port_arg ~default:9620 $ op_arg $ id_arg $ design_arg
-        $ gen_arg $ beta_arg $ clusters_arg $ deadline_arg $ work_arg))
+        (const run $ port_arg ~default:9620 $ op_arg $ id_arg $ client_arg
+        $ design_arg $ gen_arg $ beta_arg $ clusters_arg $ deadline_arg
+        $ work_arg $ retries_arg $ retry_budget_arg))
 
 (* ----- load ------------------------------------------------------------- *)
 
@@ -367,6 +463,22 @@ let slo_url_arg =
      endpoint and exit non-zero when any objective's burn rate is breached."
   in
   Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"URL" ~doc)
+
+let tenants_arg =
+  let doc =
+    "Tenant count for the load mix: requests carry $(b,client) ids \
+     $(b,t0)..$(b,tN-1) and the report breaks percentiles down per \
+     tenant. 1 (the default) sends no client ids — the pre-tenant \
+     script, byte-identical."
+  in
+  Arg.(value & opt int 1 & info [ "tenants" ] ~docv:"N" ~doc)
+
+let hot_tenant_weight_arg =
+  let doc =
+    "Requests per cycle for tenant $(b,t0); every other tenant gets one. \
+     $(b,--tenants 2 --hot-tenant-weight 10) is the 10:1 starvation mix."
+  in
+  Arg.(value & opt int 1 & info [ "hot-tenant-weight" ] ~docv:"W" ~doc)
 
 (* Fetch /slo.json and fold it into a pass/fail verdict listing the
    breached objectives by name. *)
@@ -405,7 +517,7 @@ let slo_gate base_url =
       | _ -> Error "slo gate: /slo.json missing ok/objectives"))
 
 let load port connections requests rate_hz seed design gen beta_pct clusters
-    deadline_ms work max_p99_ms json slo_url =
+    deadline_ms work max_p99_ms json slo_url tenants hot_tenant_weight =
   let ( let* ) = Result.bind in
   let* wl = workload ~design ~gen in
   let cfg =
@@ -420,6 +532,8 @@ let load port connections requests rate_hz seed design gen beta_pct clusters
       max_clusters = clusters;
       deadline_ms;
       work_budget = work;
+      tenants;
+      hot_tenant_weight;
     }
   in
   let* report = Serve.Loadgen.run cfg in
@@ -442,10 +556,10 @@ let load port connections requests rate_hz seed design gen beta_pct clusters
 
 let load_cmd =
   let run port conns reqs rate seed design gen beta clusters deadline work gate
-      json slo =
+      json slo tenants hot_weight =
     match
       load port conns reqs rate seed design gen beta clusters deadline work
-        gate json slo
+        gate json slo tenants hot_weight
     with
     | Ok () -> `Ok ()
     | Error m -> `Error (false, m)
@@ -454,14 +568,15 @@ let load_cmd =
     (Cmd.info "load"
        ~doc:
          "Closed-loop deterministic load generator: exponential arrivals \
-          from a seeded RNG, latency percentiles from the histogram plane; \
-          exits non-zero on protocol errors, a breached p99 gate or a \
-          breached SLO burn rate (--slo)")
+          from a seeded RNG, an optional weighted per-tenant mix, latency \
+          percentiles from the histogram plane; exits non-zero on protocol \
+          errors, a breached p99 gate or a breached SLO burn rate (--slo)")
     Term.(
       ret
         (const run $ port_arg ~default:9620 $ connections_arg $ requests_arg
         $ rate_arg $ seed_arg $ design_arg $ gen_arg $ beta_arg $ clusters_arg
-        $ deadline_arg $ work_arg $ max_p99_arg $ json_arg $ slo_url_arg))
+        $ deadline_arg $ work_arg $ max_p99_arg $ json_arg $ slo_url_arg
+        $ tenants_arg $ hot_tenant_weight_arg))
 
 (* ----- tail ------------------------------------------------------------- *)
 

@@ -20,6 +20,11 @@ let evaluated_c = Fbb_obs.Counter.make "fault.evaluated"
 let sites : (string, site_state) Hashtbl.t = Hashtbl.create 16
 let sites_mutex = Mutex.create ()
 
+(* Per-site rate overrides: a chaos run can hold the global rate at 0
+   and light up just the solver sites (or vice versa). Guarded by
+   [sites_mutex]; read on every [fire] of an overridden site only. *)
+let site_rates : (string, float) Hashtbl.t = Hashtbl.create 8
+
 let site_state name =
   Mutex.protect sites_mutex (fun () ->
       match Hashtbl.find_opt sites name with
@@ -30,11 +35,20 @@ let site_state name =
         s)
 
 let reset_sites () =
-  Mutex.protect sites_mutex (fun () -> Hashtbl.reset sites)
+  Mutex.protect sites_mutex (fun () ->
+      Hashtbl.reset sites;
+      Hashtbl.reset site_rates)
 
 let configure ~rate ~seed =
   reset_sites ();
   Atomic.set config (Some { rate = Float.max 0.0 (Float.min 1.0 rate); seed })
+
+let set_site_rate site rate =
+  let rate = Float.max 0.0 (Float.min 1.0 rate) in
+  Mutex.protect sites_mutex (fun () -> Hashtbl.replace site_rates site rate)
+
+let site_rate site =
+  Mutex.protect sites_mutex (fun () -> Hashtbl.find_opt site_rates site)
 
 let clear () =
   reset_sites ();
@@ -75,6 +89,7 @@ let fire site =
   | None -> false
   | Some _ when Atomic.get pause_depth > 0 -> false
   | Some { rate; seed } ->
+    let rate = Option.value (site_rate site) ~default:rate in
     let st = site_state site in
     let ordinal = Atomic.fetch_and_add st.evaluations 1 in
     Fbb_obs.Counter.incr evaluated_c;

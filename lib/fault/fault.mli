@@ -17,7 +17,12 @@
       {!install_io_faults}); the write is retried, and the crash-safe
       protocol guarantees the destination is never corrupted;
     - ["budget.exhaust"] — {!Fbb_core.Cascade} treats the current
-      stage's budget as exhausted on entry.
+      stage's budget as exhausted on entry;
+    - ["serve.solver_crash"] — kills the {!Fbb_serve.Server} solver
+      thread after a batch is popped; the watchdog fails the in-flight
+      requests as [Faulted] and restarts the solver;
+    - ["serve.solver_stall"] — parks the solver past its stall
+      threshold so the watchdog's heartbeat detection retires it.
 
     {b Determinism.} Whether the [n]-th evaluation of a site fires is
     a pure function of [(seed, site, n)] — a splitmix64 hash compared
@@ -40,8 +45,15 @@ val configure : rate:float -> seed:int -> unit
     [rate] (clamped to [0..1]), deterministically in [seed]. Resets
     all per-site counters and statistics. *)
 
+val set_site_rate : string -> float -> unit
+(** Override the firing rate for one site (clamped to [0..1]),
+    keeping the configured seed. Call {b after} {!configure}, which
+    resets all overrides. With a global rate of [0.0] this targets a
+    chaos run at exactly the named sites. *)
+
 val clear : unit -> unit
-(** Disable injection and reset counters. *)
+(** Disable injection and reset counters (including site-rate
+    overrides). *)
 
 val active : unit -> bool
 (** Whether injection is configured and not paused. *)

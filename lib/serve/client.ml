@@ -30,6 +30,34 @@ let recv t =
 
 let rpc t req = Result.bind (send t req) (fun () -> recv t)
 
+(* Bounded retry on [Overload]: the server's retry_after hint is the
+   backoff floor, doubled-from-25ms exponential growth is the shape,
+   and a seeded jitter in [0.5, 1.0)x decorrelates a fleet of clients
+   that were all shed by the same full queue. The budget bounds total
+   sleep, not total wall time; a delay that would overrun it returns
+   the last shed response instead of sleeping. *)
+let rpc_retry ?(retries = 0) ?(retry_budget_ms = 1_000.0) ?(seed = 1) t req =
+  let rng = Fbb_util.Rng.create ~seed in
+  let rec go attempt slept_ms =
+    match rpc t req with
+    | Error _ as e -> (e, attempt + 1)
+    | Ok resp -> (
+      match resp with
+      | Protocol.Rejected { reject = Protocol.Overload { retry_after_ms }; _ }
+        when attempt < retries ->
+        let base =
+          Float.max retry_after_ms (25.0 *. float_of_int (1 lsl attempt))
+        in
+        let delay_ms = base *. (0.5 +. (0.5 *. Fbb_util.Rng.uniform rng)) in
+        if slept_ms +. delay_ms > retry_budget_ms then (Ok resp, attempt + 1)
+        else begin
+          Thread.delay (delay_ms /. 1000.0);
+          go (attempt + 1) (slept_ms +. delay_ms)
+        end
+      | _ -> (Ok resp, attempt + 1))
+  in
+  go 0 0.0
+
 let close t =
   if not t.closed then begin
     t.closed <- true;

@@ -20,5 +20,20 @@ val recv : t -> (Protocol.response, string) result
 val rpc : t -> Protocol.request -> (Protocol.response, string) result
 (** {!send} then {!recv}. *)
 
+val rpc_retry :
+  ?retries:int ->
+  ?retry_budget_ms:float ->
+  ?seed:int ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, string) result * int
+(** {!rpc} with bounded retry on [Rejected Overload]: up to [retries]
+    re-sends (default 0 — plain rpc), each after a backoff of
+    [max retry_after_hint (25ms * 2^attempt)] scaled by a seeded
+    jitter in [0.5, 1.0)x, with total sleep bounded by
+    [retry_budget_ms] (default 1000). Returns the final result plus
+    the number of attempts made. Transport errors are not retried —
+    the connection is broken, not busy. *)
+
 val close : t -> unit
 (** Idempotent. *)

@@ -15,6 +15,8 @@ type config = {
   max_clusters : int;
   deadline_ms : float option;
   work_budget : int option;
+  tenants : int;
+  hot_tenant_weight : int;
 }
 
 let default ~port =
@@ -30,7 +32,35 @@ let default ~port =
     max_clusters = 4;
     deadline_ms = None;
     work_budget = Some 200_000;
+    tenants = 1;
+    hot_tenant_weight = 1;
   }
+
+(* Tenant of global request index [g]: tenant 0 (the hot one) takes
+   [hot_tenant_weight] slots per cycle, every other tenant one slot,
+   so the mix is a pure function of (tenants, weight, g) — the same
+   script at any worker count. With one tenant requests stay
+   client-less (wire-compatible with the pre-tenant protocol). *)
+let tenant_index cfg g =
+  if cfg.tenants <= 1 then None
+  else begin
+    let cycle = cfg.hot_tenant_weight + cfg.tenants - 1 in
+    let r = g mod cycle in
+    Some
+      (if r < cfg.hot_tenant_weight then 0 else 1 + (r - cfg.hot_tenant_weight))
+  end
+
+let tenant_name i = Printf.sprintf "t%d" i
+
+type tenant_row = {
+  t_id : string;
+  t_sent : int;
+  t_solved : int;
+  t_shed : int;
+  t_errors : int;
+  t_p50_ms : float;
+  t_p99_ms : float;
+}
 
 type report = {
   sent : int;
@@ -55,6 +85,16 @@ type report = {
   queue_p50_ms : float option;
   queue_p90_ms : float option;
   queue_p99_ms : float option;
+  by_tenant : tenant_row list;  (* empty when tenants <= 1 *)
+}
+
+(* Per-tenant slice of the tally; index 0 is the hot tenant. *)
+type tenant_tally = {
+  p_sent : int Atomic.t;
+  p_solved : int Atomic.t;
+  p_shed : int Atomic.t;
+  p_errors : int Atomic.t;
+  p_hist : Histogram.t;
 }
 
 type tally = {
@@ -67,6 +107,7 @@ type tally = {
   c_errors : int Atomic.t;
   hist : Histogram.t;  (* free-standing: one per run, not registered *)
   retry_hist : Histogram.t;  (* server retry-after hints, in seconds *)
+  per_tenant : tenant_tally array;  (* empty when tenants <= 1 *)
 }
 
 let incr a = Atomic.incr a
@@ -82,11 +123,15 @@ let worker cfg tally w =
       let u = Rng.uniform rng in
       Thread.delay (-.log (1.0 -. u) /. cfg.rate_hz)
     end;
+    let tidx = tenant_index cfg g in
+    let pt = Option.map (fun i -> tally.per_tenant.(i)) tidx in
+    let pincr f = Option.iter (fun p -> Atomic.incr (f p)) pt in
     let id = Printf.sprintf "w%d-%d" w k in
     let req =
       Protocol.Solve
         {
           id;
+          client = Option.map tenant_name tidx;
           workload = List.nth cfg.workloads (g mod nwl);
           beta = cfg.beta;
           max_clusters = cfg.max_clusters;
@@ -95,15 +140,25 @@ let worker cfg tally w =
         }
     in
     incr tally.c_sent;
+    pincr (fun p -> p.p_sent);
     let t0 = Clock.now_s () in
     match Client.rpc client req with
-    | Error _ -> incr tally.c_errors
+    | Error _ ->
+      incr tally.c_errors;
+      pincr (fun p -> p.p_errors)
     | Ok resp ->
-      Histogram.observe tally.hist (Clock.now_s () -. t0);
-      if Protocol.response_id resp <> id then incr tally.c_errors
+      let latency_s = Clock.now_s () -. t0 in
+      Histogram.observe tally.hist latency_s;
+      Option.iter (fun p -> Histogram.observe p.p_hist latency_s) pt;
+      if Protocol.response_id resp <> id then begin
+        incr tally.c_errors;
+        pincr (fun p -> p.p_errors)
+      end
       else (
         match resp with
-        | Protocol.Solved _ -> incr tally.c_solved
+        | Protocol.Solved _ ->
+          incr tally.c_solved;
+          pincr (fun p -> p.p_solved)
         | Protocol.Infeasible _ -> incr tally.c_infeasible
         | Protocol.Rejected { reject; _ } ->
           incr tally.c_rejected;
@@ -111,10 +166,15 @@ let worker cfg tally w =
           | Protocol.Overload { retry_after_ms } ->
             incr tally.c_overload;
             incr tally.c_shed;
+            pincr (fun p -> p.p_shed);
             Histogram.observe tally.retry_hist (retry_after_ms /. 1000.0)
-          | Protocol.Shutting_down -> incr tally.c_shed
+          | Protocol.Shutting_down ->
+            incr tally.c_shed;
+            pincr (fun p -> p.p_shed)
           | _ -> ())
-        | Protocol.Pong _ | Protocol.Stats_reply _ -> incr tally.c_errors)
+        | Protocol.Pong _ | Protocol.Stats_reply _ ->
+          incr tally.c_errors;
+          pincr (fun p -> p.p_errors))
   in
   let mine = ref [] in
   let k = ref 0 in
@@ -128,9 +188,14 @@ let worker cfg tally w =
     | Error _ ->
       (* A refused connection costs this worker its whole share. *)
       List.iter
-        (fun _ ->
+        (fun k ->
           incr tally.c_sent;
-          incr tally.c_errors)
+          incr tally.c_errors;
+          match tenant_index cfg (w + (k * cfg.connections)) with
+          | Some i ->
+            Atomic.incr tally.per_tenant.(i).p_sent;
+            Atomic.incr tally.per_tenant.(i).p_errors
+          | None -> ())
         mine
     | Ok client ->
       List.iter (fun k -> try issue client k with _ -> incr tally.c_errors) mine;
@@ -141,7 +206,10 @@ let run cfg =
   if cfg.requests <= 0 then Error "requests must be > 0"
   else if cfg.connections <= 0 then Error "connections must be > 0"
   else if cfg.workloads = [] then Error "at least one workload required"
+  else if cfg.tenants < 1 then Error "tenants must be >= 1"
+  else if cfg.hot_tenant_weight < 1 then Error "hot-tenant weight must be >= 1"
   else begin
+    let ntenants = if cfg.tenants <= 1 then 0 else cfg.tenants in
     let tally =
       {
         c_sent = Atomic.make 0;
@@ -153,6 +221,17 @@ let run cfg =
         c_errors = Atomic.make 0;
         hist = Histogram.create "loadgen.latency_s";
         retry_hist = Histogram.create "loadgen.retry_after_s";
+        per_tenant =
+          Array.init ntenants (fun i ->
+              {
+                p_sent = Atomic.make 0;
+                p_solved = Atomic.make 0;
+                p_shed = Atomic.make 0;
+                p_errors = Atomic.make 0;
+                p_hist =
+                  Histogram.create
+                    (Printf.sprintf "loadgen.tenant%d.latency_s" i);
+              });
       }
     in
     let t0 = Clock.now_s () in
@@ -211,6 +290,20 @@ let run cfg =
         queue_p50_ms = Option.bind queue_stats (fun s -> s.Protocol.queue_p50_ms);
         queue_p90_ms = Option.bind queue_stats (fun s -> s.Protocol.queue_p90_ms);
         queue_p99_ms = Option.bind queue_stats (fun s -> s.Protocol.queue_p99_ms);
+        by_tenant =
+          Array.to_list
+            (Array.mapi
+               (fun i p ->
+                 {
+                   t_id = tenant_name i;
+                   t_sent = Atomic.get p.p_sent;
+                   t_solved = Atomic.get p.p_solved;
+                   t_shed = Atomic.get p.p_shed;
+                   t_errors = Atomic.get p.p_errors;
+                   t_p50_ms = ms_of p.p_hist 0.50;
+                   t_p99_ms = ms_of p.p_hist 0.99;
+                 })
+               tally.per_tenant);
       }
   end
 
@@ -243,7 +336,28 @@ let report_to_json r =
      ]
     @ opt "queue_p50_ms" r.queue_p50_ms
     @ opt "queue_p90_ms" r.queue_p90_ms
-    @ opt "queue_p99_ms" r.queue_p99_ms)
+    @ opt "queue_p99_ms" r.queue_p99_ms
+    @
+    match r.by_tenant with
+    | [] -> []
+    | rows ->
+      [
+        ( "tenants",
+          Json.Arr
+            (List.map
+               (fun row ->
+                 Json.Obj
+                   [
+                     ("tenant", Json.Str row.t_id);
+                     ("sent", Json.Num (float_of_int row.t_sent));
+                     ("solved", Json.Num (float_of_int row.t_solved));
+                     ("shed", Json.Num (float_of_int row.t_shed));
+                     ("errors", Json.Num (float_of_int row.t_errors));
+                     ("p50_ms", Json.Num row.t_p50_ms);
+                     ("p99_ms", Json.Num row.t_p99_ms);
+                   ])
+               rows) );
+      ])
 
 let pp_report fmt r =
   Format.fprintf fmt
@@ -257,8 +371,16 @@ let pp_report fmt r =
     Format.fprintf fmt
       "@\nretry-after p50 %.0fms  p90 %.0fms  p99 %.0fms  max %.0fms"
       r.retry_p50_ms r.retry_p90_ms r.retry_p99_ms r.retry_max_ms;
-  match (r.queue_p50_ms, r.queue_p90_ms, r.queue_p99_ms) with
+  (match (r.queue_p50_ms, r.queue_p90_ms, r.queue_p99_ms) with
   | Some p50, Some p90, Some p99 ->
     Format.fprintf fmt "@\nserver queue wait p50 %.1fms  p90 %.1fms  p99 %.1fms"
       p50 p90 p99
-  | _ -> ()
+  | _ -> ());
+  List.iter
+    (fun row ->
+      Format.fprintf fmt
+        "@\ntenant %s  sent %d  solved %d  shed %d  errors %d  p50 %.1fms  \
+         p99 %.1fms"
+        row.t_id row.t_sent row.t_solved row.t_shed row.t_errors row.t_p50_ms
+        row.t_p99_ms)
+    r.by_tenant

@@ -24,11 +24,28 @@ type config = {
   max_clusters : int;
   deadline_ms : float option;
   work_budget : int option;
+  tenants : int;
+      (** tenant count for the per-tenant load mix; 1 means no [client]
+          ids on the wire (the pre-tenant script, byte-identical) *)
+  hot_tenant_weight : int;
+      (** requests per cycle for tenant ["t0"]; every other tenant gets
+          one — e.g. [tenants = 2, hot_tenant_weight = 10] is the
+          10:1 starvation mix *)
 }
 
 val default : port:int -> config
 (** 4 connections, 40 requests, unpaced, seed 1, one small generated
-    workload, beta 0.05, 4 clusters, work budget 200k. *)
+    workload, beta 0.05, 4 clusters, work budget 200k, single tenant. *)
+
+type tenant_row = {
+  t_id : string;
+  t_sent : int;
+  t_solved : int;
+  t_shed : int;  (** [Overload] + [Shutting_down] rejects *)
+  t_errors : int;
+  t_p50_ms : float;
+  t_p99_ms : float;
+}
 
 type report = {
   sent : int;
@@ -58,6 +75,9 @@ type report = {
           dequeued nothing *)
   queue_p90_ms : float option;
   queue_p99_ms : float option;
+  by_tenant : tenant_row list;
+      (** per-tenant breakdown (latency percentiles from each tenant's
+          own histogram); empty when [tenants <= 1] *)
 }
 
 val run : config -> (report, string) result

@@ -15,7 +15,8 @@ let workload_key = function
 
 type solve = {
   id : string;
-  workload : workload;
+  client : string option;  (* tenant id for fair admission; *)
+  workload : workload;     (* None falls back to the connection *)
   beta : float;
   max_clusters : int;
   deadline_ms : float option;
@@ -97,6 +98,7 @@ let request_to_json = function
   | Solve s ->
     J.Obj
       ([ ("op", J.Str "solve"); ("id", J.Str s.id) ]
+      @ opt_field "client" (fun v -> J.Str v) s.client
       @ workload_fields s.workload
       @ [ ("beta", J.Num s.beta); ("clusters", num_i s.max_clusters) ]
       @ opt_field "deadline_ms" (fun v -> J.Num v) s.deadline_ms
@@ -225,12 +227,15 @@ let decode_request line =
     | "ping" -> Ok (Ping { id })
     | "stats" -> Ok (Stats { id })
     | "solve" ->
+      let* client = opt str "client" j in
       let* workload = workload_of_json j in
       let* beta = num "beta" j in
       let* max_clusters = int_field "clusters" j in
       let* deadline_ms = opt num "deadline_ms" j in
       let* work_budget = opt int_field "work_budget" j in
-      Ok (Solve { id; workload; beta; max_clusters; deadline_ms; work_budget })
+      Ok
+        (Solve
+           { id; client; workload; beta; max_clusters; deadline_ms; work_budget })
     | op -> Error (Printf.sprintf "unknown op %S" op))
 
 let attempt_of_json j =
@@ -349,12 +354,18 @@ let decode_response line =
 
 let default_max_frame = 1 lsl 20
 
-type read_error = Closed | Truncated | Oversized of int | Io of string
+type read_error =
+  | Closed
+  | Truncated
+  | Oversized of int
+  | Idle_timeout
+  | Io of string
 
 let read_error_to_string = function
   | Closed -> "connection closed"
   | Truncated -> "truncated frame (EOF mid-line)"
   | Oversized limit -> Printf.sprintf "frame exceeds %d bytes" limit
+  | Idle_timeout -> "idle timeout (no complete frame within deadline)"
   | Io msg -> "i/o error: " ^ msg
 
 type reader = {
@@ -391,6 +402,10 @@ let rec read_frame r =
         Buffer.add_subbytes r.buf r.chunk 0 n;
         read_frame r
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_frame r
+      (* SO_RCVTIMEO expiry: the socket stays usable, but the server
+         treats it as a slow-loris eviction with a typed close. *)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error Idle_timeout
       | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
       | exception Sys_error msg -> Error (Io msg)
     end

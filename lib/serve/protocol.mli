@@ -28,6 +28,9 @@ val workload_key : workload -> string
 
 type solve = {
   id : string;  (** caller-chosen request id, echoed on the response *)
+  client : string option;
+      (** tenant id for per-client fair admission; [None] groups the
+          request under its connection's synthetic tenant *)
   workload : workload;
   beta : float;  (** slowdown coefficient, fraction (0.05 = 5%) *)
   max_clusters : int;
@@ -114,6 +117,10 @@ type read_error =
   | Closed  (** clean EOF at a frame boundary *)
   | Truncated  (** EOF in the middle of a frame *)
   | Oversized of int  (** frame exceeded the limit (the limit, bytes) *)
+  | Idle_timeout
+      (** the socket's receive deadline ([SO_RCVTIMEO]) expired before
+          a complete frame arrived — the slow-loris signal, distinct
+          from [Closed]/[Truncated] so evictions are observable *)
   | Io of string  (** transport error, rendered *)
 
 val read_error_to_string : read_error -> string

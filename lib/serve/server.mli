@@ -7,21 +7,48 @@
     - an {b accept} thread takes connections and spawns one reader
       thread per connection (the peer count is bounded by the OS, not
       the server — connections are cheap, requests are admitted);
-    - {b admission control}: [Solve] requests enter a bounded queue;
-      at capacity the request is shed immediately with a typed
-      [Rejected Overload] carrying a retry-after hint derived from the
-      queue depth and the recent mean service time. A draining server
-      sheds with [Shutting_down];
-    - a single {b solver} thread drains the queue in {b batches}: the
-      head request plus every queued request with the same
-      {!Protocol.workload_key} (up to [batch_max]) share one prepared
-      problem context — placement, {!Fbb_sta.Delay_cache}, nominal
-      analysis, extracted path set, leakage tables — so same-netlist
-      traffic amortizes the expensive pre-processing exactly like the
-      Monte-Carlo inner loop does. Batching is an {e amortization},
-      never a semantic: response payloads are bit-identical whether a
-      request was batched or solved alone, which the determinism suite
-      enforces;
+    - {b per-tenant fair admission}: [Solve] requests are grouped by
+      tenant — the request's [client] id, or a synthetic
+      per-connection id when absent — into bounded FIFO lanes. A
+      request is shed with a typed [Rejected Overload] when the global
+      queue or its own lane is at capacity (the retry-after hint is
+      derived from the {e tenant's} lane depth and the recent mean
+      service time, so a quiet tenant is told a short backoff even
+      while a hot one floods), and with [Shutting_down] while
+      draining. Each connection also bounds its outstanding admitted
+      requests ([conn_pending_cap]);
+    - a single {b solver} thread drains the lanes {b deficit-round-
+      robin}: each nonempty lane gets one batch per ring revolution —
+      the head request plus every lane-mate with the same
+      {!Protocol.workload_key} (up to [batch_max] and the per-tenant
+      in-flight cap) sharing one prepared problem context — placement,
+      {!Fbb_sta.Delay_cache}, nominal analysis, extracted path set,
+      leakage tables. A flooding tenant therefore delays a quiet
+      tenant by at most one batch per revolution, never by its whole
+      backlog. Batching is an {e amortization}, never a semantic:
+      response payloads are bit-identical whether a request was
+      batched, solved alone, or solved from a store-loaded context,
+      which the determinism suite enforces;
+    - the solver is {b supervised}: it heartbeats on every request,
+      and a watchdog thread detects a dead solver (escaped exception)
+      or a stalled one (heartbeat older than [stall_threshold_s] with
+      work in flight), fails the in-flight batch as typed [Faulted],
+      and restarts the solver under a fresh generation. After
+      [breaker_limit] consecutive restarts without a completed
+      request, a {b circuit breaker} opens: queued jobs are flushed
+      and new solves shed with [Shutting_down], until a half-open
+      probe (one request admitted into an idle server after
+      [breaker_cooldown_s]) completes and closes it. Ping/stats and
+      the telemetry plane keep answering throughout;
+    - with [store_dir] set, prepared contexts are spilled to a
+      {b persistent store} ({!Store}) keyed by workload, so a
+      restarted daemon loads its first context instead of rebuilding
+      it (restart-to-first-Solved is measured by the serve bench).
+      Loaded contexts are checksum-verified by the store and
+      {e signed off} against a scratch rebuild on first use per
+      daemon; a failed signoff disables loads and flushes every
+      loaded context (DESIGN §17). Store failures of any kind degrade
+      to in-memory-only operation — never to a failed request;
     - each request runs under its own {!Fbb_util.Budget} (wall
       deadline measured from admission, so queue wait counts; work
       ticks verbatim) inside a per-request {!Fbb_obs.Context} and a
@@ -29,15 +56,27 @@
       the cascade's anytime floor — a signed-off [Solved] payload —
       never a timeout error.
 
+    Connection hygiene: with [idle_timeout_s] set, a peer that parks a
+    half-written frame is evicted (typed [Bad_request] close, the
+    reader's {!Protocol.read_frame} surfaces [Idle_timeout]); with
+    [write_timeout_s] set, a peer that stops reading errors the write
+    and is evicted — write-side backpressure bounded further by the
+    per-connection pending cap.
+
     Faults: the ["serve.accept"] site poisons a new connection — its
     first frame is answered with a typed [Rejected Faulted], then the
     connection closes; the ["serve.read"] site degrades one request to
-    [Rejected Faulted]. Neither ever kills the server, and solver
-    crashes are contained per request the same way.
+    [Rejected Faulted]; the ["serve.solver_crash"] /
+    ["serve.solver_stall"] sites kill or park the solver thread and
+    are healed by the watchdog. None of them ever kills the server,
+    and per-request solver exceptions are contained the same way.
 
     Observability: [serve.*] counters (requests, solved, infeasible,
-    shed, protocol_errors, faults, batches, batched) plus the
-    [serve.latency] and [serve.queue_wait] histograms feed the
+    shed, protocol_errors, faults, batches, batched, tenant.*,
+    store.*, solver.restarts, breaker.trips, idle_evictions,
+    write_errors) plus the [serve.latency] and [serve.queue_wait]
+    histograms and the [serve.solver.heartbeat_age_s] /
+    [serve.breaker.open] / [serve.tenant.lanes] gauges feed the
     {!Fbb_obs.Telemetry} plane, so a daemon started with a metrics
     port exposes live p50/p99 on [GET /metrics]. *)
 
@@ -45,7 +84,12 @@ type config = {
   addr : string;  (** bind address, default 127.0.0.1 *)
   port : int;  (** 0 picks an ephemeral port *)
   queue_capacity : int;
-      (** admission bound; 0 sheds every request (useful in tests) *)
+      (** global admission bound over all lanes; 0 sheds every request
+          (useful in tests) *)
+  tenant_queue_cap : int;  (** per-tenant lane bound *)
+  tenant_inflight_cap : int;  (** max jobs of one tenant per batch *)
+  conn_pending_cap : int;
+      (** max admitted-but-unanswered requests per connection *)
   batch_max : int;  (** max requests per same-netlist batch *)
   max_frame : int;  (** per-line protocol bound, bytes *)
   prepared_cap : int;  (** prepared-context LRU size (netlist keys) *)
@@ -53,21 +97,46 @@ type config = {
   default_deadline_ms : float option;
       (** applied when a request carries no budget of its own *)
   default_work : int option;
+  idle_timeout_s : float option;
+      (** receive deadline per connection; [None] disables eviction *)
+  write_timeout_s : float option;
+      (** send deadline per connection; a blocked write past it evicts
+          the peer *)
+  stall_threshold_s : float option;
+      (** solver heartbeat age that counts as a stall (with work in
+          flight); [None] disables stall detection (crash detection is
+          always on) *)
+  watchdog_tick_s : float;  (** supervision poll interval *)
+  breaker_limit : int;
+      (** consecutive solver restarts (no request completed in
+          between) that open the circuit breaker *)
+  breaker_cooldown_s : float;
+      (** open time before a half-open probe may be admitted *)
+  store_dir : string option;
+      (** persistent prepared-context store root; [None] disables *)
 }
 
 val default_config : config
-(** port 9620, queue 64, batch 16, 1 MiB frames, 8 prepared contexts,
-    50k gates, no default budgets. *)
+(** port 9620, queue 64 (64 per tenant, 16 per-tenant in-flight, 256
+    pending per connection), batch 16, 1 MiB frames, 8 prepared
+    contexts, 50k gates, no default budgets, no idle timeout, 30 s
+    write timeout, stall detection off, 50 ms watchdog tick, breaker
+    at 5 restarts / 1 s cooldown, no persistent store. *)
 
 type t
 
 val start : ?config:config -> unit -> (t, string) result
-(** Bind, listen and spawn the accept + solver threads. [Error] on
-    bind failure. Installs a [SIGPIPE] ignore (a dead peer must error
-    the write, not kill the daemon). *)
+(** Bind, listen and spawn the accept + solver + watchdog threads.
+    [Error] on bind failure or an unusable [store_dir]. Installs a
+    [SIGPIPE] ignore (a dead peer must error the write, not kill the
+    daemon). *)
 
 val port : t -> int
 val stats : t -> Protocol.stats_payload
+
+val breaker_open : t -> bool
+(** Whether the restart circuit breaker is currently open (chaos tests
+    assert it never wedges). *)
 
 val drain : t -> unit
 (** Graceful drain: stop admitting ([Solve] requests are shed with
@@ -76,4 +145,5 @@ val drain : t -> unit
 
 val stop : t -> unit
 (** {!drain}, then shut every connection down, close the listener and
-    join all threads. Idempotent; the server is unusable afterwards. *)
+    join all threads (including retired solver generations). Idempotent;
+    the server is unusable afterwards. *)

@@ -1,0 +1,121 @@
+(* Persistent prepared-context store. See the mli for the contract.
+
+   Entry layout (one file per key, named <md5(key) hex>.ctx):
+
+     fbb-ctx-1 <version hex> <md5(payload) hex> <payload bytes> <key>\n
+     <payload>
+
+   The header is a single line of space-separated fields with the key
+   last (workload keys contain no spaces or newlines, but the parser
+   reassembles trailing fields anyway), followed by the raw payload.
+   Writes go through Atomic_io so a crash mid-spill leaves the
+   previous entry intact. *)
+
+type t = { dir : string }
+
+let magic = "fbb-ctx-1"
+
+(* The version stamp ties every entry to the binary that wrote it: a
+   marshalled context is only byte-compatible with the exact closure
+   of types it was written by, so entries from other builds are
+   misses, not candidates. *)
+let version =
+  let v =
+    lazy
+      (try Digest.to_hex (Digest.file Sys.executable_name)
+       with _ ->
+         Digest.to_hex (Digest.string (Sys.ocaml_version ^ Sys.executable_name)))
+  in
+  fun () -> Lazy.force v
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ~dir =
+  match
+    mkdir_p dir;
+    if Sys.is_directory dir then Ok { dir }
+    else Error (Printf.sprintf "store: %s is not a directory" dir)
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "store: cannot create %s: %s" dir
+             (Unix.error_message e))
+  | exception Sys_error msg -> Error ("store: " ^ msg)
+
+let dir t = t.dir
+
+let entry_path t ~key =
+  Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".ctx")
+
+type load_result = Hit of string | Miss | Corrupt of string
+
+let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+let header ~key payload =
+  String.concat " "
+    [
+      magic; version (); Digest.to_hex (Digest.string payload);
+      string_of_int (String.length payload); key;
+    ]
+
+let save t ~key payload =
+  if String.contains key '\n' then Error "store: key contains a newline"
+  else begin
+    let content = header ~key payload ^ "\n" ^ payload in
+    match Fbb_util.Atomic_io.write_atomic ~path:(entry_path t ~key) content with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error ("store: " ^ msg)
+    | exception Unix.Unix_error (e, _, _) ->
+      Error ("store: " ^ Unix.error_message e)
+    | exception exn -> Error ("store: " ^ Printexc.to_string exn)
+  end
+
+(* Validate an entry completely before handing its payload out; any
+   framing defect deletes the file so the next lookup rebuilds. *)
+let load t ~key =
+  let path = entry_path t ~key in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> Miss
+  | content -> (
+    let corrupt reason =
+      remove_quiet path;
+      Corrupt reason
+    in
+    match String.index_opt content '\n' with
+    | None -> corrupt "no header line"
+    | Some nl -> (
+      let head = String.sub content 0 nl in
+      match String.split_on_char ' ' head with
+      | m :: ver :: sum :: len :: key_parts when m = magic -> (
+        let entry_key = String.concat " " key_parts in
+        match int_of_string_opt len with
+        | None -> corrupt "malformed payload length"
+        | Some n ->
+          if ver <> version () then begin
+            (* A different binary wrote this: stale, not corrupt. *)
+            remove_quiet path;
+            Miss
+          end
+          else if entry_key <> key then corrupt "key mismatch"
+          else if String.length content - nl - 1 <> n then
+            corrupt "payload length mismatch"
+          else
+            let payload = String.sub content (nl + 1) n in
+            if Digest.to_hex (Digest.string payload) <> sum then
+              corrupt "checksum mismatch"
+            else Hit payload)
+      | _ -> corrupt "bad magic"))
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".ctx")
+    |> List.sort compare

@@ -1,0 +1,60 @@
+(** Persistent prepared-context store: a versioned on-disk cache of
+    serialized prepared problem contexts, keyed by workload key, so a
+    restarted [fbbd] skips re-preparation (placement, delay cache,
+    nominal STA, path enumeration) and answers its first [Solved]
+    warm.
+
+    The store maps an opaque [key] (the protocol's workload key) to an
+    opaque payload (the server's marshalled context). Each entry is
+    one file, named by the key's digest, written crash-safely through
+    {!Fbb_util.Atomic_io} — a reader sees either the complete previous
+    entry or the complete new one, never a torn write.
+
+    {b Trust model.} Entries are never trusted blindly:
+
+    - every entry carries a {e version} — the digest of the running
+      executable — so a cache written by a different binary is treated
+      as a miss (and the stale file is removed), never deserialized;
+    - every entry carries an MD5 checksum of its payload; a mismatch
+      (bit rot, torn external writes) is a typed [Corrupt], the file
+      is deleted, and the caller rebuilds from scratch;
+    - the {e server} additionally signs off the first loaded context
+      per process against a scratch rebuild (see DESIGN §17) — the
+      store itself only guarantees integrity, not semantic validity.
+
+    All operations are total: failures come back as [Error]/[Corrupt],
+    never as exceptions, so a broken disk degrades the server to
+    in-memory-only operation instead of failing requests. *)
+
+type t
+
+val open_ : dir:string -> (t, string) result
+(** Open (creating directories as needed) a store rooted at [dir].
+    [Error] when the directory cannot be created or is not writable. *)
+
+val dir : t -> string
+
+val version : unit -> string
+(** The running binary's version stamp (digest of the executable),
+    baked into every entry written by this process. *)
+
+type load_result =
+  | Hit of string  (** verified payload *)
+  | Miss  (** no entry, or an entry from a different binary version *)
+  | Corrupt of string
+      (** the entry failed checksum or framing validation; it has been
+          deleted, rebuild from scratch (the reason, rendered) *)
+
+val load : t -> key:string -> load_result
+
+val save : t -> key:string -> string -> (unit, string) result
+(** Publish [payload] under [key] atomically. [Error] on I/O failure
+    (disk full, permissions, exhausted transient retries) — the
+    previous entry, if any, is untouched. *)
+
+val entry_path : t -> key:string -> string
+(** Where [key]'s entry lives (exists or not) — for tests that corrupt
+    entries deliberately. *)
+
+val entries : t -> string list
+(** Basenames of all entry files currently on disk, sorted. *)

@@ -22,6 +22,7 @@ let () =
       ("oracle", Test_oracle.suite);
       ("determinism", Test_determinism.suite);
       ("serve", Test_serve.suite);
+      ("store", Test_store.suite);
       ("properties", Test_properties.suite);
       ("trace", Test_trace.suite);
     ]

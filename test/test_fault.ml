@@ -154,6 +154,7 @@ let test_serve_fault_storm () =
                 P.Solve
                   {
                     id = Printf.sprintf "storm-%d" i;
+                    client = None;
                     workload = P.Generated { seed = 5; gates = 80; rows = 3 };
                     beta = 0.05;
                     max_clusters = 3;
@@ -187,6 +188,116 @@ let test_serve_fault_storm () =
           Alcotest.failf "expected pong, got %s" (P.encode_response r)
         | Error m -> Alcotest.failf "ping after storm: %s" m))
 
+let test_solver_storm () =
+  (* A targeted chaos run at the solver sites only: serve.solver_crash
+     kills the solver thread mid-batch, serve.solver_stall parks it
+     until the watchdog's stall threshold fires. Every affected request
+     must come back as a typed Faulted reject (the watchdog fails the
+     batch and restarts the solver under a fresh generation), /healthz
+     must answer throughout, the circuit breaker must never wedge, and
+     the server must be fully serviceable once injection stops. *)
+  let module Server = Fbb_serve.Server in
+  let module Client = Fbb_serve.Client in
+  let module P = Fbb_serve.Protocol in
+  let config =
+    {
+      Server.default_config with
+      port = 0;
+      queue_capacity = 32;
+      stall_threshold_s = Some 0.15;
+      watchdog_tick_s = 0.02;
+      breaker_limit = 5;
+      breaker_cooldown_s = 0.1;
+    }
+  in
+  let sampler = Fbb_obs.Telemetry.start ~tick_s:0.05 () in
+  match Fbb_obs.Telemetry.serve ~port:0 () with
+  | Error m -> Alcotest.failf "telemetry: %s" m
+  | Ok tsrv ->
+    Fun.protect ~finally:(fun () ->
+        Fbb_obs.Telemetry.shutdown tsrv;
+        Fbb_obs.Telemetry.stop sampler)
+    @@ fun () ->
+    (match Server.start ~config () with
+    | Error m -> Alcotest.failf "server start: %s" m
+    | Ok srv ->
+      Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+      let healthz () =
+        let url =
+          Printf.sprintf "http://127.0.0.1:%d/healthz"
+            (Fbb_obs.Telemetry.port tsrv)
+        in
+        match Fault.with_paused (fun () -> Fbb_obs.Telemetry.http_get url) with
+        | Ok _ -> ()
+        | Error m -> Alcotest.failf "healthz during solver storm: %s" m
+      in
+      let req i =
+        P.Solve
+          {
+            id = Printf.sprintf "solver-storm-%d" i;
+            client = None;
+            workload = P.Generated { seed = 5; gates = 80; rows = 3 };
+            beta = 0.05;
+            max_clusters = 3;
+            deadline_ms = None;
+            work_budget = Some 2_000;
+          }
+      in
+      let solved = ref 0 and faulted = ref 0 and shed = ref 0 in
+      with_faults ~rate:0.0 ~seed:31 (fun () ->
+          (* Global rate 0 + per-site overrides: accept/read stay
+             clean, only the solver is under attack. *)
+          Fault.set_site_rate "serve.solver_crash" 0.3;
+          Fault.set_site_rate "serve.solver_stall" 0.2;
+          for i = 1 to 25 do
+            match Client.connect ~port:(Server.port srv) () with
+            | Error m -> Alcotest.failf "connect (storm %d): %s" i m
+            | Ok c ->
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              (match Client.rpc c (req i) with
+              | Ok (P.Solved _) -> incr solved
+              | Ok (P.Rejected { reject = P.Faulted _; _ }) -> incr faulted
+              | Ok (P.Rejected { reject = P.Shutting_down | P.Overload _; _ })
+                ->
+                (* A tripped breaker flushing the lane is a legal typed
+                   outcome mid-storm; it must heal below. *)
+                incr shed
+              | Ok r ->
+                Alcotest.failf "unexpected response %s" (P.encode_response r)
+              | Error m ->
+                Alcotest.failf "request %d escaped the typed protocol: %s" i m);
+              if i mod 8 = 0 then healthz ()
+          done);
+      Alcotest.(check int) "every request answered" 25
+        (!solved + !faulted + !shed);
+      Alcotest.(check bool) "storm killed some batches" true (!faulted > 0);
+      Alcotest.(check bool) "solver restarts recorded" true
+        (Fbb_obs.Counter.read (Fbb_obs.Counter.make "serve.solver.restarts")
+        > 0);
+      (* Injection is off: the breaker (if it ever opened) must close
+         and the daemon must serve again. The half-open probe needs the
+         cooldown, so allow a few attempts. *)
+      let rec recover tries =
+        if tries = 0 then Alcotest.fail "server never recovered from storm"
+        else
+          match Client.connect ~port:(Server.port srv) () with
+          | Error m -> Alcotest.failf "connect after storm: %s" m
+          | Ok c -> (
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            match Client.rpc c (req 1000) with
+            | Ok (P.Solved _) -> ()
+            | Ok (P.Rejected _) ->
+              Unix.sleepf 0.15;
+              recover (tries - 1)
+            | Ok r ->
+              Alcotest.failf "unexpected recovery response %s"
+                (P.encode_response r)
+            | Error m -> Alcotest.failf "recovery rpc: %s" m)
+      in
+      recover 20;
+      Alcotest.(check bool) "breaker never wedges" false
+        (Server.breaker_open srv))
+
 let suite =
   [
     ("inactive by default", `Quick, test_inactive_by_default);
@@ -197,4 +308,5 @@ let suite =
     ("pool contains injected faults", `Quick,
      test_pool_contains_injected_faults);
     ("serve fault storm", `Quick, test_serve_fault_storm);
+    ("solver crash/stall storm", `Quick, test_solver_storm);
   ]

@@ -37,10 +37,12 @@ let with_client srv f =
 let wl_a = P.Generated { seed = 5; gates = 80; rows = 3 }
 let wl_b = P.Generated { seed = 6; gates = 64; rows = 3 }
 
-let solve ?(beta = 0.05) ?(clusters = 3) ?deadline_ms ?work id workload =
+let solve ?(beta = 0.05) ?(clusters = 3) ?deadline_ms ?work ?client id
+    workload =
   P.Solve
     {
       id;
+      client;
       workload;
       beta;
       max_clusters = clusters;
@@ -79,13 +81,15 @@ let gen_request =
   let open QCheck.Gen in
   let gen_solve =
     gen_id >>= fun id ->
+    option gen_id >>= fun client ->
     gen_workload >>= fun workload ->
     gen_finite >>= fun beta ->
     nat >>= fun max_clusters ->
     option gen_finite >>= fun deadline_ms ->
     option nat >>= fun work_budget ->
     return
-      (P.Solve { id; workload; beta; max_clusters; deadline_ms; work_budget })
+      (P.Solve
+         { id; client; workload; beta; max_clusters; deadline_ms; work_budget })
   in
   oneof
     [
@@ -215,6 +219,10 @@ let test_adversarial_parses () =
        \"gates\":9,\"rows\":2},\"beta\":0.05,\"clusters\":2}";
       "{\"op\":\"solve\",\"id\":\"x\",\"gen\":{\"seed\":1},\"beta\":0.05,\
        \"clusters\":2}";
+      "{\"op\":\"solve\",\"id\":\"x\",\"client\":7,\"design\":\"c17\",\
+       \"beta\":0.05,\"clusters\":2}";
+      "{\"op\":\"solve\",\"id\":\"x\",\"client\":null,\"design\":\"c17\",\
+       \"beta\":0.05,\"clusters\":2}";
       String.make 4096 '{';
     ]
   in
@@ -472,6 +480,159 @@ let test_bad_parameters_rejected () =
     (solve "b4" (P.Generated { seed = 1; gates = 2; rows = 2 }) ~work:100);
   expect_bad "b5" (solve "b5" wl_a ~deadline_ms:(-5.0) ~work:100)
 
+(* ----- connection hygiene ----------------------------------------------- *)
+
+let test_idle_timeout_read_error () =
+  (* A reader on a socket with a receive deadline surfaces SO_RCVTIMEO
+     expiry as the typed Idle_timeout — and the reader stays usable:
+     buffered partial input completes once the peer resumes. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.setsockopt_float a Unix.SO_RCVTIMEO 0.05;
+  let r = P.reader a in
+  Alcotest.(check bool) "silence is idle_timeout" true
+    (P.read_frame r = Error P.Idle_timeout);
+  write_all b "partial";
+  Alcotest.(check bool) "half a frame is still idle_timeout" true
+    (P.read_frame r = Error P.Idle_timeout);
+  write_all b " frame\n";
+  Alcotest.(check bool) "resumed peer completes the buffered frame" true
+    (P.read_frame r = Ok "partial frame")
+
+let test_idle_eviction () =
+  (* A slow-loris peer — half a frame, then silence — is evicted with a
+     typed reject and a close; a prompt peer on the same server is
+     untouched. *)
+  let config =
+    { Server.default_config with port = 0; idle_timeout_s = Some 0.2 }
+  in
+  with_server ~config @@ fun srv ->
+  with_client srv (fun c ->
+      match ok (Client.rpc c (P.Ping { id = "fast" })) with
+      | P.Pong _ -> ()
+      | r -> Alcotest.failf "expected pong, got %s" (P.encode_response r));
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close sock with _ -> ())
+  @@ fun () ->
+  Unix.connect sock
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+  write_all sock "{\"op\":\"ping\",\"id\":";
+  let r = P.reader sock in
+  (match P.read_frame r with
+  | Ok line -> (
+    match P.decode_response line with
+    | Ok (P.Rejected { reject = P.Bad_request reason; _ }) ->
+      Alcotest.(check bool) "eviction names the idle timeout" true
+        (String.length reason >= 4 && String.sub reason 0 4 = "idle")
+    | Ok resp ->
+      Alcotest.failf "expected bad_request, got %s" (P.encode_response resp)
+    | Error m -> Alcotest.failf "undecodable response: %s" m)
+  | Error e -> Alcotest.failf "read: %s" (P.read_error_to_string e));
+  match P.read_frame r with
+  | Error (P.Closed | P.Truncated) -> ()
+  | Ok line -> Alcotest.failf "expected close after eviction, got %S" line
+  | Error e ->
+    Alcotest.failf "expected close, got %s" (P.read_error_to_string e)
+
+(* ----- per-tenant fair admission ---------------------------------------- *)
+
+let counter name = Fbb_obs.Counter.read (Fbb_obs.Counter.make name)
+
+let test_tenant_starvation () =
+  (* The 10:1 starvation mix: one tenant floods 40 pipelined requests,
+     a quiet tenant issues a handful sequentially. The hot tenant's
+     lane cap sheds its excess with typed overloads; the quiet tenant
+     is never shed and every request is solved — the global queue is
+     never monopolized. *)
+  let config =
+    {
+      Server.default_config with
+      port = 0;
+      queue_capacity = 64;
+      tenant_queue_cap = 4;
+      batch_max = 2;
+    }
+  in
+  with_server ~config @@ fun srv ->
+  let tenant_shed0 = counter "serve.tenant.shed" in
+  let hot = ok (Client.connect ~port:(Server.port srv) ()) in
+  Fun.protect ~finally:(fun () -> Client.close hot) @@ fun () ->
+  let n_hot = 40 in
+  for i = 1 to n_hot do
+    ok
+      (Client.send hot
+         (solve ~client:"hot" (Printf.sprintf "h%d" i) wl_a ~work:20_000))
+  done;
+  (* The quiet tenant runs while the flood is queued and being shed. *)
+  with_client srv (fun quiet ->
+      for i = 1 to 3 do
+        match
+          ok
+            (Client.rpc quiet
+               (solve ~client:"quiet" (Printf.sprintf "q%d" i) wl_b
+                  ~work:20_000))
+        with
+        | P.Solved { id; _ } ->
+          Alcotest.(check string) "quiet id echoed"
+            (Printf.sprintf "q%d" i) id
+        | r ->
+          Alcotest.failf "quiet tenant starved or shed: %s"
+            (P.encode_response r)
+      done);
+  let solved = ref 0 and overload = ref 0 in
+  for _ = 1 to n_hot do
+    match ok (Client.recv hot) with
+    | P.Solved _ -> incr solved
+    | P.Rejected { reject = P.Overload { retry_after_ms }; _ } ->
+      Alcotest.(check bool) "retry-after positive" true (retry_after_ms > 0.0);
+      incr overload
+    | r -> Alcotest.failf "unexpected hot response %s" (P.encode_response r)
+  done;
+  Alcotest.(check int) "every hot request answered" n_hot
+    (!solved + !overload);
+  Alcotest.(check bool) "hot tenant absorbed the overloads" true
+    (!overload > 0);
+  Alcotest.(check bool) "hot lane cap (not the global queue) shed" true
+    (counter "serve.tenant.shed" > tenant_shed0)
+
+(* ----- client-side bounded retry ---------------------------------------- *)
+
+let test_rpc_retry_bounded () =
+  (* Against a capacity-0 server every attempt is shed: rpc_retry must
+     make exactly retries+1 attempts, return the final typed overload,
+     and respect a tiny budget by giving up instead of sleeping. *)
+  let config = { Server.default_config with port = 0; queue_capacity = 0 } in
+  with_server ~config @@ fun srv ->
+  with_client srv @@ fun c ->
+  let result, attempts =
+    Client.rpc_retry ~retries:2 ~retry_budget_ms:10_000.0 ~seed:7 c
+      (solve "rt" wl_a ~work:100)
+  in
+  (match ok result with
+  | P.Rejected { reject = P.Overload _; _ } -> ()
+  | r -> Alcotest.failf "expected overload, got %s" (P.encode_response r));
+  Alcotest.(check int) "retries exhausted" 3 attempts;
+  (* A zero budget refuses to sleep at all: one attempt. *)
+  let _, attempts0 =
+    Client.rpc_retry ~retries:5 ~retry_budget_ms:0.0 ~seed:7 c
+      (solve "rt0" wl_a ~work:100)
+  in
+  Alcotest.(check int) "zero budget, one attempt" 1 attempts0;
+  (* A server with room answers on the first attempt. *)
+  with_server @@ fun srv2 ->
+  with_client srv2 @@ fun c2 ->
+  let result2, attempts2 =
+    Client.rpc_retry ~retries:3 c2 (solve "ok1" wl_a ~work:2_000)
+  in
+  (match ok result2 with
+  | P.Solved _ -> ()
+  | r -> Alcotest.failf "expected solved, got %s" (P.encode_response r));
+  Alcotest.(check int) "no retry needed" 1 attempts2
+
 (* ----- past-deadline requests degrade to the anytime floor -------------- *)
 
 let test_past_deadline_returns_incumbent () =
@@ -571,6 +732,12 @@ let suite =
       test_drain_sheds_with_shutting_down;
     Alcotest.test_case "bad parameters rejected" `Quick
       test_bad_parameters_rejected;
+    Alcotest.test_case "idle timeout read error" `Quick
+      test_idle_timeout_read_error;
+    Alcotest.test_case "slow-loris peer evicted" `Quick test_idle_eviction;
+    Alcotest.test_case "hot tenant cannot starve a quiet one" `Quick
+      test_tenant_starvation;
+    Alcotest.test_case "rpc_retry bounded" `Quick test_rpc_retry_bounded;
     Alcotest.test_case "past deadline returns incumbent" `Quick
       test_past_deadline_returns_incumbent;
     Alcotest.test_case "batching preserves payloads" `Quick

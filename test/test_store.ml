@@ -1,0 +1,248 @@
+(* Tests for the persistent prepared-context store (Fbb_serve.Store)
+   and its server integration: entry framing and the trust model
+   (version stamp, checksum, deletion of bad entries), warm-restart
+   bit-identical payloads with store hits and a passing signoff, a
+   corrupted entry degrading to a scratch rebuild with an identical
+   payload, and spill failures degrading the daemon to in-memory
+   operation instead of failing requests. *)
+
+module P = Fbb_serve.Protocol
+module Server = Fbb_serve.Server
+module Client = Fbb_serve.Client
+module Store = Fbb_serve.Store
+
+let ok = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unexpected error: %s" m
+
+(* Counters are process-cumulative; tests assert on deltas. *)
+let counter name = Fbb_obs.Counter.read (Fbb_obs.Counter.make name)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun name -> rm_rf (Filename.concat path name))
+      (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let tmp_counter = ref 0
+
+let with_tmpdir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fbb-store-test-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ----- store unit tests ------------------------------------------------- *)
+
+let test_roundtrip () =
+  with_tmpdir @@ fun dir ->
+  let s = ok (Store.open_ ~dir) in
+  Alcotest.(check bool) "fresh store is empty" true
+    (Store.load s ~key:"gen:1" = Store.Miss);
+  let payload = "binary\x00payload\xff\nwith newline" in
+  ok (Store.save s ~key:"gen:1" payload);
+  (match Store.load s ~key:"gen:1" with
+  | Store.Hit p -> Alcotest.(check string) "payload survives" payload p
+  | _ -> Alcotest.fail "expected hit");
+  Alcotest.(check int) "one entry file" 1 (List.length (Store.entries s));
+  (* Distinct keys are distinct entries; overwrite replaces. *)
+  ok (Store.save s ~key:"gen:2" "other");
+  ok (Store.save s ~key:"gen:1" "replaced");
+  Alcotest.(check int) "two entry files" 2 (List.length (Store.entries s));
+  match Store.load s ~key:"gen:1" with
+  | Store.Hit p -> Alcotest.(check string) "overwrite replaces" "replaced" p
+  | _ -> Alcotest.fail "expected hit after overwrite"
+
+let test_corruption_detected () =
+  with_tmpdir @@ fun dir ->
+  let s = ok (Store.open_ ~dir) in
+  ok (Store.save s ~key:"k" "a context payload");
+  let path = Store.entry_path s ~key:"k" in
+  (* Flip the last payload byte behind the store's back: bit rot. *)
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  let flipped = Bytes.of_string content in
+  let last = Bytes.length flipped - 1 in
+  Bytes.set flipped last (Char.chr (Char.code (Bytes.get flipped last) lxor 1));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc flipped);
+  (match Store.load s ~key:"k" with
+  | Store.Corrupt reason ->
+    Alcotest.(check bool) "checksum named" true
+      (String.length reason > 0)
+  | Store.Hit _ -> Alcotest.fail "corrupted entry handed out"
+  | Store.Miss -> Alcotest.fail "corruption reported as a miss");
+  (* The bad entry is deleted: the next lookup is a plain miss. *)
+  Alcotest.(check bool) "entry deleted" false (Sys.file_exists path);
+  Alcotest.(check bool) "then a miss" true (Store.load s ~key:"k" = Store.Miss)
+
+let test_version_skew_is_miss () =
+  with_tmpdir @@ fun dir ->
+  let s = ok (Store.open_ ~dir) in
+  (* Hand-craft an entry from a "different binary": valid framing and
+     checksum, wrong version stamp. It must be a miss (stale), never a
+     deserialization candidate, and the stale file is removed. *)
+  let payload = "stale" in
+  let header =
+    String.concat " "
+      [
+        "fbb-ctx-1";
+        String.make 32 '0';
+        Digest.to_hex (Digest.string payload);
+        string_of_int (String.length payload);
+        "k";
+      ]
+  in
+  let path = Store.entry_path s ~key:"k" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (header ^ "\n" ^ payload));
+  Alcotest.(check bool) "other-version entry is a miss" true
+    (Store.load s ~key:"k" = Store.Miss);
+  Alcotest.(check bool) "stale file removed" false (Sys.file_exists path)
+
+let test_truncated_entry () =
+  with_tmpdir @@ fun dir ->
+  let s = ok (Store.open_ ~dir) in
+  ok (Store.save s ~key:"k" "full payload bytes");
+  let path = Store.entry_path s ~key:"k" in
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub content 0 (String.length content - 4)));
+  (match Store.load s ~key:"k" with
+  | Store.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated entry must be corrupt");
+  Alcotest.(check bool) "truncated entry removed" false (Sys.file_exists path)
+
+(* ----- server integration ----------------------------------------------- *)
+
+let wl = P.Generated { seed = 21; gates = 120; rows = 4 }
+
+let solve id =
+  P.Solve
+    {
+      id;
+      client = None;
+      workload = wl;
+      beta = 0.05;
+      max_clusters = 3;
+      deadline_ms = None;
+      work_budget = Some 5_000;
+    }
+
+let canon = function
+  | P.Solved r -> P.Solved { r with elapsed_ms = 0.0 }
+  | P.Infeasible { id; _ } -> P.Infeasible { id; elapsed_ms = 0.0 }
+  | r -> r
+
+(* One daemon lifetime against [dir]: start, run [ids] sequentially,
+   stop. Returns the canonicalized payload lines. *)
+let run_once ~dir ids =
+  let config =
+    { Server.default_config with port = 0; store_dir = Some dir }
+  in
+  match Server.start ~config () with
+  | Error m -> Alcotest.failf "server start: %s" m
+  | Ok srv ->
+    Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+    let c = ok (Client.connect ~port:(Server.port srv) ()) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    List.map
+      (fun id -> P.encode_response (canon (ok (Client.rpc c (solve id)))))
+      ids
+
+let test_warm_restart_identical () =
+  with_tmpdir @@ fun dir ->
+  let spills0 = counter "serve.store.spills" in
+  let hits0 = counter "serve.store.hits" in
+  let signoff0 = counter "serve.store.signoff_ok" in
+  let cold = run_once ~dir [ "r1"; "r2" ] in
+  Alcotest.(check bool) "cold run spilled the context" true
+    (counter "serve.store.spills" > spills0);
+  Alcotest.(check bool) "cold run had no store hit" true
+    (counter "serve.store.hits" = hits0);
+  let warm = run_once ~dir [ "r1"; "r2" ] in
+  Alcotest.(check (list string)) "warm payloads bit-identical to cold" cold
+    warm;
+  Alcotest.(check bool) "warm run loaded from the store" true
+    (counter "serve.store.hits" > hits0);
+  Alcotest.(check bool) "loaded context signed off" true
+    (counter "serve.store.signoff_ok" > signoff0);
+  Alcotest.(check int) "no signoff failures" 0
+    (counter "serve.store.signoff_failed")
+
+let test_corrupt_entry_rebuilt () =
+  with_tmpdir @@ fun dir ->
+  let cold = run_once ~dir [ "x1" ] in
+  (* Byte-flip the spilled context on disk. *)
+  let s = ok (Store.open_ ~dir) in
+  (match Store.entries s with
+  | [] -> Alcotest.fail "no entry spilled"
+  | name :: _ ->
+    let path = Filename.concat dir name in
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    let b = Bytes.of_string content in
+    let mid = Bytes.length b - 8 in
+    Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x40));
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b));
+  let corrupt0 = counter "serve.store.corrupt" in
+  (* The warm daemon detects the corruption, rebuilds from scratch and
+     answers an identical payload — corruption costs latency, never
+     correctness. *)
+  let warm = run_once ~dir [ "x1" ] in
+  Alcotest.(check (list string)) "rebuilt payload identical" cold warm;
+  Alcotest.(check bool) "corruption detected and counted" true
+    (counter "serve.store.corrupt" > corrupt0)
+
+let test_spill_failure_degrades () =
+  with_tmpdir @@ fun dir ->
+  let failed0 = counter "serve.store.spill_failed" in
+  Fbb_util.Atomic_io.set_fault_hook
+    (Some (fun _phase _path -> failwith "injected spill fault"));
+  let responses =
+    Fun.protect
+      ~finally:(fun () -> Fbb_util.Atomic_io.set_fault_hook None)
+      (fun () -> run_once ~dir [ "d1"; "d2" ])
+  in
+  (* Both requests solved despite every spill failing... *)
+  List.iter
+    (fun line ->
+      match P.decode_response line with
+      | Ok (P.Solved _) -> ()
+      | Ok r ->
+        Alcotest.failf "expected solved under spill faults, got %s"
+          (P.encode_response r)
+      | Error m -> Alcotest.failf "undecodable response: %s" m)
+    responses;
+  Alcotest.(check bool) "spill failure counted" true
+    (counter "serve.store.spill_failed" > failed0);
+  (* ...and nothing half-written was published. *)
+  let s = ok (Store.open_ ~dir) in
+  Alcotest.(check (list string)) "no entries published" [] (Store.entries s);
+  (* With the fault gone the same store works again. *)
+  let after = run_once ~dir [ "d3" ] in
+  Alcotest.(check int) "serviceable after" 1 (List.length after)
+
+let suite =
+  [
+    Alcotest.test_case "save/load round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "corruption detected and deleted" `Quick
+      test_corruption_detected;
+    Alcotest.test_case "version skew is a miss" `Quick
+      test_version_skew_is_miss;
+    Alcotest.test_case "truncated entry is corrupt" `Quick
+      test_truncated_entry;
+    Alcotest.test_case "warm restart bit-identical" `Quick
+      test_warm_restart_identical;
+    Alcotest.test_case "corrupt entry rebuilt identically" `Quick
+      test_corrupt_entry_rebuilt;
+    Alcotest.test_case "spill failure degrades to in-memory" `Quick
+      test_spill_failure_degrades;
+  ]
